@@ -1,0 +1,96 @@
+// Command graphgen emits synthetic graphs as SNAP-style edge lists: either
+// one of the paper's dataset analogs or a raw generator model.
+//
+// Usage:
+//
+//	graphgen -dataset livejournal -scale 0.5 -out lj.txt
+//	graphgen -model ba -n 10000 -m 4 -out ba.txt
+//	graphgen -model community -n 5000 -communities 25 -out comm.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snaple"
+	"snaple/internal/gen"
+	"snaple/internal/graph"
+)
+
+func main() {
+	var (
+		dataset     = flag.String("dataset", "", "dataset analog to generate (gowalla|pokec|livejournal|orkut|twitter-rv)")
+		model       = flag.String("model", "", "raw model instead of a dataset (er|ba|ws|rmat|community)")
+		scale       = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		seed        = flag.Uint64("seed", 42, "generator seed")
+		out         = flag.String("out", "-", "output path ('-' = stdout)")
+		n           = flag.Int("n", 1000, "vertices (raw models)")
+		m           = flag.Int("m", 4, "edges per vertex (ba) / total edges (er)")
+		k           = flag.Int("k", 4, "ring degree (ws)")
+		beta        = flag.Float64("beta", 0.1, "rewiring probability (ws)")
+		rmatScale   = flag.Int("rmat-scale", 12, "log2 vertices (rmat)")
+		edgeFactor  = flag.Int("edge-factor", 8, "edges per vertex (rmat)")
+		communities = flag.Int("communities", 10, "communities (community model)")
+		symmetric   = flag.Bool("symmetric", false, "duplicate edges in both directions (community model)")
+	)
+	flag.Parse()
+
+	g, err := generate(*dataset, *model, *scale, *seed, rawParams{
+		n: *n, m: *m, k: *k, beta: *beta,
+		rmatScale: *rmatScale, edgeFactor: *edgeFactor,
+		communities: *communities, symmetric: *symmetric,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := snaple.WriteEdgeList(w, g); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+	st := graph.ComputeStats(g)
+	fmt.Fprintf(os.Stderr, "graphgen: wrote %s\n", st)
+}
+
+type rawParams struct {
+	n, m, k               int
+	beta                  float64
+	rmatScale, edgeFactor int
+	communities           int
+	symmetric             bool
+}
+
+func generate(dataset, model string, scale float64, seed uint64, p rawParams) (*snaple.Graph, error) {
+	switch {
+	case dataset != "" && model != "":
+		return nil, fmt.Errorf("use either -dataset or -model, not both")
+	case dataset != "":
+		return snaple.Dataset(dataset, scale, seed)
+	case model == "er":
+		return gen.ErdosRenyi(p.n, p.m, seed)
+	case model == "ba":
+		return gen.BarabasiAlbert(p.n, p.m, seed)
+	case model == "ws":
+		return gen.WattsStrogatz(p.n, p.k, p.beta, seed)
+	case model == "rmat":
+		return gen.RMAT(p.rmatScale, p.edgeFactor, 0.57, 0.19, 0.19, seed)
+	case model == "community":
+		return gen.Community(gen.CommunityConfig{
+			N: p.n, Communities: p.communities, Symmetric: p.symmetric,
+		}, seed)
+	default:
+		return nil, fmt.Errorf("need -dataset or -model (er|ba|ws|rmat|community)")
+	}
+}

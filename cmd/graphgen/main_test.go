@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestGenerate(t *testing.T) {
+	defaults := rawParams{n: 100, m: 3, k: 4, beta: 0.1, rmatScale: 6, edgeFactor: 4, communities: 5}
+	tests := []struct {
+		name    string
+		dataset string
+		model   string
+		wantErr bool
+	}{
+		{"dataset", "gowalla", "", false},
+		{"model er", "", "er", false},
+		{"model ba", "", "ba", false},
+		{"model ws", "", "ws", false},
+		{"model rmat", "", "rmat", false},
+		{"model community", "", "community", false},
+		{"both set", "gowalla", "ba", true},
+		{"neither set", "", "", true},
+		{"unknown model", "", "nope", true},
+		{"unknown dataset", "nope", "", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := generate(tt.dataset, tt.model, 0.1, 7, defaults)
+			if tt.wantErr {
+				if err == nil {
+					t.Error("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.NumVertices() == 0 {
+				t.Error("empty graph")
+			}
+		})
+	}
+}

@@ -1,0 +1,187 @@
+// Command snaple-bench regenerates the paper's tables and figures on the
+// synthetic dataset analogs.
+//
+// Usage:
+//
+//	snaple-bench -exp table5
+//	snaple-bench -exp all -scale 0.5 -v
+//
+// Experiments: table5, fig5, fig6, fig7, fig8, fig9, fig10, fig11, table6,
+// exhaustion, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"snaple/internal/eval"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (table5|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table6|exhaustion|ablations|all)")
+		scale   = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		seed    = flag.Uint64("seed", 42, "run seed")
+		verbose = flag.Bool("v", false, "log per-run progress to stderr")
+	)
+	flag.Parse()
+
+	opts := eval.Options{Scale: *scale, Seed: *seed}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	if err := run(*exp, opts, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "snaple-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type experiment struct {
+	id  string
+	run func(eval.Options, io.Writer) error
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table5", func(o eval.Options, w io.Writer) error {
+			t, err := eval.RunTable5(o)
+			if err != nil {
+				return err
+			}
+			t.Fprint(w)
+			return nil
+		}},
+		{"fig5", func(o eval.Options, w io.Writer) error {
+			f, err := eval.RunFigure5(o)
+			if err != nil {
+				return err
+			}
+			f.Fprint(w)
+			return nil
+		}},
+		{"fig6", func(o eval.Options, w io.Writer) error {
+			f, err := eval.RunFigure6(o)
+			if err != nil {
+				return err
+			}
+			f.Fprint(w)
+			return nil
+		}},
+		{"fig7", func(o eval.Options, w io.Writer) error {
+			f, err := eval.RunFigure7(o)
+			if err != nil {
+				return err
+			}
+			f.Fprint(w)
+			return nil
+		}},
+		{"fig8", func(o eval.Options, w io.Writer) error {
+			f, err := eval.RunFigure8(o)
+			if err != nil {
+				return err
+			}
+			f.Fprint(w)
+			return nil
+		}},
+		{"fig9", func(o eval.Options, w io.Writer) error {
+			f, err := eval.RunFigure9(o)
+			if err != nil {
+				return err
+			}
+			f.Fprint(w)
+			return nil
+		}},
+		{"fig10", func(o eval.Options, w io.Writer) error {
+			f, err := eval.RunFigure10(o)
+			if err != nil {
+				return err
+			}
+			f.Fprint(w)
+			return nil
+		}},
+		{"fig11+table6", func(o eval.Options, w io.Writer) error {
+			f, err := eval.RunFigure11(o)
+			if err != nil {
+				return err
+			}
+			f.Fprint(w)
+			fmt.Fprintln(w)
+			t, err := eval.RunTable6(o, f)
+			if err != nil {
+				return err
+			}
+			t.Fprint(w)
+			return nil
+		}},
+		{"exhaustion", func(o eval.Options, w io.Writer) error {
+			e, err := eval.RunExhaustion(o)
+			if err != nil {
+				return err
+			}
+			e.Fprint(w)
+			return nil
+		}},
+		{"supervised", func(o eval.Options, w io.Writer) error {
+			s, err := eval.RunSupervised(o)
+			if err != nil {
+				return err
+			}
+			s.Fprint(w)
+			return nil
+		}},
+		{"ablations", func(o eval.Options, w io.Writer) error {
+			a, err := eval.RunAlphaSweep(o)
+			if err != nil {
+				return err
+			}
+			a.Fprint(w)
+			fmt.Fprintln(w)
+			p, err := eval.RunPartitionAblation(o)
+			if err != nil {
+				return err
+			}
+			p.Fprint(w)
+			fmt.Fprintln(w)
+			k, err := eval.RunKHopAblation(o)
+			if err != nil {
+				return err
+			}
+			k.Fprint(w)
+			return nil
+		}},
+	}
+}
+
+func run(id string, opts eval.Options, w io.Writer) error {
+	matched := false
+	for _, e := range experiments() {
+		if !matches(id, e.id) {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		fmt.Fprintf(w, "==> %s (scale=%.2f seed=%d)\n", e.id, opts.Scale, opts.Seed)
+		if err := e.run(opts, w); err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Fprintf(w, "<== %s done in %.1fs\n\n", e.id, time.Since(start).Seconds())
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+func matches(requested, id string) bool {
+	if requested == "all" {
+		return true
+	}
+	if requested == id {
+		return true
+	}
+	// fig11 and table6 share a runner.
+	return id == "fig11+table6" && (requested == "fig11" || requested == "table6")
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"snaple/internal/eval"
+)
+
+func TestMatches(t *testing.T) {
+	tests := []struct {
+		requested, id string
+		want          bool
+	}{
+		{"all", "table5", true},
+		{"table5", "table5", true},
+		{"fig11", "fig11+table6", true},
+		{"table6", "fig11+table6", true},
+		{"fig5", "table5", false},
+		{"nope", "table5", false},
+	}
+	for _, tt := range tests {
+		if got := matches(tt.requested, tt.id); got != tt.want {
+			t.Errorf("matches(%q,%q) = %v, want %v", tt.requested, tt.id, got, tt.want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run("bogus", eval.Options{Scale: 0.1, Seed: 1}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var sb strings.Builder
+	if err := run("table5", eval.Options{Scale: 0.1, Seed: 1}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Table 5") || !strings.Contains(out, "BASELINE") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestExperimentIDsCoverPaper(t *testing.T) {
+	// Every table/figure of the evaluation must have a runner.
+	want := []string{"table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11+table6", "exhaustion", "supervised", "ablations"}
+	got := experiments()
+	if len(got) != len(want) {
+		t.Fatalf("have %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.id != want[i] {
+			t.Errorf("experiment %d = %q, want %q", i, e.id, want[i])
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Command snaple runs link prediction on a graph: SNAPLE (serial or on the
+// simulated distributed GAS engine), the naive BASELINE, or the
+// random-walk comparator.
+//
+// Usage:
+//
+//	snaple -dataset livejournal -scale 0.25 -score linearSum -klocal 20 -eval
+//	snaple -in graph.txt -score PPR -k 10 -vertex 42
+//	snaple -dataset pokec -system walks -walks 100 -depth 3 -eval
+//	snaple -dataset gowalla -system baseline -nodes 4 -eval
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"snaple"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input edge-list file (SNAP format)")
+		symmetric = flag.Bool("symmetric", false, "treat the input as undirected")
+		dataset   = flag.String("dataset", "", "generate a dataset analog instead of reading a file")
+		scale     = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		seed      = flag.Uint64("seed", 42, "run seed")
+
+		system = flag.String("system", "snaple", "predictor: snaple|baseline|walks")
+		score  = flag.String("score", "linearSum", "SNAPLE score (see -scores)")
+		scores = flag.Bool("scores", false, "list available scores and exit")
+		k      = flag.Int("k", 5, "predictions per vertex")
+		klocal = flag.Int("klocal", 20, "relay sample size (0 = unlimited)")
+		thr    = flag.Int("thr", 200, "truncation threshold thrGamma (0 = unlimited)")
+		policy = flag.String("policy", "max", "relay selection policy: max|min|rnd")
+		alpha  = flag.Float64("alpha", 0.9, "linear combinator alpha")
+
+		serial   = flag.Bool("serial", false, "run the serial reference instead of the GAS engine")
+		nodes    = flag.Int("nodes", 1, "simulated cluster nodes")
+		nodeType = flag.String("nodetype", "type-II", "node type: type-I|type-II")
+		strategy = flag.String("strategy", "hash-edge", "vertex-cut strategy: hash-edge|hash-source|greedy")
+		budget   = flag.Int64("budget", 0, "per-node memory budget in bytes (0 = node capacity)")
+
+		walks = flag.Int("walks", 100, "walks per vertex (system=walks)")
+		depth = flag.Int("depth", 3, "walk depth (system=walks)")
+
+		doEval = flag.Bool("eval", false, "hide one edge per vertex and report recall")
+		vertex = flag.Int("vertex", -1, "print predictions for this vertex")
+	)
+	flag.Parse()
+
+	if *scores {
+		for _, s := range snaple.ScoreNames() {
+			fmt.Println(s)
+		}
+		return
+	}
+	if err := run(runArgs{
+		in: *in, symmetric: *symmetric, dataset: *dataset, scale: *scale, seed: *seed,
+		system: *system, score: *score, k: *k, klocal: *klocal, thr: *thr,
+		policy: *policy, alpha: *alpha, serial: *serial,
+		nodes: *nodes, nodeType: *nodeType, strategy: *strategy, budget: *budget,
+		walks: *walks, depth: *depth, doEval: *doEval, vertex: *vertex,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "snaple:", err)
+		os.Exit(1)
+	}
+}
+
+type runArgs struct {
+	in        string
+	symmetric bool
+	dataset   string
+	scale     float64
+	seed      uint64
+	system    string
+	score     string
+	k, klocal int
+	thr       int
+	policy    string
+	alpha     float64
+	serial    bool
+	nodes     int
+	nodeType  string
+	strategy  string
+	budget    int64
+	walks     int
+	depth     int
+	doEval    bool
+	vertex    int
+}
+
+func run(a runArgs) error {
+	g, err := load(a)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %s\n", g)
+
+	var split *snaple.Split
+	if a.doEval {
+		split, err = snaple.NewSplit(g, 1, a.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("protocol: hid %d edges (1 per vertex with degree > 3)\n", split.NumRemoved)
+		g = split.Train
+	}
+
+	opts := snaple.Options{
+		Score: a.score, Alpha: a.alpha, K: a.k, KLocal: a.klocal,
+		ThrGamma: a.thr, Policy: a.policy, Seed: a.seed,
+	}
+	cl := snaple.ClusterOptions{
+		Nodes: a.nodes, NodeType: a.nodeType, Strategy: a.strategy,
+		MemBudgetBytes: a.budget, Seed: a.seed,
+	}
+
+	var preds snaple.Predictions
+	start := time.Now()
+	switch a.system {
+	case "snaple":
+		if a.serial {
+			preds, err = snaple.Predict(g, opts)
+		} else {
+			var res *snaple.Result
+			res, err = snaple.PredictDistributed(g, opts, cl)
+			if res != nil {
+				preds = res.Predictions
+				printStats(res)
+			}
+		}
+	case "baseline":
+		var res *snaple.Result
+		res, err = snaple.PredictBaseline(g, a.k, cl)
+		if res != nil {
+			preds = res.Predictions
+			printStats(res)
+		}
+	case "walks":
+		preds, err = snaple.PredictWalks(g, a.walks, a.depth, a.k, a.seed)
+	default:
+		return fmt.Errorf("unknown system %q (snaple|baseline|walks)", a.system)
+	}
+	if err != nil {
+		if errors.Is(err, snaple.ErrMemoryExhausted) {
+			fmt.Printf("RESOURCE EXHAUSTION: %v\n", err)
+			return nil
+		}
+		return err
+	}
+	fmt.Printf("predicted in %.2fs (host wall)\n", time.Since(start).Seconds())
+
+	if a.vertex >= 0 {
+		if a.vertex >= len(preds) || len(preds[a.vertex]) == 0 {
+			fmt.Printf("vertex %d: no predictions\n", a.vertex)
+		} else {
+			fmt.Printf("vertex %d predictions:\n", a.vertex)
+			for i, p := range preds[a.vertex] {
+				fmt.Printf("  %d. vertex %d (score %.4f)\n", i+1, p.Vertex, p.Score)
+			}
+		}
+	}
+	total := 0
+	for _, ps := range preds {
+		total += len(ps)
+	}
+	fmt.Printf("predictions: %d across %d vertices\n", total, len(preds))
+	if split != nil {
+		fmt.Printf("recall@%d: %.4f\n", a.k, snaple.Recall(preds, split))
+	}
+	return nil
+}
+
+func load(a runArgs) (*snaple.Graph, error) {
+	switch {
+	case a.in != "" && a.dataset != "":
+		return nil, fmt.Errorf("use either -in or -dataset, not both")
+	case a.in != "":
+		return snaple.ReadEdgeListFile(a.in, a.symmetric)
+	case a.dataset != "":
+		return snaple.Dataset(a.dataset, a.scale, a.seed)
+	default:
+		return nil, fmt.Errorf("need -in FILE or -dataset NAME")
+	}
+}
+
+func printStats(r *snaple.Result) {
+	fmt.Printf("engine: sim=%.3fs cross=%.1fMiB msgs=%d peak=%.1fMiB/node rf=%.2f\n",
+		r.SimSeconds, float64(r.CrossBytes)/(1<<20), r.CrossMsgs,
+		float64(r.MemPeakBytes)/(1<<20), r.ReplicationFactor)
+}

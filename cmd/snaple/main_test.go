@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(file, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name    string
+		args    runArgs
+		wantErr bool
+	}{
+		{"from file", runArgs{in: file}, false},
+		{"from dataset", runArgs{dataset: "gowalla", scale: 0.1, seed: 1}, false},
+		{"both", runArgs{in: file, dataset: "gowalla"}, true},
+		{"neither", runArgs{}, true},
+		{"missing file", runArgs{in: filepath.Join(dir, "absent.txt")}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := load(tt.args)
+			if tt.wantErr {
+				if err == nil {
+					t.Error("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.NumEdges() == 0 {
+				t.Error("empty graph loaded")
+			}
+		})
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	base := runArgs{
+		dataset: "gowalla", scale: 0.1, seed: 1,
+		system: "snaple", score: "linearSum", k: 5, klocal: 10, thr: 50,
+		policy: "max", alpha: 0.9, nodes: 2, nodeType: "type-I",
+		strategy: "hash-edge", doEval: true, vertex: 3,
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*runArgs)
+		ok     bool
+	}{
+		{"snaple distributed", func(*runArgs) {}, true},
+		{"snaple serial", func(a *runArgs) { a.serial = true }, true},
+		{"baseline", func(a *runArgs) { a.system = "baseline" }, true},
+		{"walks", func(a *runArgs) { a.system = "walks"; a.walks = 10; a.depth = 3 }, true},
+		{"bad system", func(a *runArgs) { a.system = "nope" }, false},
+		{"bad score", func(a *runArgs) { a.score = "nope" }, false},
+		{"exhaustion reported not fatal", func(a *runArgs) { a.system = "baseline"; a.budget = 1024 }, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			args := base
+			tc.mutate(&args)
+			err := run(args)
+			if tc.ok && err != nil {
+				t.Fatalf("run failed: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}

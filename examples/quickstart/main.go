@@ -1,0 +1,60 @@
+// Quickstart: generate a small social graph, hide one edge per user, ask
+// SNAPLE to predict missing links, and measure how many hidden edges it
+// recovers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snaple"
+)
+
+func main() {
+	// A 2,000-user social graph with 20 interest communities.
+	g, err := snaple.GenerateCommunity(snaple.CommunityGraph{
+		N:           2000,
+		Communities: 20,
+	}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %v\n", g)
+
+	// The paper's protocol: hide one outgoing edge of every vertex with
+	// more than three neighbours, then try to recover it.
+	split, err := snaple.NewSplit(g, 1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hidden edges: %d\n", split.NumRemoved)
+
+	// Predict with the paper's default configuration: Jaccard similarity,
+	// linear combinator (alpha = 0.9), Sum aggregator, k_local = 20 relays.
+	preds, err := snaple.Predict(split.Train, snaple.Options{
+		Score:    "linearSum",
+		K:        5,
+		KLocal:   20,
+		ThrGamma: 200,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("recall@5: %.3f\n", snaple.Recall(preds, split))
+
+	// Show the recommendations for one user.
+	const user = 17
+	fmt.Printf("recommendations for user %d (current friends: %v):\n",
+		user, split.Train.OutNeighbors(user))
+	for i, p := range preds[user] {
+		hidden := ""
+		for _, h := range split.Removed[user] {
+			if h == p.Vertex {
+				hidden = "  <- this edge was hidden!"
+			}
+		}
+		fmt.Printf("  %d. user %d (score %.4f)%s\n", i+1, p.Vertex, p.Score, hidden)
+	}
+}

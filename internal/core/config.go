@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"snaple/internal/graph"
+	"snaple/internal/randx"
+)
+
+// SelectionPolicy chooses which k_local neighbours each vertex keeps as path
+// relays at the end of step 2 (Section 5.6 compares the three).
+type SelectionPolicy int
+
+const (
+	// SelectMax keeps the k_local most similar neighbours (Γmax, the
+	// paper's default and best performer).
+	SelectMax SelectionPolicy = iota
+	// SelectMin keeps the k_local least similar neighbours (Γmin).
+	SelectMin
+	// SelectRnd keeps k_local neighbours drawn uniformly (Γrnd),
+	// deterministically keyed by the run seed.
+	SelectRnd
+)
+
+// String implements fmt.Stringer.
+func (p SelectionPolicy) String() string {
+	switch p {
+	case SelectMax:
+		return "max"
+	case SelectMin:
+		return "min"
+	case SelectRnd:
+		return "rnd"
+	default:
+		return fmt.Sprintf("SelectionPolicy(%d)", int(p))
+	}
+}
+
+// Unlimited disables a sampling parameter (the paper's ∞ rows in Table 5).
+const Unlimited = 0
+
+// Config parameterises a SNAPLE prediction run (Algorithm 2's inputs).
+type Config struct {
+	// Score is the scoring configuration (Table 3). Required.
+	Score ScoreSpec
+	// K is the number of predictions returned per vertex (default 5, the
+	// paper's fixed choice outside Figure 9).
+	K int
+	// KLocal bounds the per-vertex neighbour sample used as path relays;
+	// Unlimited (0) disables sampling.
+	KLocal int
+	// ThrGamma is the neighbourhood truncation threshold thrΓ; Unlimited
+	// (0) disables truncation. The paper defaults to 200.
+	ThrGamma int
+	// Policy selects how the KLocal relays are chosen (default SelectMax).
+	Policy SelectionPolicy
+	// Paths is the maximum path length explored: 2 (the paper's setting,
+	// default) or 3 (the footnote-2 extension; candidate space grows to
+	// k_local³, so use small KLocal values).
+	Paths int
+	// Seed drives truncation and the Γrnd policy.
+	Seed uint64
+}
+
+// withDefaults fills zero fields that have non-zero defaults.
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 5
+	}
+	if c.Paths == 0 {
+		c.Paths = 2
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Score.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.K < 1:
+		return fmt.Errorf("core: K=%d, need >= 1", c.K)
+	case c.KLocal < 0:
+		return fmt.Errorf("core: KLocal=%d, need >= 0", c.KLocal)
+	case c.ThrGamma < 0:
+		return fmt.Errorf("core: ThrGamma=%d, need >= 0", c.ThrGamma)
+	case c.Policy != SelectMax && c.Policy != SelectMin && c.Policy != SelectRnd:
+		return fmt.Errorf("core: unknown selection policy %d", int(c.Policy))
+	case c.Paths != 0 && c.Paths != 2 && c.Paths != 3:
+		return fmt.Errorf("core: Paths=%d, supported values are 2 and 3", c.Paths)
+	}
+	return nil
+}
+
+// Prediction is one recommended edge target with its score.
+type Prediction struct {
+	Vertex graph.VertexID
+	Score  float64
+}
+
+// Predictions holds the per-vertex prediction lists, indexed by vertex ID;
+// vertices without predictions have nil entries.
+type Predictions [][]Prediction
+
+// keepTruncated reports whether the truncation of Algorithm 2 (line 3)
+// retains neighbour v of vertex u whose out-degree is deg. The decision is a
+// hash draw keyed by (seed, u, v), so it is independent of evaluation order
+// and identical across the distributed and serial implementations.
+func keepTruncated(seed uint64, u, v graph.VertexID, deg, thr int) bool {
+	if thr == Unlimited || deg <= thr {
+		return true
+	}
+	return randx.Float64(seed^truncSalt, uint64(u), uint64(v)) < float64(thr)/float64(deg)
+}
+
+const (
+	truncSalt  = 0x51AF1E01
+	rndSelSalt = 0x51AF1E02
+)

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"snaple/internal/graph"
+)
+
+// Content-based similarity extension.
+//
+// Section 3.1: "This approach can be extended to content-based metrics by
+// simply including data attached to vertices in f." This file provides that
+// hook: vertex attribute sets (hashed tags, interests, profile tokens) and a
+// similarity that blends the topological metric with attribute overlap.
+// Because attributes are static vertex metadata — like degrees — they do not
+// travel through the engine; both the GAS steps and the serial reference
+// read them through the Similarity, so distributed/serial equivalence is
+// preserved for free.
+
+// AttributeTable holds one sorted attribute set per vertex.
+type AttributeTable [][]uint32
+
+// Validate checks that every attribute set is sorted and duplicate-free.
+func (a AttributeTable) Validate() error {
+	for v, attrs := range a {
+		for i := 1; i < len(attrs); i++ {
+			if attrs[i] <= attrs[i-1] {
+				return fmt.Errorf("core: attributes of vertex %d not strictly sorted", v)
+			}
+		}
+	}
+	return nil
+}
+
+// attrJaccard computes Jaccard over two sorted attribute sets.
+func attrJaccard(a, b []uint32) float64 {
+	i, j, inter := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			inter++
+			i++
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// IDSimilarity is the optional Similarity extension for metrics that need
+// vertex identities (content-based metrics resolve attributes by ID).
+// When a ScoreSpec's Sim implements it, the engine and the serial reference
+// call ScoreIDs instead of Score.
+type IDSimilarity interface {
+	Similarity
+	ScoreIDs(u, v graph.VertexID, uNbrs, vNbrs []graph.VertexID, uDeg, vDeg int) float64
+}
+
+// ContentSimilarity blends a topological base metric with attribute-set
+// Jaccard: Beta·base + (1−Beta)·attrJaccard. Beta = 1 reduces to the base
+// metric; Beta = 0 is purely content-based.
+type ContentSimilarity struct {
+	Base  Similarity
+	Attrs AttributeTable
+	Beta  float64
+}
+
+// NewContentSimilarity validates and assembles a content-aware similarity.
+func NewContentSimilarity(base Similarity, attrs AttributeTable, beta float64) (*ContentSimilarity, error) {
+	if base == nil {
+		return nil, fmt.Errorf("core: content similarity needs a base metric")
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("core: content beta=%v outside [0,1]", beta)
+	}
+	if err := attrs.Validate(); err != nil {
+		return nil, err
+	}
+	return &ContentSimilarity{Base: base, Attrs: attrs, Beta: beta}, nil
+}
+
+// Name implements Similarity.
+func (c *ContentSimilarity) Name() string {
+	return fmt.Sprintf("content(%s,beta=%g)", c.Base.Name(), c.Beta)
+}
+
+// Score implements Similarity; without identities only the base metric can
+// contribute (content weight falls back to zero overlap).
+func (c *ContentSimilarity) Score(uNbrs, vNbrs []graph.VertexID, uDeg, vDeg int) float64 {
+	return c.Beta * c.Base.Score(uNbrs, vNbrs, uDeg, vDeg)
+}
+
+// ScoreIDs implements IDSimilarity.
+func (c *ContentSimilarity) ScoreIDs(u, v graph.VertexID, uNbrs, vNbrs []graph.VertexID, uDeg, vDeg int) float64 {
+	topo := c.Base.Score(uNbrs, vNbrs, uDeg, vDeg)
+	var ua, va []uint32
+	if int(u) < len(c.Attrs) {
+		ua = c.Attrs[u]
+	}
+	if int(v) < len(c.Attrs) {
+		va = c.Attrs[v]
+	}
+	return c.Beta*topo + (1-c.Beta)*attrJaccard(ua, va)
+}
+
+var _ IDSimilarity = (*ContentSimilarity)(nil)
+
+// simScore dispatches to ScoreIDs when the metric is identity-aware; the
+// single call site shared by step 2 and the references.
+func simScore(sim Similarity, u, v graph.VertexID, uNbrs, vNbrs []graph.VertexID, uDeg, vDeg int) float64 {
+	if ids, ok := sim.(IDSimilarity); ok {
+		return ids.ScoreIDs(u, v, uNbrs, vNbrs, uDeg, vDeg)
+	}
+	return sim.Score(uNbrs, vNbrs, uDeg, vDeg)
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"snaple/internal/gen"
+	"snaple/internal/graph"
+)
+
+func testAttrs(t *testing.T, n, communities int) gen.AttributeConfig {
+	t.Helper()
+	return gen.AttributeConfig{N: n, Communities: communities}
+}
+
+func TestAttrJaccard(t *testing.T) {
+	tests := []struct {
+		a, b []uint32
+		want float64
+	}{
+		{[]uint32{1, 2, 3}, []uint32{2, 3, 4}, 0.5},
+		{[]uint32{1, 2}, []uint32{1, 2}, 1},
+		{[]uint32{1}, []uint32{2}, 0},
+		{nil, nil, 0},
+		{[]uint32{1}, nil, 0},
+	}
+	for _, tt := range tests {
+		if got := attrJaccard(tt.a, tt.b); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("attrJaccard(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestContentSimilarityValidation(t *testing.T) {
+	if _, err := NewContentSimilarity(nil, nil, 0.5); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewContentSimilarity(Jaccard{}, nil, 1.5); err == nil {
+		t.Error("beta out of range accepted")
+	}
+	bad := AttributeTable{{3, 1}}
+	if _, err := NewContentSimilarity(Jaccard{}, bad, 0.5); err == nil {
+		t.Error("unsorted attributes accepted")
+	}
+	good := AttributeTable{{1, 3}, {2}}
+	if _, err := NewContentSimilarity(Jaccard{}, good, 0.5); err != nil {
+		t.Errorf("valid content similarity rejected: %v", err)
+	}
+}
+
+func TestContentSimilarityBlending(t *testing.T) {
+	attrs := AttributeTable{
+		0: {1, 2, 3},
+		1: {2, 3, 4},
+	}
+	cs, err := NewContentSimilarity(Jaccard{}, attrs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uNbrs := []graph.VertexID{5, 6}
+	vNbrs := []graph.VertexID{6, 7}
+	topo := Jaccard{}.Score(uNbrs, vNbrs, 0, 0) // 1/3
+	content := 0.5                              // attr overlap of 0 and 1
+	want := 0.5*topo + 0.5*content
+	if got := cs.ScoreIDs(0, 1, uNbrs, vNbrs, 0, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ScoreIDs = %v, want %v", got, want)
+	}
+	// beta=1 reduces to the base metric.
+	pure, err := NewContentSimilarity(Jaccard{}, attrs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pure.ScoreIDs(0, 1, uNbrs, vNbrs, 0, 0); math.Abs(got-topo) > 1e-12 {
+		t.Errorf("beta=1 ScoreIDs = %v, want topo %v", got, topo)
+	}
+	// Out-of-range vertex IDs contribute zero content.
+	if got := cs.ScoreIDs(99, 100, uNbrs, vNbrs, 0, 0); math.Abs(got-0.5*topo) > 1e-12 {
+		t.Errorf("missing attrs ScoreIDs = %v, want %v", got, 0.5*topo)
+	}
+}
+
+func TestContentGASMatchesSerial(t *testing.T) {
+	const communities = 8
+	g := communityGraph(t, 300, 97)
+	attrs, err := gen.Attributes(testAttrs(t, g.NumVertices(), communities), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := NewContentSimilarity(Jaccard{}, attrs, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Score: ScoreSpec{Name: "contentLinearSum", Sim: cs, Comb: Linear(0.9), Agg: AggSum()},
+		K:     5, KLocal: 8, Seed: 3,
+	}
+	want, err := ReferenceSnaple(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{1, 4} {
+		res := runGAS(t, g, cfg, parts, 2)
+		predictionsEqual(t, res.Pred, want, "content")
+	}
+}
+
+func TestAttributesGeneratorProperties(t *testing.T) {
+	cfg := gen.AttributeConfig{N: 600, Communities: 12}
+	attrs, err := gen.Attributes(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 600 {
+		t.Fatalf("got %d attribute sets", len(attrs))
+	}
+	table := AttributeTable(attrs)
+	if err := table.Validate(); err != nil {
+		t.Fatalf("generated attributes invalid: %v", err)
+	}
+	// Same community -> higher expected overlap than different community.
+	same, diff := 0.0, 0.0
+	sameN, diffN := 0, 0
+	for u := 0; u < 200; u++ {
+		for v := u + 1; v < 200; v++ {
+			j := attrJaccard(attrs[u], attrs[v])
+			if u%12 == v%12 {
+				same += j
+				sameN++
+			} else {
+				diff += j
+				diffN++
+			}
+		}
+	}
+	if same/float64(sameN) <= diff/float64(diffN) {
+		t.Errorf("intra-community attr overlap %.3f not above inter %.3f",
+			same/float64(sameN), diff/float64(diffN))
+	}
+	// Determinism.
+	attrs2, err := gen.Attributes(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range attrs {
+		for i := range attrs[u] {
+			if attrs[u][i] != attrs2[u][i] {
+				t.Fatal("attributes not deterministic")
+			}
+		}
+	}
+	// Validation.
+	if _, err := gen.Attributes(gen.AttributeConfig{N: 0, Communities: 1}, 1); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := gen.Attributes(gen.AttributeConfig{N: 5, Communities: 2, Noise: 2}, 1); err == nil {
+		t.Error("noise=2 accepted")
+	}
+}
+
+func TestContentImprovesRecallWhenTopologyIsSparse(t *testing.T) {
+	// With very sparse neighbourhoods the topological signal is weak;
+	// attribute overlap (correlated with communities) should help the
+	// relay selection. We only require content-aware scoring not to hurt.
+	const communities = 10
+	g, err := gen.Community(gen.CommunityConfig{
+		N: 800, Communities: communities, MinDeg: 2, MaxDeg: 20,
+	}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs, err := gen.Attributes(gen.AttributeConfig{N: 800, Communities: communities}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := NewContentSimilarity(Jaccard{}, attrs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(sim Similarity) int {
+		cfg := Config{
+			Score: ScoreSpec{Name: "x", Sim: sim, Comb: Linear(0.9), Agg: AggSum()},
+			K:     5, KLocal: 10, Seed: 13,
+		}
+		pred, err := ReferenceSnaple(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, ps := range pred {
+			n += len(ps)
+		}
+		return n
+	}
+	if c, p := run(cs), run(Jaccard{}); c == 0 || p == 0 {
+		t.Errorf("content %d / pure %d predictions — one pipeline is broken", c, p)
+	}
+}

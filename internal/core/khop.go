@@ -1,0 +1,213 @@
+package core
+
+import (
+	"sort"
+
+	"snaple/internal/gas"
+	"snaple/internal/graph"
+)
+
+// 3-hop path extension.
+//
+// Footnote 2 of the paper: "We limit ourselves to 2-hop paths, but this
+// approach can be extended to longer paths by recursively applying ⊗ to the
+// raw similarities of individual edges (in functional terms, essentially
+// executing a fold operation on the raw similarity values along the path)."
+//
+// This file implements that extension for 3-hop paths. The fold is applied
+// right-associatively — sim*(u→v→z→w) = sim(u,v) ⊗ (sim(v,z) ⊗ sim(z,w)) —
+// because that is the shape the GAS model can evaluate with adjacent-only
+// access: every vertex v first materialises its own 2-hop path list
+// (step 3a), and the final step (3b) extends each neighbour's list by one
+// edge. For associative combinators the direction is irrelevant; for the
+// linear combinator it is a definition choice, documented here.
+//
+// The candidate set becomes Γ²(u) ∪ Γ³(u) (minus Γ̂(u) ∪ {u}), sampled
+// through the same k_local relays, and the aggregation folds 2-hop and
+// 3-hop path-similarities of a candidate together. The candidate space
+// grows to O(k_local³); use small k_local values.
+
+// step3a materialises at every vertex v its sampled 2-hop path list
+// {(w, sim(v,z) ⊗ sim(z,w)) : z ∈ sims(v), w ∈ sims(z), w ≠ v}.
+type step3a struct{ *snapleState }
+
+// Direction implements gas.Program.
+func (step3a) Direction() gas.Direction { return gas.Out }
+
+// Gather emits v's 2-hop paths through the edge (v,z); only edges to
+// relays contribute.
+func (s step3a) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) ([]pathCand, bool) {
+	svz, ok := lookupSim(srcD.Sims, dst)
+	if !ok || len(dstD.Sims) == 0 {
+		return nil, false
+	}
+	comb := s.cfg.Score.Comb.Fn
+	out := make([]pathCand, 0, len(dstD.Sims))
+	for _, ws := range dstD.Sims {
+		if ws.V == src {
+			continue
+		}
+		out = append(out, pathCand{Z: ws.V, S: comb(svz, ws.Sim)})
+	}
+	if len(out) == 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+// Sum merges sorted path lists (same as step 3).
+func (step3a) Sum(a, b []pathCand) []pathCand { return step3{}.Sum(a, b) }
+
+// Apply stores the flat 2-hop path list, sorted by candidate.
+func (step3a) Apply(_ graph.VertexID, d *vdata, sum []pathCand, has bool) {
+	if !has {
+		d.TwoHop = nil
+		return
+	}
+	d.TwoHop = append([]pathCand(nil), sum...)
+}
+
+// VertexBytes implements gas.Program.
+func (step3a) VertexBytes(v *vdata) int64 { return vdataBytes(v) }
+
+// GatherBytes prices the flat per-path list (12 B per path): unlike the
+// final step, the intermediate list cannot be pre-folded because each entry
+// extends differently in step 3b.
+func (step3a) GatherBytes(g []pathCand) int64 { return 12 * int64(len(g)) }
+
+// step3b combines 2-hop and 3-hop paths into final predictions.
+type step3b struct{ *snapleState }
+
+// Direction implements gas.Program.
+func (step3b) Direction() gas.Direction { return gas.Out }
+
+// Gather emits, for the edge (u,v) with relay v: the 2-hop paths u→v→z and
+// the 3-hop paths u→v→(z→w) obtained by extending v's stored 2-hop list.
+func (s step3b) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) ([]pathCand, bool) {
+	suv, ok := lookupSim(srcD.Sims, dst)
+	if !ok {
+		return nil, false
+	}
+	comb := s.cfg.Score.Comb.Fn
+	out := make([]pathCand, 0, len(dstD.Sims)+len(dstD.TwoHop))
+	for _, zs := range dstD.Sims {
+		if zs.V == src || containsVertex(srcD.Nbrs, zs.V) {
+			continue
+		}
+		out = append(out, pathCand{Z: zs.V, S: comb(suv, zs.Sim)})
+	}
+	for _, pc := range dstD.TwoHop {
+		if pc.Z == src || containsVertex(srcD.Nbrs, pc.Z) {
+			continue
+		}
+		out = append(out, pathCand{Z: pc.Z, S: comb(suv, pc.S)})
+	}
+	if len(out) == 0 {
+		return nil, false
+	}
+	// Contributions interleave Sims and TwoHop candidates: restore Z order.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Z < out[j].Z })
+	return out, true
+}
+
+// Sum merges sorted path lists.
+func (step3b) Sum(a, b []pathCand) []pathCand { return step3{}.Sum(a, b) }
+
+// Apply aggregates per candidate and selects the top-k (same as step 3).
+func (s step3b) Apply(u graph.VertexID, d *vdata, sum []pathCand, has bool) {
+	step3{s.snapleState}.Apply(u, d, sum, has)
+}
+
+// VertexBytes implements gas.Program.
+func (step3b) VertexBytes(v *vdata) int64 { return vdataBytes(v) }
+
+// GatherBytes prices per distinct candidate like the final 2-hop step.
+func (step3b) GatherBytes(g []pathCand) int64 { return step3{}.GatherBytes(g) }
+
+// ReferenceSnaple3Hop is the serial oracle for the 3-hop extension,
+// bit-identical to the distributed pipeline (steps 1, 2, 3a, 3b).
+func ReferenceSnaple3Hop(g *graph.Digraph, cfg Config) (Predictions, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Steps 1-2 shared with the 2-hop reference: recompute them here.
+	st := newSnapleState(g, cfg)
+	n := g.NumVertices()
+	trunc := make([][]graph.VertexID, n)
+	sims := make([][]VertexSim, n)
+	for u := 0; u < n; u++ {
+		uid := graph.VertexID(u)
+		all := g.OutNeighbors(uid)
+		kept := make([]graph.VertexID, 0, len(all))
+		for _, v := range all {
+			if keepTruncated(cfg.Seed, uid, v, int(st.deg[u]), cfg.ThrGamma) {
+				kept = append(kept, v)
+			}
+		}
+		trunc[u] = kept
+	}
+	for u := 0; u < n; u++ {
+		uid := graph.VertexID(u)
+		nbrs := g.OutNeighbors(uid)
+		if len(nbrs) == 0 {
+			continue
+		}
+		cands := make([]VertexSim, 0, len(nbrs))
+		for _, v := range nbrs {
+			cands = append(cands, VertexSim{
+				V:   v,
+				Sim: simScore(cfg.Score.Sim, uid, v, trunc[u], trunc[v], int(st.deg[u]), int(st.deg[v])),
+			})
+		}
+		sims[u] = selectRelays(cfg, uid, cands)
+	}
+	comb := cfg.Score.Comb.Fn
+
+	// Step 3a: per-vertex 2-hop path lists.
+	twoHop := make([][]pathCand, n)
+	for v := 0; v < n; v++ {
+		vid := graph.VertexID(v)
+		for _, zs := range sims[v] {
+			for _, ws := range sims[zs.V] {
+				if ws.V == vid {
+					continue
+				}
+				twoHop[v] = append(twoHop[v], pathCand{Z: ws.V, S: comb(zs.Sim, ws.Sim)})
+			}
+		}
+	}
+
+	// Step 3b: final aggregation over 2- and 3-hop paths.
+	pred := make(Predictions, n)
+	for u := 0; u < n; u++ {
+		uid := graph.VertexID(u)
+		if len(sims[u]) == 0 {
+			continue
+		}
+		paths := make(map[graph.VertexID][]float64)
+		add := func(z graph.VertexID, s float64) {
+			if z == uid || containsVertex(trunc[u], z) {
+				return
+			}
+			paths[z] = append(paths[z], s)
+		}
+		for _, vs := range sims[u] {
+			for _, zs := range sims[vs.V] {
+				add(zs.V, comb(vs.Sim, zs.Sim))
+			}
+			for _, pc := range twoHop[vs.V] {
+				add(pc.Z, comb(vs.Sim, pc.S))
+			}
+		}
+		if len(paths) == 0 {
+			continue
+		}
+		coll := newPredCollector(cfg.K)
+		for z, vals := range paths {
+			coll.push(z, cfg.Score.Agg.FoldPaths(vals))
+		}
+		pred[uid] = coll.result()
+	}
+	return pred, nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"snaple/internal/graph"
+	"snaple/internal/topk"
+)
+
+// ReferenceSnaple executes SNAPLE's scoring (Sections 3-4) serially on a
+// single machine, with semantics bit-identical to PredictGAS: the same
+// hash-keyed truncation draws, the same relay selection, the same
+// sorted-fold aggregation and the same tie-breaking. The distributed
+// implementation is required by tests to agree exactly, for every
+// partitioning; it also serves as an in-process predictor for small graphs.
+func ReferenceSnaple(g *graph.Digraph, cfg Config) (Predictions, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Paths == 3 {
+		return ReferenceSnaple3Hop(g, cfg)
+	}
+	n := g.NumVertices()
+	st := newSnapleState(g, cfg)
+
+	// Step 1: truncated neighbourhoods.
+	trunc := make([][]graph.VertexID, n)
+	for u := 0; u < n; u++ {
+		uid := graph.VertexID(u)
+		all := g.OutNeighbors(uid)
+		kept := make([]graph.VertexID, 0, len(all))
+		for _, v := range all {
+			if keepTruncated(cfg.Seed, uid, v, int(st.deg[u]), cfg.ThrGamma) {
+				kept = append(kept, v)
+			}
+		}
+		trunc[u] = kept // already sorted: subsequence of sorted adjacency
+	}
+
+	// Step 2: raw similarities and relay selection.
+	sims := make([][]VertexSim, n)
+	for u := 0; u < n; u++ {
+		uid := graph.VertexID(u)
+		nbrs := g.OutNeighbors(uid)
+		if len(nbrs) == 0 {
+			continue
+		}
+		cands := make([]VertexSim, 0, len(nbrs))
+		for _, v := range nbrs {
+			sim := simScore(cfg.Score.Sim, uid, v, trunc[u], trunc[v], int(st.deg[u]), int(st.deg[v]))
+			cands = append(cands, VertexSim{V: v, Sim: sim})
+		}
+		sims[u] = selectRelays(cfg, uid, cands)
+	}
+
+	// Step 3: path combination and aggregation.
+	pred := make(Predictions, n)
+	comb := cfg.Score.Comb.Fn
+	for u := 0; u < n; u++ {
+		uid := graph.VertexID(u)
+		if len(sims[u]) == 0 {
+			continue
+		}
+		paths := make(map[graph.VertexID][]float64)
+		for _, vs := range sims[u] {
+			for _, zs := range sims[vs.V] {
+				z := zs.V
+				if z == uid || containsVertex(trunc[u], z) {
+					continue
+				}
+				paths[z] = append(paths[z], comb(vs.Sim, zs.Sim))
+			}
+		}
+		if len(paths) == 0 {
+			continue
+		}
+		coll := topk.New(cfg.K)
+		for z, vals := range paths {
+			coll.Push(uint32(z), cfg.Score.Agg.FoldPaths(vals))
+		}
+		items := coll.Result()
+		out := make([]Prediction, len(items))
+		for i, it := range items {
+			out[i] = Prediction{Vertex: graph.VertexID(it.ID), Score: it.Score}
+		}
+		pred[uid] = out
+	}
+	return pred, nil
+}
+
+// ReferenceBaseline is the serial oracle for BASELINE: for every vertex it
+// scores each 2-hop candidate with Jaccard on full neighbourhoods and keeps
+// the top k.
+func ReferenceBaseline(g *graph.Digraph, k int) (Predictions, error) {
+	if k < 1 {
+		return nil, errBaselineK(k)
+	}
+	n := g.NumVertices()
+	pred := make(Predictions, n)
+	var jac Jaccard
+	for u := 0; u < n; u++ {
+		uid := graph.VertexID(u)
+		nbrs := g.OutNeighbors(uid)
+		if len(nbrs) == 0 {
+			continue
+		}
+		coll := topk.New(k)
+		seen := make(map[graph.VertexID]struct{})
+		for _, v := range nbrs {
+			for _, z := range g.OutNeighbors(v) {
+				if z == uid || containsVertex(nbrs, z) {
+					continue
+				}
+				if _, dup := seen[z]; dup {
+					continue
+				}
+				seen[z] = struct{}{}
+				coll.Push(uint32(z), jac.Score(nbrs, g.OutNeighbors(z), 0, 0))
+			}
+		}
+		items := coll.Result()
+		if len(items) == 0 {
+			continue
+		}
+		out := make([]Prediction, len(items))
+		for i, it := range items {
+			out[i] = Prediction{Vertex: graph.VertexID(it.ID), Score: it.Score}
+		}
+		pred[uid] = out
+	}
+	return pred, nil
+}
+
+func errBaselineK(k int) error {
+	return fmt.Errorf("core: baseline k=%d, need >= 1", k)
+}

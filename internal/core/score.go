@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScoreSpec assembles a SNAPLE scoring function: the raw similarity used in
+// step 2 (which also drives the k_local neighbour selection), the combinator
+// applied along 2-hop paths and the aggregator that reduces per-candidate
+// path-similarities (Table 3 of the paper).
+type ScoreSpec struct {
+	Name string
+	Sim  Similarity
+	Comb Combinator
+	Agg  Aggregator
+}
+
+// Validate reports whether the spec is fully assembled.
+func (s ScoreSpec) Validate() error {
+	switch {
+	case s.Sim == nil:
+		return fmt.Errorf("core: score %q: nil similarity", s.Name)
+	case s.Comb.Fn == nil:
+		return fmt.Errorf("core: score %q: nil combinator", s.Name)
+	case s.Agg.Pre == nil || s.Agg.Post == nil:
+		return fmt.Errorf("core: score %q: incomplete aggregator", s.Name)
+	}
+	return nil
+}
+
+// ScoreByName returns one of the eleven scoring configurations of Table 3.
+// alpha parameterises the linear combinator (the paper fixes 0.9).
+//
+// The names are: linearSum, euclSum, geomSum, PPR, counter, linearMean,
+// euclMean, geomMean, linearGeom, euclGeom, geomGeom.
+//
+// Note on counter: Table 3 leaves its raw similarity unspecified ("–")
+// because the count combinator ignores path values; a raw similarity is
+// still needed to rank neighbours for the k_local selection, so we use
+// Jaccard there, keeping the selection consistent with the other scores.
+func ScoreByName(name string, alpha float64) (ScoreSpec, error) {
+	if alpha < 0 || alpha > 1 {
+		return ScoreSpec{}, fmt.Errorf("core: alpha=%v outside [0,1]", alpha)
+	}
+	combs := map[string]Combinator{
+		"linear": Linear(alpha),
+		"eucl":   Eucl(),
+		"geom":   GeomComb(),
+	}
+	aggs := map[string]Aggregator{
+		"Sum":  AggSum(),
+		"Mean": AggMean(),
+		"Geom": AggGeom(),
+	}
+	switch name {
+	case "PPR":
+		return ScoreSpec{Name: name, Sim: InverseDegree{}, Comb: SumComb(), Agg: AggSum()}, nil
+	case "counter":
+		return ScoreSpec{Name: name, Sim: Jaccard{}, Comb: CountComb(), Agg: AggSum()}, nil
+	}
+	for cname, comb := range combs {
+		for aname, agg := range aggs {
+			if name == cname+aname {
+				return ScoreSpec{Name: name, Sim: Jaccard{}, Comb: comb, Agg: agg}, nil
+			}
+		}
+	}
+	return ScoreSpec{}, fmt.Errorf("core: unknown score %q (known: %v)", name, ScoreNames())
+}
+
+// ScoreNames lists every scoring configuration of Table 3, in the paper's
+// order.
+func ScoreNames() []string {
+	names := []string{
+		"linearSum", "euclSum", "geomSum", "PPR", "counter",
+		"linearMean", "euclMean", "geomMean",
+		"linearGeom", "euclGeom", "geomGeom",
+	}
+	return names
+}
+
+// SumFamilyScores returns the five Sum-aggregator configurations compared in
+// Figures 8a, 9 and 10, sorted as the paper's legends list them.
+func SumFamilyScores() []string {
+	n := []string{"counter", "euclSum", "geomSum", "linearSum", "PPR"}
+	sort.Strings(n)
+	return n
+}

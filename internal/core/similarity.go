@@ -1,0 +1,130 @@
+// Package core implements SNAPLE, the paper's contribution: a link-prediction
+// scoring framework built from a raw vertex similarity, a path combinator ⊗
+// and a path aggregator ⊕ (Section 3), compiled into a three-superstep GAS
+// program (Section 4, Algorithm 2). The package also contains the BASELINE
+// comparison system (a direct 2-hop implementation of Algorithm 1) and serial
+// reference implementations used as test oracles and as the single-machine
+// execution mode.
+package core
+
+import (
+	"math"
+
+	"snaple/internal/graph"
+)
+
+// Similarity is the raw metric sim(u,v) = f(Γ̂(u), Γ̂(v)) of equation (6).
+// Implementations receive the (possibly truncated) sorted neighbour lists of
+// both endpoints plus their full out-degrees, which lets degree-based metrics
+// (PPR's 1/|Γ(v)|) coexist with set-based ones.
+type Similarity interface {
+	// Name identifies the metric in score specs and reports.
+	Name() string
+	// Score computes sim(u,v). uNbrs and vNbrs are sorted ascending and must
+	// be treated as read-only.
+	Score(uNbrs, vNbrs []graph.VertexID, uDeg, vDeg int) float64
+}
+
+// intersectionSize counts common elements of two sorted ascending lists.
+func intersectionSize(a, b []graph.VertexID) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Jaccard is |Γ(u) ∩ Γ(v)| / |Γ(u) ∪ Γ(v)|, the paper's default raw
+// similarity (Salton & McGill).
+type Jaccard struct{}
+
+// Name implements Similarity.
+func (Jaccard) Name() string { return "jaccard" }
+
+// Score implements Similarity.
+func (Jaccard) Score(uNbrs, vNbrs []graph.VertexID, _, _ int) float64 {
+	inter := intersectionSize(uNbrs, vNbrs)
+	union := len(uNbrs) + len(vNbrs) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// CommonNeighbors is |Γ(u) ∩ Γ(v)|, the simplest Liben-Nowell/Kleinberg
+// metric.
+type CommonNeighbors struct{}
+
+// Name implements Similarity.
+func (CommonNeighbors) Name() string { return "common" }
+
+// Score implements Similarity.
+func (CommonNeighbors) Score(uNbrs, vNbrs []graph.VertexID, _, _ int) float64 {
+	return float64(intersectionSize(uNbrs, vNbrs))
+}
+
+// Cosine is |Γ(u) ∩ Γ(v)| / sqrt(|Γ(u)|·|Γ(v)|).
+type Cosine struct{}
+
+// Name implements Similarity.
+func (Cosine) Name() string { return "cosine" }
+
+// Score implements Similarity.
+func (Cosine) Score(uNbrs, vNbrs []graph.VertexID, _, _ int) float64 {
+	if len(uNbrs) == 0 || len(vNbrs) == 0 {
+		return 0
+	}
+	inter := intersectionSize(uNbrs, vNbrs)
+	return float64(inter) / math.Sqrt(float64(len(uNbrs))*float64(len(vNbrs)))
+}
+
+// Overlap is |Γ(u) ∩ Γ(v)| / min(|Γ(u)|, |Γ(v)|).
+type Overlap struct{}
+
+// Name implements Similarity.
+func (Overlap) Name() string { return "overlap" }
+
+// Score implements Similarity.
+func (Overlap) Score(uNbrs, vNbrs []graph.VertexID, _, _ int) float64 {
+	m := len(uNbrs)
+	if len(vNbrs) < m {
+		m = len(vNbrs)
+	}
+	if m == 0 {
+		return 0
+	}
+	return float64(intersectionSize(uNbrs, vNbrs)) / float64(m)
+}
+
+// InverseDegree is 1/|Γ(v)|, the per-edge transition probability of a random
+// walk; combined with the sum combinator and Sum aggregator it yields the
+// paper's PPR-like score (Table 3, grey row).
+type InverseDegree struct{}
+
+// Name implements Similarity.
+func (InverseDegree) Name() string { return "invdeg" }
+
+// Score implements Similarity.
+func (InverseDegree) Score(_, _ []graph.VertexID, _, vDeg int) float64 {
+	if vDeg <= 0 {
+		return 0
+	}
+	return 1 / float64(vDeg)
+}
+
+var (
+	_ Similarity = Jaccard{}
+	_ Similarity = CommonNeighbors{}
+	_ Similarity = Cosine{}
+	_ Similarity = Overlap{}
+	_ Similarity = InverseDegree{}
+)

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"snaple/internal/cluster"
+	"snaple/internal/gas"
+	"snaple/internal/graph"
+	"snaple/internal/partition"
+	"snaple/internal/randx"
+	"snaple/internal/topk"
+)
+
+// VertexSim pairs a neighbour with its raw similarity (one entry of the
+// Du.sims dictionary of Algorithm 2).
+type VertexSim struct {
+	V   graph.VertexID
+	Sim float64
+}
+
+// vdata is the per-vertex GAS state of Algorithm 2: the (truncated)
+// neighbourhood Γ̂, the k_local most similar neighbours, and the final
+// predictions. TwoHop is only populated by the 3-hop extension (khop.go).
+type vdata struct {
+	Nbrs   []graph.VertexID // Γ̂(u), sorted ascending
+	Sims   []VertexSim      // selected relays, sorted by V ascending
+	TwoHop []pathCand       // sampled 2-hop paths (3-hop extension only)
+	Pred   []Prediction     // final top-k, best first
+}
+
+// vdataBytes prices a vertex state for synchronisation and memory
+// accounting: 4 B per neighbour ID, 12 B per (id, float64) similarity entry,
+// 12 B per path/prediction entry, plus a fixed header.
+func vdataBytes(v *vdata) int64 {
+	return 24 + 4*int64(len(v.Nbrs)) + 12*int64(len(v.Sims)) +
+		12*int64(len(v.TwoHop)) + 12*int64(len(v.Pred))
+}
+
+// predCollector wraps the bounded top-k heap with the Prediction type used
+// across the package.
+type predCollector struct{ coll *topk.Collector }
+
+func newPredCollector(k int) *predCollector {
+	return &predCollector{coll: topk.New(k)}
+}
+
+func (p *predCollector) push(z graph.VertexID, score float64) {
+	p.coll.Push(uint32(z), score)
+}
+
+func (p *predCollector) result() []Prediction {
+	items := p.coll.Result()
+	if len(items) == 0 {
+		return nil
+	}
+	out := make([]Prediction, len(items))
+	for i, it := range items {
+		out[i] = Prediction{Vertex: graph.VertexID(it.ID), Score: it.Score}
+	}
+	return out
+}
+
+// snapleState is shared by the three step programs.
+type snapleState struct {
+	cfg Config
+	deg []int32 // full out-degrees, static topology metadata
+}
+
+func newSnapleState(g *graph.Digraph, cfg Config) *snapleState {
+	deg := make([]int32, g.NumVertices())
+	for u := 0; u < g.NumVertices(); u++ {
+		deg[u] = int32(g.OutDegree(graph.VertexID(u)))
+	}
+	return &snapleState{cfg: cfg, deg: deg}
+}
+
+// ---- Step 1: sample the neighbourhood Du.Γ̂ (Algorithm 2, lines 1-6) ----
+
+type step1 struct{ *snapleState }
+
+// Direction implements gas.Program.
+func (step1) Direction() gas.Direction { return gas.Out }
+
+// Gather emits {v}, or nothing when the truncation draw rejects the edge.
+func (s step1) Gather(src, dst graph.VertexID, _, _ *vdata, _ *struct{}) ([]graph.VertexID, bool) {
+	if !keepTruncated(s.cfg.Seed, src, dst, int(s.deg[src]), s.cfg.ThrGamma) {
+		return nil, false
+	}
+	return []graph.VertexID{dst}, true
+}
+
+// Sum unions neighbour samples (set union over disjoint contributions).
+func (step1) Sum(a, b []graph.VertexID) []graph.VertexID { return append(a, b...) }
+
+// Apply stores the sorted sample as Γ̂.
+func (step1) Apply(_ graph.VertexID, d *vdata, sum []graph.VertexID, has bool) {
+	if !has {
+		d.Nbrs = nil
+		return
+	}
+	nbrs := append([]graph.VertexID(nil), sum...)
+	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	d.Nbrs = nbrs
+}
+
+// VertexBytes implements gas.Program.
+func (step1) VertexBytes(v *vdata) int64 { return vdataBytes(v) }
+
+// GatherBytes implements gas.Program.
+func (step1) GatherBytes(g []graph.VertexID) int64 { return 4 * int64(len(g)) }
+
+// ---- Step 2: estimate similarities, keep k_local relays (lines 7-11) ----
+
+type step2 struct{ *snapleState }
+
+// Direction implements gas.Program.
+func (step2) Direction() gas.Direction { return gas.Out }
+
+// Gather emits (v, sim(u,v)) computed on the truncated neighbourhoods (and
+// vertex attributes, for identity-aware metrics).
+func (s step2) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) ([]VertexSim, bool) {
+	sim := simScore(s.cfg.Score.Sim, src, dst, srcD.Nbrs, dstD.Nbrs, int(s.deg[src]), int(s.deg[dst]))
+	return []VertexSim{{V: dst, Sim: sim}}, true
+}
+
+// Sum concatenates similarity entries (keys are distinct neighbours).
+func (step2) Sum(a, b []VertexSim) []VertexSim { return append(a, b...) }
+
+// Apply selects the k_local relays under the configured policy and stores
+// them sorted by vertex for step 3's binary searches.
+func (s step2) Apply(u graph.VertexID, d *vdata, sum []VertexSim, has bool) {
+	if !has {
+		d.Sims = nil
+		return
+	}
+	d.Sims = selectRelays(s.cfg, u, sum)
+}
+
+// VertexBytes implements gas.Program.
+func (step2) VertexBytes(v *vdata) int64 { return vdataBytes(v) }
+
+// GatherBytes implements gas.Program.
+func (step2) GatherBytes(g []VertexSim) int64 { return 12 * int64(len(g)) }
+
+// selectRelays applies the selection policy (Γmax/Γmin/Γrnd as of Section
+// 5.6) to the (v, sim) candidates and returns them sorted by vertex ID.
+func selectRelays(cfg Config, u graph.VertexID, cands []VertexSim) []VertexSim {
+	kept := cands
+	if cfg.KLocal != Unlimited && len(cands) > cfg.KLocal {
+		items := make([]topk.Item, len(cands))
+		switch cfg.Policy {
+		case SelectMin, SelectMax:
+			for i, c := range cands {
+				items[i] = topk.Item{ID: uint32(c.V), Score: c.Sim}
+			}
+		case SelectRnd:
+			// Rank by a hash keyed by (seed, u, v): a deterministic uniform
+			// sample independent of discovery order.
+			for i, c := range cands {
+				items[i] = topk.Item{
+					ID:    uint32(c.V),
+					Score: randx.Float64(cfg.Seed^rndSelSalt, uint64(u), uint64(c.V)),
+				}
+			}
+		}
+		var sel []topk.Item
+		if cfg.Policy == SelectMin {
+			sel = topk.Bottom(cfg.KLocal, items)
+		} else {
+			sel = topk.Select(cfg.KLocal, items)
+		}
+		chosen := make(map[graph.VertexID]struct{}, len(sel))
+		for _, it := range sel {
+			chosen[graph.VertexID(it.ID)] = struct{}{}
+		}
+		filtered := make([]VertexSim, 0, len(sel))
+		for _, c := range cands {
+			if _, ok := chosen[c.V]; ok {
+				filtered = append(filtered, c)
+			}
+		}
+		kept = filtered
+	}
+	out := append([]VertexSim(nil), kept...)
+	sort.Slice(out, func(i, j int) bool { return out[i].V < out[j].V })
+	return out
+}
+
+// ---- Step 3: combine and aggregate path similarities (lines 12-20) ----
+
+// pathCand is one 2-hop path's contribution to candidate Z: the combined
+// path-similarity of equation (8). Gather lists are kept sorted by Z so that
+// Sum is a linear merge and Apply sees per-candidate groups contiguously.
+type pathCand struct {
+	Z graph.VertexID
+	S float64
+}
+
+type step3 struct{ *snapleState }
+
+// Direction implements gas.Program.
+func (step3) Direction() gas.Direction { return gas.Out }
+
+// Gather walks the relay v's own relays z and emits one path-candidate per
+// kept 2-hop path u→v→z (Algorithm 2, lines 13-15).
+func (s step3) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) ([]pathCand, bool) {
+	suv, ok := lookupSim(srcD.Sims, dst)
+	if !ok {
+		return nil, false // v ∉ Du.sims.keys (line 13)
+	}
+	if len(dstD.Sims) == 0 {
+		return nil, false
+	}
+	comb := s.cfg.Score.Comb.Fn
+	out := make([]pathCand, 0, len(dstD.Sims))
+	for _, zs := range dstD.Sims { // ascending by V: output stays sorted
+		z := zs.V
+		if z == src || containsVertex(srcD.Nbrs, z) {
+			continue // z ∈ Γ̂(u) ∪ {u} (line 15's exclusion)
+		}
+		out = append(out, pathCand{Z: z, S: comb(suv, zs.Sim)})
+	}
+	if len(out) == 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+// Sum merges two candidate lists sorted by Z, preserving order. Path values
+// for the same candidate stay adjacent; they are folded in Apply (sorted
+// first, so the result is independent of merge order — see
+// Aggregator.FoldPaths).
+func (step3) Sum(a, b []pathCand) []pathCand {
+	out := make([]pathCand, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Z <= b[j].Z {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Apply groups path candidates by Z, folds each group with the aggregator
+// (⊕pre then ⊕post, line 19) and keeps the top-k scores (line 20).
+func (s step3) Apply(_ graph.VertexID, d *vdata, sum []pathCand, has bool) {
+	if !has || len(sum) == 0 {
+		d.Pred = nil
+		return
+	}
+	coll := newPredCollector(s.cfg.K)
+	var vals []float64
+	for i := 0; i < len(sum); {
+		j := i
+		for j < len(sum) && sum[j].Z == sum[i].Z {
+			j++
+		}
+		vals = vals[:0]
+		for _, pc := range sum[i:j] {
+			vals = append(vals, pc.S)
+		}
+		coll.push(sum[i].Z, s.cfg.Score.Agg.FoldPaths(vals))
+		i = j
+	}
+	d.Pred = coll.result()
+}
+
+// VertexBytes implements gas.Program.
+func (step3) VertexBytes(v *vdata) int64 { return vdataBytes(v) }
+
+// GatherBytes prices a partial sum the way the paper's implementation ships
+// it: one (z, σ, n) triplet (16 B) per distinct candidate, since ⊕pre could
+// fold each group before transmission. (The in-memory per-path list is a
+// determinism device; see Aggregator.FoldPaths.)
+func (step3) GatherBytes(g []pathCand) int64 {
+	distinct := 0
+	for i := range g {
+		if i == 0 || g[i].Z != g[i-1].Z {
+			distinct++
+		}
+	}
+	return 16 * int64(distinct)
+}
+
+// lookupSim binary-searches a V-sorted similarity list.
+func lookupSim(sims []VertexSim, v graph.VertexID) (float64, bool) {
+	i := sort.Search(len(sims), func(i int) bool { return sims[i].V >= v })
+	if i < len(sims) && sims[i].V == v {
+		return sims[i].Sim, true
+	}
+	return 0, false
+}
+
+// containsVertex binary-searches a sorted vertex list.
+func containsVertex(nbrs []graph.VertexID, v graph.VertexID) bool {
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+// ---- Driver ----
+
+// Result carries the predictions of a distributed run plus its costs.
+type Result struct {
+	Pred Predictions
+	// Steps holds the per-superstep engine statistics (3 entries).
+	Steps []gas.StepStats
+	// Total aggregates Steps.
+	Total gas.StepStats
+	// ReplicationFactor of the distributed graph.
+	ReplicationFactor float64
+}
+
+// PredictGAS runs Algorithm 2 on g distributed over cl according to assign,
+// and returns the per-vertex predictions. This is the paper's SNAPLE system.
+func PredictGAS(g *graph.Digraph, assign partition.Assignment, cl *cluster.Cluster, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dg, err := gas.Distribute[vdata, struct{}](g, assign, cl, gas.Options{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	st := newSnapleState(g, cfg)
+	res := &Result{ReplicationFactor: dg.ReplicationFactor()}
+
+	s1, err := gas.RunStep[vdata, struct{}, []graph.VertexID](dg, step1{st})
+	res.record(s1)
+	if err != nil {
+		return res, fmt.Errorf("snaple step 1: %w", err)
+	}
+	s2, err := gas.RunStep[vdata, struct{}, []VertexSim](dg, step2{st})
+	res.record(s2)
+	if err != nil {
+		return res, fmt.Errorf("snaple step 2: %w", err)
+	}
+	if cfg.Paths == 3 {
+		// The footnote-2 extension: materialise 2-hop path lists, then
+		// aggregate 2- and 3-hop paths together (khop.go).
+		s3a, err := gas.RunStep[vdata, struct{}, []pathCand](dg, step3a{st})
+		res.record(s3a)
+		if err != nil {
+			return res, fmt.Errorf("snaple step 3a: %w", err)
+		}
+		s3b, err := gas.RunStep[vdata, struct{}, []pathCand](dg, step3b{st})
+		res.record(s3b)
+		if err != nil {
+			return res, fmt.Errorf("snaple step 3b: %w", err)
+		}
+	} else {
+		s3, err := gas.RunStep[vdata, struct{}, []pathCand](dg, step3{st})
+		res.record(s3)
+		if err != nil {
+			return res, fmt.Errorf("snaple step 3: %w", err)
+		}
+	}
+
+	res.Pred = make(Predictions, g.NumVertices())
+	dg.ForEachMaster(func(v graph.VertexID, d *vdata) {
+		if len(d.Pred) > 0 {
+			res.Pred[v] = d.Pred
+		}
+	})
+	return res, nil
+}
+
+func (r *Result) record(st gas.StepStats) {
+	r.Steps = append(r.Steps, st)
+	r.Total.Add(st)
+}

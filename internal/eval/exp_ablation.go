@@ -1,0 +1,197 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"snaple/internal/cluster"
+	"snaple/internal/core"
+	"snaple/internal/partition"
+)
+
+// Ablations beyond the paper's figures: sensitivity of the design choices
+// DESIGN.md calls out. These are extensions, not reproductions.
+
+// AlphaRow is one point of the α sweep for the linear combinator.
+type AlphaRow struct {
+	Dataset string
+	Alpha   float64
+	Recall  float64
+}
+
+// AlphaSweep measures recall of linearSum as α moves from 0 (path value is
+// all sim(v,z)) to 1 (all sim(u,v)). The paper fixes α = 0.9 as "found to
+// return the best predictions"; this ablation checks that choice on the
+// analogs.
+type AlphaSweep struct {
+	Rows []AlphaRow
+}
+
+// RunAlphaSweep executes the sweep on livejournal.
+func RunAlphaSweep(opts Options) (*AlphaSweep, error) {
+	opts = opts.withDefaults()
+	dep := FourTypeII()
+	out := &AlphaSweep{}
+	split, _, err := loadSplit("livejournal", opts, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, alpha := range []float64{0, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		spec, err := core.ScoreByName("linearSum", alpha)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.Config{Score: spec, K: 5, KLocal: 20, ThrGamma: 200, Seed: opts.Seed}
+		res, err := runSnaple(split.Train, dep, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("alpha sweep %v: %w", alpha, err)
+		}
+		rec := Recall(res.Pred, split)
+		out.Rows = append(out.Rows, AlphaRow{Dataset: "livejournal", Alpha: alpha, Recall: rec})
+		opts.logf("alpha: %.2f recall=%.3f", alpha, rec)
+	}
+	return out, nil
+}
+
+// Fprint renders the sweep.
+func (a *AlphaSweep) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: linear-combinator alpha sweep (linearSum, klocal=20)")
+	fmt.Fprintf(w, "%-8s %-8s\n", "alpha", "recall")
+	for _, r := range a.Rows {
+		fmt.Fprintf(w, "%-8.2f %-8.3f\n", r.Alpha, r.Recall)
+	}
+}
+
+// PartitionRow compares one vertex-cut strategy.
+type PartitionRow struct {
+	Strategy          string
+	ReplicationFactor float64
+	Balance           float64
+	CrossBytes        int64
+	SimSeconds        float64
+	Recall            float64
+}
+
+// PartitionAblation compares the vertex-cut strategies on the same
+// prediction job: replication factor drives synchronisation traffic, the
+// design trade-off of Section 2.4 / PowerGraph.
+type PartitionAblation struct {
+	Rows []PartitionRow
+}
+
+// RunPartitionAblation executes linearSum on livejournal under each
+// strategy.
+func RunPartitionAblation(opts Options) (*PartitionAblation, error) {
+	opts = opts.withDefaults()
+	dep := FourTypeII()
+	out := &PartitionAblation{}
+	split, _, err := loadSplit("livejournal", opts, 1)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := snapleConfig("linearSum", 200, 20, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, strat := range []partition.Strategy{
+		partition.HashEdge{Seed: opts.Seed},
+		partition.HashSource{Seed: opts.Seed},
+		partition.Greedy{},
+	} {
+		assign, err := strat.Partition(split.Train, dep.Cores())
+		if err != nil {
+			return nil, err
+		}
+		stats := partition.ComputeStats(split.Train, assign)
+		cl, err := cluster.New(cluster.Config{
+			Nodes: dep.Nodes, Spec: dep.Spec, MemBudgetBytes: dep.Budget,
+		}, dep.Cores())
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.PredictGAS(split.Train, assign, cl, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("partition ablation %s: %w", strat.Name(), err)
+		}
+		row := PartitionRow{
+			Strategy:          strat.Name(),
+			ReplicationFactor: stats.ReplicationFactor,
+			Balance:           stats.Balance,
+			CrossBytes:        res.Total.CrossBytes,
+			SimSeconds:        res.Total.SimSeconds(),
+			Recall:            Recall(res.Pred, split),
+		}
+		out.Rows = append(out.Rows, row)
+		opts.logf("partition: %s rf=%.2f cross=%dMiB recall=%.3f",
+			strat.Name(), row.ReplicationFactor, row.CrossBytes>>20, row.Recall)
+	}
+	return out, nil
+}
+
+// Fprint renders the comparison.
+func (p *PartitionAblation) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: vertex-cut strategy (linearSum, klocal=20, livejournal)")
+	fmt.Fprintf(w, "%-13s %-6s %-9s %-11s %-9s %-8s\n",
+		"strategy", "RF", "balance", "cross MiB", "sim(s)", "recall")
+	for _, r := range p.Rows {
+		fmt.Fprintf(w, "%-13s %-6.2f %-9.2f %-11.1f %-9.3f %-8.3f\n",
+			r.Strategy, r.ReplicationFactor, r.Balance,
+			float64(r.CrossBytes)/(1<<20), r.SimSeconds, r.Recall)
+	}
+}
+
+// KHopRow compares path lengths.
+type KHopRow struct {
+	Dataset string
+	Paths   int
+	KLocal  int
+	Recall  float64
+	Seconds float64
+}
+
+// KHopAblation compares the paper's 2-hop scoring with the footnote-2
+// 3-hop extension at small k_local values.
+type KHopAblation struct {
+	Rows []KHopRow
+}
+
+// RunKHopAblation executes the comparison on livejournal.
+func RunKHopAblation(opts Options) (*KHopAblation, error) {
+	opts = opts.withDefaults()
+	dep := FourTypeII()
+	out := &KHopAblation{}
+	split, _, err := loadSplit("livejournal", opts, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, klocal := range []int{3, 5, 10} {
+		for _, paths := range []int{2, 3} {
+			cfg, err := snapleConfig("linearSum", 200, klocal, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Paths = paths
+			res, err := runSnaple(split.Train, dep, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("khop ablation paths=%d: %w", paths, err)
+			}
+			row := KHopRow{
+				Dataset: "livejournal", Paths: paths, KLocal: klocal,
+				Recall: Recall(res.Pred, split), Seconds: res.Total.SimSeconds(),
+			}
+			out.Rows = append(out.Rows, row)
+			opts.logf("khop: paths=%d klocal=%d recall=%.3f sim=%.3fs",
+				paths, klocal, row.Recall, row.Seconds)
+		}
+	}
+	return out, nil
+}
+
+// Fprint renders the comparison.
+func (k *KHopAblation) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: 2-hop vs 3-hop paths (linearSum, livejournal)")
+	fmt.Fprintf(w, "%-7s %-7s %-8s %-8s\n", "klocal", "paths", "recall", "sim(s)")
+	for _, r := range k.Rows {
+		fmt.Fprintf(w, "%-7d %-7d %-8.3f %-8.3f\n", r.KLocal, r.Paths, r.Recall, r.Seconds)
+	}
+}

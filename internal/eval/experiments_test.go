@@ -1,0 +1,262 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallOpts shrinks the analogs so that every experiment smoke-runs in CI
+// time. The full-scale runs happen in the bench harness / CLI.
+func smallOpts() Options {
+	return Options{Scale: 0.12, Seed: 42}
+}
+
+func TestRunTable5Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t5, err := RunTable5(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 datasets x (1 baseline + 12 snaple rows).
+	if len(t5.Rows) != 3*13 {
+		t.Fatalf("got %d rows, want 39", len(t5.Rows))
+	}
+	// Core claims of the table: on every dataset, every SNAPLE configuration
+	// should at least match BASELINE's recall, and sampled configurations
+	// should be faster.
+	byDataset := map[string][]Table5Row{}
+	for _, r := range t5.Rows {
+		byDataset[r.Dataset] = append(byDataset[r.Dataset], r)
+	}
+	for ds, rows := range byDataset {
+		var base Table5Row
+		for _, r := range rows {
+			if r.System == "BASELINE" {
+				base = r
+			}
+		}
+		if base.System == "" {
+			t.Fatalf("%s: no baseline row", ds)
+		}
+		better := 0
+		for _, r := range rows {
+			if r.System == "BASELINE" {
+				continue
+			}
+			if r.Recall >= base.Recall {
+				better++
+			}
+		}
+		if better < 9 { // allow a few sampled configs to dip below
+			t.Errorf("%s: only %d of 12 SNAPLE configs matched baseline recall %.3f",
+				ds, better, base.Recall)
+		}
+	}
+	var sb strings.Builder
+	t5.Fprint(&sb)
+	if !strings.Contains(sb.String(), "BASELINE") || !strings.Contains(sb.String(), "linearSum") {
+		t.Error("rendered table misses expected rows")
+	}
+}
+
+func TestRunFigure6Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	fig, err := RunFigure6(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.CDFs) != 3 {
+		t.Fatalf("want 3 CDFs, got %d", len(fig.CDFs))
+	}
+	for _, c := range fig.CDFs {
+		last := -1.0
+		for _, p := range c.Points {
+			if p.Fraction < last || p.Fraction < 0 || p.Fraction > 1 {
+				t.Fatalf("%s: CDF not monotone in [0,1]: %+v", c.Dataset, c.Points)
+			}
+			last = p.Fraction
+		}
+		if c.Points[len(c.Points)-1].Fraction < 0.99 {
+			t.Errorf("%s: CDF does not reach 1 at degree 1024", c.Dataset)
+		}
+	}
+	if len(fig.Rows) != 3*5 {
+		t.Fatalf("want 15 threshold rows, got %d", len(fig.Rows))
+	}
+	for _, r := range fig.Rows {
+		if r.ThrGamma == 10 && r.ImprovementPct != 0 {
+			t.Errorf("%s: improvement at thr=10 should be 0, got %v", r.Dataset, r.ImprovementPct)
+		}
+	}
+	var sb strings.Builder
+	fig.Fprint(&sb)
+	if !strings.Contains(sb.String(), "Figure 6") {
+		t.Error("render header missing")
+	}
+}
+
+func TestRunFigure7Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	fig, err := RunFigure7(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 3*5*3 {
+		t.Fatalf("want 45 rows, got %d", len(fig.Rows))
+	}
+	// The paper's claim: at small klocal, Γmax beats Γmin distinctly.
+	recall := func(score, policy string, klocal int) float64 {
+		for _, r := range fig.Rows {
+			if r.Score == score && r.Policy == policy && r.KLocal == klocal {
+				return r.Recall
+			}
+		}
+		t.Fatalf("missing row %s/%s/%d", score, policy, klocal)
+		return 0
+	}
+	winsMax := 0
+	for _, score := range []string{"counter", "linearSum", "PPR"} {
+		if recall(score, "max", 5) > recall(score, "min", 5) {
+			winsMax++
+		}
+	}
+	if winsMax < 2 {
+		t.Errorf("Γmax should beat Γmin at klocal=5 on most scores; won %d of 3", winsMax)
+	}
+	var sb strings.Builder
+	fig.Fprint(&sb)
+	if !strings.Contains(sb.String(), "Γmax") {
+		t.Error("render missing policy columns")
+	}
+}
+
+func TestRunFigure9And10Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := smallOpts()
+	f9, err := RunFigure9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f9.Rows) != 2*5*4 {
+		t.Fatalf("fig9: want 40 rows, got %d", len(f9.Rows))
+	}
+	// Recall must be non-decreasing in k for each (dataset, score).
+	type key struct {
+		ds, score string
+	}
+	prev := map[key]float64{}
+	for _, r := range f9.Rows { // rows emitted in ascending k order
+		k := key{r.Dataset, r.Score}
+		if r.Recall+1e-12 < prev[k] {
+			t.Errorf("fig9: recall decreased with k for %v: %v -> %v", k, prev[k], r.Recall)
+		}
+		prev[k] = r.Recall
+	}
+
+	f10, err := RunFigure10(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f10.Rows) != 2*5*5 {
+		t.Fatalf("fig10: want 50 rows, got %d", len(f10.Rows))
+	}
+	// Aggregate trend: recall with 5 removed edges per vertex is lower than
+	// with 1, per dataset and score family average.
+	var rec1, rec5 float64
+	for _, r := range f10.Rows {
+		switch r.Removed {
+		case 1:
+			rec1 += r.Recall
+		case 5:
+			rec5 += r.Recall
+		}
+	}
+	if rec5 >= rec1 {
+		t.Errorf("fig10: recall sum with 5 removed (%.3f) not below 1 removed (%.3f)", rec5, rec1)
+	}
+}
+
+func TestRunFigure11AndTable6Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := smallOpts()
+	f11, err := RunFigure11(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f11.Points) != 2*3*4 {
+		t.Fatalf("fig11: want 24 points, got %d", len(f11.Points))
+	}
+	best, ok := f11.Best("livejournal")
+	if !ok || best.Recall <= 0 {
+		t.Fatalf("fig11: no best point (%+v)", best)
+	}
+	// More walks at fixed depth should not lose recall on average.
+	var r10, r1000 float64
+	for _, p := range f11.Points {
+		if p.Depth != 3 {
+			continue
+		}
+		switch p.Walks {
+		case 10:
+			r10 += p.Recall
+		case 1000:
+			r1000 += p.Recall
+		}
+	}
+	if r1000 < r10 {
+		t.Errorf("fig11: recall with w=1000 (%.3f) below w=10 (%.3f)", r1000, r10)
+	}
+
+	t6, err := RunTable6(opts, f11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6.Rows) != 2 {
+		t.Fatalf("table6: want 2 rows, got %d", len(t6.Rows))
+	}
+	for _, r := range t6.Rows {
+		if r.SnapleRecall <= 0 || r.CassovaryRecall <= 0 {
+			t.Errorf("table6: zero recall row: %+v", r)
+		}
+	}
+	var sb strings.Builder
+	t6.Fprint(&sb)
+	if !strings.Contains(sb.String(), "CASSOVARY") {
+		t.Error("table6 render missing header")
+	}
+}
+
+func TestRunExhaustionSmallScaleNote(t *testing.T) {
+	// The calibrated exhaustion experiment needs Scale=1 analogs; at tiny
+	// scales nothing exhausts. Here we only check that the runner completes
+	// and reports consistent rows at a reduced budget on a reduced scale.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := smallOpts()
+	ex, err := RunExhaustion(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Rows) != 2*len(DatasetNames()) {
+		t.Fatalf("want %d rows, got %d", 2*len(DatasetNames()), len(ex.Rows))
+	}
+	for _, r := range ex.Rows {
+		if r.System == "SNAPLE" && !r.Completed {
+			t.Errorf("SNAPLE failed on %s at reduced scale: %s", r.Dataset, r.Err)
+		}
+		if !r.Completed && r.Err == "" {
+			t.Errorf("failed row without error: %+v", r)
+		}
+	}
+}

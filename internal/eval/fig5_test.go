@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFigure5Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	fig, err := RunFigure5(Options{Scale: 0.08, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 datasets x 5 deployments x 2 klocal values.
+	if len(fig.Points) != 30 {
+		t.Fatalf("want 30 points, got %d", len(fig.Points))
+	}
+	for _, p := range fig.Points {
+		if p.Seconds <= 0 {
+			t.Errorf("%s on %s: non-positive time %v", p.Dataset, p.Deployment, p.Seconds)
+		}
+		if p.Recall < 0 || p.Recall > 1 {
+			t.Errorf("%s: recall %v out of range", p.Dataset, p.Recall)
+		}
+	}
+	// Core scalability shape: on the largest dataset, 256 type-I cores must
+	// not be drastically slower than 64. At this tiny scale the simulated
+	// makespan is dominated by the longest partition task and host timing
+	// noise, so only catastrophic inversions fail here; the clean
+	// monotone curves are produced by the scale-1.0 harness run
+	// (experiments_scale1.txt).
+	var t64, t256 float64
+	for _, p := range fig.Points {
+		if p.Dataset == "twitter-rv" && p.KLocal == 40 && p.NodeType == "type-I" {
+			switch p.Cores {
+			case 64:
+				t64 = p.Seconds
+			case 256:
+				t256 = p.Seconds
+			}
+		}
+	}
+	if t64 == 0 || t256 == 0 {
+		t.Fatal("missing scalability endpoints")
+	}
+	if t256 > 4*t64 {
+		t.Errorf("more cores drastically slower: 64 cores %.3fs vs 256 cores %.3fs", t64, t256)
+	}
+	// Within one deployment, the 6x-larger twitter analog must not be
+	// faster than livejournal by more than noise.
+	var lj float64
+	for _, p := range fig.Points {
+		if p.Dataset == "livejournal" && p.KLocal == 40 && p.Cores == 64 && p.NodeType == "type-I" {
+			lj = p.Seconds
+		}
+	}
+	if lj > 1.5*t64 {
+		t.Errorf("livejournal (%.3fs) much slower than the 6x-larger twitter analog (%.3fs)", lj, t64)
+	}
+	var sb strings.Builder
+	fig.Fprint(&sb)
+	if !strings.Contains(sb.String(), "Figure 5") || !strings.Contains(sb.String(), "256 cores") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,159 @@
+package eval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"snaple/internal/core"
+	"snaple/internal/gen"
+	"snaple/internal/graph"
+)
+
+func TestMakeSplitBasics(t *testing.T) {
+	g, err := gen.Community(gen.CommunityConfig{N: 500, Communities: 10}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := MakeSplit(g, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.NumRemoved == 0 {
+		t.Fatal("nothing removed")
+	}
+	if split.Train.NumEdges()+split.NumRemoved != g.NumEdges() {
+		t.Fatalf("edges: train %d + removed %d != original %d",
+			split.Train.NumEdges(), split.NumRemoved, g.NumEdges())
+	}
+	for u, hidden := range split.Removed {
+		if g.OutDegree(u) <= 3 {
+			t.Fatalf("vertex %d with degree %d had edges removed", u, g.OutDegree(u))
+		}
+		if len(hidden) != 1 {
+			t.Fatalf("vertex %d lost %d edges, want 1", u, len(hidden))
+		}
+		for _, v := range hidden {
+			if !g.HasEdge(u, v) {
+				t.Fatalf("removed edge (%d,%d) not in original", u, v)
+			}
+			if split.Train.HasEdge(u, v) {
+				t.Fatalf("removed edge (%d,%d) still in train graph", u, v)
+			}
+		}
+	}
+	// Deterministic.
+	split2, err := MakeSplit(g, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split2.NumRemoved != split.NumRemoved {
+		t.Error("split not deterministic")
+	}
+}
+
+func TestMakeSplitMultiRemove(t *testing.T) {
+	// Vertex 0 has degree 5 (>3): removing 10 edges must leave exactly one.
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3},
+		{Src: 0, Dst: 4}, {Src: 0, Dst: 5},
+	}
+	g := graph.MustFromEdges(6, edges)
+	split, err := MakeSplit(g, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := split.Train.OutDegree(0); got != 1 {
+		t.Errorf("train degree of 0 = %d, want 1 (all but one removed)", got)
+	}
+	if split.NumRemoved != 4 {
+		t.Errorf("NumRemoved = %d, want 4", split.NumRemoved)
+	}
+	if _, err := MakeSplit(g, 0, 1); err == nil {
+		t.Error("perVertex=0 accepted")
+	}
+}
+
+func TestRecallBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := gen.Community(gen.CommunityConfig{N: 300, Communities: 6}, seed%16)
+		if err != nil {
+			return false
+		}
+		split, err := MakeSplit(g, 1, seed)
+		if err != nil {
+			return false
+		}
+		pred, err := core.ReferenceSnaple(split.Train, core.Config{
+			Score: mustSpec("linearSum"), K: 5, KLocal: 10, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		r := Recall(pred, split)
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustSpec(name string) core.ScoreSpec {
+	s, err := core.ScoreByName(name, 0.9)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestRecallExact(t *testing.T) {
+	split := &Split{
+		NumRemoved: 4,
+		Removed: map[graph.VertexID][]graph.VertexID{
+			0: {5, 7},
+			1: {9},
+			2: {3},
+		},
+	}
+	pred := make(core.Predictions, 3)
+	pred[0] = []core.Prediction{{Vertex: 5, Score: 1}, {Vertex: 8, Score: 0.5}} // 1 hit
+	pred[1] = []core.Prediction{{Vertex: 9, Score: 1}}                          // 1 hit
+	pred[2] = []core.Prediction{{Vertex: 4, Score: 1}}                          // miss
+	if got := Recall(pred, split); got != 0.5 {
+		t.Errorf("Recall = %v, want 0.5", got)
+	}
+	// RecallAt truncates lists.
+	pred[0] = []core.Prediction{{Vertex: 8, Score: 2}, {Vertex: 5, Score: 1}}
+	if got := RecallAt(pred, split, 1); got != 0.25 {
+		t.Errorf("RecallAt(1) = %v, want 0.25 (only vertex 1 hits in top-1)", got)
+	}
+	if got := RecallAt(pred, split, 2); got != 0.5 {
+		t.Errorf("RecallAt(2) = %v, want 0.5", got)
+	}
+}
+
+func TestSnapleBeatsRandomGuessing(t *testing.T) {
+	// Integration: on a homophilous graph, SNAPLE's recall must be far above
+	// the random-guess floor k/(N-1).
+	g, err := gen.Community(gen.CommunityConfig{N: 1000, Communities: 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := MakeSplit(g, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := core.ReferenceSnaple(split.Train, core.Config{
+		Score: mustSpec("linearSum"), K: 5, KLocal: 20, ThrGamma: 200, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Recall(pred, split)
+	floor := 5.0 / float64(g.NumVertices()-1)
+	if rec < 10*floor {
+		t.Errorf("recall %.4f not clearly above random floor %.4f", rec, floor)
+	}
+	if rec < 0.05 {
+		t.Errorf("recall %.4f implausibly low for a homophilous graph", rec)
+	}
+}

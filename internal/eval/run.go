@@ -1,0 +1,147 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"snaple/internal/cluster"
+	"snaple/internal/core"
+	"snaple/internal/graph"
+	"snaple/internal/partition"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale multiplies every dataset's vertex count (default 1.0, sized for
+	// a small machine; the paper's graphs are ~100-60000x larger).
+	Scale float64
+	// Seed drives dataset generation, splits, truncation and walks.
+	Seed uint64
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Log == nil {
+		o.Log = io.Discard
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	fmt.Fprintf(o.Log, format+"\n", args...)
+}
+
+// Deployment describes the simulated cluster an experiment runs on. The
+// paper's reference deployments are provided as constructors.
+type Deployment struct {
+	Nodes int
+	Spec  cluster.NodeSpec
+	// Budget optionally overrides the per-node memory budget.
+	Budget int64
+}
+
+// Cores returns the deployment's total core count (the unit the paper's
+// scalability plots use).
+func (d Deployment) Cores() int { return d.Nodes * d.Spec.Cores }
+
+// String renders like the paper: "80 cores (4 type-II nodes)".
+func (d Deployment) String() string {
+	return fmt.Sprintf("%d cores (%d %s nodes)", d.Cores(), d.Nodes, d.Spec.Name)
+}
+
+// FourTypeII is the 80-core deployment of Table 5.
+func FourTypeII() Deployment { return Deployment{Nodes: 4, Spec: cluster.TypeII()} }
+
+// OneTypeII is the single-machine deployment of Table 6.
+func OneTypeII() Deployment { return Deployment{Nodes: 1, Spec: cluster.TypeII()} }
+
+// TypeIDeployment returns an n-node type-I deployment (8 cores each).
+func TypeIDeployment(nodes int) Deployment {
+	return Deployment{Nodes: nodes, Spec: cluster.TypeI()}
+}
+
+// TypeIIDeployment returns an n-node type-II deployment (20 cores each).
+func TypeIIDeployment(nodes int) Deployment {
+	return Deployment{Nodes: nodes, Spec: cluster.TypeII()}
+}
+
+// deploy partitions g across the deployment, one partition per core, using
+// the engine's default random vertex-cut.
+func deploy(g *graph.Digraph, d Deployment, seed uint64) (partition.Assignment, *cluster.Cluster, error) {
+	parts := d.Cores()
+	assign, err := partition.HashEdge{Seed: seed}.Partition(g, parts)
+	if err != nil {
+		return partition.Assignment{}, nil, err
+	}
+	cl, err := cluster.New(cluster.Config{Nodes: d.Nodes, Spec: d.Spec, MemBudgetBytes: d.Budget}, parts)
+	if err != nil {
+		return partition.Assignment{}, nil, err
+	}
+	return assign, cl, nil
+}
+
+// runSnaple distributes g over d and runs Algorithm 2.
+func runSnaple(g *graph.Digraph, d Deployment, cfg core.Config) (*core.Result, error) {
+	assign, cl, err := deploy(g, d, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return core.PredictGAS(g, assign, cl, cfg)
+}
+
+// runBaseline distributes g over d and runs the naive BASELINE.
+func runBaseline(g *graph.Digraph, d Deployment, k int, seed uint64) (*core.Result, error) {
+	assign, cl, err := deploy(g, d, seed)
+	if err != nil {
+		return nil, err
+	}
+	return core.PredictBaselineGAS(g, assign, cl, k)
+}
+
+// snapleConfig assembles a Config from a Table 3 score name with the
+// harness-wide defaults (α = 0.9, k = 5).
+func snapleConfig(score string, thr, klocal int, seed uint64) (core.Config, error) {
+	spec, err := core.ScoreByName(score, 0.9)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		Score:    spec,
+		K:        5,
+		KLocal:   klocal,
+		ThrGamma: thr,
+		Seed:     seed,
+	}, nil
+}
+
+// loadSplit generates a dataset analog and its 1-edge-per-vertex split.
+func loadSplit(name string, opts Options, removedPerVertex int) (*Split, *graph.Digraph, error) {
+	ds, err := DatasetByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := ds.Generate(opts.Scale, opts.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	split, err := MakeSplit(g, removedPerVertex, opts.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return split, g, nil
+}
+
+// inf renders a sampling parameter the way the paper's tables do.
+func inf(v int) string {
+	if v == core.Unlimited {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", v)
+}

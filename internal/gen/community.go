@@ -1,0 +1,161 @@
+package gen
+
+import (
+	"fmt"
+
+	"snaple/internal/graph"
+	"snaple/internal/randx"
+)
+
+// CommunityConfig parameterises the community/homophily generator, the model
+// behind every dataset analog in internal/eval. It combines three edge
+// sources so that the resulting graphs have the properties 2-hop link
+// prediction relies on (Section 2.2 of the paper):
+//
+//   - power-law out-degrees (Pareto with exponent Gamma in [MinDeg, MaxDeg]),
+//   - homophily: a PLocal fraction of edges stay inside the vertex's
+//     community,
+//   - triangle closure: a PClose fraction of edges copy a neighbour's
+//     neighbour, which drives the clustering coefficient up,
+//   - the remainder attach preferentially to global degree (power-law tail).
+type CommunityConfig struct {
+	N           int     // number of vertices (required, >= 4)
+	Communities int     // number of communities (required, >= 1)
+	MinDeg      int     // minimum out-degree (default 2)
+	MaxDeg      int     // maximum out-degree (default N-1)
+	Gamma       float64 // degree tail exponent (default 2.3, typical for social graphs)
+	PLocal      float64 // probability an edge targets the own community (default 0.6)
+	PClose      float64 // probability an edge closes a triangle (default 0.25)
+	Symmetric   bool    // duplicate each edge in both directions (undirected datasets)
+	WithInEdges bool    // materialise reverse adjacency
+}
+
+func (c CommunityConfig) withDefaults() CommunityConfig {
+	if c.MinDeg == 0 {
+		c.MinDeg = 2
+	}
+	if c.MaxDeg == 0 {
+		c.MaxDeg = c.N - 1
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 2.3
+	}
+	if c.PLocal == 0 {
+		c.PLocal = 0.6
+	}
+	if c.PClose == 0 {
+		c.PClose = 0.25
+	}
+	return c
+}
+
+func (c CommunityConfig) validate() error {
+	switch {
+	case c.N < 4:
+		return fmt.Errorf("gen: community: N=%d, need >= 4", c.N)
+	case c.Communities < 1 || c.Communities > c.N:
+		return fmt.Errorf("gen: community: Communities=%d with N=%d", c.Communities, c.N)
+	case c.MinDeg < 1 || c.MaxDeg < c.MinDeg:
+		return fmt.Errorf("gen: community: degree range [%d,%d]", c.MinDeg, c.MaxDeg)
+	case c.Gamma <= 1:
+		return fmt.Errorf("gen: community: Gamma=%v, need > 1", c.Gamma)
+	case c.PLocal < 0 || c.PClose < 0 || c.PLocal+c.PClose > 1:
+		return fmt.Errorf("gen: community: PLocal=%v PClose=%v", c.PLocal, c.PClose)
+	}
+	return nil
+}
+
+// CommunityOf returns the community index the generator assigned to vertex u
+// (round-robin), exposed so examples can label their users.
+func CommunityOf(u graph.VertexID, communities int) int {
+	return int(u) % communities
+}
+
+// Community generates a graph under cfg. Same (cfg, seed) pairs yield
+// identical graphs.
+func Community(cfg CommunityConfig, seed uint64) (*graph.Digraph, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := randx.NewRand(seed, 0xC0)
+	n, comm := cfg.N, cfg.Communities
+
+	// Members of each community, in vertex order (round-robin assignment).
+	members := make([][]graph.VertexID, comm)
+	for u := 0; u < n; u++ {
+		c := u % comm
+		members[c] = append(members[c], graph.VertexID(u))
+	}
+
+	// adjacency under construction, needed for triangle closure.
+	adj := make([][]graph.VertexID, n)
+	// endpoints: uniform pick == degree-proportional pick (global and
+	// per-community, the latter modelling the local preferential attachment
+	// of real social graphs).
+	endpoints := make([]graph.VertexID, 0, 4*n)
+	commEndpoints := make([][]graph.VertexID, comm)
+
+	b := graph.NewBuilder(n).Symmetrize(cfg.Symmetric).WithInEdges(cfg.WithInEdges)
+
+	addEdge := func(u, v graph.VertexID) {
+		b.AddEdge(u, v)
+		adj[u] = append(adj[u], v)
+		endpoints = append(endpoints, u, v)
+		commEndpoints[int(u)%comm] = append(commEndpoints[int(u)%comm], u)
+		commEndpoints[int(v)%comm] = append(commEndpoints[int(v)%comm], v)
+	}
+
+	for u := 0; u < n; u++ {
+		deg := powerLawDegree(rng.Float64(), cfg.MinDeg, cfg.MaxDeg, cfg.Gamma)
+		for e := 0; e < deg; e++ {
+			var v graph.VertexID
+			r := rng.Float64()
+			switch {
+			case r < cfg.PClose && len(adj[u]) > 0:
+				// Close a triangle: step to a random existing neighbour, then
+				// to one of its neighbours.
+				w := adj[u][rng.Intn(len(adj[u]))]
+				if len(adj[w]) == 0 {
+					v = graph.VertexID(rng.Intn(n))
+				} else {
+					v = adj[w][rng.Intn(len(adj[w]))]
+				}
+			case r < cfg.PClose+cfg.PLocal:
+				// Stay in the community: mostly degree-proportional (local
+				// preferential attachment), partly uniform exploration.
+				if ce := commEndpoints[u%comm]; len(ce) > 0 && rng.Float64() < 0.85 {
+					v = ce[rng.Intn(len(ce))]
+				} else {
+					mine := members[u%comm]
+					v = mine[rng.Intn(len(mine))]
+				}
+			case len(endpoints) > 0:
+				// Global preferential attachment.
+				v = endpoints[rng.Intn(len(endpoints))]
+			default:
+				v = graph.VertexID(rng.Intn(n))
+			}
+			if int(v) == u {
+				continue // builder would drop the loop anyway; skip early
+			}
+			addEdge(graph.VertexID(u), v)
+		}
+	}
+	return b.Build()
+}
+
+// IntraCommunityFraction measures homophily: the fraction of edges whose
+// endpoints share a community under the generator's round-robin assignment.
+func IntraCommunityFraction(g *graph.Digraph, communities int) float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	intra := 0
+	g.ForEachEdge(func(u, v graph.VertexID) {
+		if CommunityOf(u, communities) == CommunityOf(v, communities) {
+			intra++
+		}
+	})
+	return float64(intra) / float64(g.NumEdges())
+}

@@ -1,0 +1,139 @@
+// Package gen produces seeded synthetic graphs.
+//
+// The paper evaluates on five public graphs (gowalla, pokec, orkut,
+// livejournal, twitter-rv). Those datasets are not available offline, so the
+// evaluation harness substitutes graphs from the generators in this package,
+// matched on the properties link prediction is sensitive to: heavy-tailed
+// out-degree distributions (Figure 6a-c) and high clustering / homophily
+// (Section 2.2). All generators are deterministic in their seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"snaple/internal/graph"
+	"snaple/internal/randx"
+)
+
+// ErdosRenyi returns a G(n,m) digraph: m directed edges drawn uniformly
+// (self-loops and duplicates removed, so the result can hold slightly fewer
+// than m edges). Its clustering is ~m/n², which makes it the low-homophily
+// control in tests.
+func ErdosRenyi(n, m int, seed uint64) (*graph.Digraph, error) {
+	if n <= 1 || m < 0 {
+		return nil, fmt.Errorf("gen: ErdosRenyi(n=%d, m=%d): need n>1, m>=0", n, m)
+	}
+	rng := randx.NewRand(seed, 0xE2)
+	b := graph.NewBuilder(n)
+	b.Grow(m)
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert grows a preferential-attachment digraph: vertices arrive one
+// at a time and connect m out-edges to existing vertices with probability
+// proportional to their current degree. Out-degree is ~m for late vertices;
+// in-degree is power-law.
+func BarabasiAlbert(n, m int, seed uint64) (*graph.Digraph, error) {
+	if n < 2 || m < 1 || m >= n {
+		return nil, fmt.Errorf("gen: BarabasiAlbert(n=%d, m=%d): need n>=2, 1<=m<n", n, m)
+	}
+	rng := randx.NewRand(seed, 0xBA)
+	b := graph.NewBuilder(n)
+	b.Grow(n * m)
+	// endpoints holds every edge endpoint ever seen; a uniform pick from it
+	// is a degree-proportional pick.
+	endpoints := make([]graph.VertexID, 0, 2*n*m)
+	// Seed clique among the first m+1 vertices.
+	for u := 0; u <= m; u++ {
+		v := (u + 1) % (m + 1)
+		b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		endpoints = append(endpoints, graph.VertexID(u), graph.VertexID(v))
+	}
+	for u := m + 1; u < n; u++ {
+		for j := 0; j < m; j++ {
+			t := endpoints[rng.Intn(len(endpoints))]
+			if int(t) == u {
+				t = graph.VertexID(rng.Intn(u)) // fall back to uniform among elders
+			}
+			b.AddEdge(graph.VertexID(u), t)
+			endpoints = append(endpoints, graph.VertexID(u), t)
+		}
+	}
+	return b.Build()
+}
+
+// WattsStrogatz builds the small-world model: a ring lattice where each
+// vertex points at its k nearest clockwise successors, with every edge
+// rewired to a uniform target with probability beta. Low beta keeps the
+// lattice's very high clustering.
+func WattsStrogatz(n, k int, beta float64, seed uint64) (*graph.Digraph, error) {
+	if n < 3 || k < 1 || k >= n || beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("gen: WattsStrogatz(n=%d, k=%d, beta=%v): invalid", n, k, beta)
+	}
+	rng := randx.NewRand(seed, 0x35)
+	b := graph.NewBuilder(n)
+	b.Grow(n * k)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k; j++ {
+			v := (u + j) % n
+			if rng.Float64() < beta {
+				v = rng.Intn(n)
+			}
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	return b.Build()
+}
+
+// RMAT samples 2^scale vertices and edgeFactor*2^scale edges from the
+// recursive-matrix distribution of Chakrabarti et al., the standard stand-in
+// for very large skewed social graphs (our twitter-rv analog ingredient).
+// a, b, c are the upper-left, upper-right and lower-left quadrant
+// probabilities; the lower-right is 1-a-b-c.
+func RMAT(scale, edgeFactor int, a, b, c float64, seed uint64) (*graph.Digraph, error) {
+	if scale < 1 || scale > 30 || edgeFactor < 1 {
+		return nil, fmt.Errorf("gen: RMAT(scale=%d, edgeFactor=%d): invalid", scale, edgeFactor)
+	}
+	d := 1 - a - b - c
+	if a < 0 || b < 0 || c < 0 || d < -1e-9 {
+		return nil, fmt.Errorf("gen: RMAT probabilities (%v,%v,%v) must sum to <=1", a, b, c)
+	}
+	n := 1 << scale
+	m := edgeFactor * n
+	rng := randx.NewRand(seed, 0x47)
+	bld := graph.NewBuilder(n)
+	bld.Grow(m)
+	for i := 0; i < m; i++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// upper-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		bld.AddEdge(graph.VertexID(u), graph.VertexID(v))
+	}
+	return bld.Build()
+}
+
+// powerLawDegree draws a Pareto-distributed degree in [minDeg, maxDeg] with
+// tail exponent gamma (>1). u must be in [0,1).
+func powerLawDegree(u float64, minDeg, maxDeg int, gamma float64) int {
+	d := float64(minDeg) * math.Pow(1-u, -1/(gamma-1))
+	if d > float64(maxDeg) {
+		return maxDeg
+	}
+	return int(d)
+}

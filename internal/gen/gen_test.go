@@ -1,0 +1,191 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"snaple/internal/graph"
+)
+
+func edgesOf(g *graph.Digraph) []graph.Edge { return g.Edges() }
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi(100, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 100 {
+		t.Errorf("V = %d", g.NumVertices())
+	}
+	// Duplicates/loops removed: expect close to but not above 500.
+	if g.NumEdges() > 500 || g.NumEdges() < 400 {
+		t.Errorf("E = %d, want in (400, 500]", g.NumEdges())
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	build := map[string]func(seed uint64) (*graph.Digraph, error){
+		"er":   func(s uint64) (*graph.Digraph, error) { return ErdosRenyi(50, 200, s) },
+		"ba":   func(s uint64) (*graph.Digraph, error) { return BarabasiAlbert(80, 3, s) },
+		"ws":   func(s uint64) (*graph.Digraph, error) { return WattsStrogatz(60, 4, 0.1, s) },
+		"rmat": func(s uint64) (*graph.Digraph, error) { return RMAT(7, 8, 0.57, 0.19, 0.19, s) },
+		"comm": func(s uint64) (*graph.Digraph, error) {
+			return Community(CommunityConfig{N: 100, Communities: 5}, s)
+		},
+	}
+	for name, fn := range build {
+		t.Run(name, func(t *testing.T) {
+			a, err := fn(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := fn(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(edgesOf(a), edgesOf(b)) {
+				t.Error("same seed produced different graphs")
+			}
+			c, err := fn(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reflect.DeepEqual(edgesOf(a), edgesOf(c)) {
+				t.Error("different seeds produced identical graphs")
+			}
+		})
+	}
+}
+
+func TestBarabasiAlbertPowerLaw(t *testing.T) {
+	g, err := BarabasiAlbert(2000, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasInEdges() {
+		// in-degrees are where the power law lives; recompute via stats
+		// using a rebuilt graph.
+		gb := graph.NewBuilder(g.NumVertices()).WithInEdges(true)
+		g.ForEachEdge(func(u, v graph.VertexID) { gb.AddEdge(u, v) })
+		g2, err := gb.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g = g2
+	}
+	maxIn := 0
+	for u := 0; u < g.NumVertices(); u++ {
+		if d := g.InDegree(graph.VertexID(u)); d > maxIn {
+			maxIn = d
+		}
+	}
+	avgIn := float64(g.NumEdges()) / float64(g.NumVertices())
+	if float64(maxIn) < 8*avgIn {
+		t.Errorf("max in-degree %d vs avg %.1f: tail looks too light for preferential attachment", maxIn, avgIn)
+	}
+}
+
+func TestWattsStrogatzClustering(t *testing.T) {
+	ws, err := WattsStrogatz(1000, 6, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := ErdosRenyi(1000, ws.NumEdges(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := graph.ApproxClustering(ws, 2000, 1)
+	ce := graph.ApproxClustering(er, 2000, 1)
+	if cw <= ce+0.05 {
+		t.Errorf("WS clustering %.3f not clearly above ER %.3f", cw, ce)
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	g, err := RMAT(10, 8, 0.57, 0.19, 0.19, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	if float64(s.MaxOutDegree) < 5*s.AvgOutDegree {
+		t.Errorf("RMAT out-degree max %d vs avg %.1f: insufficient skew", s.MaxOutDegree, s.AvgOutDegree)
+	}
+}
+
+func TestCommunityHomophilyAndClustering(t *testing.T) {
+	cfg := CommunityConfig{N: 2000, Communities: 20, PLocal: 0.6, PClose: 0.25}
+	g, err := Community(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected intra fraction: >= PLocal*0.9 accounting for closure edges
+	// landing anywhere; random baseline would be 1/20 = 0.05.
+	if f := IntraCommunityFraction(g, cfg.Communities); f < 0.4 {
+		t.Errorf("intra-community fraction %.3f, want >= 0.4", f)
+	}
+	if c := graph.ApproxClustering(g, 2000, 1); c < 0.02 {
+		t.Errorf("clustering %.4f, want >= 0.02", c)
+	}
+}
+
+func TestCommunitySymmetric(t *testing.T) {
+	g, err := Community(CommunityConfig{N: 200, Communities: 4, Symmetric: true}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	g.ForEachEdge(func(u, v graph.VertexID) {
+		if !g.HasEdge(v, u) {
+			bad++
+		}
+	})
+	if bad != 0 {
+		t.Errorf("%d edges missing their reverse in symmetric graph", bad)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		err  func() error
+	}{
+		{"er n", func() error { _, err := ErdosRenyi(1, 5, 0); return err }},
+		{"er m", func() error { _, err := ErdosRenyi(5, -1, 0); return err }},
+		{"ba m>=n", func() error { _, err := BarabasiAlbert(3, 3, 0); return err }},
+		{"ws beta", func() error { _, err := WattsStrogatz(10, 2, 1.5, 0); return err }},
+		{"rmat probs", func() error { _, err := RMAT(4, 4, 0.9, 0.9, 0.9, 0); return err }},
+		{"rmat scale", func() error { _, err := RMAT(0, 4, 0.5, 0.2, 0.2, 0); return err }},
+		{"comm n", func() error { _, err := Community(CommunityConfig{N: 2, Communities: 1}, 0); return err }},
+		{"comm plocal", func() error {
+			_, err := Community(CommunityConfig{N: 10, Communities: 2, PLocal: 0.9, PClose: 0.5}, 0)
+			return err
+		}},
+		{"comm gamma", func() error {
+			_, err := Community(CommunityConfig{N: 10, Communities: 2, Gamma: 0.5}, 0)
+			return err
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.err() == nil {
+				t.Error("want validation error, got nil")
+			}
+		})
+	}
+}
+
+func TestPowerLawDegreeBounds(t *testing.T) {
+	for _, u := range []float64{0, 0.1, 0.5, 0.9, 0.999, 0.9999999} {
+		d := powerLawDegree(u, 2, 50, 2.3)
+		if d < 2 || d > 50 {
+			t.Errorf("powerLawDegree(%v) = %d out of [2,50]", u, d)
+		}
+	}
+	// Low u gives min degree; u→1 saturates at max.
+	if powerLawDegree(0, 3, 100, 2.5) != 3 {
+		t.Error("u=0 should give MinDeg")
+	}
+	if powerLawDegree(0.9999999, 3, 100, 2.5) != 100 {
+		t.Error("u→1 should cap at MaxDeg")
+	}
+}

@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and assembles an immutable Digraph.
+// The zero value is unusable; construct with NewBuilder.
+type Builder struct {
+	numVertices int
+	edges       []Edge
+	withInEdges bool
+	symmetrize  bool
+	keepLoops   bool
+}
+
+// NewBuilder returns a builder for a graph with numVertices dense vertex IDs.
+func NewBuilder(numVertices int) *Builder {
+	return &Builder{numVertices: numVertices}
+}
+
+// WithInEdges makes Build also materialise the reverse adjacency.
+func (b *Builder) WithInEdges(on bool) *Builder { b.withInEdges = on; return b }
+
+// Symmetrize makes Build insert the reverse of every edge, turning an
+// undirected edge list into the directed form used throughout the paper
+// ("we transform them into directed by duplicating edges on both
+// directions", Section 5.2).
+func (b *Builder) Symmetrize(on bool) *Builder { b.symmetrize = on; return b }
+
+// KeepSelfLoops retains self-loops instead of dropping them (the default).
+func (b *Builder) KeepSelfLoops(on bool) *Builder { b.keepLoops = on; return b }
+
+// AddEdge records the directed edge (u,v). Duplicates are removed at Build.
+func (b *Builder) AddEdge(u, v VertexID) {
+	b.edges = append(b.edges, Edge{u, v})
+}
+
+// Grow reserves capacity for n additional edges.
+func (b *Builder) Grow(n int) {
+	if cap(b.edges)-len(b.edges) < n {
+		next := make([]Edge, len(b.edges), len(b.edges)+n)
+		copy(next, b.edges)
+		b.edges = next
+	}
+}
+
+// NumPendingEdges returns the number of edges recorded so far (before
+// deduplication and symmetrization).
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build assembles the Digraph. It sorts, deduplicates, optionally
+// symmetrizes, and drops self-loops unless KeepSelfLoops was set. Build
+// returns an error if any endpoint is outside [0, numVertices).
+func (b *Builder) Build() (*Digraph, error) {
+	n := b.numVertices
+	edges := b.edges
+	for _, e := range edges {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) with %d vertices: %w",
+				e.Src, e.Dst, n, errInvalidVertex)
+		}
+	}
+	if b.symmetrize {
+		rev := make([]Edge, 0, len(edges))
+		for _, e := range edges {
+			rev = append(rev, Edge{e.Dst, e.Src})
+		}
+		edges = append(edges, rev...)
+	}
+	if !b.keepLoops {
+		kept := edges[:0]
+		for _, e := range edges {
+			if e.Src != e.Dst {
+				kept = append(kept, e)
+			}
+		}
+		edges = kept
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Src != edges[j].Src {
+			return edges[i].Src < edges[j].Src
+		}
+		return edges[i].Dst < edges[j].Dst
+	})
+	// Deduplicate in place.
+	dedup := edges[:0]
+	for i, e := range edges {
+		if i == 0 || e != edges[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+	edges = dedup
+
+	g := &Digraph{
+		numVertices: n,
+		outOff:      make([]int64, n+1),
+		outAdj:      make([]VertexID, len(edges)),
+	}
+	for _, e := range edges {
+		g.outOff[e.Src+1]++
+	}
+	for u := 0; u < n; u++ {
+		g.outOff[u+1] += g.outOff[u]
+	}
+	for i, e := range edges {
+		g.outAdj[i] = e.Dst
+	}
+	if b.withInEdges {
+		g.buildInAdjacency()
+	}
+	return g, nil
+}
+
+// buildInAdjacency fills inOff/inAdj from the out-CSR with a counting sort,
+// preserving sorted neighbour lists.
+func (g *Digraph) buildInAdjacency() {
+	n := g.numVertices
+	g.inOff = make([]int64, n+1)
+	for _, v := range g.outAdj {
+		g.inOff[v+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.inOff[v+1] += g.inOff[v]
+	}
+	g.inAdj = make([]VertexID, len(g.outAdj))
+	cursor := make([]int64, n)
+	copy(cursor, g.inOff[:n])
+	// Iterating sources in ascending order keeps each in-list sorted.
+	for u := 0; u < n; u++ {
+		for _, v := range g.OutNeighbors(VertexID(u)) {
+			g.inAdj[cursor[v]] = VertexID(u)
+			cursor[v]++
+		}
+	}
+}
+
+// FromEdges builds a Digraph from an edge list with default options
+// (self-loops dropped, duplicates removed, no reverse adjacency).
+func FromEdges(numVertices int, edges []Edge) (*Digraph, error) {
+	b := NewBuilder(numVertices)
+	b.Grow(len(edges))
+	for _, e := range edges {
+		b.AddEdge(e.Src, e.Dst)
+	}
+	return b.Build()
+}
+
+// MustFromEdges is FromEdges for tests and examples with known-good input;
+// it panics on error.
+func MustFromEdges(numVertices int, edges []Edge) *Digraph {
+	g, err := FromEdges(numVertices, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in the SNAP edge-list format used by the paper's
+// datasets: one "src dst" pair per line, '#' comment header first.
+func WriteEdgeList(w io.Writer, g *Digraph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# Directed graph: %d vertices, %d edges\n",
+		g.NumVertices(), g.NumEdges()); err != nil {
+		return fmt.Errorf("graph: write header: %w", err)
+	}
+	var err error
+	buf := make([]byte, 0, 32)
+	g.ForEachEdge(func(u, v VertexID) {
+		if err != nil {
+			return
+		}
+		buf = strconv.AppendUint(buf[:0], uint64(u), 10)
+		buf = append(buf, '\t')
+		buf = strconv.AppendUint(buf, uint64(v), 10)
+		buf = append(buf, '\n')
+		_, err = bw.Write(buf)
+	})
+	if err != nil {
+		return fmt.Errorf("graph: write edge: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadOptions configures ReadEdgeList.
+type ReadOptions struct {
+	// Symmetrize duplicates every edge in both directions (for undirected
+	// inputs such as gowalla and orkut).
+	Symmetrize bool
+	// WithInEdges materialises the reverse adjacency.
+	WithInEdges bool
+	// PreserveIDs keeps raw vertex IDs instead of remapping them densely;
+	// the vertex count becomes max(ID)+1. Only sensible for inputs that are
+	// already dense, e.g. files produced by WriteEdgeList.
+	PreserveIDs bool
+}
+
+// ReadEdgeList parses a SNAP-style edge list: whitespace-separated vertex-ID
+// pairs, blank lines and lines starting with '#' or '%' ignored. Vertex IDs
+// may be sparse; they are remapped to a dense range in first-appearance
+// order. The number of vertices is max(seen IDs treated densely); any ID is
+// accepted up to 2^32-1.
+func ReadEdgeList(r io.Reader, opts ReadOptions) (*Digraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	remap := make(map[uint64]VertexID)
+	maxID := uint64(0)
+	intern := func(raw uint64) VertexID {
+		if opts.PreserveIDs {
+			if raw > maxID {
+				maxID = raw
+			}
+			return VertexID(raw)
+		}
+		if id, ok := remap[raw]; ok {
+			return id
+		}
+		id := VertexID(len(remap))
+		remap[raw] = id
+		return id
+	}
+
+	var edges []Edge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source %q: %w", lineNo, fields[0], err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target %q: %w", lineNo, fields[1], err)
+		}
+		edges = append(edges, Edge{intern(src), intern(dst)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scan: %w", err)
+	}
+	numVertices := len(remap)
+	if opts.PreserveIDs {
+		numVertices = 0
+		if len(edges) > 0 {
+			numVertices = int(maxID) + 1
+		}
+	}
+	b := NewBuilder(numVertices).
+		Symmetrize(opts.Symmetrize).
+		WithInEdges(opts.WithInEdges)
+	b.Grow(len(edges))
+	for _, e := range edges {
+		b.AddEdge(e.Src, e.Dst)
+	}
+	return b.Build()
+}

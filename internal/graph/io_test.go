@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# a comment
+% another comment style
+
+10 20
+20 30
+10	30
+`
+	g, err := ReadEdgeList(strings.NewReader(in), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense remap in first-appearance order: 10->0, 20->1, 30->2.
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %s, want V=3 E=3", g)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(0, 2) {
+		t.Error("remapped edges missing")
+	}
+}
+
+func TestReadEdgeListPreserveIDs(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("5 2\n2 0\n"), ReadOptions{PreserveIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 6 {
+		t.Fatalf("NumVertices = %d, want 6", g.NumVertices())
+	}
+	if !g.HasEdge(5, 2) || !g.HasEdge(2, 0) {
+		t.Error("edges missing under PreserveIDs")
+	}
+}
+
+func TestReadEdgeListSymmetrize(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n"),
+		ReadOptions{Symmetrize: true, PreserveIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("symmetrize missing reverse edge")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"single field", "42\n"},
+		{"non-numeric", "a b\n"},
+		{"negative", "-1 2\n"},
+		{"too large", "99999999999 1\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(tt.in), ReadOptions{}); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder(64)
+	for i := 0; i < 300; i++ {
+		b.AddEdge(VertexID(rng.Intn(64)), VertexID(rng.Intn(64)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, ReadOptions{PreserveIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex count can shrink if the top IDs were isolated; compare edges.
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d -> %d", g.NumEdges(), g2.NumEdges())
+	}
+	g.ForEachEdge(func(u, v VertexID) {
+		if !g2.HasEdge(u, v) {
+			t.Fatalf("edge (%d,%d) lost in round trip", u, v)
+		}
+	})
+}
+
+func TestReadEmpty(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# nothing\n"), ReadOptions{PreserveIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Errorf("want empty graph, got %s", g)
+	}
+}
+
+func TestStatsAndCDF(t *testing.T) {
+	g := MustFromEdges(5, []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}})
+	s := ComputeStats(g)
+	if s.MaxOutDegree != 3 || s.Edges != 4 || s.Vertices != 5 {
+		t.Errorf("stats: %+v", s)
+	}
+	if s.Isolated != 1 { // vertex 4 untouched
+		t.Errorf("Isolated = %d, want 1", s.Isolated)
+	}
+	cdf := OutDegreeCDF(g, []int{0, 1, 3})
+	// degrees: [3,1,0,0,0] -> <=0: 3/5, <=1: 4/5, <=3: 5/5
+	want := []CDFPoint{{0, 0.6}, {1, 0.8}, {3, 1.0}}
+	if !reflect.DeepEqual(cdf, want) {
+		t.Errorf("CDF = %v, want %v", cdf, want)
+	}
+	if f := FractionTruncated(g, 2); f != 0.2 {
+		t.Errorf("FractionTruncated = %v, want 0.2", f)
+	}
+}
+
+func TestApproxClustering(t *testing.T) {
+	// Complete directed graph on 6 vertices: every wedge closes.
+	b := NewBuilder(6)
+	for u := 0; u < 6; u++ {
+		for v := 0; v < 6; v++ {
+			if u != v {
+				b.AddEdge(VertexID(u), VertexID(v))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := ApproxClustering(g, 500, 1); c < 0.99 {
+		t.Errorf("clustering of complete graph = %v, want ~1", c)
+	}
+	// Star graph out of the center: no wedge closes.
+	star := MustFromEdges(5, []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	if c := ApproxClustering(star, 500, 1); c > 0.01 {
+		t.Errorf("clustering of star = %v, want ~0", c)
+	}
+}

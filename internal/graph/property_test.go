@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestWithoutEdgesProperty: removing a random edge subset leaves exactly the
+// complement, for arbitrary graphs.
+func TestWithoutEdgesProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%40) + 2
+		b := NewBuilder(n)
+		for i := 0; i < int(mRaw); i++ {
+			b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		all := g.Edges()
+		if len(all) == 0 {
+			return true
+		}
+		var removed []Edge
+		keep := map[Edge]bool{}
+		for _, e := range all {
+			if rng.Intn(2) == 0 {
+				removed = append(removed, e)
+			} else {
+				keep[e] = true
+			}
+		}
+		ng := g.WithoutEdges(removed)
+		if ng.NumEdges() != len(keep) {
+			return false
+		}
+		ok := true
+		ng.ForEachEdge(func(u, v VertexID) {
+			if !keep[Edge{u, v}] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCDFProperties: any degree CDF is monotone, within [0,1], and reaches 1
+// at the max degree.
+func TestCDFProperties(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%50) + 1
+		b := NewBuilder(n)
+		for i := 0; i < int(mRaw); i++ {
+			b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		st := ComputeStats(g)
+		pts := OutDegreeCDF(g, []int{0, 1, 2, 4, st.MaxOutDegree})
+		last := -1.0
+		for _, p := range pts {
+			if p.Fraction < last || p.Fraction < 0 || p.Fraction > 1 {
+				return false
+			}
+			last = p.Fraction
+		}
+		return pts[len(pts)-1].Fraction == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHasEdgeAgainstEdgeList: HasEdge agrees with edge-list membership.
+func TestHasEdgeAgainstEdgeList(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 2
+		b := NewBuilder(n)
+		for i := 0; i < 60; i++ {
+			b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		present := map[Edge]bool{}
+		g.ForEachEdge(func(u, v VertexID) { present[Edge{u, v}] = true })
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if g.HasEdge(VertexID(u), VertexID(v)) != present[Edge{VertexID(u), VertexID(v)}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package partition assigns graph edges to partitions (vertex-cut
+// placement, as in PowerGraph/GraphLab).
+//
+// In the GAS engines the paper targets, edges — not vertices — are the unit
+// of placement: a vertex whose edges land on several partitions is
+// replicated there (one master, several mirrors), and the replication factor
+// determines the synchronisation traffic the engine pays per superstep.
+// This package provides hash-based and greedy strategies plus the statistics
+// (replication factor, balance) used by the ablation benches.
+package partition
+
+import (
+	"fmt"
+	mathbits "math/bits"
+
+	"snaple/internal/graph"
+	"snaple/internal/randx"
+)
+
+// Assignment maps each edge (in the graph's CSR iteration order) to a
+// partition in [0, Parts).
+type Assignment struct {
+	Parts  int
+	EdgeTo []int32
+}
+
+// Strategy computes an Assignment for a graph.
+type Strategy interface {
+	// Name identifies the strategy in reports and bench labels.
+	Name() string
+	// Partition assigns every edge of g to one of parts partitions.
+	Partition(g *graph.Digraph, parts int) (Assignment, error)
+}
+
+func validate(g *graph.Digraph, parts int) error {
+	if g == nil {
+		return fmt.Errorf("partition: nil graph")
+	}
+	if parts < 1 {
+		return fmt.Errorf("partition: parts=%d, need >= 1", parts)
+	}
+	return nil
+}
+
+// HashEdge places each edge by a hash of both endpoints — the "random
+// vertex-cut" placement, GraphLab's default. Replication grows with degree
+// but load balance is near perfect.
+type HashEdge struct {
+	Seed uint64
+}
+
+// Name implements Strategy.
+func (HashEdge) Name() string { return "hash-edge" }
+
+// Partition implements Strategy.
+func (s HashEdge) Partition(g *graph.Digraph, parts int) (Assignment, error) {
+	if err := validate(g, parts); err != nil {
+		return Assignment{}, err
+	}
+	a := Assignment{Parts: parts, EdgeTo: make([]int32, g.NumEdges())}
+	i := 0
+	g.ForEachEdge(func(u, v graph.VertexID) {
+		a.EdgeTo[i] = int32(randx.Uint64n(uint64(parts), s.Seed, uint64(u), uint64(v)))
+		i++
+	})
+	return a, nil
+}
+
+// HashSource places each edge by a hash of its source vertex, so a vertex's
+// whole out-neighbourhood lives on one partition (1D edge partitioning).
+// Gather over out-edges then needs no cross-partition partial sums for the
+// source, at the cost of load skew on high-degree vertices.
+type HashSource struct {
+	Seed uint64
+}
+
+// Name implements Strategy.
+func (HashSource) Name() string { return "hash-source" }
+
+// Partition implements Strategy.
+func (s HashSource) Partition(g *graph.Digraph, parts int) (Assignment, error) {
+	if err := validate(g, parts); err != nil {
+		return Assignment{}, err
+	}
+	a := Assignment{Parts: parts, EdgeTo: make([]int32, g.NumEdges())}
+	i := 0
+	g.ForEachEdge(func(u, _ graph.VertexID) {
+		a.EdgeTo[i] = int32(randx.Uint64n(uint64(parts), s.Seed, uint64(u)))
+		i++
+	})
+	return a, nil
+}
+
+// Greedy implements the PowerGraph greedy vertex-cut heuristic: each edge is
+// placed to minimise new vertex replicas, breaking ties towards the least
+// loaded partition. It is sequential and deterministic.
+type Greedy struct{}
+
+// Name implements Strategy.
+func (Greedy) Name() string { return "greedy" }
+
+// replicaSet tracks, per vertex, the bitset of partitions holding a replica
+// (words-per-vertex flat layout, any partition count).
+type replicaSet struct {
+	words int
+	bits  []uint64
+}
+
+func newReplicaSet(vertices, parts int) *replicaSet {
+	words := (parts + 63) / 64
+	return &replicaSet{words: words, bits: make([]uint64, vertices*words)}
+}
+
+func (r *replicaSet) of(v graph.VertexID) []uint64 {
+	return r.bits[int(v)*r.words : (int(v)+1)*r.words]
+}
+
+func (r *replicaSet) set(v graph.VertexID, p int32) {
+	r.of(v)[p/64] |= 1 << uint(p%64)
+}
+
+// Partition implements Strategy.
+func (Greedy) Partition(g *graph.Digraph, parts int) (Assignment, error) {
+	if err := validate(g, parts); err != nil {
+		return Assignment{}, err
+	}
+	a := Assignment{Parts: parts, EdgeTo: make([]int32, g.NumEdges())}
+	replicas := newReplicaSet(g.NumVertices(), parts)
+	load := make([]int64, parts)
+	words := replicas.words
+	scratch := make([]uint64, words)
+
+	// leastLoaded returns the least-loaded partition among the set bits of
+	// mask, or among all partitions if mask is entirely zero.
+	leastLoaded := func(mask []uint64) int32 {
+		best, bestLoad := int32(-1), int64(1)<<62
+		any := false
+		for w, bits := range mask {
+			for bits != 0 {
+				bit := bits & (-bits)
+				p := int32(w*64) + int32(mathbits.TrailingZeros64(bit))
+				bits ^= bit
+				if int(p) >= parts {
+					break
+				}
+				any = true
+				if load[p] < bestLoad {
+					best, bestLoad = p, load[p]
+				}
+			}
+		}
+		if !any {
+			for p := 0; p < parts; p++ {
+				if load[p] < bestLoad {
+					best, bestLoad = int32(p), load[p]
+				}
+			}
+		}
+		return best
+	}
+
+	anySet := func(m []uint64) bool {
+		for _, w := range m {
+			if w != 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	i := 0
+	g.ForEachEdge(func(u, v graph.VertexID) {
+		ru, rv := replicas.of(u), replicas.of(v)
+		hasU, hasV := anySet(ru), anySet(rv)
+		for w := 0; w < words; w++ {
+			scratch[w] = ru[w] & rv[w]
+		}
+		var p int32
+		switch {
+		case anySet(scratch): // rule 1: a partition already has both
+			p = leastLoaded(scratch)
+		case hasU && hasV: // rule 2: both replicated somewhere, pick either side
+			for w := 0; w < words; w++ {
+				scratch[w] = ru[w] | rv[w]
+			}
+			p = leastLoaded(scratch)
+		case hasU: // rule 3: only one endpoint placed
+			p = leastLoaded(ru)
+		case hasV:
+			p = leastLoaded(rv)
+		default: // rule 4: neither placed -> least loaded overall
+			for w := 0; w < words; w++ {
+				scratch[w] = 0
+			}
+			p = leastLoaded(scratch)
+		}
+		a.EdgeTo[i] = p
+		replicas.set(u, p)
+		replicas.set(v, p)
+		load[p]++
+		i++
+	})
+	return a, nil
+}
+
+// Stats describes the quality of an assignment.
+type Stats struct {
+	Parts int
+	// ReplicationFactor is the average number of partitions hosting each
+	// non-isolated vertex; 1.0 is the (unreachable) ideal.
+	ReplicationFactor float64
+	// Balance is max partition load over mean partition load; 1.0 is perfect.
+	Balance float64
+	// MaxLoad is the largest number of edges on one partition.
+	MaxLoad int64
+}
+
+// ComputeStats evaluates an assignment against its graph.
+func ComputeStats(g *graph.Digraph, a Assignment) Stats {
+	load := make([]int64, a.Parts)
+	seen := make(map[int64]struct{}) // (vertex<<20 | part) pairs; parts < 2^20
+	record := func(v graph.VertexID, p int32) {
+		seen[int64(v)<<20|int64(p)] = struct{}{}
+	}
+	i := 0
+	g.ForEachEdge(func(u, v graph.VertexID) {
+		p := a.EdgeTo[i]
+		load[p]++
+		record(u, p)
+		record(v, p)
+		i++
+	})
+	touched := make(map[graph.VertexID]struct{})
+	g.ForEachEdge(func(u, v graph.VertexID) {
+		touched[u] = struct{}{}
+		touched[v] = struct{}{}
+	})
+	st := Stats{Parts: a.Parts}
+	if len(touched) > 0 {
+		st.ReplicationFactor = float64(len(seen)) / float64(len(touched))
+	}
+	var sum, max int64
+	for _, l := range load {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	st.MaxLoad = max
+	if sum > 0 {
+		st.Balance = float64(max) * float64(a.Parts) / float64(sum)
+	}
+	return st
+}

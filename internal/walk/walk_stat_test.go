@@ -1,0 +1,56 @@
+package walk
+
+import (
+	"math"
+	"testing"
+
+	"snaple/internal/graph"
+)
+
+// TestVisitDistributionUniformity: from the hub of an out-star whose leaves
+// loop back, depth-1 visits must be near-uniform across leaves — a
+// statistical check that walk randomness is unbiased.
+func TestVisitDistributionUniformity(t *testing.T) {
+	const leaves = 8
+	b := graph.NewBuilder(leaves + 1)
+	for l := 1; l <= leaves; l++ {
+		b.AddEdge(0, graph.VertexID(l))
+		b.AddEdge(graph.VertexID(l), 0)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits := make(map[graph.VertexID]int)
+	walkFrom(g, 0, Config{Walks: 8000, Depth: 1, K: 5, Seed: 3}, visits)
+	want := 8000.0 / leaves
+	for l := 1; l <= leaves; l++ {
+		got := float64(visits[graph.VertexID(l)])
+		if math.Abs(got-want) > 4*math.Sqrt(want) { // ~4 sigma
+			t.Errorf("leaf %d visited %v times, want ~%v", l, got, want)
+		}
+	}
+	if visits[0] != 0 {
+		t.Errorf("depth-1 walks cannot revisit the start, got %d", visits[0])
+	}
+}
+
+// TestDepthReach: a walk of depth d on a directed path visits exactly the d
+// next vertices.
+func TestDepthReach(t *testing.T) {
+	g := graph.MustFromEdges(6, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 4}, {Src: 4, Dst: 5},
+	})
+	for d := 1; d <= 5; d++ {
+		visits := make(map[graph.VertexID]int)
+		walkFrom(g, 0, Config{Walks: 3, Depth: d, K: 5, Seed: 1}, visits)
+		if len(visits) != d {
+			t.Errorf("depth %d reached %d vertices, want %d", d, len(visits), d)
+		}
+		for v, c := range visits {
+			if int(v) > d || c != 3 {
+				t.Errorf("depth %d: vertex %d visited %d times", d, v, c)
+			}
+		}
+	}
+}

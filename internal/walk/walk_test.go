@@ -1,0 +1,133 @@
+package walk
+
+import (
+	"reflect"
+	"testing"
+
+	"snaple/internal/gen"
+	"snaple/internal/graph"
+)
+
+func TestValidation(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{Src: 0, Dst: 1}})
+	bad := []Config{
+		{Walks: 0, Depth: 3},
+		{Walks: 5, Depth: 0},
+		{Walks: 5, Depth: 3, K: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Predict(g, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestWalksStayOnPaths(t *testing.T) {
+	// Path graph 0->1->2->3: from 0 with depth 3, only 1,2,3 are reachable;
+	// 1 is a neighbour so predictions can only be 2 and 3.
+	g := graph.MustFromEdges(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}})
+	pred, err := Predict(g, Config{Walks: 50, Depth: 3, K: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pred[0]
+	if len(got) != 2 || got[0].Vertex != 2 || got[1].Vertex != 3 {
+		t.Fatalf("predictions from 0: %+v, want vertices 2 then 3", got)
+	}
+	// Every walk passes through 2 before 3: count(2) >= count(3).
+	if got[0].Score < got[1].Score {
+		t.Errorf("visit counts inverted: %+v", got)
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	g, err := gen.Community(gen.CommunityConfig{N: 300, Communities: 6}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Predict(g, Config{Walks: 20, Depth: 3, K: 5, Seed: 9, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		got, err := Predict(g, Config{Walks: 20, Depth: 3, K: 5, Seed: 9, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("results differ between 1 and %d workers", workers)
+		}
+	}
+	diff, err := Predict(g, Config{Walks: 20, Depth: 3, K: 5, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(diff, base) {
+		t.Error("different seeds gave identical predictions")
+	}
+}
+
+func TestNoSelfOrNeighbourPredictions(t *testing.T) {
+	g, err := gen.Community(gen.CommunityConfig{N: 400, Communities: 8}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Predict(g, Config{Walks: 30, Depth: 4, K: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	any := false
+	for u, ps := range pred {
+		for _, p := range ps {
+			any = true
+			if p.Vertex == graph.VertexID(u) {
+				t.Fatalf("vertex %d predicted itself", u)
+			}
+			if g.HasEdge(graph.VertexID(u), p.Vertex) {
+				t.Fatalf("vertex %d predicted existing neighbour %d", u, p.Vertex)
+			}
+		}
+	}
+	if !any {
+		t.Fatal("no predictions at all")
+	}
+}
+
+func TestDeadEndVertex(t *testing.T) {
+	// Vertex 1 has no out-edges: walks from 0 stop there; vertex 1 itself
+	// gets no predictions.
+	g := graph.MustFromEdges(2, []graph.Edge{{Src: 0, Dst: 1}})
+	pred, err := Predict(g, Config{Walks: 10, Depth: 5, K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred[0] != nil {
+		t.Errorf("vertex 0 should have no non-neighbour candidates, got %+v", pred[0])
+	}
+	if pred[1] != nil {
+		t.Errorf("sink vertex should have no predictions, got %+v", pred[1])
+	}
+}
+
+func TestMoreWalksVisitMore(t *testing.T) {
+	// With more walks, the candidate pool cannot shrink on a fixed graph.
+	g, err := gen.Community(gen.CommunityConfig{N: 200, Communities: 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(w int) int {
+		pred, err := Predict(g, Config{Walks: w, Depth: 3, K: 50, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, ps := range pred {
+			n += len(ps)
+		}
+		return n
+	}
+	few, many := count(2), count(64)
+	if many < few {
+		t.Errorf("candidates with 64 walks (%d) below 2 walks (%d)", many, few)
+	}
+}

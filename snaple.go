@@ -1,0 +1,311 @@
+// Package snaple is a Go implementation of SNAPLE (Kermarrec, Taïani,
+// Tirado: "Scaling Out Link Prediction with SNAPLE: 1 Billion Edges and
+// Beyond", MIDDLEWARE 2015 / Inria RR-454): a link-prediction framework for
+// gather-apply-scatter (GAS) graph engines that scores candidate edges by
+// combining and aggregating raw similarities along 2-hop paths instead of
+// shipping neighbourhoods across the cluster.
+//
+// The package is a facade over the repository's internals:
+//
+//   - a GAS engine with vertex-cut placement, master/mirror replication and
+//     cluster cost accounting (internal/gas, internal/partition,
+//     internal/cluster),
+//   - the SNAPLE scoring framework and its Algorithm 2 GAS program plus the
+//     naive BASELINE comparison system (internal/core),
+//   - a Cassovary-style random-walk comparator (internal/walk),
+//   - synthetic dataset analogs and the paper's evaluation protocol
+//     (internal/gen, internal/eval).
+//
+// Quick start:
+//
+//	g, _ := snaple.Dataset("livejournal", 0.2, 42)
+//	split, _ := snaple.NewSplit(g, 1, 42)
+//	preds, _ := snaple.Predict(split.Train, snaple.Options{Score: "linearSum", KLocal: 20})
+//	fmt.Printf("recall@5 = %.3f\n", snaple.Recall(preds, split))
+package snaple
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"snaple/internal/cluster"
+	"snaple/internal/core"
+	"snaple/internal/eval"
+	"snaple/internal/gen"
+	"snaple/internal/graph"
+	"snaple/internal/partition"
+	"snaple/internal/walk"
+)
+
+// Re-exported fundamental types. The aliases point at internal packages so
+// the whole repository shares one set of types.
+type (
+	// Graph is a compact immutable directed graph (CSR).
+	Graph = graph.Digraph
+	// VertexID identifies a vertex (dense, 0-based).
+	VertexID = graph.VertexID
+	// Edge is a directed edge.
+	Edge = graph.Edge
+	// Prediction is one recommended edge target with its score.
+	Prediction = core.Prediction
+	// Predictions holds per-vertex prediction lists indexed by vertex.
+	Predictions = core.Predictions
+	// Split is a train/test split under the paper's protocol.
+	Split = eval.Split
+)
+
+// Options configures a SNAPLE prediction (Algorithm 2's inputs).
+type Options struct {
+	// Score names a Table 3 configuration (default "linearSum"):
+	// linearSum, euclSum, geomSum, PPR, counter, linearMean, euclMean,
+	// geomMean, linearGeom, euclGeom, geomGeom.
+	Score string
+	// Alpha parameterises the linear combinator (default 0.9).
+	Alpha float64
+	// K is the number of predictions per vertex (default 5).
+	K int
+	// KLocal bounds the per-vertex relay sample (0 = unlimited).
+	KLocal int
+	// ThrGamma is the neighbourhood truncation threshold (0 = unlimited;
+	// the paper defaults to 200).
+	ThrGamma int
+	// Policy selects relays: "max" (default), "min" or "rnd" (Section 5.6).
+	Policy string
+	// Paths is the maximum explored path length: 2 (default, the paper's
+	// setting) or 3 (the footnote-2 extension).
+	Paths int
+	// Seed drives truncation and the rnd policy.
+	Seed uint64
+}
+
+func (o Options) toCore() (core.Config, error) {
+	if o.Score == "" {
+		o.Score = "linearSum"
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.9
+	}
+	spec, err := core.ScoreByName(o.Score, o.Alpha)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg := core.Config{
+		Score:    spec,
+		K:        o.K,
+		KLocal:   o.KLocal,
+		ThrGamma: o.ThrGamma,
+		Paths:    o.Paths,
+		Seed:     o.Seed,
+	}
+	switch o.Policy {
+	case "", "max":
+		cfg.Policy = core.SelectMax
+	case "min":
+		cfg.Policy = core.SelectMin
+	case "rnd":
+		cfg.Policy = core.SelectRnd
+	default:
+		return core.Config{}, fmt.Errorf("snaple: unknown policy %q (max|min|rnd)", o.Policy)
+	}
+	return cfg, nil
+}
+
+// ScoreNames lists the Table 3 scoring configurations.
+func ScoreNames() []string { return core.ScoreNames() }
+
+// Predict runs SNAPLE serially in-process (the single-machine reference
+// implementation, bit-identical to the distributed engine).
+func Predict(g *Graph, opts Options) (Predictions, error) {
+	cfg, err := opts.toCore()
+	if err != nil {
+		return nil, err
+	}
+	return core.ReferenceSnaple(g, cfg)
+}
+
+// ClusterOptions describes the simulated deployment for distributed runs.
+type ClusterOptions struct {
+	// Nodes is the number of cluster nodes (default 1).
+	Nodes int
+	// NodeType is "type-I" (8 cores, 32 GB, GbE) or "type-II" (20 cores,
+	// 128 GB, 10GbE; the default) — the paper's two machine classes.
+	NodeType string
+	// Partitions overrides the partition count (default one per core).
+	Partitions int
+	// Strategy selects the vertex-cut: "hash-edge" (default), "hash-source"
+	// or "greedy".
+	Strategy string
+	// MemBudgetBytes optionally caps per-node memory (0 = the node spec's
+	// capacity). Exceeding it aborts with an error wrapping
+	// ErrMemoryExhausted.
+	MemBudgetBytes int64
+	// Seed drives partitioning and master election.
+	Seed uint64
+}
+
+// ErrMemoryExhausted is returned (wrapped) when a simulated node exceeds its
+// memory budget.
+var ErrMemoryExhausted = cluster.ErrMemoryExhausted
+
+// Result reports a distributed run: the predictions plus the engine costs.
+type Result struct {
+	Predictions Predictions
+	// WallSeconds is host wall-clock time of the three supersteps.
+	WallSeconds float64
+	// SimSeconds is the simulated cluster latency (compute makespan over
+	// the configured cores plus network transfer time).
+	SimSeconds float64
+	// CrossBytes / CrossMsgs count cross-node traffic.
+	CrossBytes, CrossMsgs int64
+	// MemPeakBytes is the highest per-node memory footprint.
+	MemPeakBytes int64
+	// ReplicationFactor is the average replicas per vertex of the
+	// vertex-cut.
+	ReplicationFactor float64
+}
+
+func (c ClusterOptions) build(g *Graph) (partition.Assignment, *cluster.Cluster, error) {
+	if c.Nodes == 0 {
+		c.Nodes = 1
+	}
+	var spec cluster.NodeSpec
+	switch c.NodeType {
+	case "", "type-II":
+		spec = cluster.TypeII()
+	case "type-I":
+		spec = cluster.TypeI()
+	default:
+		return partition.Assignment{}, nil, fmt.Errorf("snaple: unknown node type %q (type-I|type-II)", c.NodeType)
+	}
+	parts := c.Partitions
+	if parts == 0 {
+		parts = c.Nodes * spec.Cores
+	}
+	var strat partition.Strategy
+	switch c.Strategy {
+	case "", "hash-edge":
+		strat = partition.HashEdge{Seed: c.Seed}
+	case "hash-source":
+		strat = partition.HashSource{Seed: c.Seed}
+	case "greedy":
+		strat = partition.Greedy{}
+	default:
+		return partition.Assignment{}, nil, fmt.Errorf("snaple: unknown strategy %q (hash-edge|hash-source|greedy)", c.Strategy)
+	}
+	assign, err := strat.Partition(g, parts)
+	if err != nil {
+		return partition.Assignment{}, nil, err
+	}
+	cl, err := cluster.New(cluster.Config{Nodes: c.Nodes, Spec: spec, MemBudgetBytes: c.MemBudgetBytes}, parts)
+	if err != nil {
+		return partition.Assignment{}, nil, err
+	}
+	return assign, cl, nil
+}
+
+func toResult(r *core.Result) *Result {
+	if r == nil {
+		return nil
+	}
+	return &Result{
+		Predictions:       r.Pred,
+		WallSeconds:       r.Total.WallSeconds,
+		SimSeconds:        r.Total.SimSeconds(),
+		CrossBytes:        r.Total.CrossBytes,
+		CrossMsgs:         r.Total.CrossMsgs,
+		MemPeakBytes:      r.Total.MemPeakBytes,
+		ReplicationFactor: r.ReplicationFactor,
+	}
+}
+
+// PredictDistributed runs SNAPLE's Algorithm 2 on the GAS engine over a
+// simulated cluster. Results are bit-identical to Predict for the same
+// Options, independent of the deployment.
+func PredictDistributed(g *Graph, opts Options, cl ClusterOptions) (*Result, error) {
+	cfg, err := opts.toCore()
+	if err != nil {
+		return nil, err
+	}
+	assign, clu, err := cl.build(g)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.PredictGAS(g, assign, clu, cfg)
+	return toResult(res), err
+}
+
+// PredictBaseline runs the paper's BASELINE (a direct 2-hop Jaccard
+// implementation of Algorithm 1 on the GAS engine). On large graphs with
+// bounded budgets it fails with ErrMemoryExhausted — by design.
+func PredictBaseline(g *Graph, k int, cl ClusterOptions) (*Result, error) {
+	assign, clu, err := cl.build(g)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.PredictBaselineGAS(g, assign, clu, k)
+	return toResult(res), err
+}
+
+// PredictWalks runs the Cassovary-style single-machine comparator: w random
+// walks of depth d per vertex, recommending the k most-visited strangers.
+func PredictWalks(g *Graph, walks, depth, k int, seed uint64) (Predictions, error) {
+	return walk.Predict(g, walk.Config{Walks: walks, Depth: depth, K: k, Seed: seed})
+}
+
+// Dataset generates one of the paper's dataset analogs: gowalla, pokec,
+// livejournal, orkut or twitter-rv, at the given scale (1.0 = harness
+// default size).
+func Dataset(name string, scale float64, seed uint64) (*Graph, error) {
+	ds, err := eval.DatasetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Generate(scale, seed)
+}
+
+// DatasetNames lists the available analogs in Table 4 order.
+func DatasetNames() []string { return eval.DatasetNames() }
+
+// CommunityGraph generates a graph from the homophily model directly.
+type CommunityGraph = gen.CommunityConfig
+
+// GenerateCommunity builds a synthetic community graph.
+func GenerateCommunity(cfg CommunityGraph, seed uint64) (*Graph, error) {
+	return gen.Community(cfg, seed)
+}
+
+// NewSplit hides perVertex outgoing edges of every vertex with degree > 3
+// (the paper's protocol) and returns the training graph plus the hidden
+// edges.
+func NewSplit(g *Graph, perVertex int, seed uint64) (*Split, error) {
+	return eval.MakeSplit(g, perVertex, seed)
+}
+
+// Recall is the fraction of hidden edges recovered by pred.
+func Recall(pred Predictions, s *Split) float64 { return eval.Recall(pred, s) }
+
+// FromEdges builds a graph from an explicit edge list (duplicates and
+// self-loops removed). Vertex IDs must lie in [0, numVertices).
+func FromEdges(numVertices int, edges []Edge) (*Graph, error) {
+	return graph.FromEdges(numVertices, edges)
+}
+
+// ReadEdgeList parses a SNAP-style edge list ("src dst" per line, '#'
+// comments). Set symmetrize for undirected inputs.
+func ReadEdgeList(r io.Reader, symmetrize bool) (*Graph, error) {
+	return graph.ReadEdgeList(r, graph.ReadOptions{Symmetrize: symmetrize})
+}
+
+// ReadEdgeListFile is ReadEdgeList over a file path.
+func ReadEdgeListFile(path string, symmetrize bool) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snaple: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadEdgeList(f, symmetrize)
+}
+
+// WriteEdgeList writes g as a SNAP-style edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }

@@ -1,0 +1,156 @@
+package snaple
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func facadeGraph(t testing.TB) *Graph {
+	t.Helper()
+	g, err := GenerateCommunity(CommunityGraph{N: 400, Communities: 8}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPredictFacade(t *testing.T) {
+	g := facadeGraph(t)
+	preds, err := Predict(g, Options{Score: "linearSum", KLocal: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, ps := range preds {
+		nonEmpty += len(ps)
+	}
+	if nonEmpty == 0 {
+		t.Fatal("no predictions")
+	}
+}
+
+func TestPredictDefaultsAndErrors(t *testing.T) {
+	g := facadeGraph(t)
+	if _, err := Predict(g, Options{}); err != nil {
+		t.Errorf("default options rejected: %v", err)
+	}
+	if _, err := Predict(g, Options{Score: "bogus"}); err == nil {
+		t.Error("bogus score accepted")
+	}
+	if _, err := Predict(g, Options{Policy: "bogus"}); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	if _, err := PredictDistributed(g, Options{}, ClusterOptions{NodeType: "bogus"}); err == nil {
+		t.Error("bogus node type accepted")
+	}
+	if _, err := PredictDistributed(g, Options{}, ClusterOptions{Strategy: "bogus"}); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}
+
+func TestDistributedMatchesSerialViaFacade(t *testing.T) {
+	g := facadeGraph(t)
+	opts := Options{Score: "linearSum", KLocal: 8, ThrGamma: 50, Seed: 3}
+	want, err := Predict(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range []string{"hash-edge", "greedy"} {
+		res, err := PredictDistributed(g, opts, ClusterOptions{
+			Nodes: 2, NodeType: "type-I", Strategy: strategy, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Predictions, want) {
+			t.Fatalf("distributed (%s) differs from serial", strategy)
+		}
+		if res.ReplicationFactor < 1 {
+			t.Errorf("RF = %v", res.ReplicationFactor)
+		}
+		if res.CrossBytes == 0 {
+			t.Error("expected cross-node traffic on 2 nodes")
+		}
+	}
+}
+
+func TestBaselineFacadeAndExhaustion(t *testing.T) {
+	g := facadeGraph(t)
+	res, err := PredictBaseline(g, 5, ClusterOptions{Nodes: 2, NodeType: "type-II"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Predictions) == 0 {
+		t.Fatal("baseline produced nothing")
+	}
+	_, err = PredictBaseline(g, 5, ClusterOptions{Nodes: 2, MemBudgetBytes: 1024})
+	if !errors.Is(err, ErrMemoryExhausted) {
+		t.Fatalf("want ErrMemoryExhausted, got %v", err)
+	}
+}
+
+func TestWalksFacade(t *testing.T) {
+	g := facadeGraph(t)
+	preds, err := PredictWalks(g, 20, 3, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	any := false
+	for _, ps := range preds {
+		if len(ps) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		t.Fatal("walks produced nothing")
+	}
+}
+
+func TestEndToEndRecall(t *testing.T) {
+	g, err := Dataset("gowalla", 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := NewSplit(g, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := Predict(split.Train, Options{Score: "linearSum", KLocal: 20, ThrGamma: 200, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Recall(preds, split)
+	if rec <= 0.05 || rec > 1 {
+		t.Errorf("recall = %v, want a plausible positive value", rec)
+	}
+}
+
+func TestDatasetRegistryFacade(t *testing.T) {
+	if len(DatasetNames()) != 5 {
+		t.Error("expected 5 dataset analogs")
+	}
+	if len(ScoreNames()) != 11 {
+		t.Error("expected 11 Table 3 scores")
+	}
+	if _, err := Dataset("unknown", 1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestEdgeListRoundTripFacade(t *testing.T) {
+	g := facadeGraph(t)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Errorf("round trip changed edges: %d -> %d", g.NumEdges(), g2.NumEdges())
+	}
+}
