@@ -9,6 +9,7 @@
 package snaple
 
 import (
+	"fmt"
 	"testing"
 
 	"snaple/internal/eval"
@@ -215,13 +216,38 @@ func BenchmarkSnapleSerial(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	opts := Options{Score: "linearSum", KLocal: 20, ThrGamma: 200, Seed: 42}
+	opts := Options{Score: "linearSum", KLocal: 20, ThrGamma: 200, Seed: 42, Engine: "serial"}
 	b.ReportMetric(float64(g.NumEdges()), "edges")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Predict(g, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPredictLocal tracks the parallel shared-memory backend's speedup
+// trajectory over the serial reference (BenchmarkSnapleSerial) on the same
+// graph and configuration. workers=1 isolates the backend's constant
+// overheads; higher counts measure scaling.
+func BenchmarkPredictLocal(b *testing.B) {
+	g, err := Dataset("livejournal", 0.2, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := Options{
+				Score: "linearSum", KLocal: 20, ThrGamma: 200, Seed: 42,
+				Engine: "local", Workers: workers,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Predict(g, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

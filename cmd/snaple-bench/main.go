@@ -25,11 +25,13 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment id (table5|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table6|exhaustion|ablations|all)")
 		scale   = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		seed    = flag.Uint64("seed", 42, "run seed")
+		engine  = flag.String("engine", "sim", "SNAPLE execution backend: sim|local|serial (non-sim backends zero the simulated cost columns)")
+		workers = flag.Int("workers", 0, "worker goroutines per backend run (0 = GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "log per-run progress to stderr")
 	)
 	flag.Parse()
 
-	opts := eval.Options{Scale: *scale, Seed: *seed}
+	opts := eval.Options{Scale: *scale, Seed: *seed, Engine: *engine, Workers: *workers}
 	if *verbose {
 		opts.Log = os.Stderr
 	}

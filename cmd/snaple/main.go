@@ -1,10 +1,12 @@
-// Command snaple runs link prediction on a graph: SNAPLE (serial or on the
-// simulated distributed GAS engine), the naive BASELINE, or the
-// random-walk comparator.
+// Command snaple runs link prediction on a graph: SNAPLE on one of the
+// pluggable execution backends (parallel shared-memory "local", serial
+// reference, or the simulated distributed GAS engine "sim"), the naive
+// BASELINE, or the random-walk comparator.
 //
 // Usage:
 //
 //	snaple -dataset livejournal -scale 0.25 -score linearSum -klocal 20 -eval
+//	snaple -dataset livejournal -engine local -workers 8 -eval
 //	snaple -in graph.txt -score PPR -k 10 -vertex 42
 //	snaple -dataset pokec -system walks -walks 100 -depth 3 -eval
 //	snaple -dataset gowalla -system baseline -nodes 4 -eval
@@ -15,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 	"time"
 
 	"snaple"
@@ -37,7 +41,9 @@ func main() {
 		policy = flag.String("policy", "max", "relay selection policy: max|min|rnd")
 		alpha  = flag.Float64("alpha", 0.9, "linear combinator alpha")
 
-		serial   = flag.Bool("serial", false, "run the serial reference instead of the GAS engine")
+		engineF  = flag.String("engine", "sim", "execution backend for -system snaple: local|serial|sim")
+		workers  = flag.Int("workers", 0, "worker goroutines for the chosen backend (0 = GOMAXPROCS)")
+		serial   = flag.Bool("serial", false, "deprecated: same as -engine serial")
 		nodes    = flag.Int("nodes", 1, "simulated cluster nodes")
 		nodeType = flag.String("nodetype", "type-II", "node type: type-I|type-II")
 		strategy = flag.String("strategy", "hash-edge", "vertex-cut strategy: hash-edge|hash-source|greedy")
@@ -57,10 +63,17 @@ func main() {
 		}
 		return
 	}
+	engineSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "engine" {
+			engineSet = true
+		}
+	})
 	if err := run(runArgs{
 		in: *in, symmetric: *symmetric, dataset: *dataset, scale: *scale, seed: *seed,
 		system: *system, score: *score, k: *k, klocal: *klocal, thr: *thr,
-		policy: *policy, alpha: *alpha, serial: *serial,
+		policy: *policy, alpha: *alpha, engine: *engineF, engineSet: engineSet,
+		workers: *workers, serial: *serial,
 		nodes: *nodes, nodeType: *nodeType, strategy: *strategy, budget: *budget,
 		walks: *walks, depth: *depth, doEval: *doEval, vertex: *vertex,
 	}); err != nil {
@@ -81,6 +94,9 @@ type runArgs struct {
 	thr       int
 	policy    string
 	alpha     float64
+	engine    string
+	engineSet bool
+	workers   int
 	serial    bool
 	nodes     int
 	nodeType  string
@@ -109,28 +125,47 @@ func run(a runArgs) error {
 		g = split.Train
 	}
 
+	eng := a.engine
+	if a.serial {
+		// Back-compat: -serial predates -engine. Honour it only when -engine
+		// was not given explicitly; a contradictory combination is an error.
+		if a.engineSet && a.engine != "serial" {
+			return fmt.Errorf("-serial conflicts with -engine %s", a.engine)
+		}
+		eng = "serial"
+	}
+	if eng == "" {
+		eng = "sim" // zero-value runArgs (direct run() callers): the flag default
+	}
+	// Validate up front so a typo'd -engine errors for every -system, not
+	// just snaple (the only system the backend choice applies to).
+	if !slices.Contains(snaple.EngineNames(), eng) {
+		return fmt.Errorf("unknown engine %q (%s)", eng, strings.Join(snaple.EngineNames(), "|"))
+	}
 	opts := snaple.Options{
 		Score: a.score, Alpha: a.alpha, K: a.k, KLocal: a.klocal,
 		ThrGamma: a.thr, Policy: a.policy, Seed: a.seed,
+		Engine: eng, Workers: a.workers,
 	}
 	cl := snaple.ClusterOptions{
 		Nodes: a.nodes, NodeType: a.nodeType, Strategy: a.strategy,
-		MemBudgetBytes: a.budget, Seed: a.seed,
+		MemBudgetBytes: a.budget, Seed: a.seed, Workers: a.workers,
 	}
 
 	var preds snaple.Predictions
 	start := time.Now()
 	switch a.system {
 	case "snaple":
-		if a.serial {
-			preds, err = snaple.Predict(g, opts)
-		} else {
+		if eng == "sim" {
 			var res *snaple.Result
 			res, err = snaple.PredictDistributed(g, opts, cl)
 			if res != nil {
 				preds = res.Predictions
 				printStats(res)
 			}
+		} else {
+			fmt.Printf("engine: %s\n", eng)
+			preds, err = snaple.Predict(g, opts)
 		}
 	case "baseline":
 		var res *snaple.Result

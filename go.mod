@@ -1,0 +1,3 @@
+module snaple
+
+go 1.24

@@ -181,10 +181,17 @@ func (bstep3) GatherBytes(g []nbrList) int64 { return nbrListsBytes(g) }
 // reproducing the paper's "naive GraphLab version fails due to resource
 // exhaustion".
 func PredictBaselineGAS(g *graph.Digraph, assign partition.Assignment, cl *cluster.Cluster, k int) (*Result, error) {
+	return PredictBaselineGASWorkers(g, assign, cl, k, 0)
+}
+
+// PredictBaselineGASWorkers is PredictBaselineGAS with an explicit bound on
+// the number of partitions processed concurrently (0 = GOMAXPROCS). As with
+// PredictGASWorkers, the bound only affects host wall-clock time.
+func PredictBaselineGASWorkers(g *graph.Digraph, assign partition.Assignment, cl *cluster.Cluster, k, workers int) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: baseline k=%d, need >= 1", k)
 	}
-	dg, err := gas.Distribute[bdata, struct{}](g, assign, cl, gas.Options{})
+	dg, err := gas.Distribute[bdata, struct{}](g, assign, cl, gas.Options{Workers: workers})
 	if err != nil {
 		return nil, err
 	}

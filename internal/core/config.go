@@ -73,6 +73,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Normalized returns the config with defaults filled, plus any validation
+// error. Callers that do expensive setup before running (e.g. partitioning
+// a graph) use it to fail fast on invalid configs.
+func (c Config) Normalized() (Config, error) {
+	c = c.withDefaults()
+	return c, c.Validate()
+}
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if err := c.Score.Validate(); err != nil {

@@ -36,18 +36,18 @@ func (step3a) Direction() gas.Direction { return gas.Out }
 
 // Gather emits v's 2-hop paths through the edge (v,z); only edges to
 // relays contribute.
-func (s step3a) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) ([]pathCand, bool) {
+func (s step3a) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) ([]PathCand, bool) {
 	svz, ok := lookupSim(srcD.Sims, dst)
 	if !ok || len(dstD.Sims) == 0 {
 		return nil, false
 	}
 	comb := s.cfg.Score.Comb.Fn
-	out := make([]pathCand, 0, len(dstD.Sims))
+	out := make([]PathCand, 0, len(dstD.Sims))
 	for _, ws := range dstD.Sims {
 		if ws.V == src {
 			continue
 		}
-		out = append(out, pathCand{Z: ws.V, S: comb(svz, ws.Sim)})
+		out = append(out, PathCand{Z: ws.V, S: comb(svz, ws.Sim)})
 	}
 	if len(out) == 0 {
 		return nil, false
@@ -56,15 +56,15 @@ func (s step3a) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) 
 }
 
 // Sum merges sorted path lists (same as step 3).
-func (step3a) Sum(a, b []pathCand) []pathCand { return step3{}.Sum(a, b) }
+func (step3a) Sum(a, b []PathCand) []PathCand { return step3{}.Sum(a, b) }
 
 // Apply stores the flat 2-hop path list, sorted by candidate.
-func (step3a) Apply(_ graph.VertexID, d *vdata, sum []pathCand, has bool) {
+func (step3a) Apply(_ graph.VertexID, d *vdata, sum []PathCand, has bool) {
 	if !has {
 		d.TwoHop = nil
 		return
 	}
-	d.TwoHop = append([]pathCand(nil), sum...)
+	d.TwoHop = append([]PathCand(nil), sum...)
 }
 
 // VertexBytes implements gas.Program.
@@ -73,7 +73,7 @@ func (step3a) VertexBytes(v *vdata) int64 { return vdataBytes(v) }
 // GatherBytes prices the flat per-path list (12 B per path): unlike the
 // final step, the intermediate list cannot be pre-folded because each entry
 // extends differently in step 3b.
-func (step3a) GatherBytes(g []pathCand) int64 { return 12 * int64(len(g)) }
+func (step3a) GatherBytes(g []PathCand) int64 { return 12 * int64(len(g)) }
 
 // step3b combines 2-hop and 3-hop paths into final predictions.
 type step3b struct{ *snapleState }
@@ -83,24 +83,24 @@ func (step3b) Direction() gas.Direction { return gas.Out }
 
 // Gather emits, for the edge (u,v) with relay v: the 2-hop paths u→v→z and
 // the 3-hop paths u→v→(z→w) obtained by extending v's stored 2-hop list.
-func (s step3b) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) ([]pathCand, bool) {
+func (s step3b) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) ([]PathCand, bool) {
 	suv, ok := lookupSim(srcD.Sims, dst)
 	if !ok {
 		return nil, false
 	}
 	comb := s.cfg.Score.Comb.Fn
-	out := make([]pathCand, 0, len(dstD.Sims)+len(dstD.TwoHop))
+	out := make([]PathCand, 0, len(dstD.Sims)+len(dstD.TwoHop))
 	for _, zs := range dstD.Sims {
 		if zs.V == src || containsVertex(srcD.Nbrs, zs.V) {
 			continue
 		}
-		out = append(out, pathCand{Z: zs.V, S: comb(suv, zs.Sim)})
+		out = append(out, PathCand{Z: zs.V, S: comb(suv, zs.Sim)})
 	}
 	for _, pc := range dstD.TwoHop {
 		if pc.Z == src || containsVertex(srcD.Nbrs, pc.Z) {
 			continue
 		}
-		out = append(out, pathCand{Z: pc.Z, S: comb(suv, pc.S)})
+		out = append(out, PathCand{Z: pc.Z, S: comb(suv, pc.S)})
 	}
 	if len(out) == 0 {
 		return nil, false
@@ -111,10 +111,10 @@ func (s step3b) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) 
 }
 
 // Sum merges sorted path lists.
-func (step3b) Sum(a, b []pathCand) []pathCand { return step3{}.Sum(a, b) }
+func (step3b) Sum(a, b []PathCand) []PathCand { return step3{}.Sum(a, b) }
 
 // Apply aggregates per candidate and selects the top-k (same as step 3).
-func (s step3b) Apply(u graph.VertexID, d *vdata, sum []pathCand, has bool) {
+func (s step3b) Apply(u graph.VertexID, d *vdata, sum []PathCand, has bool) {
 	step3{s.snapleState}.Apply(u, d, sum, has)
 }
 
@@ -122,92 +122,39 @@ func (s step3b) Apply(u graph.VertexID, d *vdata, sum []pathCand, has bool) {
 func (step3b) VertexBytes(v *vdata) int64 { return vdataBytes(v) }
 
 // GatherBytes prices per distinct candidate like the final 2-hop step.
-func (step3b) GatherBytes(g []pathCand) int64 { return step3{}.GatherBytes(g) }
+func (step3b) GatherBytes(g []PathCand) int64 { return step3{}.GatherBytes(g) }
 
 // ReferenceSnaple3Hop is the serial oracle for the 3-hop extension,
-// bit-identical to the distributed pipeline (steps 1, 2, 3a, 3b).
+// bit-identical to the distributed pipeline (steps 1, 2, 3a, 3b) and to the
+// parallel shared-memory backend.
 func ReferenceSnaple3Hop(g *graph.Digraph, cfg Config) (Predictions, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
+	r, err := NewStepRunner(g, cfg)
+	if err != nil {
 		return nil, err
 	}
-	// Steps 1-2 shared with the 2-hop reference: recompute them here.
-	st := newSnapleState(g, cfg)
 	n := g.NumVertices()
+	s := r.NewScratch()
+
+	// Steps 1-2 shared with the 2-hop reference.
 	trunc := make([][]graph.VertexID, n)
+	for u := 0; u < n; u++ {
+		trunc[u] = r.Truncate(graph.VertexID(u), s)
+	}
 	sims := make([][]VertexSim, n)
 	for u := 0; u < n; u++ {
-		uid := graph.VertexID(u)
-		all := g.OutNeighbors(uid)
-		kept := make([]graph.VertexID, 0, len(all))
-		for _, v := range all {
-			if keepTruncated(cfg.Seed, uid, v, int(st.deg[u]), cfg.ThrGamma) {
-				kept = append(kept, v)
-			}
-		}
-		trunc[u] = kept
+		sims[u] = r.Relays(graph.VertexID(u), trunc, s)
 	}
-	for u := 0; u < n; u++ {
-		uid := graph.VertexID(u)
-		nbrs := g.OutNeighbors(uid)
-		if len(nbrs) == 0 {
-			continue
-		}
-		cands := make([]VertexSim, 0, len(nbrs))
-		for _, v := range nbrs {
-			cands = append(cands, VertexSim{
-				V:   v,
-				Sim: simScore(cfg.Score.Sim, uid, v, trunc[u], trunc[v], int(st.deg[u]), int(st.deg[v])),
-			})
-		}
-		sims[u] = selectRelays(cfg, uid, cands)
-	}
-	comb := cfg.Score.Comb.Fn
 
 	// Step 3a: per-vertex 2-hop path lists.
-	twoHop := make([][]pathCand, n)
+	twoHop := make([][]PathCand, n)
 	for v := 0; v < n; v++ {
-		vid := graph.VertexID(v)
-		for _, zs := range sims[v] {
-			for _, ws := range sims[zs.V] {
-				if ws.V == vid {
-					continue
-				}
-				twoHop[v] = append(twoHop[v], pathCand{Z: ws.V, S: comb(zs.Sim, ws.Sim)})
-			}
-		}
+		twoHop[v] = r.TwoHopPaths(graph.VertexID(v), sims)
 	}
 
 	// Step 3b: final aggregation over 2- and 3-hop paths.
 	pred := make(Predictions, n)
 	for u := 0; u < n; u++ {
-		uid := graph.VertexID(u)
-		if len(sims[u]) == 0 {
-			continue
-		}
-		paths := make(map[graph.VertexID][]float64)
-		add := func(z graph.VertexID, s float64) {
-			if z == uid || containsVertex(trunc[u], z) {
-				return
-			}
-			paths[z] = append(paths[z], s)
-		}
-		for _, vs := range sims[u] {
-			for _, zs := range sims[vs.V] {
-				add(zs.V, comb(vs.Sim, zs.Sim))
-			}
-			for _, pc := range twoHop[vs.V] {
-				add(pc.Z, comb(vs.Sim, pc.S))
-			}
-		}
-		if len(paths) == 0 {
-			continue
-		}
-		coll := newPredCollector(cfg.K)
-		for z, vals := range paths {
-			coll.push(z, cfg.Score.Agg.FoldPaths(vals))
-		}
-		pred[uid] = coll.result()
+		pred[u] = r.Combine3(graph.VertexID(u), trunc, sims, twoHop, s)
 	}
 	return pred, nil
 }

@@ -8,83 +8,39 @@ import (
 )
 
 // ReferenceSnaple executes SNAPLE's scoring (Sections 3-4) serially on a
-// single machine, with semantics bit-identical to PredictGAS: the same
-// hash-keyed truncation draws, the same relay selection, the same
-// sorted-fold aggregation and the same tie-breaking. The distributed
-// implementation is required by tests to agree exactly, for every
-// partitioning; it also serves as an in-process predictor for small graphs.
+// single machine, with semantics bit-identical to PredictGAS and to the
+// parallel shared-memory backend (internal/engine): the same hash-keyed
+// truncation draws, the same relay selection, the same sorted-fold
+// aggregation and the same tie-breaking. The other substrates are required
+// by tests to agree exactly; this loop also serves as an in-process
+// predictor for small graphs and as the test oracle.
 func ReferenceSnaple(g *graph.Digraph, cfg Config) (Predictions, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.Paths == 3 {
+	if cfg.withDefaults().Paths == 3 {
 		return ReferenceSnaple3Hop(g, cfg)
 	}
+	r, err := NewStepRunner(g, cfg)
+	if err != nil {
+		return nil, err
+	}
 	n := g.NumVertices()
-	st := newSnapleState(g, cfg)
+	s := r.NewScratch()
 
 	// Step 1: truncated neighbourhoods.
 	trunc := make([][]graph.VertexID, n)
 	for u := 0; u < n; u++ {
-		uid := graph.VertexID(u)
-		all := g.OutNeighbors(uid)
-		kept := make([]graph.VertexID, 0, len(all))
-		for _, v := range all {
-			if keepTruncated(cfg.Seed, uid, v, int(st.deg[u]), cfg.ThrGamma) {
-				kept = append(kept, v)
-			}
-		}
-		trunc[u] = kept // already sorted: subsequence of sorted adjacency
+		trunc[u] = r.Truncate(graph.VertexID(u), s)
 	}
 
 	// Step 2: raw similarities and relay selection.
 	sims := make([][]VertexSim, n)
 	for u := 0; u < n; u++ {
-		uid := graph.VertexID(u)
-		nbrs := g.OutNeighbors(uid)
-		if len(nbrs) == 0 {
-			continue
-		}
-		cands := make([]VertexSim, 0, len(nbrs))
-		for _, v := range nbrs {
-			sim := simScore(cfg.Score.Sim, uid, v, trunc[u], trunc[v], int(st.deg[u]), int(st.deg[v]))
-			cands = append(cands, VertexSim{V: v, Sim: sim})
-		}
-		sims[u] = selectRelays(cfg, uid, cands)
+		sims[u] = r.Relays(graph.VertexID(u), trunc, s)
 	}
 
 	// Step 3: path combination and aggregation.
 	pred := make(Predictions, n)
-	comb := cfg.Score.Comb.Fn
 	for u := 0; u < n; u++ {
-		uid := graph.VertexID(u)
-		if len(sims[u]) == 0 {
-			continue
-		}
-		paths := make(map[graph.VertexID][]float64)
-		for _, vs := range sims[u] {
-			for _, zs := range sims[vs.V] {
-				z := zs.V
-				if z == uid || containsVertex(trunc[u], z) {
-					continue
-				}
-				paths[z] = append(paths[z], comb(vs.Sim, zs.Sim))
-			}
-		}
-		if len(paths) == 0 {
-			continue
-		}
-		coll := topk.New(cfg.K)
-		for z, vals := range paths {
-			coll.Push(uint32(z), cfg.Score.Agg.FoldPaths(vals))
-		}
-		items := coll.Result()
-		out := make([]Prediction, len(items))
-		for i, it := range items {
-			out[i] = Prediction{Vertex: graph.VertexID(it.ID), Score: it.Score}
-		}
-		pred[uid] = out
+		pred[u] = r.Combine(graph.VertexID(u), trunc, sims, s)
 	}
 	return pred, nil
 }

@@ -1,10 +1,11 @@
 // Package core implements SNAPLE, the paper's contribution: a link-prediction
 // scoring framework built from a raw vertex similarity, a path combinator ⊗
-// and a path aggregator ⊕ (Section 3), compiled into a three-superstep GAS
-// program (Section 4, Algorithm 2). The package also contains the BASELINE
-// comparison system (a direct 2-hop implementation of Algorithm 1) and serial
-// reference implementations used as test oracles and as the single-machine
-// execution mode.
+// and a path aggregator ⊕ (Section 3). Algorithm 2 is decomposed into
+// per-vertex step primitives (steps.go) consumed by every execution backend
+// of internal/engine: the serial reference loop (the test oracle), the
+// parallel shared-memory backend, and the three-superstep GAS program of the
+// simulated cluster (Section 4). The package also contains the BASELINE
+// comparison system (a direct 2-hop implementation of Algorithm 1).
 package core
 
 import (

@@ -25,7 +25,7 @@ type VertexSim struct {
 type vdata struct {
 	Nbrs   []graph.VertexID // Γ̂(u), sorted ascending
 	Sims   []VertexSim      // selected relays, sorted by V ascending
-	TwoHop []pathCand       // sampled 2-hop paths (3-hop extension only)
+	TwoHop []PathCand       // sampled 2-hop paths (3-hop extension only)
 	Pred   []Prediction     // final top-k, best first
 }
 
@@ -35,30 +35,6 @@ type vdata struct {
 func vdataBytes(v *vdata) int64 {
 	return 24 + 4*int64(len(v.Nbrs)) + 12*int64(len(v.Sims)) +
 		12*int64(len(v.TwoHop)) + 12*int64(len(v.Pred))
-}
-
-// predCollector wraps the bounded top-k heap with the Prediction type used
-// across the package.
-type predCollector struct{ coll *topk.Collector }
-
-func newPredCollector(k int) *predCollector {
-	return &predCollector{coll: topk.New(k)}
-}
-
-func (p *predCollector) push(z graph.VertexID, score float64) {
-	p.coll.Push(uint32(z), score)
-}
-
-func (p *predCollector) result() []Prediction {
-	items := p.coll.Result()
-	if len(items) == 0 {
-		return nil
-	}
-	out := make([]Prediction, len(items))
-	for i, it := range items {
-		out[i] = Prediction{Vertex: graph.VertexID(it.ID), Score: it.Score}
-	}
-	return out
 }
 
 // snapleState is shared by the three step programs.
@@ -189,13 +165,8 @@ func selectRelays(cfg Config, u graph.VertexID, cands []VertexSim) []VertexSim {
 
 // ---- Step 3: combine and aggregate path similarities (lines 12-20) ----
 
-// pathCand is one 2-hop path's contribution to candidate Z: the combined
-// path-similarity of equation (8). Gather lists are kept sorted by Z so that
+// Gather lists use the PathCand type of steps.go, kept sorted by Z so that
 // Sum is a linear merge and Apply sees per-candidate groups contiguously.
-type pathCand struct {
-	Z graph.VertexID
-	S float64
-}
 
 type step3 struct{ *snapleState }
 
@@ -204,7 +175,7 @@ func (step3) Direction() gas.Direction { return gas.Out }
 
 // Gather walks the relay v's own relays z and emits one path-candidate per
 // kept 2-hop path u→v→z (Algorithm 2, lines 13-15).
-func (s step3) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) ([]pathCand, bool) {
+func (s step3) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) ([]PathCand, bool) {
 	suv, ok := lookupSim(srcD.Sims, dst)
 	if !ok {
 		return nil, false // v ∉ Du.sims.keys (line 13)
@@ -213,13 +184,13 @@ func (s step3) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) (
 		return nil, false
 	}
 	comb := s.cfg.Score.Comb.Fn
-	out := make([]pathCand, 0, len(dstD.Sims))
+	out := make([]PathCand, 0, len(dstD.Sims))
 	for _, zs := range dstD.Sims { // ascending by V: output stays sorted
 		z := zs.V
 		if z == src || containsVertex(srcD.Nbrs, z) {
 			continue // z ∈ Γ̂(u) ∪ {u} (line 15's exclusion)
 		}
-		out = append(out, pathCand{Z: z, S: comb(suv, zs.Sim)})
+		out = append(out, PathCand{Z: z, S: comb(suv, zs.Sim)})
 	}
 	if len(out) == 0 {
 		return nil, false
@@ -231,8 +202,8 @@ func (s step3) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) (
 // for the same candidate stay adjacent; they are folded in Apply (sorted
 // first, so the result is independent of merge order — see
 // Aggregator.FoldPaths).
-func (step3) Sum(a, b []pathCand) []pathCand {
-	out := make([]pathCand, 0, len(a)+len(b))
+func (step3) Sum(a, b []PathCand) []PathCand {
+	out := make([]PathCand, 0, len(a)+len(b))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		if a[i].Z <= b[j].Z {
@@ -249,27 +220,14 @@ func (step3) Sum(a, b []pathCand) []pathCand {
 }
 
 // Apply groups path candidates by Z, folds each group with the aggregator
-// (⊕pre then ⊕post, line 19) and keeps the top-k scores (line 20).
-func (s step3) Apply(_ graph.VertexID, d *vdata, sum []pathCand, has bool) {
-	if !has || len(sum) == 0 {
+// (⊕pre then ⊕post, line 19) and keeps the top-k scores (line 20). The
+// grouping and fold are shared with every other substrate (steps.go).
+func (s step3) Apply(_ graph.VertexID, d *vdata, sum []PathCand, has bool) {
+	if !has {
 		d.Pred = nil
 		return
 	}
-	coll := newPredCollector(s.cfg.K)
-	var vals []float64
-	for i := 0; i < len(sum); {
-		j := i
-		for j < len(sum) && sum[j].Z == sum[i].Z {
-			j++
-		}
-		vals = vals[:0]
-		for _, pc := range sum[i:j] {
-			vals = append(vals, pc.S)
-		}
-		coll.push(sum[i].Z, s.cfg.Score.Agg.FoldPaths(vals))
-		i = j
-	}
-	d.Pred = coll.result()
+	d.Pred = foldSortedPathCands(sum, s.cfg.Score.Agg, s.cfg.K)
 }
 
 // VertexBytes implements gas.Program.
@@ -279,7 +237,7 @@ func (step3) VertexBytes(v *vdata) int64 { return vdataBytes(v) }
 // it: one (z, σ, n) triplet (16 B) per distinct candidate, since ⊕pre could
 // fold each group before transmission. (The in-memory per-path list is a
 // determinism device; see Aggregator.FoldPaths.)
-func (step3) GatherBytes(g []pathCand) int64 {
+func (step3) GatherBytes(g []PathCand) int64 {
 	distinct := 0
 	for i := range g {
 		if i == 0 || g[i].Z != g[i-1].Z {
@@ -319,12 +277,22 @@ type Result struct {
 
 // PredictGAS runs Algorithm 2 on g distributed over cl according to assign,
 // and returns the per-vertex predictions. This is the paper's SNAPLE system.
+// It processes partitions on up to GOMAXPROCS goroutines; use
+// PredictGASWorkers to bound the concurrency explicitly.
 func PredictGAS(g *graph.Digraph, assign partition.Assignment, cl *cluster.Cluster, cfg Config) (*Result, error) {
+	return PredictGASWorkers(g, assign, cl, cfg, 0)
+}
+
+// PredictGASWorkers is PredictGAS with an explicit bound on the number of
+// partitions processed concurrently (0 = GOMAXPROCS). The worker count only
+// affects host wall-clock time, never the predictions or the simulated
+// costs.
+func PredictGASWorkers(g *graph.Digraph, assign partition.Assignment, cl *cluster.Cluster, cfg Config, workers int) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	dg, err := gas.Distribute[vdata, struct{}](g, assign, cl, gas.Options{Seed: cfg.Seed})
+	dg, err := gas.Distribute[vdata, struct{}](g, assign, cl, gas.Options{Seed: cfg.Seed, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -344,18 +312,18 @@ func PredictGAS(g *graph.Digraph, assign partition.Assignment, cl *cluster.Clust
 	if cfg.Paths == 3 {
 		// The footnote-2 extension: materialise 2-hop path lists, then
 		// aggregate 2- and 3-hop paths together (khop.go).
-		s3a, err := gas.RunStep[vdata, struct{}, []pathCand](dg, step3a{st})
+		s3a, err := gas.RunStep[vdata, struct{}, []PathCand](dg, step3a{st})
 		res.record(s3a)
 		if err != nil {
 			return res, fmt.Errorf("snaple step 3a: %w", err)
 		}
-		s3b, err := gas.RunStep[vdata, struct{}, []pathCand](dg, step3b{st})
+		s3b, err := gas.RunStep[vdata, struct{}, []PathCand](dg, step3b{st})
 		res.record(s3b)
 		if err != nil {
 			return res, fmt.Errorf("snaple step 3b: %w", err)
 		}
 	} else {
-		s3, err := gas.RunStep[vdata, struct{}, []pathCand](dg, step3{st})
+		s3, err := gas.RunStep[vdata, struct{}, []PathCand](dg, step3{st})
 		res.record(s3)
 		if err != nil {
 			return res, fmt.Errorf("snaple step 3: %w", err)

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"sort"
+
+	"snaple/internal/graph"
+	"snaple/internal/topk"
+)
+
+// This file factors Algorithm 2's three steps into per-vertex primitives so
+// that every execution substrate shares one copy of the scoring logic:
+//
+//   - the serial reference loop (reference.go),
+//   - the GAS step programs of the simulated cluster (snaple.go, khop.go),
+//   - the parallel shared-memory backend (internal/engine).
+//
+// All primitives are deterministic in (graph, Config): truncation and the
+// Γrnd selection draw from hashes keyed by (seed, u, v), and aggregation
+// folds path values in sorted order (Aggregator.FoldPaths), so every
+// substrate produces bit-identical Predictions regardless of scheduling.
+
+// PathCand is one path's contribution to candidate Z: the combined
+// path-similarity of equation (8). Lists are kept sorted by Z so grouping is
+// a linear scan and merging preserves order.
+type PathCand struct {
+	Z graph.VertexID
+	S float64
+}
+
+// sortPathCands orders candidates by Z ascending. Values for the same Z may
+// appear in any relative order: FoldPaths sorts them before folding.
+func sortPathCands(cands []PathCand) {
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Z < cands[j].Z })
+}
+
+// StepRunner exposes Algorithm 2's steps as per-vertex functions over the
+// CSR graph. Construct one with NewStepRunner; methods are safe for
+// concurrent use as long as each goroutine uses its own Scratch and writes
+// to disjoint vertices.
+type StepRunner struct {
+	g   *graph.Digraph
+	cfg Config
+	deg []int32 // full out-degrees, static topology metadata
+}
+
+// NewStepRunner validates cfg, fills defaults and precomputes the degree
+// table shared by all steps.
+func NewStepRunner(g *graph.Digraph, cfg Config) (*StepRunner, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := newSnapleState(g, cfg)
+	return &StepRunner{g: g, cfg: cfg, deg: st.deg}, nil
+}
+
+// Config returns the runner's configuration with defaults applied.
+func (r *StepRunner) Config() Config { return r.cfg }
+
+// Scratch holds the per-worker reusable buffers of the step functions. Each
+// concurrent worker needs its own; construct with StepRunner.NewScratch.
+type Scratch struct {
+	nbrs  []graph.VertexID
+	sims  []VertexSim
+	cands []PathCand
+	vals  []float64
+	coll  *topk.Collector
+}
+
+// NewScratch returns a Scratch sized for the runner's configuration.
+func (r *StepRunner) NewScratch() *Scratch {
+	return &Scratch{coll: topk.New(r.cfg.K)}
+}
+
+// Truncate runs step 1 (Algorithm 2, lines 1-6) for u: the hash-keyed
+// truncation Γ̂(u) of its out-neighbourhood. The result is a fresh
+// exact-sized slice (nil when empty), sorted ascending because it is a
+// subsequence of the sorted adjacency.
+func (r *StepRunner) Truncate(u graph.VertexID, s *Scratch) []graph.VertexID {
+	kept := s.nbrs[:0]
+	for _, v := range r.g.OutNeighbors(u) {
+		if keepTruncated(r.cfg.Seed, u, v, int(r.deg[u]), r.cfg.ThrGamma) {
+			kept = append(kept, v)
+		}
+	}
+	s.nbrs = kept
+	if len(kept) == 0 {
+		return nil
+	}
+	return append(make([]graph.VertexID, 0, len(kept)), kept...)
+}
+
+// Relays runs step 2 (lines 7-11) for u: raw similarities to every
+// out-neighbour over the truncated neighbourhoods, then the k_local
+// selection policy. trunc must hold the step-1 output for u and all its
+// out-neighbours. The result is a fresh slice sorted by vertex ID.
+func (r *StepRunner) Relays(u graph.VertexID, trunc [][]graph.VertexID, s *Scratch) []VertexSim {
+	nbrs := r.g.OutNeighbors(u)
+	if len(nbrs) == 0 {
+		return nil
+	}
+	cands := s.sims[:0]
+	for _, v := range nbrs {
+		sim := simScore(r.cfg.Score.Sim, u, v, trunc[u], trunc[v], int(r.deg[u]), int(r.deg[v]))
+		cands = append(cands, VertexSim{V: v, Sim: sim})
+	}
+	s.sims = cands
+	return selectRelays(r.cfg, u, cands)
+}
+
+// Combine runs step 3 (lines 12-20) for u: it walks the 2-hop paths u→v→z
+// through u's relays, combines the edge similarities with ⊗, aggregates per
+// candidate with ⊕ and returns the top-k predictions (nil when none).
+func (r *StepRunner) Combine(u graph.VertexID, trunc [][]graph.VertexID, sims [][]VertexSim, s *Scratch) []Prediction {
+	comb := r.cfg.Score.Comb.Fn
+	cands := s.cands[:0]
+	for _, vs := range sims[u] {
+		for _, zs := range sims[vs.V] {
+			z := zs.V
+			if z == u || containsVertex(trunc[u], z) {
+				continue // z ∈ Γ̂(u) ∪ {u} (line 15's exclusion)
+			}
+			cands = append(cands, PathCand{Z: z, S: comb(vs.Sim, zs.Sim)})
+		}
+	}
+	s.cands = cands
+	if len(cands) == 0 {
+		return nil
+	}
+	sortPathCands(cands)
+	return s.foldSorted(cands, r.cfg.Score.Agg)
+}
+
+// TwoHopPaths runs step 3a of the 3-hop extension for v: its sampled 2-hop
+// path list {(w, sim(v,z) ⊗ sim(z,w)) : z ∈ sims(v), w ∈ sims(z), w ≠ v}.
+// See khop.go for the fold-direction discussion.
+func (r *StepRunner) TwoHopPaths(v graph.VertexID, sims [][]VertexSim) []PathCand {
+	comb := r.cfg.Score.Comb.Fn
+	var out []PathCand
+	for _, zs := range sims[v] {
+		for _, ws := range sims[zs.V] {
+			if ws.V == v {
+				continue
+			}
+			out = append(out, PathCand{Z: ws.V, S: comb(zs.Sim, ws.Sim)})
+		}
+	}
+	return out
+}
+
+// Combine3 runs step 3b of the 3-hop extension for u: it aggregates u's
+// 2-hop paths together with the 3-hop paths obtained by extending each
+// relay's stored 2-hop list by the edge (u,v).
+func (r *StepRunner) Combine3(u graph.VertexID, trunc [][]graph.VertexID, sims [][]VertexSim, twoHop [][]PathCand, s *Scratch) []Prediction {
+	comb := r.cfg.Score.Comb.Fn
+	cands := s.cands[:0]
+	for _, vs := range sims[u] {
+		for _, zs := range sims[vs.V] {
+			if zs.V == u || containsVertex(trunc[u], zs.V) {
+				continue
+			}
+			cands = append(cands, PathCand{Z: zs.V, S: comb(vs.Sim, zs.Sim)})
+		}
+		for _, pc := range twoHop[vs.V] {
+			if pc.Z == u || containsVertex(trunc[u], pc.Z) {
+				continue
+			}
+			cands = append(cands, PathCand{Z: pc.Z, S: comb(vs.Sim, pc.S)})
+		}
+	}
+	s.cands = cands
+	if len(cands) == 0 {
+		return nil
+	}
+	sortPathCands(cands)
+	return s.foldSorted(cands, r.cfg.Score.Agg)
+}
+
+// foldSorted groups Z-sorted path candidates, folds each group with the
+// aggregator and returns the top-k predictions, best first (nil when empty).
+func (s *Scratch) foldSorted(cands []PathCand, agg Aggregator) []Prediction {
+	s.coll.Reset()
+	vals := s.vals
+	for i := 0; i < len(cands); {
+		j := i
+		for j < len(cands) && cands[j].Z == cands[i].Z {
+			j++
+		}
+		vals = vals[:0]
+		for _, pc := range cands[i:j] {
+			vals = append(vals, pc.S)
+		}
+		s.coll.Push(uint32(cands[i].Z), agg.FoldPaths(vals))
+		i = j
+	}
+	s.vals = vals
+	items := s.coll.Result()
+	if len(items) == 0 {
+		return nil
+	}
+	out := make([]Prediction, len(items))
+	for i, it := range items {
+		out[i] = Prediction{Vertex: graph.VertexID(it.ID), Score: it.Score}
+	}
+	return out
+}
+
+// foldSortedPathCands is the allocation-per-call variant of foldSorted used
+// by the GAS Apply phases, which have no per-worker scratch.
+func foldSortedPathCands(cands []PathCand, agg Aggregator, k int) []Prediction {
+	if len(cands) == 0 {
+		return nil
+	}
+	s := Scratch{coll: topk.New(k)}
+	return s.foldSorted(cands, agg)
+}

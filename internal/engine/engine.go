@@ -1,0 +1,83 @@
+// Package engine is the execution layer of the repository: it decouples
+// SNAPLE's scoring algorithm (internal/core) from the substrate that runs
+// it, the way SNAP pairs one algorithm API with a tuned single-machine core
+// and GiGL layers one API over interchangeable local/distributed backends.
+//
+// Three Backend implementations exist:
+//
+//   - Serial — the single-threaded reference loop (core.ReferenceSnaple),
+//     the test oracle every other backend must match bit for bit;
+//   - Local — a parallel shared-memory backend that runs Algorithm 2's
+//     three steps directly over the CSR with goroutine sharding over vertex
+//     ranges and per-worker scratch buffers (no replication, no cost
+//     accounting): the fastest way to predict on one machine;
+//   - Sim — the paper's system: the GAS engine over a simulated cluster
+//     with vertex-cut partitioning, master/mirror replication and full cost
+//     accounting (internal/gas, internal/partition, internal/cluster).
+//
+// All backends produce bit-identical Predictions for the same (graph,
+// Config): truncation and the Γrnd relay selection are hash-keyed draws and
+// aggregation folds path values in sorted order, so results never depend on
+// scheduling, partitioning or worker count.
+package engine
+
+import (
+	"fmt"
+
+	"snaple/internal/core"
+	"snaple/internal/graph"
+)
+
+// Stats reports what a prediction run cost. Wall-clock fields are always
+// set; the simulated-cluster fields are zero for the Serial and Local
+// backends, which model no deployment.
+type Stats struct {
+	// Engine is the backend's name ("serial", "local" or "sim").
+	Engine string
+	// Workers is the backend's resolved concurrency bound (the configured
+	// value, or GOMAXPROCS when it was 0). Small inputs may use fewer
+	// goroutines than the bound.
+	Workers int
+	// WallSeconds is host wall-clock time of the prediction steps.
+	WallSeconds float64
+	// SimSeconds is the simulated cluster latency (sim backend only).
+	SimSeconds float64
+	// CrossBytes / CrossMsgs count cross-node traffic (sim backend only).
+	CrossBytes, CrossMsgs int64
+	// MemPeakBytes is the highest per-node memory footprint (sim only).
+	MemPeakBytes int64
+	// ReplicationFactor is the vertex-cut's average replicas per vertex
+	// (sim backend only).
+	ReplicationFactor float64
+}
+
+// Backend executes SNAPLE's Algorithm 2 on some substrate. Implementations
+// must be bit-identical to core.ReferenceSnaple for every valid Config.
+type Backend interface {
+	// Name identifies the backend ("serial", "local", "sim").
+	Name() string
+	// Predict runs Algorithm 2 over g and returns per-vertex predictions
+	// with the run's cost. On error the predictions may be partial or nil.
+	Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error)
+}
+
+// Names lists the built-in backend names accepted by New.
+func Names() []string { return []string{"local", "serial", "sim"} }
+
+// New returns a backend by name: "local" (or "") for the parallel
+// shared-memory backend with the given worker bound, "serial" for the
+// reference loop, "sim" for the GAS engine on a default single-node type-II
+// cluster partitioned with the given seed. seed only matters to "sim"; for
+// a custom deployment construct a Sim directly.
+func New(name string, workers int, seed uint64) (Backend, error) {
+	switch name {
+	case "", "local":
+		return Local{Workers: workers}, nil
+	case "serial":
+		return Serial{}, nil
+	case "sim":
+		return Sim{Nodes: 1, Workers: workers, Seed: seed}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown backend %q (local|serial|sim)", name)
+	}
+}

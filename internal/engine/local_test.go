@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"snaple/internal/core"
+	"snaple/internal/graph"
+)
+
+func localCfg(t testing.TB) core.Config {
+	t.Helper()
+	return core.Config{Score: mustScore(t, "linearSum"), K: 5, KLocal: 4, Seed: 1}
+}
+
+func TestLocalEmptyGraph(t *testing.T) {
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, _, err := Local{Workers: 4}.Predict(g, localCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 0 {
+		t.Fatalf("predictions on empty graph: %v", preds)
+	}
+}
+
+func TestLocalEdgelessVertices(t *testing.T) {
+	g, err := graph.FromEdges(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, _, err := Local{}.Predict(g, localCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, ps := range preds {
+		if ps != nil {
+			t.Errorf("vertex %d: unexpected predictions %v", u, ps)
+		}
+	}
+}
+
+// TestLocalMoreWorkersThanVertices covers worker counts exceeding both the
+// vertex count and the chunking threshold.
+func TestLocalMoreWorkersThanVertices(t *testing.T) {
+	g := testGraph(t, 40, 5)
+	cfg := localCfg(t)
+	want, err := core.ReferenceSnaple(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 64} {
+		got, _, err := Local{Workers: workers}.Predict(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d differs from reference", workers)
+		}
+	}
+}
+
+// TestLocalLargerThanChunk forces the parallel path (n > chunk) so the
+// range-claiming loop's boundary arithmetic is exercised, including the
+// final partial chunk.
+func TestLocalLargerThanChunk(t *testing.T) {
+	n := chunk*2 + 37
+	g := testGraph(t, n, 13)
+	cfg := localCfg(t)
+	want, err := core.ReferenceSnaple(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Local{Workers: 4}.Predict(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("chunked parallel run differs from reference")
+	}
+}

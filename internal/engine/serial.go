@@ -1,0 +1,24 @@
+package engine
+
+import (
+	"time"
+
+	"snaple/internal/core"
+	"snaple/internal/graph"
+)
+
+// Serial is the single-threaded reference backend: a thin adapter over
+// core.ReferenceSnaple. It is the slowest substrate and the semantic anchor
+// — the equivalence tests hold every other backend to its exact output.
+type Serial struct{}
+
+// Name implements Backend.
+func (Serial) Name() string { return "serial" }
+
+// Predict implements Backend.
+func (Serial) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error) {
+	start := time.Now()
+	pred, err := core.ReferenceSnaple(g, cfg)
+	st := Stats{Engine: "serial", Workers: 1, WallSeconds: time.Since(start).Seconds()}
+	return pred, st, err
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"runtime"
+
+	"snaple/internal/cluster"
+	"snaple/internal/core"
+	"snaple/internal/graph"
+	"snaple/internal/partition"
+)
+
+// Sim is the paper's system as a Backend: Algorithm 2 on the GAS engine
+// over a simulated cluster, with vertex-cut partitioning, master/mirror
+// replication and full cost accounting. Use it when the simulated costs
+// (SimSeconds, CrossBytes, MemPeakBytes, ReplicationFactor) matter; use
+// Local when only the predictions do.
+//
+// The zero value of every field is a usable default: one type-II node, one
+// partition per core, hash-edge vertex-cut keyed by Seed.
+type Sim struct {
+	// Nodes is the number of cluster nodes (0 = 1).
+	Nodes int
+	// Spec is the machine class (zero = cluster.TypeII()).
+	Spec cluster.NodeSpec
+	// Partitions overrides the partition count (0 = one per core).
+	Partitions int
+	// Strategy selects the vertex-cut (nil = partition.HashEdge{Seed}).
+	Strategy partition.Strategy
+	// MemBudgetBytes optionally caps per-node memory (0 = the node spec's
+	// capacity). Exceeding it aborts with cluster.ErrMemoryExhausted.
+	MemBudgetBytes int64
+	// Seed drives partitioning and master election.
+	Seed uint64
+	// Workers bounds the host goroutines processing partitions
+	// (0 = GOMAXPROCS). It never affects results or simulated costs.
+	Workers int
+}
+
+// Name implements Backend.
+func (Sim) Name() string { return "sim" }
+
+func (s Sim) withDefaults() Sim {
+	if s.Nodes == 0 {
+		s.Nodes = 1
+	}
+	if s.Spec.Cores == 0 {
+		s.Spec = cluster.TypeII()
+	}
+	if s.Partitions == 0 {
+		s.Partitions = s.Nodes * s.Spec.Cores
+	}
+	if s.Strategy == nil {
+		s.Strategy = partition.HashEdge{Seed: s.Seed}
+	}
+	return s
+}
+
+// Deploy partitions g across the simulated cluster and returns the
+// assignment and cluster, for callers that run their own GAS programs
+// (e.g. the BASELINE comparison system).
+func (s Sim) Deploy(g *graph.Digraph) (partition.Assignment, *cluster.Cluster, error) {
+	s = s.withDefaults()
+	assign, err := s.Strategy.Partition(g, s.Partitions)
+	if err != nil {
+		return partition.Assignment{}, nil, err
+	}
+	cl, err := cluster.New(cluster.Config{
+		Nodes: s.Nodes, Spec: s.Spec, MemBudgetBytes: s.MemBudgetBytes,
+	}, s.Partitions)
+	if err != nil {
+		return partition.Assignment{}, nil, err
+	}
+	return assign, cl, nil
+}
+
+// Predict implements Backend. On a failure before any superstep ran (bad
+// config, deployment error) the returned Stats is the zero value; on a
+// mid-run failure (memory exhaustion) it carries the partial costs.
+func (s Sim) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error) {
+	res, err := s.PredictResult(g, cfg)
+	if res == nil {
+		return nil, Stats{}, err
+	}
+	return res.Pred, StatsFromResult(res, s.Workers), err
+}
+
+// PredictResult is Predict with the GAS engine's full cost report: the
+// per-superstep StepStats breakdown that the flattened Stats cannot carry.
+// The result is non-nil whenever at least one superstep started.
+func (s Sim) PredictResult(g *graph.Digraph, cfg core.Config) (*core.Result, error) {
+	if _, err := cfg.Normalized(); err != nil {
+		return nil, err // fail before the partitioning pass
+	}
+	s = s.withDefaults()
+	assign, cl, err := s.Deploy(g)
+	if err != nil {
+		return nil, err
+	}
+	return core.PredictGASWorkers(g, assign, cl, cfg, s.Workers)
+}
+
+// StatsFromResult flattens a GAS engine cost report into Stats. workers is
+// the configured host concurrency bound (0 = GOMAXPROCS).
+func StatsFromResult(res *core.Result, workers int) Stats {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return Stats{
+		Engine:            "sim",
+		Workers:           workers,
+		WallSeconds:       res.Total.WallSeconds,
+		SimSeconds:        res.Total.SimSeconds(),
+		CrossBytes:        res.Total.CrossBytes,
+		CrossMsgs:         res.Total.CrossMsgs,
+		MemPeakBytes:      res.Total.MemPeakBytes,
+		ReplicationFactor: res.ReplicationFactor,
+	}
+}

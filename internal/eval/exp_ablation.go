@@ -42,7 +42,7 @@ func RunAlphaSweep(opts Options) (*AlphaSweep, error) {
 			return nil, err
 		}
 		cfg := core.Config{Score: spec, K: 5, KLocal: 20, ThrGamma: 200, Seed: opts.Seed}
-		res, err := runSnaple(split.Train, dep, cfg)
+		res, err := runSnaple(opts, split.Train, dep, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("alpha sweep %v: %w", alpha, err)
 		}
@@ -109,7 +109,7 @@ func RunPartitionAblation(opts Options) (*PartitionAblation, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.PredictGAS(split.Train, assign, cl, cfg)
+		res, err := core.PredictGASWorkers(split.Train, assign, cl, cfg, opts.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("partition ablation %s: %w", strat.Name(), err)
 		}
@@ -171,7 +171,7 @@ func RunKHopAblation(opts Options) (*KHopAblation, error) {
 				return nil, err
 			}
 			cfg.Paths = paths
-			res, err := runSnaple(split.Train, dep, cfg)
+			res, err := runSnaple(opts, split.Train, dep, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("khop ablation paths=%d: %w", paths, err)
 			}

@@ -41,8 +41,12 @@ type Exhaustion struct {
 const DefaultExhaustionBudget = int64(128 << 20)
 
 // RunExhaustion executes both systems on all five analogs under the budget.
+// The experiment exists to exercise the simulated memory model, so it always
+// runs on the sim backend regardless of Options.Engine — any other backend
+// enforces no budget and would fabricate the survival column.
 func RunExhaustion(opts Options) (*Exhaustion, error) {
 	opts = opts.withDefaults()
+	opts.Engine = "sim"
 	out := &Exhaustion{BudgetBytes: DefaultExhaustionBudget}
 	dep := FourTypeII()
 	dep.Budget = out.BudgetBytes
@@ -53,7 +57,7 @@ func RunExhaustion(opts Options) (*Exhaustion, error) {
 			return nil, err
 		}
 		// BASELINE under budget.
-		bres, berr := runBaseline(split.Train, dep, 5, opts.Seed)
+		bres, berr := runBaseline(opts, split.Train, dep, 5, opts.Seed)
 		row := ExhaustionRow{Dataset: name, System: "BASELINE", Completed: berr == nil}
 		if bres != nil {
 			row.PeakBytes = bres.Total.MemPeakBytes
@@ -72,7 +76,7 @@ func RunExhaustion(opts Options) (*Exhaustion, error) {
 		if err != nil {
 			return nil, err
 		}
-		sres, serr := runSnaple(split.Train, dep, cfg)
+		sres, serr := runSnaple(opts, split.Train, dep, cfg)
 		srow := ExhaustionRow{Dataset: name, System: "SNAPLE", Completed: serr == nil}
 		if sres != nil {
 			srow.PeakBytes = sres.Total.MemPeakBytes

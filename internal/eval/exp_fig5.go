@@ -50,7 +50,7 @@ func RunFigure5(opts Options) (*Figure5, error) {
 				return nil, err
 			}
 			for _, dep := range deployments {
-				res, err := runSnaple(split.Train, dep.d, cfg)
+				res, err := runSnaple(opts, split.Train, dep.d, cfg)
 				if err != nil {
 					return nil, fmt.Errorf("fig5: %s on %s: %w", name, dep.d, err)
 				}

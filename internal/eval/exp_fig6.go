@@ -58,7 +58,7 @@ func RunFigure6(opts Options) (*Figure6, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := runSnaple(split.Train, dep, cfg)
+			res, err := runSnaple(opts, split.Train, dep, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("fig6: %s thr=%d: %w", name, thr, err)
 			}

@@ -41,7 +41,7 @@ func RunFigure7(opts Options) (*Figure7, error) {
 					return nil, err
 				}
 				cfg.Policy = pol
-				res, err := runSnaple(split.Train, dep, cfg)
+				res, err := runSnaple(opts, split.Train, dep, cfg)
 				if err != nil {
 					return nil, fmt.Errorf("fig7: %s %s klocal=%d: %w", score, pol, klocal, err)
 				}

@@ -50,7 +50,7 @@ func RunFigure8(opts Options) (*Figure8, error) {
 					if err != nil {
 						return nil, err
 					}
-					res, err := runSnaple(split.Train, dep, cfg)
+					res, err := runSnaple(opts, split.Train, dep, cfg)
 					if err != nil {
 						return nil, fmt.Errorf("fig8: %s %s klocal=%d: %w", name, score, klocal, err)
 					}

@@ -41,7 +41,7 @@ func RunFigure9(opts Options) (*Figure9, error) {
 				return nil, err
 			}
 			cfg.K = 20
-			res, err := runSnaple(split.Train, dep, cfg)
+			res, err := runSnaple(opts, split.Train, dep, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("fig9: %s %s: %w", name, score, err)
 			}
@@ -127,7 +127,7 @@ func RunFigure10(opts Options) (*Figure10, error) {
 				if err != nil {
 					return nil, err
 				}
-				res, err := runSnaple(split.Train, dep, cfg)
+				res, err := runSnaple(opts, split.Train, dep, cfg)
 				if err != nil {
 					return nil, fmt.Errorf("fig10: %s %s removed=%d: %w", name, score, removed, err)
 				}

@@ -62,7 +62,7 @@ func RunTable5(opts Options) (*Table5, error) {
 		}
 		opts.logf("table5: %s train=%s removed=%d", name, split.Train, split.NumRemoved)
 
-		base, err := runBaseline(split.Train, dep, 5, opts.Seed)
+		base, err := runBaseline(opts, split.Train, dep, 5, opts.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("table5: baseline on %s: %w", name, err)
 		}
@@ -79,7 +79,7 @@ func RunTable5(opts Options) (*Table5, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := runSnaple(split.Train, dep, cfg)
+			res, err := runSnaple(opts, split.Train, dep, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("table5: %s %s: %w", name, c.Score, err)
 			}

@@ -129,7 +129,7 @@ func RunTable6(opts Options, fig11 *Figure11) (*Table6, error) {
 			return nil, err
 		}
 		start := time.Now()
-		res, err := runSnaple(split.Train, dep, cfg)
+		res, err := runSnaple(opts, split.Train, dep, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("table6: snaple on %s: %w", name, err)
 		}

@@ -6,8 +6,9 @@ import (
 
 	"snaple/internal/cluster"
 	"snaple/internal/core"
+	"snaple/internal/engine"
+	"snaple/internal/gas"
 	"snaple/internal/graph"
-	"snaple/internal/partition"
 )
 
 // Options configures an experiment run.
@@ -19,6 +20,16 @@ type Options struct {
 	Seed uint64
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
+	// Engine selects the execution backend SNAPLE runs on: "sim" (default)
+	// keeps the simulated cluster whose cost columns (seconds, traffic,
+	// memory) the paper's tables report; "local" and "serial" run the
+	// shared-memory backends instead — predictions (and therefore recall)
+	// are bit-identical, but the simulated cost columns read as zero. Use
+	// them to iterate on quality experiments quickly.
+	Engine string
+	// Workers bounds each backend's host goroutines (0 = GOMAXPROCS). It
+	// never affects results or simulated costs.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -72,37 +83,64 @@ func TypeIIDeployment(nodes int) Deployment {
 	return Deployment{Nodes: nodes, Spec: cluster.TypeII()}
 }
 
-// deploy partitions g across the deployment, one partition per core, using
-// the engine's default random vertex-cut.
-func deploy(g *graph.Digraph, d Deployment, seed uint64) (partition.Assignment, *cluster.Cluster, error) {
-	parts := d.Cores()
-	assign, err := partition.HashEdge{Seed: seed}.Partition(g, parts)
-	if err != nil {
-		return partition.Assignment{}, nil, err
+// sim maps a deployment onto the engine layer's Sim backend with the
+// experiment-wide worker bound.
+func (o Options) sim(d Deployment, seed uint64) engine.Sim {
+	return engine.Sim{
+		Nodes: d.Nodes, Spec: d.Spec, MemBudgetBytes: d.Budget,
+		Seed: seed, Workers: o.Workers,
 	}
-	cl, err := cluster.New(cluster.Config{Nodes: d.Nodes, Spec: d.Spec, MemBudgetBytes: d.Budget}, parts)
-	if err != nil {
-		return partition.Assignment{}, nil, err
-	}
-	return assign, cl, nil
 }
 
-// runSnaple distributes g over d and runs Algorithm 2.
-func runSnaple(g *graph.Digraph, d Deployment, cfg core.Config) (*core.Result, error) {
-	assign, cl, err := deploy(g, d, cfg.Seed)
+// backend maps the experiment options onto an engine backend for the given
+// deployment (which only the sim backend consults). It delegates name
+// resolution to engine.New; only the empty-name default differs — eval
+// defaults to "sim" because the paper's tables report simulated costs.
+func (o Options) backend(d Deployment, seed uint64) (engine.Backend, error) {
+	name := o.Engine
+	if name == "" {
+		name = "sim"
+	}
+	be, err := engine.New(name, o.Workers, seed)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	if _, ok := be.(engine.Sim); ok {
+		return o.sim(d, seed), nil // replace the default deployment with d's
+	}
+	return be, nil
+}
+
+// runSnaple runs Algorithm 2 over g on the backend selected by opts (the
+// simulated cluster d by default). The predictions are identical across
+// backends. The sim backend fills the full cost report (per-superstep
+// breakdown included); the shared-memory backends report only host wall
+// time, leaving the simulated cost fields zero.
+func runSnaple(opts Options, g *graph.Digraph, d Deployment, cfg core.Config) (*core.Result, error) {
+	be, err := opts.backend(d, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return core.PredictGAS(g, assign, cl, cfg)
+	if sim, ok := be.(engine.Sim); ok {
+		return sim.PredictResult(g, cfg)
+	}
+	preds, st, err := be.Predict(g, cfg)
+	if err != nil {
+		return nil, err // match the sim branch's nil-on-error contract
+	}
+	res := &core.Result{Pred: preds}
+	res.Total = gas.StepStats{WallSeconds: st.WallSeconds}
+	return res, err
 }
 
-// runBaseline distributes g over d and runs the naive BASELINE.
-func runBaseline(g *graph.Digraph, d Deployment, k int, seed uint64) (*core.Result, error) {
-	assign, cl, err := deploy(g, d, seed)
+// runBaseline distributes g over d and runs the naive BASELINE (always on
+// the sim substrate: the experiment's point is its cost blow-up).
+func runBaseline(opts Options, g *graph.Digraph, d Deployment, k int, seed uint64) (*core.Result, error) {
+	assign, cl, err := opts.sim(d, seed).Deploy(g)
 	if err != nil {
 		return nil, err
 	}
-	return core.PredictBaselineGAS(g, assign, cl, k)
+	return core.PredictBaselineGASWorkers(g, assign, cl, k, opts.Workers)
 }
 
 // snapleConfig assembles a Config from a Table 3 score name with the

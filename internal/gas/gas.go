@@ -2,6 +2,13 @@
 // the style of GraphLab/PowerGraph (Gonzalez et al., OSDI'12), the platform
 // the paper builds SNAPLE on.
 //
+// Within this repository, gas is the substrate behind the "sim" execution
+// backend (internal/engine): its partitioning, replication and cost
+// accounting exist to reproduce the paper's distributed behaviour and cost
+// model faithfully. When only the predictions matter, prefer the "local"
+// backend, which runs the same algorithm over shared memory without any of
+// this machinery — the two are bit-identical by construction.
+//
 // Edges are placed on partitions by a vertex-cut (internal/partition); a
 // vertex whose edges span several partitions is replicated, with one replica
 // designated master. A superstep (RunStep) then executes the three GAS

@@ -7,14 +7,21 @@
 //
 // The package is a facade over the repository's internals:
 //
-//   - a GAS engine with vertex-cut placement, master/mirror replication and
-//     cluster cost accounting (internal/gas, internal/partition,
-//     internal/cluster),
-//   - the SNAPLE scoring framework and its Algorithm 2 GAS program plus the
-//     naive BASELINE comparison system (internal/core),
+//   - the SNAPLE scoring framework: Algorithm 2 decomposed into reusable
+//     per-vertex step primitives, plus the naive BASELINE comparison system
+//     (internal/core),
+//   - a pluggable execution layer (internal/engine) with three backends
+//     behind one interface: "local", a parallel shared-memory engine that
+//     shards vertex ranges over goroutines; "serial", the single-threaded
+//     reference loop; and "sim", the paper's GAS engine over a simulated
+//     cluster with vertex-cut placement, master/mirror replication and cost
+//     accounting (internal/gas, internal/partition, internal/cluster),
 //   - a Cassovary-style random-walk comparator (internal/walk),
 //   - synthetic dataset analogs and the paper's evaluation protocol
 //     (internal/gen, internal/eval).
+//
+// All three backends produce bit-identical predictions for the same
+// Options; they differ only in speed and in which costs they report.
 //
 // Quick start:
 //
@@ -31,6 +38,7 @@ import (
 
 	"snaple/internal/cluster"
 	"snaple/internal/core"
+	"snaple/internal/engine"
 	"snaple/internal/eval"
 	"snaple/internal/gen"
 	"snaple/internal/graph"
@@ -77,6 +85,14 @@ type Options struct {
 	Paths int
 	// Seed drives truncation and the rnd policy.
 	Seed uint64
+	// Engine selects the execution backend used by Predict: "local" (the
+	// default: parallel shared-memory), "serial" (the single-threaded
+	// reference) or "sim" (the GAS engine on a default single-node simulated
+	// cluster; use PredictDistributed to configure the deployment). All
+	// backends return bit-identical predictions.
+	Engine string
+	// Workers bounds the goroutines of the chosen backend (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (o Options) toCore() (core.Config, error) {
@@ -114,14 +130,23 @@ func (o Options) toCore() (core.Config, error) {
 // ScoreNames lists the Table 3 scoring configurations.
 func ScoreNames() []string { return core.ScoreNames() }
 
-// Predict runs SNAPLE serially in-process (the single-machine reference
-// implementation, bit-identical to the distributed engine).
+// EngineNames lists the execution backends accepted by Options.Engine.
+func EngineNames() []string { return engine.Names() }
+
+// Predict runs SNAPLE in-process on the backend selected by opts.Engine
+// (parallel shared-memory by default). Predictions are bit-identical across
+// backends and worker counts.
 func Predict(g *Graph, opts Options) (Predictions, error) {
 	cfg, err := opts.toCore()
 	if err != nil {
 		return nil, err
 	}
-	return core.ReferenceSnaple(g, cfg)
+	be, err := engine.New(opts.Engine, opts.Workers, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	preds, _, err := be.Predict(g, cfg)
+	return preds, err
 }
 
 // ClusterOptions describes the simulated deployment for distributed runs.
@@ -142,6 +167,9 @@ type ClusterOptions struct {
 	MemBudgetBytes int64
 	// Seed drives partitioning and master election.
 	Seed uint64
+	// Workers bounds the host goroutines processing partitions
+	// (0 = GOMAXPROCS). It never affects results or simulated costs.
+	Workers int
 }
 
 // ErrMemoryExhausted is returned (wrapped) when a simulated node exceeds its
@@ -165,10 +193,9 @@ type Result struct {
 	ReplicationFactor float64
 }
 
-func (c ClusterOptions) build(g *Graph) (partition.Assignment, *cluster.Cluster, error) {
-	if c.Nodes == 0 {
-		c.Nodes = 1
-	}
+// toSim maps the string-typed deployment description onto the engine
+// layer's Sim backend.
+func (c ClusterOptions) toSim() (engine.Sim, error) {
 	var spec cluster.NodeSpec
 	switch c.NodeType {
 	case "", "type-II":
@@ -176,11 +203,7 @@ func (c ClusterOptions) build(g *Graph) (partition.Assignment, *cluster.Cluster,
 	case "type-I":
 		spec = cluster.TypeI()
 	default:
-		return partition.Assignment{}, nil, fmt.Errorf("snaple: unknown node type %q (type-I|type-II)", c.NodeType)
-	}
-	parts := c.Partitions
-	if parts == 0 {
-		parts = c.Nodes * spec.Cores
+		return engine.Sim{}, fmt.Errorf("snaple: unknown node type %q (type-I|type-II)", c.NodeType)
 	}
 	var strat partition.Strategy
 	switch c.Strategy {
@@ -191,60 +214,68 @@ func (c ClusterOptions) build(g *Graph) (partition.Assignment, *cluster.Cluster,
 	case "greedy":
 		strat = partition.Greedy{}
 	default:
-		return partition.Assignment{}, nil, fmt.Errorf("snaple: unknown strategy %q (hash-edge|hash-source|greedy)", c.Strategy)
+		return engine.Sim{}, fmt.Errorf("snaple: unknown strategy %q (hash-edge|hash-source|greedy)", c.Strategy)
 	}
-	assign, err := strat.Partition(g, parts)
-	if err != nil {
-		return partition.Assignment{}, nil, err
-	}
-	cl, err := cluster.New(cluster.Config{Nodes: c.Nodes, Spec: spec, MemBudgetBytes: c.MemBudgetBytes}, parts)
-	if err != nil {
-		return partition.Assignment{}, nil, err
-	}
-	return assign, cl, nil
+	return engine.Sim{
+		Nodes:          c.Nodes,
+		Spec:           spec,
+		Partitions:     c.Partitions,
+		Strategy:       strat,
+		MemBudgetBytes: c.MemBudgetBytes,
+		Seed:           c.Seed,
+		Workers:        c.Workers,
+	}, nil
 }
 
-func toResult(r *core.Result) *Result {
-	if r == nil {
-		return nil
-	}
+func toResult(preds Predictions, st engine.Stats) *Result {
 	return &Result{
-		Predictions:       r.Pred,
-		WallSeconds:       r.Total.WallSeconds,
-		SimSeconds:        r.Total.SimSeconds(),
-		CrossBytes:        r.Total.CrossBytes,
-		CrossMsgs:         r.Total.CrossMsgs,
-		MemPeakBytes:      r.Total.MemPeakBytes,
-		ReplicationFactor: r.ReplicationFactor,
+		Predictions:       preds,
+		WallSeconds:       st.WallSeconds,
+		SimSeconds:        st.SimSeconds,
+		CrossBytes:        st.CrossBytes,
+		CrossMsgs:         st.CrossMsgs,
+		MemPeakBytes:      st.MemPeakBytes,
+		ReplicationFactor: st.ReplicationFactor,
 	}
 }
 
 // PredictDistributed runs SNAPLE's Algorithm 2 on the GAS engine over a
-// simulated cluster. Results are bit-identical to Predict for the same
-// Options, independent of the deployment.
+// simulated cluster (the engine layer's "sim" backend). Results are
+// bit-identical to Predict for the same Options, independent of the
+// deployment.
 func PredictDistributed(g *Graph, opts Options, cl ClusterOptions) (*Result, error) {
 	cfg, err := opts.toCore()
 	if err != nil {
 		return nil, err
 	}
-	assign, clu, err := cl.build(g)
+	sim, err := cl.toSim()
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.PredictGAS(g, assign, clu, cfg)
-	return toResult(res), err
+	res, err := sim.PredictResult(g, cfg)
+	if res == nil {
+		return nil, err // failed before any superstep ran: nothing to report
+	}
+	return toResult(res.Pred, engine.StatsFromResult(res, cl.Workers)), err
 }
 
 // PredictBaseline runs the paper's BASELINE (a direct 2-hop Jaccard
 // implementation of Algorithm 1 on the GAS engine). On large graphs with
 // bounded budgets it fails with ErrMemoryExhausted — by design.
 func PredictBaseline(g *Graph, k int, cl ClusterOptions) (*Result, error) {
-	assign, clu, err := cl.build(g)
+	sim, err := cl.toSim()
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.PredictBaselineGAS(g, assign, clu, k)
-	return toResult(res), err
+	assign, clu, err := sim.Deploy(g)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.PredictBaselineGASWorkers(g, assign, clu, k, cl.Workers)
+	if res == nil {
+		return nil, err
+	}
+	return toResult(res.Pred, engine.StatsFromResult(res, cl.Workers)), err
 }
 
 // PredictWalks runs the Cassovary-style single-machine comparator: w random
