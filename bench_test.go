@@ -218,6 +218,7 @@ func BenchmarkSnapleSerial(b *testing.B) {
 	}
 	opts := Options{Score: "linearSum", KLocal: 20, ThrGamma: 200, Seed: 42, Engine: "serial"}
 	b.ReportMetric(float64(g.NumEdges()), "edges")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Predict(g, opts); err != nil {
@@ -241,6 +242,7 @@ func BenchmarkPredictLocal(b *testing.B) {
 				Score: "linearSum", KLocal: 20, ThrGamma: 200, Seed: 42,
 				Engine: "local", Workers: workers,
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := Predict(g, opts); err != nil {
@@ -258,6 +260,7 @@ func BenchmarkSnapleDistributed(b *testing.B) {
 	}
 	opts := Options{Score: "linearSum", KLocal: 20, ThrGamma: 200, Seed: 42}
 	cl := ClusterOptions{Nodes: 4, NodeType: "type-II", Seed: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var last *Result
 	for i := 0; i < b.N; i++ {
@@ -279,6 +282,7 @@ func BenchmarkBaselineDistributed(b *testing.B) {
 		b.Fatal(err)
 	}
 	cl := ClusterOptions{Nodes: 4, NodeType: "type-II", Seed: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var last *Result
 	for i := 0; i < b.N; i++ {
@@ -299,6 +303,7 @@ func BenchmarkWalkEngine(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := PredictWalks(g, 10, 3, 5, 42); err != nil {

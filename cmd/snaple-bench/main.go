@@ -7,29 +7,43 @@
 //	snaple-bench -exp all -scale 0.5 -v
 //
 // Experiments: table5, fig5, fig6, fig7, fig8, fig9, fig10, fig11, table6,
-// exhaustion, all.
+// exhaustion, perf, all.
+//
+// The perf experiment additionally writes a machine-readable report
+// (default BENCH_local.json, see -perf-out) with the local backend's wall
+// seconds, edges/sec and allocation counts, so the hot path's trajectory
+// can be compared across commits. Because of that file side effect it only
+// runs when requested explicitly — "all" skips it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"snaple"
 	"snaple/internal/eval"
 )
 
+// perfOutPath is where the perf experiment writes its JSON report
+// (overridden by -perf-out).
+var perfOutPath = "BENCH_local.json"
+
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table5|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table6|exhaustion|ablations|all)")
+		exp     = flag.String("exp", "all", "experiment id (table5|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table6|exhaustion|ablations|perf|all)")
 		scale   = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		seed    = flag.Uint64("seed", 42, "run seed")
 		engine  = flag.String("engine", "sim", "SNAPLE execution backend: sim|local|serial (non-sim backends zero the simulated cost columns)")
 		workers = flag.Int("workers", 0, "worker goroutines per backend run (0 = GOMAXPROCS)")
+		perfOut = flag.String("perf-out", perfOutPath, "output path for the perf experiment's machine-readable report")
 		verbose = flag.Bool("v", false, "log per-run progress to stderr")
 	)
 	flag.Parse()
+	perfOutPath = *perfOut
 
 	opts := eval.Options{Scale: *scale, Seed: *seed, Engine: *engine, Workers: *workers}
 	if *verbose {
@@ -44,11 +58,14 @@ func main() {
 type experiment struct {
 	id  string
 	run func(eval.Options, io.Writer) error
+	// explicitOnly experiments have side effects (e.g. writing files) and
+	// run only when requested by id — never as part of "all".
+	explicitOnly bool
 }
 
 func experiments() []experiment {
 	return []experiment{
-		{"table5", func(o eval.Options, w io.Writer) error {
+		{id: "table5", run: func(o eval.Options, w io.Writer) error {
 			t, err := eval.RunTable5(o)
 			if err != nil {
 				return err
@@ -56,7 +73,7 @@ func experiments() []experiment {
 			t.Fprint(w)
 			return nil
 		}},
-		{"fig5", func(o eval.Options, w io.Writer) error {
+		{id: "fig5", run: func(o eval.Options, w io.Writer) error {
 			f, err := eval.RunFigure5(o)
 			if err != nil {
 				return err
@@ -64,7 +81,7 @@ func experiments() []experiment {
 			f.Fprint(w)
 			return nil
 		}},
-		{"fig6", func(o eval.Options, w io.Writer) error {
+		{id: "fig6", run: func(o eval.Options, w io.Writer) error {
 			f, err := eval.RunFigure6(o)
 			if err != nil {
 				return err
@@ -72,7 +89,7 @@ func experiments() []experiment {
 			f.Fprint(w)
 			return nil
 		}},
-		{"fig7", func(o eval.Options, w io.Writer) error {
+		{id: "fig7", run: func(o eval.Options, w io.Writer) error {
 			f, err := eval.RunFigure7(o)
 			if err != nil {
 				return err
@@ -80,7 +97,7 @@ func experiments() []experiment {
 			f.Fprint(w)
 			return nil
 		}},
-		{"fig8", func(o eval.Options, w io.Writer) error {
+		{id: "fig8", run: func(o eval.Options, w io.Writer) error {
 			f, err := eval.RunFigure8(o)
 			if err != nil {
 				return err
@@ -88,7 +105,7 @@ func experiments() []experiment {
 			f.Fprint(w)
 			return nil
 		}},
-		{"fig9", func(o eval.Options, w io.Writer) error {
+		{id: "fig9", run: func(o eval.Options, w io.Writer) error {
 			f, err := eval.RunFigure9(o)
 			if err != nil {
 				return err
@@ -96,7 +113,7 @@ func experiments() []experiment {
 			f.Fprint(w)
 			return nil
 		}},
-		{"fig10", func(o eval.Options, w io.Writer) error {
+		{id: "fig10", run: func(o eval.Options, w io.Writer) error {
 			f, err := eval.RunFigure10(o)
 			if err != nil {
 				return err
@@ -104,7 +121,7 @@ func experiments() []experiment {
 			f.Fprint(w)
 			return nil
 		}},
-		{"fig11+table6", func(o eval.Options, w io.Writer) error {
+		{id: "fig11+table6", run: func(o eval.Options, w io.Writer) error {
 			f, err := eval.RunFigure11(o)
 			if err != nil {
 				return err
@@ -118,7 +135,7 @@ func experiments() []experiment {
 			t.Fprint(w)
 			return nil
 		}},
-		{"exhaustion", func(o eval.Options, w io.Writer) error {
+		{id: "exhaustion", run: func(o eval.Options, w io.Writer) error {
 			e, err := eval.RunExhaustion(o)
 			if err != nil {
 				return err
@@ -126,7 +143,7 @@ func experiments() []experiment {
 			e.Fprint(w)
 			return nil
 		}},
-		{"supervised", func(o eval.Options, w io.Writer) error {
+		{id: "supervised", run: func(o eval.Options, w io.Writer) error {
 			s, err := eval.RunSupervised(o)
 			if err != nil {
 				return err
@@ -134,7 +151,8 @@ func experiments() []experiment {
 			s.Fprint(w)
 			return nil
 		}},
-		{"ablations", func(o eval.Options, w io.Writer) error {
+		{id: "perf", run: runPerf, explicitOnly: true},
+		{id: "ablations", run: func(o eval.Options, w io.Writer) error {
 			a, err := eval.RunAlphaSweep(o)
 			if err != nil {
 				return err
@@ -157,10 +175,63 @@ func experiments() []experiment {
 	}
 }
 
+// perfReport is the machine-readable perf record tracked across PRs.
+type perfReport struct {
+	Engine       string  `json:"engine"`
+	Workers      int     `json:"workers"`
+	Dataset      string  `json:"dataset"`
+	Scale        float64 `json:"scale"`
+	Seed         uint64  `json:"seed"`
+	Vertices     int     `json:"vertices"`
+	Edges        int     `json:"edges"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EdgesPerSec  float64 `json:"edges_per_sec"`
+	AllocBytes   int64   `json:"alloc_bytes"`
+	AllocObjects int64   `json:"alloc_objects"`
+}
+
+// runPerf benchmarks the local backend on the livejournal analog at the run
+// scale and writes the machine-readable report to perfOutPath.
+func runPerf(o eval.Options, w io.Writer) error {
+	const dataset = "livejournal"
+	g, err := snaple.Dataset(dataset, o.Scale, o.Seed)
+	if err != nil {
+		return err
+	}
+	opts := snaple.Options{
+		Score: "linearSum", KLocal: 20, ThrGamma: 200, Seed: o.Seed,
+		Engine: "local", Workers: o.Workers,
+	}
+	_, st, err := snaple.PredictStats(g, opts)
+	if err != nil {
+		return err
+	}
+	rep := perfReport{
+		Engine: st.Engine, Workers: st.Workers, Dataset: dataset,
+		Scale: o.Scale, Seed: o.Seed,
+		Vertices: g.NumVertices(), Edges: g.NumEdges(),
+		WallSeconds: st.WallSeconds, EdgesPerSec: st.EdgesPerSec,
+		AllocBytes: st.AllocBytes, AllocObjects: st.AllocObjects,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(perfOutPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "local backend on %s (scale %.2f): %.2fs, %.0f edges/s, %.1f MiB / %d objects allocated\n",
+		dataset, o.Scale, st.WallSeconds, st.EdgesPerSec,
+		float64(st.AllocBytes)/(1<<20), st.AllocObjects)
+	fmt.Fprintf(w, "wrote %s\n", perfOutPath)
+	return nil
+}
+
 func run(id string, opts eval.Options, w io.Writer) error {
 	matched := false
 	for _, e := range experiments() {
-		if !matches(id, e.id) {
+		if !matches(id, e) {
 			continue
 		}
 		matched = true
@@ -177,13 +248,13 @@ func run(id string, opts eval.Options, w io.Writer) error {
 	return nil
 }
 
-func matches(requested, id string) bool {
-	if requested == "all" {
-		return true
+func matches(requested string, e experiment) bool {
+	if e.explicitOnly && requested != e.id {
+		return false // side effects (file writes): never part of "all"
 	}
-	if requested == id {
+	if requested == "all" || requested == e.id {
 		return true
 	}
 	// fig11 and table6 share a runner.
-	return id == "fig11+table6" && (requested == "fig11" || requested == "table6")
+	return e.id == "fig11+table6" && (requested == "fig11" || requested == "table6")
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -13,6 +16,8 @@ func TestMatches(t *testing.T) {
 		want          bool
 	}{
 		{"all", "table5", true},
+		{"all", "perf", false}, // side-effect experiment: explicit only
+		{"perf", "perf", true},
 		{"table5", "table5", true},
 		{"fig11", "fig11+table6", true},
 		{"table6", "fig11+table6", true},
@@ -20,7 +25,8 @@ func TestMatches(t *testing.T) {
 		{"nope", "table5", false},
 	}
 	for _, tt := range tests {
-		if got := matches(tt.requested, tt.id); got != tt.want {
+		e := experiment{id: tt.id, explicitOnly: tt.id == "perf"}
+		if got := matches(tt.requested, e); got != tt.want {
 			t.Errorf("matches(%q,%q) = %v, want %v", tt.requested, tt.id, got, tt.want)
 		}
 	}
@@ -49,7 +55,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestExperimentIDsCoverPaper(t *testing.T) {
 	// Every table/figure of the evaluation must have a runner.
-	want := []string{"table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11+table6", "exhaustion", "supervised", "ablations"}
+	want := []string{"table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11+table6", "exhaustion", "supervised", "perf", "ablations"}
 	got := experiments()
 	if len(got) != len(want) {
 		t.Fatalf("have %d experiments, want %d", len(got), len(want))
@@ -58,5 +64,32 @@ func TestExperimentIDsCoverPaper(t *testing.T) {
 		if e.id != want[i] {
 			t.Errorf("experiment %d = %q, want %q", i, e.id, want[i])
 		}
+	}
+}
+
+func TestRunPerfWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	old := perfOutPath
+	perfOutPath = filepath.Join(t.TempDir(), "BENCH_local.json")
+	defer func() { perfOutPath = old }()
+	var sb strings.Builder
+	if err := run("perf", eval.Options{Scale: 0.05, Seed: 1}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(perfOutPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep perfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON report: %v\n%s", err, data)
+	}
+	if rep.Engine != "local" || rep.Edges <= 0 || rep.EdgesPerSec <= 0 || rep.WallSeconds <= 0 {
+		t.Errorf("implausible report: %+v", rep)
+	}
+	if !strings.Contains(sb.String(), "edges/s") {
+		t.Errorf("missing summary line:\n%s", sb.String())
 	}
 }

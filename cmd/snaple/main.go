@@ -164,8 +164,13 @@ func run(a runArgs) error {
 				printStats(res)
 			}
 		} else {
-			fmt.Printf("engine: %s\n", eng)
-			preds, err = snaple.Predict(g, opts)
+			var st snaple.EngineStats
+			preds, st, err = snaple.PredictStats(g, opts)
+			if err == nil {
+				fmt.Printf("engine: %s workers=%d %.2fs %.0f edges/s alloc=%.1fMiB (%d objects)\n",
+					st.Engine, st.Workers, st.WallSeconds, st.EdgesPerSec,
+					float64(st.AllocBytes)/(1<<20), st.AllocObjects)
+			}
 		}
 	case "baseline":
 		var res *snaple.Result

@@ -1,0 +1,59 @@
+package core
+
+import "snaple/internal/graph"
+
+// Arena is flat CSR-style storage for per-vertex variable-length rows: one
+// offsets table plus one shared backing array, mirroring the graph's own
+// adjacency layout (SNAP's lesson that compact flat representations, not
+// pointer-rich ones, are what scale single-machine analytics). Each step of
+// Algorithm 2 materialises its per-vertex output — truncated neighbourhoods,
+// relay lists, 2-hop path lists — in one Arena instead of a slice of
+// per-vertex slices, so a full pass over the graph costs two allocations
+// (offsets + data) rather than one small GC-tracked object per vertex.
+//
+// Build protocol (two passes, mirroring counting sort):
+//
+//	a := NewArena[T](n)
+//	for u := range n { a.SetCount(u, countFor(u)) }   // pass 1: row sizes
+//	a.FinishCounts()                                  // prefix sum + backing array
+//	for u := range n { fillInto(a.Row(u)) }           // pass 2: write rows
+//
+// SetCount calls for distinct vertices touch disjoint offsets and Row
+// returns disjoint sub-slices, so both passes parallelise over vertex ranges
+// with no synchronisation beyond a barrier around FinishCounts.
+type Arena[T any] struct {
+	off  []int64 // len n+1; data[off[u]:off[u+1]] is row u after FinishCounts
+	data []T
+}
+
+// NewArena returns an arena with n empty rows, ready for the count pass.
+func NewArena[T any](n int) *Arena[T] {
+	return &Arena[T]{off: make([]int64, n+1)}
+}
+
+// NumRows returns the number of rows.
+func (a *Arena[T]) NumRows() int { return len(a.off) - 1 }
+
+// SetCount records row u's length during the count pass. Concurrent calls
+// for distinct vertices are safe.
+func (a *Arena[T]) SetCount(u graph.VertexID, c int) { a.off[u+1] = int64(c) }
+
+// FinishCounts turns the recorded counts into offsets (an exclusive prefix
+// sum) and allocates the backing array. Call exactly once, between the
+// count and fill pass.
+func (a *Arena[T]) FinishCounts() {
+	var total int64
+	for i := 1; i < len(a.off); i++ {
+		total += a.off[i]
+		a.off[i] = total
+	}
+	a.data = make([]T, total)
+}
+
+// Row returns row u, backed by the shared array. After FinishCounts the fill
+// pass writes it; rows of distinct vertices never overlap. Empty rows are
+// empty (never nil) slices.
+func (a *Arena[T]) Row(u graph.VertexID) []T { return a.data[a.off[u]:a.off[u+1]] }
+
+// Total returns the summed length of all rows (valid after FinishCounts).
+func (a *Arena[T]) Total() int { return len(a.data) }

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"snaple/internal/graph"
+)
+
+func TestArenaBuildProtocol(t *testing.T) {
+	a := NewArena[int](4)
+	counts := []int{2, 0, 3, 1}
+	for u, c := range counts {
+		a.SetCount(graph.VertexID(u), c)
+	}
+	a.FinishCounts()
+	if a.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", a.Total())
+	}
+	val := 0
+	for u := 0; u < a.NumRows(); u++ {
+		row := a.Row(graph.VertexID(u))
+		if len(row) != counts[u] {
+			t.Fatalf("row %d length %d, want %d", u, len(row), counts[u])
+		}
+		for i := range row {
+			row[i] = val
+			val++
+		}
+	}
+	if got := a.Row(2); !reflect.DeepEqual(got, []int{2, 3, 4}) {
+		t.Errorf("Row(2) = %v", got)
+	}
+	if got := a.Row(1); len(got) != 0 || got == nil {
+		t.Errorf("empty row should be non-nil zero-length, got %#v", got)
+	}
+}

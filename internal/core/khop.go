@@ -136,25 +136,27 @@ func ReferenceSnaple3Hop(g *graph.Digraph, cfg Config) (Predictions, error) {
 	s := r.NewScratch()
 
 	// Steps 1-2 shared with the 2-hop reference.
-	trunc := make([][]graph.VertexID, n)
-	for u := 0; u < n; u++ {
-		trunc[u] = r.Truncate(graph.VertexID(u), s)
-	}
-	sims := make([][]VertexSim, n)
-	for u := 0; u < n; u++ {
-		sims[u] = r.Relays(graph.VertexID(u), trunc, s)
-	}
+	trunc, sims := runSteps12(r, n, s)
 
-	// Step 3a: per-vertex 2-hop path lists.
-	twoHop := make([][]PathCand, n)
+	// Step 3a: per-vertex 2-hop path lists, in a flat arena.
+	twoHop := NewArena[PathCand](n)
 	for v := 0; v < n; v++ {
-		twoHop[v] = r.TwoHopPaths(graph.VertexID(v), sims)
+		twoHop.SetCount(graph.VertexID(v), r.TwoHopCount(graph.VertexID(v), sims))
+	}
+	twoHop.FinishCounts()
+	for v := 0; v < n; v++ {
+		r.TwoHopFill(graph.VertexID(v), sims, twoHop.Row(graph.VertexID(v)))
 	}
 
 	// Step 3b: final aggregation over 2- and 3-hop paths.
 	pred := make(Predictions, n)
+	var buf []Prediction
 	for u := 0; u < n; u++ {
-		pred[u] = r.Combine3(graph.VertexID(u), trunc, sims, twoHop, s)
+		start := len(buf)
+		buf = r.Combine3Append(graph.VertexID(u), trunc, sims, twoHop, s, buf)
+		if len(buf) > start {
+			pred[u] = buf[start:len(buf):len(buf)]
+		}
 	}
 	return pred, nil
 }

@@ -101,14 +101,21 @@ func AggGeom() Aggregator {
 // sorting does not change the defined result, only the floating-point
 // rounding path.)
 func (a Aggregator) FoldPaths(values []float64) float64 {
+	return a.FoldPathsInPlace(append([]float64(nil), values...))
+}
+
+// FoldPathsInPlace is FoldPaths without the defensive copy: it sorts values
+// in place and folds them. Callers that own the buffer (the per-worker
+// Scratch of the step functions) use it to keep aggregation allocation-free;
+// the result is bit-identical to FoldPaths.
+func (a Aggregator) FoldPathsInPlace(values []float64) float64 {
 	if len(values) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), values...)
-	sort.Float64s(sorted)
-	sigma := sorted[0]
-	for _, v := range sorted[1:] {
+	sort.Float64s(values)
+	sigma := values[0]
+	for _, v := range values[1:] {
 		sigma = a.Pre(sigma, v)
 	}
-	return a.Post(sigma, len(sorted))
+	return a.Post(sigma, len(values))
 }

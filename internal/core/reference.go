@@ -25,24 +25,45 @@ func ReferenceSnaple(g *graph.Digraph, cfg Config) (Predictions, error) {
 	n := g.NumVertices()
 	s := r.NewScratch()
 
-	// Step 1: truncated neighbourhoods.
-	trunc := make([][]graph.VertexID, n)
-	for u := 0; u < n; u++ {
-		trunc[u] = r.Truncate(graph.VertexID(u), s)
-	}
+	// Steps 1-2: truncated neighbourhoods and relay selection, materialised
+	// in flat arenas via the count/fill protocol (arena.go).
+	trunc, sims := runSteps12(r, n, s)
 
-	// Step 2: raw similarities and relay selection.
-	sims := make([][]VertexSim, n)
-	for u := 0; u < n; u++ {
-		sims[u] = r.Relays(graph.VertexID(u), trunc, s)
-	}
-
-	// Step 3: path combination and aggregation.
+	// Step 3: path combination and aggregation. Predictions append into one
+	// shared buffer; pred[u] aliases its region.
 	pred := make(Predictions, n)
+	var buf []Prediction
 	for u := 0; u < n; u++ {
-		pred[u] = r.Combine(graph.VertexID(u), trunc, sims, s)
+		start := len(buf)
+		buf = r.CombineAppend(graph.VertexID(u), trunc, sims, s, buf)
+		if len(buf) > start {
+			pred[u] = buf[start:len(buf):len(buf)]
+		}
 	}
 	return pred, nil
+}
+
+// runSteps12 executes steps 1 and 2 serially into fresh arenas — the shared
+// prefix of the 2-hop and 3-hop references.
+func runSteps12(r *StepRunner, n int, s *Scratch) (*Arena[graph.VertexID], *Arena[VertexSim]) {
+	trunc := NewArena[graph.VertexID](n)
+	for u := 0; u < n; u++ {
+		trunc.SetCount(graph.VertexID(u), r.TruncateCount(graph.VertexID(u)))
+	}
+	trunc.FinishCounts()
+	for u := 0; u < n; u++ {
+		r.TruncateFill(graph.VertexID(u), trunc.Row(graph.VertexID(u)))
+	}
+
+	sims := NewArena[VertexSim](n)
+	for u := 0; u < n; u++ {
+		sims.SetCount(graph.VertexID(u), r.RelayCount(graph.VertexID(u)))
+	}
+	sims.FinishCounts()
+	for u := 0; u < n; u++ {
+		r.RelaysFill(graph.VertexID(u), trunc, sims.Row(graph.VertexID(u)), s)
+	}
+	return trunc, sims
 }
 
 // ReferenceBaseline is the serial oracle for BASELINE: for every vertex it

@@ -26,8 +26,30 @@ type Similarity interface {
 	Score(uNbrs, vNbrs []graph.VertexID, uDeg, vDeg int) float64
 }
 
-// intersectionSize counts common elements of two sorted ascending lists.
+// gallopRatio is the length skew beyond which intersectionSize switches from
+// the linear merge to galloping probes. Power-law degree distributions make
+// heavily skewed pairs (a low-degree vertex against a hub) the common case,
+// where galloping turns O(|a|+|b|) into O(|short|·log|long|).
+const gallopRatio = 16
+
+// intersectionSize counts common elements of two sorted ascending lists,
+// choosing between a linear merge and galloping search by length skew. Both
+// paths return identical counts (a property test enforces this).
 func intersectionSize(a, b []graph.VertexID) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	if len(b) >= gallopRatio*len(a) {
+		return intersectGallop(a, b)
+	}
+	return intersectMerge(a, b)
+}
+
+// intersectMerge is the classic two-pointer merge count.
+func intersectMerge(a, b []graph.VertexID) int {
 	i, j, n := 0, 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -40,6 +62,43 @@ func intersectionSize(a, b []graph.VertexID) int {
 			i++
 			j++
 		}
+	}
+	return n
+}
+
+// intersectGallop counts short ∩ long by exponential-then-binary probing into
+// the suffix of long that can still contain matches. The probe cursor only
+// moves forward, so the whole intersection costs O(|short|·log|long|).
+func intersectGallop(short, long []graph.VertexID) int {
+	n, lo := 0, 0
+	for _, x := range short {
+		// Exponential search: find a window (lo+step/2, lo+step] whose upper
+		// bound is >= x (or the end of long).
+		step := 1
+		for lo+step <= len(long) && long[lo+step-1] < x {
+			step *= 2
+		}
+		i, j := lo+step/2, lo+step
+		if j > len(long) {
+			j = len(long)
+		}
+		// Binary search for the first index in [i, j) with long[idx] >= x.
+		for i < j {
+			mid := int(uint(i+j) >> 1)
+			if long[mid] < x {
+				i = mid + 1
+			} else {
+				j = mid
+			}
+		}
+		if i == len(long) {
+			break
+		}
+		if long[i] == x {
+			n++
+			i++
+		}
+		lo = i
 	}
 	return n
 }

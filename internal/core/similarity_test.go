@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"snaple/internal/graph"
+)
+
+// sortedList draws a strictly increasing vertex list of the given length
+// from [0, space).
+func sortedList(rng *rand.Rand, length, space int) []graph.VertexID {
+	if length > space {
+		length = space
+	}
+	seen := make(map[int]bool, length)
+	out := make([]graph.VertexID, 0, length)
+	for len(out) < length {
+		x := rng.Intn(space)
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, graph.VertexID(x))
+		}
+	}
+	sortVertexIDs(out) // helper shared with ops_test.go
+	return out
+}
+
+// TestGallopMatchesMerge: the galloping intersection agrees with the linear
+// merge on random sorted lists of arbitrary relative skew, in both argument
+// orders.
+func TestGallopMatchesMerge(t *testing.T) {
+	f := func(seed int64, aLen, bLen uint8, space uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sp := int(space%2000) + 1
+		a := sortedList(rng, int(aLen), sp)
+		b := sortedList(rng, int(bLen)*8, sp) // bias towards skewed pairs
+		want := intersectMerge(a, b)
+		if len(a) > len(b) {
+			a, b = b, a
+		}
+		return intersectGallop(a, b) == want &&
+			intersectionSize(a, b) == want &&
+			intersectionSize(b, a) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntersectionEdgeCases covers the structured cases the property test
+// might miss: empty, disjoint, subset, identical, and single-element probes
+// beyond the gallop window.
+func TestIntersectionEdgeCases(t *testing.T) {
+	mk := func(xs ...graph.VertexID) []graph.VertexID { return xs }
+	long := make([]graph.VertexID, 1000)
+	for i := range long {
+		long[i] = graph.VertexID(2 * i) // evens 0..1998
+	}
+	cases := []struct {
+		name string
+		a, b []graph.VertexID
+		want int
+	}{
+		{"both-empty", nil, nil, 0},
+		{"one-empty", nil, long, 0},
+		{"disjoint-skewed", mk(1, 3, 5), long, 0},
+		{"subset-skewed", mk(0, 500, 1998), long, 3},
+		{"first-and-last", mk(0, 1999), long, 1},
+		{"identical", mk(2, 4, 6), mk(2, 4, 6), 3},
+		{"single-vs-long-hit", mk(1998), long, 1},
+		{"single-vs-long-miss", mk(1999), long, 0},
+		{"interleaved", mk(0, 1, 2, 3, 4, 5), mk(1, 3, 5, 7), 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := intersectionSize(c.a, c.b); got != c.want {
+				t.Errorf("intersectionSize(a,b) = %d, want %d", got, c.want)
+			}
+			if got := intersectionSize(c.b, c.a); got != c.want {
+				t.Errorf("intersectionSize(b,a) = %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+// BenchmarkIntersection measures the intersection kernel on a balanced pair
+// (linear merge) and a skewed pair (galloping path) — the latter is the
+// power-law common case that motivated the gallop.
+func BenchmarkIntersection(b *testing.B) {
+	mkRange := func(n, stride int) []graph.VertexID {
+		out := make([]graph.VertexID, n)
+		for i := range out {
+			out[i] = graph.VertexID(i * stride)
+		}
+		return out
+	}
+	balancedA := mkRange(4096, 2)
+	balancedB := mkRange(4096, 3)
+	short := mkRange(16, 1023)
+	long := mkRange(1<<16, 1)
+	b.Run("balanced-4096x4096", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			intersectionSize(balancedA, balancedB)
+		}
+	})
+	b.Run("skewed-16x65536", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			intersectionSize(short, long)
+		}
+	})
+	b.Run("skewed-16x65536-merge-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			intersectMerge(short, long)
+		}
+	})
+}

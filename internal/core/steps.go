@@ -1,9 +1,11 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"snaple/internal/graph"
+	"snaple/internal/randx"
 	"snaple/internal/topk"
 )
 
@@ -13,6 +15,14 @@ import (
 //   - the serial reference loop (reference.go),
 //   - the GAS step programs of the simulated cluster (snaple.go, khop.go),
 //   - the parallel shared-memory backend (internal/engine).
+//
+// The primitives follow the Arena build protocol (arena.go): every step runs
+// a cheap count pass (TruncateCount, RelayCount, TwoHopCount) and then a
+// fill pass (TruncateFill, RelaysFill, TwoHopFill) into preallocated rows of
+// one flat backing array, so the steady-state loop performs zero heap
+// allocations per vertex. Final predictions append into caller-owned buffers
+// (CombineAppend, Combine3Append) because their sizes are only known after
+// aggregation.
 //
 // All primitives are deterministic in (graph, Config): truncation and the
 // Γrnd selection draw from hashes keyed by (seed, u, v), and aggregation
@@ -30,7 +40,7 @@ type PathCand struct {
 // sortPathCands orders candidates by Z ascending. Values for the same Z may
 // appear in any relative order: FoldPaths sorts them before folding.
 func sortPathCands(cands []PathCand) {
-	sort.Slice(cands, func(i, j int) bool { return cands[i].Z < cands[j].Z })
+	slices.SortFunc(cands, func(a, b PathCand) int { return cmp.Compare(a.Z, b.Z) })
 }
 
 // StepRunner exposes Algorithm 2's steps as per-vertex functions over the
@@ -60,64 +70,151 @@ func (r *StepRunner) Config() Config { return r.cfg }
 // Scratch holds the per-worker reusable buffers of the step functions. Each
 // concurrent worker needs its own; construct with StepRunner.NewScratch.
 type Scratch struct {
-	nbrs  []graph.VertexID
-	sims  []VertexSim
-	cands []PathCand
-	vals  []float64
-	coll  *topk.Collector
+	sims    []VertexSim
+	cands   []PathCand
+	vals    []float64
+	items   []topk.Item
+	chosen  []graph.VertexID
+	coll    *topk.Collector // top-k predictions (capacity cfg.K)
+	selColl *topk.Collector // k_local relay selection (nil when unlimited)
 }
 
 // NewScratch returns a Scratch sized for the runner's configuration.
 func (r *StepRunner) NewScratch() *Scratch {
-	return &Scratch{coll: topk.New(r.cfg.K)}
+	s := &Scratch{coll: topk.New(r.cfg.K)}
+	if r.cfg.KLocal != Unlimited {
+		s.selColl = topk.New(r.cfg.KLocal)
+	}
+	return s
 }
 
-// Truncate runs step 1 (Algorithm 2, lines 1-6) for u: the hash-keyed
-// truncation Γ̂(u) of its out-neighbourhood. The result is a fresh
-// exact-sized slice (nil when empty), sorted ascending because it is a
-// subsequence of the sorted adjacency.
-func (r *StepRunner) Truncate(u graph.VertexID, s *Scratch) []graph.VertexID {
-	kept := s.nbrs[:0]
+// ---- Step 1: truncated neighbourhoods Γ̂ (Algorithm 2, lines 1-6) ----
+
+// TruncateCount returns |Γ̂(u)|, the number of out-neighbours the hash-keyed
+// truncation keeps for u (the count pass of step 1).
+func (r *StepRunner) TruncateCount(u graph.VertexID) int {
+	deg := int(r.deg[u])
+	if r.cfg.ThrGamma == Unlimited || deg <= r.cfg.ThrGamma {
+		return deg
+	}
+	n := 0
 	for _, v := range r.g.OutNeighbors(u) {
-		if keepTruncated(r.cfg.Seed, u, v, int(r.deg[u]), r.cfg.ThrGamma) {
-			kept = append(kept, v)
+		if keepTruncated(r.cfg.Seed, u, v, deg, r.cfg.ThrGamma) {
+			n++
 		}
 	}
-	s.nbrs = kept
-	if len(kept) == 0 {
-		return nil
-	}
-	return append(make([]graph.VertexID, 0, len(kept)), kept...)
+	return n
 }
 
-// Relays runs step 2 (lines 7-11) for u: raw similarities to every
-// out-neighbour over the truncated neighbourhoods, then the k_local
-// selection policy. trunc must hold the step-1 output for u and all its
-// out-neighbours. The result is a fresh slice sorted by vertex ID.
-func (r *StepRunner) Relays(u graph.VertexID, trunc [][]graph.VertexID, s *Scratch) []VertexSim {
+// TruncateFill writes Γ̂(u) into dst, which must have length TruncateCount(u).
+// The result is sorted ascending because it is a subsequence of the sorted
+// adjacency. The hash draws repeat the count pass's exactly.
+func (r *StepRunner) TruncateFill(u graph.VertexID, dst []graph.VertexID) {
+	nbrs := r.g.OutNeighbors(u)
+	deg := int(r.deg[u])
+	if r.cfg.ThrGamma == Unlimited || deg <= r.cfg.ThrGamma {
+		copy(dst, nbrs)
+		return
+	}
+	k := 0
+	for _, v := range nbrs {
+		if keepTruncated(r.cfg.Seed, u, v, deg, r.cfg.ThrGamma) {
+			dst[k] = v
+			k++
+		}
+	}
+}
+
+// ---- Step 2: similarities and k_local relay selection (lines 7-11) ----
+
+// RelayCount returns the number of relays step 2 keeps for u: every
+// out-neighbour, capped at KLocal when the sampling bound is set. This is
+// O(1) — the selection policy only decides which relays survive, never how
+// many.
+func (r *StepRunner) RelayCount(u graph.VertexID) int {
+	deg := int(r.deg[u])
+	if r.cfg.KLocal != Unlimited && deg > r.cfg.KLocal {
+		return r.cfg.KLocal
+	}
+	return deg
+}
+
+// RelaysFill runs step 2 for u: raw similarities to every out-neighbour over
+// the truncated neighbourhoods of trunc, then the k_local selection policy.
+// dst must have length RelayCount(u); the result is sorted by vertex ID.
+func (r *StepRunner) RelaysFill(u graph.VertexID, trunc *Arena[graph.VertexID], dst []VertexSim, s *Scratch) {
 	nbrs := r.g.OutNeighbors(u)
 	if len(nbrs) == 0 {
-		return nil
+		return
 	}
 	cands := s.sims[:0]
+	uTrunc := trunc.Row(u)
 	for _, v := range nbrs {
-		sim := simScore(r.cfg.Score.Sim, u, v, trunc[u], trunc[v], int(r.deg[u]), int(r.deg[v]))
+		sim := simScore(r.cfg.Score.Sim, u, v, uTrunc, trunc.Row(v), int(r.deg[u]), int(r.deg[v]))
 		cands = append(cands, VertexSim{V: v, Sim: sim})
 	}
 	s.sims = cands
-	return selectRelays(r.cfg, u, cands)
+	// cands is sorted by V (built from the sorted adjacency), so when no
+	// sampling applies the selection is the identity.
+	if r.cfg.KLocal == Unlimited || len(cands) <= r.cfg.KLocal {
+		copy(dst, cands)
+		return
+	}
+	// Rank candidates under the policy with the scratch collector; the
+	// retained set matches selectRelays (snaple.go) exactly — the collector's
+	// total order is strict, so the chosen set is independent of push order.
+	s.selColl.Reset()
+	switch r.cfg.Policy {
+	case SelectMax:
+		for _, c := range cands {
+			s.selColl.Push(uint32(c.V), c.Sim)
+		}
+	case SelectMin:
+		// Negated scores turn bottom-k into top-k (same trick as topk.Bottom).
+		for _, c := range cands {
+			s.selColl.Push(uint32(c.V), -c.Sim)
+		}
+	case SelectRnd:
+		for _, c := range cands {
+			s.selColl.Push(uint32(c.V), randx.Float64(r.cfg.Seed^rndSelSalt, uint64(u), uint64(c.V)))
+		}
+	}
+	s.items = s.selColl.AppendResult(s.items[:0])
+	chosen := s.chosen[:0]
+	for _, it := range s.items {
+		chosen = append(chosen, graph.VertexID(it.ID))
+	}
+	s.chosen = chosen
+	slices.Sort(chosen)
+	// Filter cands (V-ascending) against chosen (ascending) with one merge:
+	// the output stays sorted by vertex ID.
+	k, j := 0, 0
+	for _, c := range cands {
+		for j < len(chosen) && chosen[j] < c.V {
+			j++
+		}
+		if j < len(chosen) && chosen[j] == c.V {
+			dst[k] = c
+			k++
+		}
+	}
 }
 
-// Combine runs step 3 (lines 12-20) for u: it walks the 2-hop paths u→v→z
-// through u's relays, combines the edge similarities with ⊗, aggregates per
-// candidate with ⊕ and returns the top-k predictions (nil when none).
-func (r *StepRunner) Combine(u graph.VertexID, trunc [][]graph.VertexID, sims [][]VertexSim, s *Scratch) []Prediction {
+// ---- Step 3: combine and aggregate path similarities (lines 12-20) ----
+
+// CombineAppend runs step 3 for u: it walks the 2-hop paths u→v→z through
+// u's relays, combines the edge similarities with ⊗, aggregates per
+// candidate with ⊕ and appends the top-k predictions to dst, returning the
+// extended slice (unchanged when u has no candidates). dst is caller-owned
+// retained storage; everything transient lives in s.
+func (r *StepRunner) CombineAppend(u graph.VertexID, trunc *Arena[graph.VertexID], sims *Arena[VertexSim], s *Scratch, dst []Prediction) []Prediction {
 	comb := r.cfg.Score.Comb.Fn
 	cands := s.cands[:0]
-	for _, vs := range sims[u] {
-		for _, zs := range sims[vs.V] {
+	uTrunc := trunc.Row(u)
+	for _, vs := range sims.Row(u) {
+		for _, zs := range sims.Row(vs.V) {
 			z := zs.V
-			if z == u || containsVertex(trunc[u], z) {
+			if z == u || containsVertex(uTrunc, z) {
 				continue // z ∈ Γ̂(u) ∪ {u} (line 15's exclusion)
 			}
 			cands = append(cands, PathCand{Z: z, S: comb(vs.Sim, zs.Sim)})
@@ -125,44 +222,61 @@ func (r *StepRunner) Combine(u graph.VertexID, trunc [][]graph.VertexID, sims []
 	}
 	s.cands = cands
 	if len(cands) == 0 {
-		return nil
+		return dst
 	}
 	sortPathCands(cands)
-	return s.foldSorted(cands, r.cfg.Score.Agg)
+	return s.appendFoldSorted(cands, r.cfg.Score.Agg, dst)
 }
 
-// TwoHopPaths runs step 3a of the 3-hop extension for v: its sampled 2-hop
-// path list {(w, sim(v,z) ⊗ sim(z,w)) : z ∈ sims(v), w ∈ sims(z), w ≠ v}.
-// See khop.go for the fold-direction discussion.
-func (r *StepRunner) TwoHopPaths(v graph.VertexID, sims [][]VertexSim) []PathCand {
+// TwoHopCount returns the length of v's sampled 2-hop path list for step 3a
+// of the 3-hop extension: Σ_{z ∈ sims(v)} |sims(z) \ {v}|. Relay lists are
+// V-sorted, so the self-exclusion is a binary search per relay.
+func (r *StepRunner) TwoHopCount(v graph.VertexID, sims *Arena[VertexSim]) int {
+	n := 0
+	for _, zs := range sims.Row(v) {
+		row := sims.Row(zs.V)
+		n += len(row)
+		if _, ok := lookupSim(row, v); ok {
+			n--
+		}
+	}
+	return n
+}
+
+// TwoHopFill writes v's sampled 2-hop path list {(w, sim(v,z) ⊗ sim(z,w)) :
+// z ∈ sims(v), w ∈ sims(z), w ≠ v} into dst, which must have length
+// TwoHopCount(v). See khop.go for the fold-direction discussion.
+func (r *StepRunner) TwoHopFill(v graph.VertexID, sims *Arena[VertexSim], dst []PathCand) {
 	comb := r.cfg.Score.Comb.Fn
-	var out []PathCand
-	for _, zs := range sims[v] {
-		for _, ws := range sims[zs.V] {
+	k := 0
+	for _, zs := range sims.Row(v) {
+		for _, ws := range sims.Row(zs.V) {
 			if ws.V == v {
 				continue
 			}
-			out = append(out, PathCand{Z: ws.V, S: comb(zs.Sim, ws.Sim)})
+			dst[k] = PathCand{Z: ws.V, S: comb(zs.Sim, ws.Sim)}
+			k++
 		}
 	}
-	return out
 }
 
-// Combine3 runs step 3b of the 3-hop extension for u: it aggregates u's
-// 2-hop paths together with the 3-hop paths obtained by extending each
-// relay's stored 2-hop list by the edge (u,v).
-func (r *StepRunner) Combine3(u graph.VertexID, trunc [][]graph.VertexID, sims [][]VertexSim, twoHop [][]PathCand, s *Scratch) []Prediction {
+// Combine3Append runs step 3b of the 3-hop extension for u: it aggregates
+// u's 2-hop paths together with the 3-hop paths obtained by extending each
+// relay's stored 2-hop list by the edge (u,v), appending the top-k
+// predictions to dst like CombineAppend.
+func (r *StepRunner) Combine3Append(u graph.VertexID, trunc *Arena[graph.VertexID], sims *Arena[VertexSim], twoHop *Arena[PathCand], s *Scratch, dst []Prediction) []Prediction {
 	comb := r.cfg.Score.Comb.Fn
 	cands := s.cands[:0]
-	for _, vs := range sims[u] {
-		for _, zs := range sims[vs.V] {
-			if zs.V == u || containsVertex(trunc[u], zs.V) {
+	uTrunc := trunc.Row(u)
+	for _, vs := range sims.Row(u) {
+		for _, zs := range sims.Row(vs.V) {
+			if zs.V == u || containsVertex(uTrunc, zs.V) {
 				continue
 			}
 			cands = append(cands, PathCand{Z: zs.V, S: comb(vs.Sim, zs.Sim)})
 		}
-		for _, pc := range twoHop[vs.V] {
-			if pc.Z == u || containsVertex(trunc[u], pc.Z) {
+		for _, pc := range twoHop.Row(vs.V) {
+			if pc.Z == u || containsVertex(uTrunc, pc.Z) {
 				continue
 			}
 			cands = append(cands, PathCand{Z: pc.Z, S: comb(vs.Sim, pc.S)})
@@ -170,15 +284,15 @@ func (r *StepRunner) Combine3(u graph.VertexID, trunc [][]graph.VertexID, sims [
 	}
 	s.cands = cands
 	if len(cands) == 0 {
-		return nil
+		return dst
 	}
 	sortPathCands(cands)
-	return s.foldSorted(cands, r.cfg.Score.Agg)
+	return s.appendFoldSorted(cands, r.cfg.Score.Agg, dst)
 }
 
-// foldSorted groups Z-sorted path candidates, folds each group with the
-// aggregator and returns the top-k predictions, best first (nil when empty).
-func (s *Scratch) foldSorted(cands []PathCand, agg Aggregator) []Prediction {
+// appendFoldSorted groups Z-sorted path candidates, folds each group with
+// the aggregator and appends the top-k predictions, best first, to dst.
+func (s *Scratch) appendFoldSorted(cands []PathCand, agg Aggregator, dst []Prediction) []Prediction {
 	s.coll.Reset()
 	vals := s.vals
 	for i := 0; i < len(cands); {
@@ -190,27 +304,23 @@ func (s *Scratch) foldSorted(cands []PathCand, agg Aggregator) []Prediction {
 		for _, pc := range cands[i:j] {
 			vals = append(vals, pc.S)
 		}
-		s.coll.Push(uint32(cands[i].Z), agg.FoldPaths(vals))
+		s.coll.Push(uint32(cands[i].Z), agg.FoldPathsInPlace(vals))
 		i = j
 	}
 	s.vals = vals
-	items := s.coll.Result()
-	if len(items) == 0 {
-		return nil
+	s.items = s.coll.AppendResult(s.items[:0])
+	for _, it := range s.items {
+		dst = append(dst, Prediction{Vertex: graph.VertexID(it.ID), Score: it.Score})
 	}
-	out := make([]Prediction, len(items))
-	for i, it := range items {
-		out[i] = Prediction{Vertex: graph.VertexID(it.ID), Score: it.Score}
-	}
-	return out
+	return dst
 }
 
-// foldSortedPathCands is the allocation-per-call variant of foldSorted used
-// by the GAS Apply phases, which have no per-worker scratch.
+// foldSortedPathCands is the allocation-per-call variant of appendFoldSorted
+// used by the GAS Apply phases, which have no per-worker scratch.
 func foldSortedPathCands(cands []PathCand, agg Aggregator, k int) []Prediction {
 	if len(cands) == 0 {
 		return nil
 	}
 	s := Scratch{coll: topk.New(k)}
-	return s.foldSorted(cands, agg)
+	return s.appendFoldSorted(cands, agg, nil)
 }

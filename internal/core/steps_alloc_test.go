@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"snaple/internal/graph"
+	"snaple/internal/randx"
+)
+
+// allocTestGraph builds a deterministic graph with hubs (so truncation and
+// k_local sampling both trigger) for the allocation-regression tests.
+func allocTestGraph(t testing.TB, n int) *graph.Digraph {
+	t.Helper()
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			p := 0.12
+			if u%20 == 0 {
+				p = 0.5 // hubs: degree well past ThrGamma below
+			}
+			if randx.Float64(99, uint64(u), uint64(v)) < p {
+				edges = append(edges, graph.Edge{Src: graph.VertexID(u), Dst: graph.VertexID(v)})
+			}
+		}
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestStepFunctionsAllocationFree pins the arena contract of the per-vertex
+// step primitives: once the arenas are built and the scratch buffers are
+// warm, a full pass of every fill/append function over the graph performs
+// zero heap allocations (the point of the flat-arena hot path — on a
+// billion-edge run the old slice-of-slices layout allocated per vertex per
+// step).
+func TestStepFunctionsAllocationFree(t *testing.T) {
+	g := allocTestGraph(t, 80)
+	for _, tc := range []struct {
+		policy SelectionPolicy
+		paths  int
+	}{
+		{SelectMax, 2},
+		{SelectMin, 2},
+		{SelectRnd, 2},
+		{SelectMax, 3},
+	} {
+		t.Run(fmt.Sprintf("policy=%v/paths=%d", tc.policy, tc.paths), func(t *testing.T) {
+			spec, err := ScoreByName("linearSum", 0.9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{Score: spec, K: 5, KLocal: 4, ThrGamma: 8,
+				Policy: tc.policy, Paths: tc.paths, Seed: 7}
+			r, err := NewStepRunner(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := g.NumVertices()
+			s := r.NewScratch()
+
+			// Build the arenas once; the measured region refills them.
+			trunc, sims := runSteps12(r, n, s)
+			twoHop := NewArena[PathCand](n)
+			if tc.paths == 3 {
+				for v := 0; v < n; v++ {
+					twoHop.SetCount(graph.VertexID(v), r.TwoHopCount(graph.VertexID(v), sims))
+				}
+				twoHop.FinishCounts()
+			}
+			buf := make([]Prediction, 0, n*cfg.K)
+
+			allocs := testing.AllocsPerRun(5, func() {
+				buf = buf[:0]
+				for u := 0; u < n; u++ {
+					uid := graph.VertexID(u)
+					r.TruncateFill(uid, trunc.Row(uid))
+					r.RelaysFill(uid, trunc, sims.Row(uid), s)
+				}
+				for u := 0; u < n; u++ {
+					uid := graph.VertexID(u)
+					if tc.paths == 3 {
+						r.TwoHopFill(uid, sims, twoHop.Row(uid))
+						buf = r.Combine3Append(uid, trunc, sims, twoHop, s, buf)
+					} else {
+						buf = r.CombineAppend(uid, trunc, sims, s, buf)
+					}
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state pass allocated %.1f times per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestCountPassesMatchFills pins the count/fill contract: the count pass
+// must predict the fill pass's row sizes exactly for every vertex (the
+// arena protocol writes rows with no slack).
+func TestCountPassesMatchFills(t *testing.T) {
+	g := allocTestGraph(t, 60)
+	spec, err := ScoreByName("geomSum", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Score: spec, K: 5, KLocal: 3, ThrGamma: 6, Paths: 3, Seed: 3}
+	r, err := NewStepRunner(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	s := r.NewScratch()
+	trunc, sims := runSteps12(r, n, s)
+	for u := 0; u < n; u++ {
+		uid := graph.VertexID(u)
+		if got, want := r.TruncateCount(uid), len(trunc.Row(uid)); got != want {
+			t.Errorf("TruncateCount(%d) = %d, row length %d", u, got, want)
+		}
+		if got, want := r.RelayCount(uid), len(sims.Row(uid)); got != want {
+			t.Errorf("RelayCount(%d) = %d, row length %d", u, got, want)
+		}
+	}
+	// TwoHopCount is validated against a straightforward recount of the
+	// nested fill loop.
+	for v := 0; v < n; v++ {
+		vid := graph.VertexID(v)
+		want := 0
+		for _, zs := range sims.Row(vid) {
+			for _, ws := range sims.Row(zs.V) {
+				if ws.V != vid {
+					want++
+				}
+			}
+		}
+		if got := r.TwoHopCount(vid, sims); got != want {
+			t.Errorf("TwoHopCount(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

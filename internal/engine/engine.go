@@ -40,6 +40,14 @@ type Stats struct {
 	Workers int
 	// WallSeconds is host wall-clock time of the prediction steps.
 	WallSeconds float64
+	// EdgesPerSec is the ingest-style throughput NumEdges / WallSeconds, the
+	// paper's headline scale metric normalised to this run's graph.
+	EdgesPerSec float64
+	// AllocBytes / AllocObjects are the process heap bytes and objects
+	// allocated during the run (runtime.MemStats deltas; approximate under
+	// concurrent load). Set by the serial and local backends, which are
+	// engineered to keep the per-vertex steady state allocation-free.
+	AllocBytes, AllocObjects int64
 	// SimSeconds is the simulated cluster latency (sim backend only).
 	SimSeconds float64
 	// CrossBytes / CrossMsgs count cross-node traffic (sim backend only).

@@ -14,13 +14,19 @@ import (
 // sharding over vertex ranges: no partitioning, no replication, no cost
 // accounting — just the three scoring steps at memory speed.
 //
-// Each step is embarrassingly parallel across vertices (step 2 reads the
-// step-1 output of a vertex's neighbours, step 3 the step-2 output), so the
-// backend runs one work-stealing pass per step with a barrier in between.
-// Workers claim fixed-size vertex ranges off a shared atomic counter —
-// cheap enough to balance skewed degree distributions without per-vertex
-// contention — and keep per-worker scratch buffers (core.Scratch) so the
-// hot loops allocate only the retained results.
+// Each step materialises its per-vertex output in a flat core.Arena — one
+// offsets table plus one shared backing array, the same layout as the CSR
+// itself — built with a count pass, a serial prefix sum, and a fill pass
+// (arena.go documents the protocol). Together with per-worker scratch
+// buffers (core.Scratch) this makes the steady-state loop allocation-free
+// per vertex: a full prediction run costs two allocations per step instead
+// of one per vertex, which on billion-edge graphs is the difference between
+// a GC tracking dozens of objects and hundreds of millions.
+//
+// Workers claim vertex chunks off a shared atomic counter. Chunk boundaries
+// are degree-aware: each chunk covers at most chunkVerts vertices and
+// roughly chunkEdges out-edges, so one hub vertex cannot serialize a worker
+// behind a fixed-width range on power-law graphs.
 //
 // Results are bit-identical to core.ReferenceSnaple for every worker count:
 // all draws are hash-keyed and all folds order-independent (see steps.go in
@@ -34,12 +40,22 @@ type Local struct {
 // Name implements Backend.
 func (Local) Name() string { return "local" }
 
-// chunk is the number of vertices a worker claims at a time. Small enough
-// to balance power-law degree skew, large enough to amortise the atomic.
-const chunk = 256
+const (
+	// chunkVerts caps the vertices per claimed chunk — small enough to
+	// balance sparse regions, large enough to amortise the atomic.
+	chunkVerts = 256
+	// chunkEdges caps (approximately) the adjacency mass per chunk, so a
+	// chunk holding a hub is cut short and its neighbours spread over other
+	// workers.
+	chunkEdges = 4096
+)
 
 // Predict implements Backend.
 func (l Local) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error) {
+	// Both MemStats reads sit outside the timed window so their
+	// stop-the-world pauses never inflate WallSeconds/EdgesPerSec.
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	workers := l.Workers
 	if workers <= 0 {
@@ -52,71 +68,129 @@ func (l Local) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Sta
 		return nil, st, err
 	}
 	n := g.NumVertices()
+	bounds := degreeChunks(g)
 
-	// Step 1: truncated neighbourhoods Γ̂.
-	trunc := make([][]graph.VertexID, n)
-	forEachVertex(r, workers, n, func(s *core.Scratch, u graph.VertexID) {
-		trunc[u] = r.Truncate(u, s)
+	// Step 1: truncated neighbourhoods Γ̂ (count pass, prefix sum, fill pass).
+	trunc := core.NewArena[graph.VertexID](n)
+	forEachVertex(r, workers, bounds, func(w *worker, u graph.VertexID) {
+		trunc.SetCount(u, r.TruncateCount(u))
+	})
+	trunc.FinishCounts()
+	forEachVertex(r, workers, bounds, func(w *worker, u graph.VertexID) {
+		r.TruncateFill(u, trunc.Row(u))
 	})
 
 	// Step 2: raw similarities and k_local relay selection.
-	sims := make([][]core.VertexSim, n)
-	forEachVertex(r, workers, n, func(s *core.Scratch, u graph.VertexID) {
-		sims[u] = r.Relays(u, trunc, s)
+	sims := core.NewArena[core.VertexSim](n)
+	forEachVertex(r, workers, bounds, func(w *worker, u graph.VertexID) {
+		sims.SetCount(u, r.RelayCount(u))
+	})
+	sims.FinishCounts()
+	forEachVertex(r, workers, bounds, func(w *worker, u graph.VertexID) {
+		r.RelaysFill(u, trunc, sims.Row(u), w.s)
 	})
 
-	// Step 3: path combination and top-k aggregation.
+	// Step 3: path combination and top-k aggregation. Final predictions are
+	// the run's retained output: each worker appends them to its own buffer
+	// and pred[u] aliases the region, so the per-vertex cost is amortised
+	// append growth instead of one allocation per vertex.
 	pred := make(core.Predictions, n)
 	if r.Config().Paths == 3 {
-		twoHop := make([][]core.PathCand, n)
-		forEachVertex(r, workers, n, func(s *core.Scratch, v graph.VertexID) {
-			twoHop[v] = r.TwoHopPaths(v, sims)
+		twoHop := core.NewArena[core.PathCand](n)
+		forEachVertex(r, workers, bounds, func(w *worker, v graph.VertexID) {
+			twoHop.SetCount(v, r.TwoHopCount(v, sims))
 		})
-		forEachVertex(r, workers, n, func(s *core.Scratch, u graph.VertexID) {
-			pred[u] = r.Combine3(u, trunc, sims, twoHop, s)
+		twoHop.FinishCounts()
+		forEachVertex(r, workers, bounds, func(w *worker, v graph.VertexID) {
+			r.TwoHopFill(v, sims, twoHop.Row(v))
+		})
+		forEachVertex(r, workers, bounds, func(w *worker, u graph.VertexID) {
+			begin := len(w.preds)
+			w.preds = r.Combine3Append(u, trunc, sims, twoHop, w.s, w.preds)
+			if len(w.preds) > begin {
+				pred[u] = w.preds[begin:len(w.preds):len(w.preds)]
+			}
 		})
 	} else {
-		forEachVertex(r, workers, n, func(s *core.Scratch, u graph.VertexID) {
-			pred[u] = r.Combine(u, trunc, sims, s)
+		forEachVertex(r, workers, bounds, func(w *worker, u graph.VertexID) {
+			begin := len(w.preds)
+			w.preds = r.CombineAppend(u, trunc, sims, w.s, w.preds)
+			if len(w.preds) > begin {
+				pred[u] = w.preds[begin:len(w.preds):len(w.preds)]
+			}
 		})
 	}
 
 	st.WallSeconds = time.Since(start).Seconds()
+	if st.WallSeconds > 0 {
+		st.EdgesPerSec = float64(g.NumEdges()) / st.WallSeconds
+	}
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	st.AllocBytes = int64(m1.TotalAlloc - m0.TotalAlloc)
+	st.AllocObjects = int64(m1.Mallocs - m0.Mallocs)
 	return pred, st, nil
 }
 
-// forEachVertex executes fn for every vertex in [0, n), sharding chunked
-// vertex ranges over up to workers goroutines with work stealing. Each
-// goroutine gets its own Scratch; fn must write only to its vertex's slot.
-func forEachVertex(r *core.StepRunner, workers, n int, fn func(*core.Scratch, graph.VertexID)) {
-	if workers <= 1 || n <= chunk {
-		s := r.NewScratch()
+// worker is the per-goroutine state of a pass: the reusable step scratch
+// plus the retained prediction buffer of step 3.
+type worker struct {
+	s     *core.Scratch
+	preds []core.Prediction
+}
+
+// degreeChunks splits [0, n) into contiguous chunks of at most chunkVerts
+// vertices and roughly chunkEdges out-edges each. The boundaries are
+// computed once per run and shared by every pass.
+func degreeChunks(g *graph.Digraph) []int {
+	n := g.NumVertices()
+	bounds := make([]int, 1, n/chunkVerts+2)
+	verts, edges := 0, 0
+	for u := 0; u < n; u++ {
+		verts++
+		edges += g.OutDegree(graph.VertexID(u))
+		if verts >= chunkVerts || edges >= chunkEdges {
+			bounds = append(bounds, u+1)
+			verts, edges = 0, 0
+		}
+	}
+	if bounds[len(bounds)-1] != n {
+		bounds = append(bounds, n)
+	}
+	return bounds
+}
+
+// forEachVertex executes fn for every vertex in bounds' range, sharding
+// degree-aware chunks over up to workers goroutines with work stealing.
+// Each goroutine gets its own worker state; fn must write only to its
+// vertex's slot (or arena row).
+func forEachVertex(r *core.StepRunner, workers int, bounds []int, fn func(*worker, graph.VertexID)) {
+	n := bounds[len(bounds)-1]
+	chunks := len(bounds) - 1
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		w := &worker{s: r.NewScratch()}
 		for u := 0; u < n; u++ {
-			fn(s, graph.VertexID(u))
+			fn(w, graph.VertexID(u))
 		}
 		return
 	}
-	if chunks := (n + chunk - 1) / chunk; workers > chunks {
-		workers = chunks
-	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s := r.NewScratch()
+			w := &worker{s: r.NewScratch()}
 			for {
-				hi := next.Add(chunk)
-				lo := hi - chunk
-				if lo >= int64(n) {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
 					return
 				}
-				if hi > int64(n) {
-					hi = int64(n)
-				}
-				for u := lo; u < hi; u++ {
-					fn(s, graph.VertexID(u))
+				for u := bounds[c]; u < bounds[c+1]; u++ {
+					fn(w, graph.VertexID(u))
 				}
 			}
 		}()

@@ -63,11 +63,11 @@ func TestLocalMoreWorkersThanVertices(t *testing.T) {
 	}
 }
 
-// TestLocalLargerThanChunk forces the parallel path (n > chunk) so the
-// range-claiming loop's boundary arithmetic is exercised, including the
+// TestLocalLargerThanChunk forces the parallel path (n > chunkVerts) so the
+// chunk-claiming loop's boundary arithmetic is exercised, including the
 // final partial chunk.
 func TestLocalLargerThanChunk(t *testing.T) {
-	n := chunk*2 + 37
+	n := chunkVerts*2 + 37
 	g := testGraph(t, n, 13)
 	cfg := localCfg(t)
 	want, err := core.ReferenceSnaple(g, cfg)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"runtime"
 	"time"
 
 	"snaple/internal/core"
@@ -17,8 +18,18 @@ func (Serial) Name() string { return "serial" }
 
 // Predict implements Backend.
 func (Serial) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error) {
+	// MemStats reads stay outside the timed window (see Local.Predict).
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	pred, err := core.ReferenceSnaple(g, cfg)
 	st := Stats{Engine: "serial", Workers: 1, WallSeconds: time.Since(start).Seconds()}
+	if st.WallSeconds > 0 {
+		st.EdgesPerSec = float64(g.NumEdges()) / st.WallSeconds
+	}
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	st.AllocBytes = int64(m1.TotalAlloc - m0.TotalAlloc)
+	st.AllocObjects = int64(m1.Mallocs - m0.Mallocs)
 	return pred, st, err
 }

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// graphsEqual compares the full CSR state of two graphs, including the
+// optional reverse adjacency.
+func graphsEqual(a, b *Digraph) bool {
+	return a.numVertices == b.numVertices &&
+		reflect.DeepEqual(a.outOff, b.outOff) &&
+		reflect.DeepEqual(a.outAdj, b.outAdj) &&
+		reflect.DeepEqual(a.inOff, b.inOff) &&
+		reflect.DeepEqual(a.inAdj, b.inAdj)
+}
+
+// TestBuildMatchesSortSlice: the parallel counting-sort builder and the
+// legacy global-sort builder produce identical CSR state across option
+// combinations, arbitrary duplicate/self-loop-laden inputs and worker
+// counts (forcing the parallel path on small inputs).
+func TestBuildMatchesSortSlice(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8, symmetrize, keepLoops, inEdges bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%50) + 1
+		m := int(mRaw) * 4
+		mk := func() *Builder {
+			rng := rand.New(rand.NewSource(seed)) // same edge stream per builder
+			b := NewBuilder(n).Symmetrize(symmetrize).KeepSelfLoops(keepLoops).WithInEdges(inEdges)
+			for i := 0; i < m; i++ {
+				b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+			}
+			return b
+		}
+		_ = rng
+		want, err := mk().buildSortSlice()
+		if err != nil {
+			return false
+		}
+		for _, workers := range []int{1, 4} {
+			got, err := mk().build(workers)
+			if err != nil || !graphsEqual(want, got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuildParallelRejectsOutOfRange: both builder paths report the same
+// (first) offending edge.
+func TestBuildParallelRejectsOutOfRange(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		b := NewBuilder(3)
+		b.AddEdge(0, 1)
+		b.AddEdge(1, 7) // first bad edge
+		b.AddEdge(5, 0)
+		_, err := b.build(workers)
+		if err == nil {
+			t.Fatalf("workers=%d: out-of-range edge accepted", workers)
+		}
+		want, _ := b.buildSortSlice()
+		if want != nil {
+			t.Fatal("legacy builder accepted out-of-range edge")
+		}
+		if got := err.Error(); got != "graph: edge (1,7) with 3 vertices: vertex id out of range" {
+			t.Errorf("workers=%d: error = %q", workers, got)
+		}
+	}
+}
+
+// TestWithoutEdgesDuplicatesAndInEdges: duplicate removal entries are
+// harmless and the reverse adjacency is rebuilt consistently.
+func TestWithoutEdgesDuplicatesAndInEdges(t *testing.T) {
+	b := NewBuilder(4).WithInEdges(true)
+	for _, e := range []Edge{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}} {
+		b.AddEdge(e.Src, e.Dst)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng := g.WithoutEdges([]Edge{{0, 2}, {0, 2}, {2, 3}, {2, 3}, {9, 1}})
+	if ng.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", ng.NumEdges())
+	}
+	if ng.HasEdge(0, 2) || ng.HasEdge(2, 3) {
+		t.Error("removed edges still present")
+	}
+	if !ng.HasInEdges() {
+		t.Fatal("reverse adjacency not rebuilt")
+	}
+	if got := ng.InNeighbors(2); !reflect.DeepEqual(got, []VertexID{1}) {
+		t.Errorf("InNeighbors(2) = %v, want [1]", got)
+	}
+}

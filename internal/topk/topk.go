@@ -8,7 +8,7 @@
 // ascending identifier, so results never depend on insertion order.
 package topk
 
-import "sort"
+import "slices"
 
 // Item is a scored candidate.
 type Item struct {
@@ -70,10 +70,28 @@ func (c *Collector) Push(id uint32, score float64) {
 // Result returns the retained items ordered best-first and resets nothing:
 // the collector can keep receiving items afterwards.
 func (c *Collector) Result() []Item {
-	out := make([]Item, len(c.heap))
-	copy(out, c.heap)
-	sort.Slice(out, func(i, j int) bool { return less(out[j], out[i]) })
-	return out
+	return c.AppendResult(make([]Item, 0, len(c.heap)))
+}
+
+// AppendResult appends the retained items to dst ordered best-first and
+// returns the extended slice, leaving the collector unchanged. It allocates
+// nothing when dst has spare capacity, which makes it the extraction path of
+// the engines' per-vertex hot loops (Result allocates a fresh slice per
+// call).
+func (c *Collector) AppendResult(dst []Item) []Item {
+	start := len(dst)
+	dst = append(dst, c.heap...)
+	out := dst[start:]
+	slices.SortFunc(out, func(a, b Item) int {
+		if less(b, a) {
+			return -1
+		}
+		if less(a, b) {
+			return 1
+		}
+		return 0
+	})
+	return dst
 }
 
 // Reset empties the collector, retaining capacity.

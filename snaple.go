@@ -137,16 +137,27 @@ func EngineNames() []string { return engine.Names() }
 // (parallel shared-memory by default). Predictions are bit-identical across
 // backends and worker counts.
 func Predict(g *Graph, opts Options) (Predictions, error) {
+	preds, _, err := PredictStats(g, opts)
+	return preds, err
+}
+
+// EngineStats reports what a prediction run cost: wall-clock time, ingest
+// throughput (EdgesPerSec), heap churn (AllocBytes/AllocObjects, local and
+// serial backends) and the simulated-cluster costs (sim backend only).
+type EngineStats = engine.Stats
+
+// PredictStats is Predict with the backend's cost report, for callers that
+// track the performance trajectory (cmd/snaple, cmd/snaple-bench).
+func PredictStats(g *Graph, opts Options) (Predictions, EngineStats, error) {
 	cfg, err := opts.toCore()
 	if err != nil {
-		return nil, err
+		return nil, EngineStats{}, err
 	}
 	be, err := engine.New(opts.Engine, opts.Workers, opts.Seed)
 	if err != nil {
-		return nil, err
+		return nil, EngineStats{}, err
 	}
-	preds, _, err := be.Predict(g, cfg)
-	return preds, err
+	return be.Predict(g, cfg)
 }
 
 // ClusterOptions describes the simulated deployment for distributed runs.
