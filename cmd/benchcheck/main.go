@@ -1,0 +1,84 @@
+// Command benchcheck is CI's benchmark-regression gate: it compares a fresh
+// `snaple-bench -exp perf` report against the committed baseline and fails
+// (exit 1) only on hard regressions — a throughput cliff, an allocation
+// blow-up, or dist-protocol wire bloat — using a deliberately generous
+// relative tolerance so noisy CI runners do not flap the build.
+//
+// Usage:
+//
+//	snaple-bench -exp perf -scale 0.5 -perf-out BENCH_ci.json
+//	benchcheck -baseline BENCH_baseline.json -current BENCH_ci.json -tol 0.35
+//
+// The comparison rules live in eval.ComparePerf, next to the report schema,
+// so the writer and the gate cannot drift apart. To re-baseline after an
+// intentional performance change, regenerate BENCH_baseline.json with the
+// same snaple-bench invocation CI uses and commit it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"snaple/internal/eval"
+)
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
+		current  = flag.String("current", "BENCH.json", "freshly measured report")
+		tol      = flag.Float64("tol", 0.35, "relative tolerance (0.35 = ±35%)")
+	)
+	flag.Parse()
+	if err := run(*baseline, *current, *tol, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath, currentPath string, tol float64, w io.Writer) error {
+	base, err := load(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(currentPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "graph: %s scale=%v seed=%d (V=%d E=%d), tolerance ±%d%%\n",
+		base.Dataset, base.Scale, base.Seed, base.Vertices, base.Edges, int(tol*100))
+	for _, b := range base.Rows {
+		c, ok := cur.Row(b.Engine)
+		if !ok {
+			continue // reported by ComparePerf below
+		}
+		fmt.Fprintf(w, "%-7s %12.0f -> %12.0f edges/s   %9d -> %9d objects\n",
+			b.Engine, b.EdgesPerSec, c.EdgesPerSec, b.AllocObjects, c.AllocObjects)
+	}
+	failures := eval.ComparePerf(base, cur, tol)
+	if len(failures) == 0 {
+		fmt.Fprintln(w, "PASS: no hard regressions")
+		return nil
+	}
+	for _, f := range failures {
+		fmt.Fprintln(w, "FAIL:", f)
+	}
+	return fmt.Errorf("%d hard regression(s) against %s", len(failures), baselinePath)
+}
+
+func load(path string) (eval.PerfReport, error) {
+	var rep eval.PerfReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Rows) == 0 {
+		return rep, fmt.Errorf("%s: no benchmark rows", path)
+	}
+	return rep, nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"snaple/internal/eval"
+)
+
+func writeReport(t *testing.T, dir, name string, rep eval.PerfReport) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sampleReport() eval.PerfReport {
+	return eval.PerfReport{
+		Dataset: "livejournal", Scale: 0.5, Seed: 42, Vertices: 100, Edges: 4000,
+		Rows: []eval.PerfRow{
+			{Engine: "local", Workers: 2, WallSeconds: 1, EdgesPerSec: 4000, AllocBytes: 1000, AllocObjects: 100},
+			{Engine: "dist", Workers: 2, WallSeconds: 2, EdgesPerSec: 2000, AllocBytes: 9000, AllocObjects: 9000, CrossBytes: 5000, CrossMsgs: 40},
+		},
+	}
+}
+
+func TestRunPassAndFail(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", sampleReport())
+
+	var out strings.Builder
+	if err := run(base, base, 0.35, &out); err != nil {
+		t.Fatalf("self-comparison failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Errorf("missing PASS line:\n%s", out.String())
+	}
+
+	bad := sampleReport()
+	bad.Rows[0].EdgesPerSec /= 10
+	cur := writeReport(t, dir, "cur.json", bad)
+	out.Reset()
+	if err := run(base, cur, 0.35, &out); err == nil {
+		t.Fatalf("10x throughput cliff passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("missing FAIL line:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json", sampleReport())
+	var out strings.Builder
+	if err := run(filepath.Join(dir, "absent.json"), good, 0.35, &out); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(good, garbage, 0.35, &out); err == nil {
+		t.Error("garbage current accepted")
+	}
+	empty := writeReport(t, dir, "empty.json", eval.PerfReport{Dataset: "x"})
+	if err := run(empty, good, 0.35, &out); err == nil {
+		t.Error("rowless baseline accepted")
+	}
+}

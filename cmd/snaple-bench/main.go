@@ -10,10 +10,13 @@
 // exhaustion, perf, all.
 //
 // The perf experiment additionally writes a machine-readable report
-// (default BENCH_local.json, see -perf-out) with the local backend's wall
-// seconds, edges/sec and allocation counts, so the hot path's trajectory
-// can be compared across commits. Because of that file side effect it only
-// runs when requested explicitly — "all" skips it.
+// (default BENCH.json, see -perf-out) with one row per perf-tracked backend
+// — the local hot path and the dist TCP engine — covering wall seconds,
+// edges/sec, allocation counts and (for dist) measured wire traffic, so the
+// performance trajectory can be compared across commits; CI's
+// benchmark-regression gate diffs it against the committed
+// BENCH_baseline.json with cmd/benchcheck. Because of that file side effect
+// it only runs when requested explicitly — "all" skips it.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"snaple"
@@ -30,14 +34,14 @@ import (
 
 // perfOutPath is where the perf experiment writes its JSON report
 // (overridden by -perf-out).
-var perfOutPath = "BENCH_local.json"
+var perfOutPath = "BENCH.json"
 
 func main() {
 	var (
 		exp     = flag.String("exp", "all", "experiment id (table5|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table6|exhaustion|ablations|perf|all)")
 		scale   = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		seed    = flag.Uint64("seed", 42, "run seed")
-		engine  = flag.String("engine", "sim", "SNAPLE execution backend: sim|local|serial (non-sim backends zero the simulated cost columns)")
+		engine  = flag.String("engine", "sim", "SNAPLE execution backend: "+strings.Join(snaple.EngineNames(), "|")+" (non-sim backends zero the simulated cost columns)")
 		workers = flag.Int("workers", 0, "worker goroutines per backend run (0 = GOMAXPROCS)")
 		perfOut = flag.String("perf-out", perfOutPath, "output path for the perf experiment's machine-readable report")
 		verbose = flag.Bool("v", false, "log per-run progress to stderr")
@@ -175,43 +179,45 @@ func experiments() []experiment {
 	}
 }
 
-// perfReport is the machine-readable perf record tracked across PRs.
-type perfReport struct {
-	Engine       string  `json:"engine"`
-	Workers      int     `json:"workers"`
-	Dataset      string  `json:"dataset"`
-	Scale        float64 `json:"scale"`
-	Seed         uint64  `json:"seed"`
-	Vertices     int     `json:"vertices"`
-	Edges        int     `json:"edges"`
-	WallSeconds  float64 `json:"wall_seconds"`
-	EdgesPerSec  float64 `json:"edges_per_sec"`
-	AllocBytes   int64   `json:"alloc_bytes"`
-	AllocObjects int64   `json:"alloc_objects"`
-}
+// perfEngines lists the perf-tracked backends: the shared-memory hot path
+// and the multi-process TCP engine (served in-process on loopback here, so
+// the bench needs no external worker fleet — the wire costs are still real).
+var perfEngines = []string{"local", "dist"}
 
-// runPerf benchmarks the local backend on the livejournal analog at the run
-// scale and writes the machine-readable report to perfOutPath.
+// runPerf benchmarks the perf-tracked backends on the livejournal analog at
+// the run scale and writes the machine-readable report to perfOutPath.
 func runPerf(o eval.Options, w io.Writer) error {
 	const dataset = "livejournal"
 	g, err := snaple.Dataset(dataset, o.Scale, o.Seed)
 	if err != nil {
 		return err
 	}
-	opts := snaple.Options{
-		Score: "linearSum", KLocal: 20, ThrGamma: 200, Seed: o.Seed,
-		Engine: "local", Workers: o.Workers,
-	}
-	_, st, err := snaple.PredictStats(g, opts)
-	if err != nil {
-		return err
-	}
-	rep := perfReport{
-		Engine: st.Engine, Workers: st.Workers, Dataset: dataset,
-		Scale: o.Scale, Seed: o.Seed,
+	rep := eval.PerfReport{
+		Dataset: dataset, Scale: o.Scale, Seed: o.Seed,
 		Vertices: g.NumVertices(), Edges: g.NumEdges(),
-		WallSeconds: st.WallSeconds, EdgesPerSec: st.EdgesPerSec,
-		AllocBytes: st.AllocBytes, AllocObjects: st.AllocObjects,
+	}
+	for _, engine := range perfEngines {
+		opts := snaple.Options{
+			Score: "linearSum", KLocal: 20, ThrGamma: 200, Seed: o.Seed,
+			Engine: engine, Workers: o.Workers,
+		}
+		_, st, err := snaple.PredictStats(g, opts)
+		if err != nil {
+			return fmt.Errorf("%s backend: %w", engine, err)
+		}
+		rep.Rows = append(rep.Rows, eval.PerfRow{
+			Engine: st.Engine, Workers: st.Workers,
+			WallSeconds: st.WallSeconds, EdgesPerSec: st.EdgesPerSec,
+			AllocBytes: st.AllocBytes, AllocObjects: st.AllocObjects,
+			CrossBytes: st.CrossBytes, CrossMsgs: st.CrossMsgs,
+		})
+		fmt.Fprintf(w, "%s backend on %s (scale %.2f): %.2fs, %.0f edges/s, %.1f MiB / %d objects allocated",
+			engine, dataset, o.Scale, st.WallSeconds, st.EdgesPerSec,
+			float64(st.AllocBytes)/(1<<20), st.AllocObjects)
+		if st.CrossBytes > 0 {
+			fmt.Fprintf(w, ", %.1f MiB / %d msgs on the wire", float64(st.CrossBytes)/(1<<20), st.CrossMsgs)
+		}
+		fmt.Fprintln(w)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -221,9 +227,6 @@ func runPerf(o eval.Options, w io.Writer) error {
 	if err := os.WriteFile(perfOutPath, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "local backend on %s (scale %.2f): %.2fs, %.0f edges/s, %.1f MiB / %d objects allocated\n",
-		dataset, o.Scale, st.WallSeconds, st.EdgesPerSec,
-		float64(st.AllocBytes)/(1<<20), st.AllocObjects)
 	fmt.Fprintf(w, "wrote %s\n", perfOutPath)
 	return nil
 }

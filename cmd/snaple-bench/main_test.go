@@ -72,7 +72,7 @@ func TestRunPerfWritesReport(t *testing.T) {
 		t.Skip("short mode")
 	}
 	old := perfOutPath
-	perfOutPath = filepath.Join(t.TempDir(), "BENCH_local.json")
+	perfOutPath = filepath.Join(t.TempDir(), "BENCH.json")
 	defer func() { perfOutPath = old }()
 	var sb strings.Builder
 	if err := run("perf", eval.Options{Scale: 0.05, Seed: 1}, &sb); err != nil {
@@ -82,12 +82,21 @@ func TestRunPerfWritesReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rep perfReport
+	var rep eval.PerfReport
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON report: %v\n%s", err, data)
 	}
-	if rep.Engine != "local" || rep.Edges <= 0 || rep.EdgesPerSec <= 0 || rep.WallSeconds <= 0 {
-		t.Errorf("implausible report: %+v", rep)
+	if rep.Edges <= 0 || len(rep.Rows) != len(perfEngines) {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	for i, row := range rep.Rows {
+		if row.Engine != perfEngines[i] || row.EdgesPerSec <= 0 || row.WallSeconds <= 0 {
+			t.Errorf("implausible row: %+v", row)
+		}
+	}
+	// The dist row's traffic is measured on real sockets; it cannot be zero.
+	if last := rep.Rows[len(rep.Rows)-1]; last.Engine == "dist" && (last.CrossBytes == 0 || last.CrossMsgs == 0) {
+		t.Errorf("dist row missing measured traffic: %+v", rep.Rows)
 	}
 	if !strings.Contains(sb.String(), "edges/s") {
 		t.Errorf("missing summary line:\n%s", sb.String())

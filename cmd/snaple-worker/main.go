@@ -1,0 +1,67 @@
+// Command snaple-worker serves SNAPLE partitions over TCP for the dist
+// execution backend: a coordinator (snaple -engine dist, or any program
+// using snaple.Predict with Engine "dist") vertex-cuts the graph, ships one
+// partition to each worker, and drives Algorithm 2's supersteps through the
+// internal/wire protocol. Workers hold only their partition — the full graph
+// never has to fit on one machine.
+//
+// Usage:
+//
+//	snaple-worker                          # ephemeral loopback port
+//	snaple-worker -listen 0.0.0.0:7777     # fixed port, reachable remotely
+//
+// The first stdout line announces the bound address as "listening <addr>",
+// which is how spawning coordinators and the CI cluster-smoke script learn
+// ephemeral ports. Jobs are served sequentially, one TCP connection each;
+// the worker keeps serving until killed (SIGINT/SIGTERM exit cleanly).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"snaple/internal/wire"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:0", "address to listen on ('host:0' picks an ephemeral port)")
+		quiet  = flag.Bool("quiet", false, "suppress per-session logging on stderr")
+	)
+	flag.Parse()
+
+	if err := run(*listen, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "snaple-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, quiet bool) error {
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	// The announcement contract: exactly "listening <addr>" as the first
+	// stdout line (engine.Dist's spawner and scripts/cluster_smoke.sh parse
+	// it).
+	fmt.Printf("listening %s\n", l.Addr())
+
+	logf := func(string, ...any) {}
+	if !quiet {
+		logger := log.New(os.Stderr, "snaple-worker: ", log.LstdFlags)
+		logf = logger.Printf
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		l.Close() // Serve returns nil on a closed listener
+	}()
+	return wire.Serve(l, logf)
+}

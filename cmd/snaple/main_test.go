@@ -3,7 +3,10 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"snaple"
 )
 
 func TestLoad(t *testing.T) {
@@ -42,6 +45,25 @@ func TestLoad(t *testing.T) {
 	}
 }
 
+// TestEngineListIsShared guards the one-source-of-truth rule: every backend
+// the engine layer knows, including dist, must be accepted by the CLI and
+// enumerated in its error message for a bogus engine.
+func TestEngineListIsShared(t *testing.T) {
+	args := runArgs{
+		dataset: "gowalla", scale: 0.1, seed: 1, system: "walks",
+		walks: 2, depth: 2, k: 1, engine: "nope", engineSet: true,
+	}
+	err := run(args)
+	if err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+	for _, name := range snaple.EngineNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not enumerate backend %q", err, name)
+		}
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	base := runArgs{
 		dataset: "gowalla", scale: 0.1, seed: 1,
@@ -56,10 +78,12 @@ func TestRunEndToEnd(t *testing.T) {
 	}{
 		{"snaple distributed", func(*runArgs) {}, true},
 		{"snaple serial", func(a *runArgs) { a.serial = true }, true},
+		{"snaple dist loopback", func(a *runArgs) { a.engine = "dist"; a.engineSet = true; a.workers = 2 }, true},
 		{"baseline", func(a *runArgs) { a.system = "baseline" }, true},
 		{"walks", func(a *runArgs) { a.system = "walks"; a.walks = 10; a.depth = 3 }, true},
 		{"bad system", func(a *runArgs) { a.system = "nope" }, false},
 		{"bad score", func(a *runArgs) { a.score = "nope" }, false},
+		{"bad engine", func(a *runArgs) { a.engine = "nope"; a.engineSet = true }, false},
 		{"exhaustion reported not fatal", func(a *runArgs) { a.system = "baseline"; a.budget = 1024 }, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {

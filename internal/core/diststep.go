@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"snaple/internal/graph"
+)
+
+// This file exposes Algorithm 2's GAS step programs (snaple.go, khop.go) in
+// a monomorphic, wire-friendly form, so that a remote worker process holding
+// only one partition of a vertex-cut can execute the gather and sum+apply
+// phases of every superstep. The simulated cluster runs the same programs
+// through the generic gas engine; a dist worker runs them through
+// DistPartition, with the mirror/master exchange carried over TCP by
+// internal/wire instead of the in-memory gref tables of gas.Distribute.
+//
+// Determinism across substrates holds for the same reason it does between
+// the serial, local and sim backends: every random draw is hash-keyed by
+// (seed, vertex IDs) and every fold canonicalises its input before reducing
+// (step 1 and 2 applies sort, Aggregator.FoldPaths sorts path values), so
+// partials may arrive from the network in any order without changing a bit
+// of the output.
+
+// DistStep identifies one superstep of Algorithm 2's distributed pipeline.
+type DistStep int
+
+const (
+	// DistTruncate is step 1: sample the truncated neighbourhoods Γ̂.
+	DistTruncate DistStep = iota + 1
+	// DistRelays is step 2: raw similarities plus the k_local relay selection.
+	DistRelays
+	// DistCombine is step 3: combine and aggregate 2-hop paths (the final
+	// superstep of the paper's 2-hop configuration).
+	DistCombine
+	// DistTwoHop is step 3a of the 3-hop extension: materialise per-vertex
+	// 2-hop path lists.
+	DistTwoHop
+	// DistCombine3 is step 3b of the 3-hop extension: aggregate 2- and 3-hop
+	// paths into final predictions.
+	DistCombine3
+)
+
+// String implements fmt.Stringer.
+func (s DistStep) String() string {
+	switch s {
+	case DistTruncate:
+		return "truncate"
+	case DistRelays:
+		return "relays"
+	case DistCombine:
+		return "combine"
+	case DistTwoHop:
+		return "twohop"
+	case DistCombine3:
+		return "combine3"
+	default:
+		return fmt.Sprintf("DistStep(%d)", int(s))
+	}
+}
+
+// DistSteps returns the superstep pipeline for the given maximum path
+// length: steps 1, 2, 3 for the paper's 2-hop setting, steps 1, 2, 3a, 3b
+// for the footnote-2 extension.
+func DistSteps(paths int) []DistStep {
+	if paths == 3 {
+		return []DistStep{DistTruncate, DistRelays, DistTwoHop, DistCombine3}
+	}
+	return []DistStep{DistTruncate, DistRelays, DistCombine}
+}
+
+// DistPartial is one partition's gather partial sum for one vertex in one
+// superstep. Exactly one payload slice is non-nil, matching the superstep's
+// gather type; a vertex with no contribution produces no DistPartial at all.
+// The type is gob-encodable: it is what dist workers ship to the vertex's
+// master when the gathering partition does not hold the master copy.
+type DistPartial struct {
+	V     graph.VertexID
+	Nbrs  []graph.VertexID // DistTruncate
+	Sims  []VertexSim      // DistRelays
+	Cands []PathCand       // DistCombine, DistTwoHop, DistCombine3
+}
+
+// DistPartition executes Algorithm 2's supersteps over one partition of a
+// vertex-cut: the edges assigned to one worker plus a local replica of every
+// endpoint's state. It is the compute half of a dist worker; routing partials
+// to masters and refreshed state to mirrors is the caller's job
+// (internal/wire carries both for cmd/snaple-worker).
+type DistPartition struct {
+	st      *snapleState
+	locals  []graph.VertexID         // sorted global IDs of local vertices
+	index   map[graph.VertexID]int32 // global -> local
+	edgeSrc []int32                  // local source index per local edge
+	edgeDst []int32                  // local target index per local edge
+	data    []VData                  // replica state, one per local vertex
+}
+
+// NewDistPartition assembles a partition from its shipped description:
+// the sorted local vertex table, the full out-degree of each local vertex
+// (degrees are global topology metadata the truncation draw needs), and the
+// partition's edges as indices into locals. numVertices is the global vertex
+// count. An empty partition (no locals, no edges) is valid.
+func NewDistPartition(cfg Config, numVertices int, locals []graph.VertexID, deg []int32, edgeSrc, edgeDst []int32) (*DistPartition, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if len(deg) != len(locals) {
+		return nil, fmt.Errorf("core: dist partition: %d degrees for %d local vertices", len(deg), len(locals))
+	}
+	if len(edgeSrc) != len(edgeDst) {
+		return nil, fmt.Errorf("core: dist partition: %d edge sources, %d edge targets", len(edgeSrc), len(edgeDst))
+	}
+	// The step programs index degrees by global vertex ID, so scatter the
+	// local degree column into a global-length table (4 B per vertex — the
+	// same static metadata every other substrate precomputes).
+	fullDeg := make([]int32, numVertices)
+	index := make(map[graph.VertexID]int32, len(locals))
+	for i, v := range locals {
+		if int(v) >= numVertices {
+			return nil, fmt.Errorf("core: dist partition: local vertex %d outside [0,%d)", v, numVertices)
+		}
+		if i > 0 && locals[i-1] >= v {
+			return nil, fmt.Errorf("core: dist partition: local vertex table not strictly ascending at %d", i)
+		}
+		fullDeg[v] = deg[i]
+		index[v] = int32(i)
+	}
+	for i := range edgeSrc {
+		if edgeSrc[i] < 0 || int(edgeSrc[i]) >= len(locals) ||
+			edgeDst[i] < 0 || int(edgeDst[i]) >= len(locals) {
+			return nil, fmt.Errorf("core: dist partition: edge %d references vertex outside the local table", i)
+		}
+	}
+	return &DistPartition{
+		st:      &snapleState{cfg: cfg, deg: fullDeg},
+		locals:  locals,
+		index:   index,
+		edgeSrc: edgeSrc,
+		edgeDst: edgeDst,
+		data:    make([]VData, len(locals)),
+	}, nil
+}
+
+// Config returns the partition's configuration with defaults applied.
+func (p *DistPartition) Config() Config { return p.st.cfg }
+
+// Locals returns the sorted global IDs of the partition's local vertices.
+// The slice is owned by the partition and must not be modified.
+func (p *DistPartition) Locals() []graph.VertexID { return p.locals }
+
+// NumEdges returns the number of edges placed on this partition.
+func (p *DistPartition) NumEdges() int { return len(p.edgeSrc) }
+
+// LocalIndex returns the local index of v, if v is a local vertex.
+func (p *DistPartition) LocalIndex(v graph.VertexID) (int, bool) {
+	li, ok := p.index[v]
+	return int(li), ok
+}
+
+// gatherEdges folds gather over the partition's edges, accumulating one
+// partial sum per local source vertex (all of Algorithm 2's programs gather
+// over out-edges).
+func gatherEdges[G any](p *DistPartition, gather func(si, di int32) (G, bool), sum func(a, b G) G) ([]G, []bool) {
+	partial := make([]G, len(p.locals))
+	has := make([]bool, len(p.locals))
+	for i := range p.edgeSrc {
+		si, di := p.edgeSrc[i], p.edgeDst[i]
+		gval, ok := gather(si, di)
+		if !ok {
+			continue
+		}
+		if !has[si] {
+			partial[si], has[si] = gval, true
+		} else {
+			partial[si] = sum(partial[si], gval)
+		}
+	}
+	return partial, has
+}
+
+// packPartials converts aligned (partial, has) columns into the sparse wire
+// form, ascending by local index (hence by vertex ID).
+func packPartials[G any](p *DistPartition, partial []G, has []bool, set func(*DistPartial, G)) []DistPartial {
+	n := 0
+	for _, h := range has {
+		if h {
+			n++
+		}
+	}
+	out := make([]DistPartial, 0, n)
+	for li, h := range has {
+		if !h {
+			continue
+		}
+		dp := DistPartial{V: p.locals[li]}
+		set(&dp, partial[li])
+		out = append(out, dp)
+	}
+	return out
+}
+
+// Gather runs step's gather phase over the partition's edges and returns one
+// partial per contributing local vertex, ascending by vertex ID. The caller
+// routes each partial to the vertex's master (which may be this partition).
+func (p *DistPartition) Gather(step DistStep) ([]DistPartial, error) {
+	switch step {
+	case DistTruncate:
+		prog := step1{p.st}
+		partial, has := gatherEdges(p, func(si, di int32) ([]graph.VertexID, bool) {
+			return prog.Gather(p.locals[si], p.locals[di], &p.data[si], &p.data[di], nil)
+		}, prog.Sum)
+		return packPartials(p, partial, has, func(dp *DistPartial, g []graph.VertexID) { dp.Nbrs = g }), nil
+	case DistRelays:
+		prog := step2{p.st}
+		partial, has := gatherEdges(p, func(si, di int32) ([]VertexSim, bool) {
+			return prog.Gather(p.locals[si], p.locals[di], &p.data[si], &p.data[di], nil)
+		}, prog.Sum)
+		return packPartials(p, partial, has, func(dp *DistPartial, g []VertexSim) { dp.Sims = g }), nil
+	case DistCombine:
+		prog := step3{p.st}
+		partial, has := gatherEdges(p, func(si, di int32) ([]PathCand, bool) {
+			return prog.Gather(p.locals[si], p.locals[di], &p.data[si], &p.data[di], nil)
+		}, prog.Sum)
+		return packPartials(p, partial, has, func(dp *DistPartial, g []PathCand) { dp.Cands = g }), nil
+	case DistTwoHop:
+		prog := step3a{p.st}
+		partial, has := gatherEdges(p, func(si, di int32) ([]PathCand, bool) {
+			return prog.Gather(p.locals[si], p.locals[di], &p.data[si], &p.data[di], nil)
+		}, prog.Sum)
+		return packPartials(p, partial, has, func(dp *DistPartial, g []PathCand) { dp.Cands = g }), nil
+	case DistCombine3:
+		prog := step3b{p.st}
+		partial, has := gatherEdges(p, func(si, di int32) ([]PathCand, bool) {
+			return prog.Gather(p.locals[si], p.locals[di], &p.data[si], &p.data[di], nil)
+		}, prog.Sum)
+		return packPartials(p, partial, has, func(dp *DistPartial, g []PathCand) { dp.Cands = g }), nil
+	default:
+		return nil, fmt.Errorf("core: unknown dist step %d", int(step))
+	}
+}
+
+// Apply runs step's sum+apply phase for one vertex mastered on this
+// partition: it folds parts — the local partial plus any partials received
+// from other partitions, in any order — and updates v's local replica, which
+// becomes the authoritative copy to broadcast. parts may be empty (no edge
+// anywhere contributed); apply still runs, clearing the step's output field
+// exactly as the gas engine does for an empty gather.
+func (p *DistPartition) Apply(step DistStep, v graph.VertexID, parts []DistPartial) error {
+	li, ok := p.index[v]
+	if !ok {
+		return fmt.Errorf("core: apply for %v: vertex %d is not local", step, v)
+	}
+	d := &p.data[li]
+	switch step {
+	case DistTruncate:
+		var sum []graph.VertexID
+		for _, dp := range parts {
+			sum = append(sum, dp.Nbrs...)
+		}
+		step1{p.st}.Apply(v, d, sum, len(sum) > 0)
+	case DistRelays:
+		var sum []VertexSim
+		for _, dp := range parts {
+			sum = append(sum, dp.Sims...)
+		}
+		step2{p.st}.Apply(v, d, sum, len(sum) > 0)
+	case DistCombine, DistTwoHop, DistCombine3:
+		var sum []PathCand
+		for _, dp := range parts {
+			sum = append(sum, dp.Cands...)
+		}
+		// The gas engine merges partials Z-sorted; concatenation needs one
+		// sort to restore the grouping Apply expects. Equal-Z value order is
+		// irrelevant: FoldPaths sorts each group's values before folding.
+		sortPathCands(sum)
+		switch step {
+		case DistCombine:
+			step3{p.st}.Apply(v, d, sum, len(sum) > 0)
+		case DistTwoHop:
+			step3a{p.st}.Apply(v, d, sum, len(sum) > 0)
+		default:
+			step3b{p.st}.Apply(v, d, sum, len(sum) > 0)
+		}
+	default:
+		return fmt.Errorf("core: unknown dist step %d", int(step))
+	}
+	return nil
+}
+
+// State returns a copy of v's local replica, for master→mirror broadcast and
+// result collection.
+func (p *DistPartition) State(v graph.VertexID) (VData, bool) {
+	li, ok := p.index[v]
+	if !ok {
+		return VData{}, false
+	}
+	return p.data[li], true
+}
+
+// SetState overwrites v's local replica with the master's refreshed state
+// (the broadcast half of a superstep, received over the wire).
+func (p *DistPartition) SetState(v graph.VertexID, d VData) error {
+	li, ok := p.index[v]
+	if !ok {
+		return fmt.Errorf("core: refresh for vertex %d, which is not local", v)
+	}
+	p.data[li] = d
+	return nil
+}
+
+// SortDistPartials orders partials by vertex ID (the canonical wire order;
+// routing may interleave sources). Ties are impossible within one message.
+func SortDistPartials(parts []DistPartial) {
+	sort.Slice(parts, func(i, j int) bool { return parts[i].V < parts[j].V })
+}

@@ -36,7 +36,7 @@ func (step3a) Direction() gas.Direction { return gas.Out }
 
 // Gather emits v's 2-hop paths through the edge (v,z); only edges to
 // relays contribute.
-func (s step3a) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) ([]PathCand, bool) {
+func (s step3a) Gather(src, dst graph.VertexID, srcD, dstD *VData, _ *struct{}) ([]PathCand, bool) {
 	svz, ok := lookupSim(srcD.Sims, dst)
 	if !ok || len(dstD.Sims) == 0 {
 		return nil, false
@@ -59,7 +59,7 @@ func (s step3a) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) 
 func (step3a) Sum(a, b []PathCand) []PathCand { return step3{}.Sum(a, b) }
 
 // Apply stores the flat 2-hop path list, sorted by candidate.
-func (step3a) Apply(_ graph.VertexID, d *vdata, sum []PathCand, has bool) {
+func (step3a) Apply(_ graph.VertexID, d *VData, sum []PathCand, has bool) {
 	if !has {
 		d.TwoHop = nil
 		return
@@ -68,7 +68,7 @@ func (step3a) Apply(_ graph.VertexID, d *vdata, sum []PathCand, has bool) {
 }
 
 // VertexBytes implements gas.Program.
-func (step3a) VertexBytes(v *vdata) int64 { return vdataBytes(v) }
+func (step3a) VertexBytes(v *VData) int64 { return vdataBytes(v) }
 
 // GatherBytes prices the flat per-path list (12 B per path): unlike the
 // final step, the intermediate list cannot be pre-folded because each entry
@@ -83,7 +83,7 @@ func (step3b) Direction() gas.Direction { return gas.Out }
 
 // Gather emits, for the edge (u,v) with relay v: the 2-hop paths u→v→z and
 // the 3-hop paths u→v→(z→w) obtained by extending v's stored 2-hop list.
-func (s step3b) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) ([]PathCand, bool) {
+func (s step3b) Gather(src, dst graph.VertexID, srcD, dstD *VData, _ *struct{}) ([]PathCand, bool) {
 	suv, ok := lookupSim(srcD.Sims, dst)
 	if !ok {
 		return nil, false
@@ -114,12 +114,12 @@ func (s step3b) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) 
 func (step3b) Sum(a, b []PathCand) []PathCand { return step3{}.Sum(a, b) }
 
 // Apply aggregates per candidate and selects the top-k (same as step 3).
-func (s step3b) Apply(u graph.VertexID, d *vdata, sum []PathCand, has bool) {
+func (s step3b) Apply(u graph.VertexID, d *VData, sum []PathCand, has bool) {
 	step3{s.snapleState}.Apply(u, d, sum, has)
 }
 
 // VertexBytes implements gas.Program.
-func (step3b) VertexBytes(v *vdata) int64 { return vdataBytes(v) }
+func (step3b) VertexBytes(v *VData) int64 { return vdataBytes(v) }
 
 // GatherBytes prices per distinct candidate like the final 2-hop step.
 func (step3b) GatherBytes(g []PathCand) int64 { return step3{}.GatherBytes(g) }

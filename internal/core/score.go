@@ -11,9 +11,15 @@ import (
 // path-similarities (Table 3 of the paper).
 type ScoreSpec struct {
 	Name string
-	Sim  Similarity
-	Comb Combinator
-	Agg  Aggregator
+	// Alpha is the linear-combinator parameter the spec was assembled with
+	// (set by ScoreByName for every score, used only by the linear family).
+	// Recording it makes a named spec reconstructible from (Name, Alpha)
+	// alone, which is how the dist backend ships configurations to remote
+	// workers: function values cannot cross the wire.
+	Alpha float64
+	Sim   Similarity
+	Comb  Combinator
+	Agg   Aggregator
 }
 
 // Validate reports whether the spec is fully assembled.
@@ -55,14 +61,14 @@ func ScoreByName(name string, alpha float64) (ScoreSpec, error) {
 	}
 	switch name {
 	case "PPR":
-		return ScoreSpec{Name: name, Sim: InverseDegree{}, Comb: SumComb(), Agg: AggSum()}, nil
+		return ScoreSpec{Name: name, Alpha: alpha, Sim: InverseDegree{}, Comb: SumComb(), Agg: AggSum()}, nil
 	case "counter":
-		return ScoreSpec{Name: name, Sim: Jaccard{}, Comb: CountComb(), Agg: AggSum()}, nil
+		return ScoreSpec{Name: name, Alpha: alpha, Sim: Jaccard{}, Comb: CountComb(), Agg: AggSum()}, nil
 	}
 	for cname, comb := range combs {
 		for aname, agg := range aggs {
 			if name == cname+aname {
-				return ScoreSpec{Name: name, Sim: Jaccard{}, Comb: comb, Agg: agg}, nil
+				return ScoreSpec{Name: name, Alpha: alpha, Sim: Jaccard{}, Comb: comb, Agg: agg}, nil
 			}
 		}
 	}

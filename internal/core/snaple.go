@@ -19,10 +19,12 @@ type VertexSim struct {
 	Sim float64
 }
 
-// vdata is the per-vertex GAS state of Algorithm 2: the (truncated)
+// VData is the per-vertex GAS state of Algorithm 2: the (truncated)
 // neighbourhood Γ̂, the k_local most similar neighbours, and the final
 // predictions. TwoHop is only populated by the 3-hop extension (khop.go).
-type vdata struct {
+// It is exported (and gob-encodable) because the dist backend ships it
+// between worker processes during master→mirror refreshes (internal/wire).
+type VData struct {
 	Nbrs   []graph.VertexID // Γ̂(u), sorted ascending
 	Sims   []VertexSim      // selected relays, sorted by V ascending
 	TwoHop []PathCand       // sampled 2-hop paths (3-hop extension only)
@@ -32,7 +34,7 @@ type vdata struct {
 // vdataBytes prices a vertex state for synchronisation and memory
 // accounting: 4 B per neighbour ID, 12 B per (id, float64) similarity entry,
 // 12 B per path/prediction entry, plus a fixed header.
-func vdataBytes(v *vdata) int64 {
+func vdataBytes(v *VData) int64 {
 	return 24 + 4*int64(len(v.Nbrs)) + 12*int64(len(v.Sims)) +
 		12*int64(len(v.TwoHop)) + 12*int64(len(v.Pred))
 }
@@ -59,7 +61,7 @@ type step1 struct{ *snapleState }
 func (step1) Direction() gas.Direction { return gas.Out }
 
 // Gather emits {v}, or nothing when the truncation draw rejects the edge.
-func (s step1) Gather(src, dst graph.VertexID, _, _ *vdata, _ *struct{}) ([]graph.VertexID, bool) {
+func (s step1) Gather(src, dst graph.VertexID, _, _ *VData, _ *struct{}) ([]graph.VertexID, bool) {
 	if !keepTruncated(s.cfg.Seed, src, dst, int(s.deg[src]), s.cfg.ThrGamma) {
 		return nil, false
 	}
@@ -70,7 +72,7 @@ func (s step1) Gather(src, dst graph.VertexID, _, _ *vdata, _ *struct{}) ([]grap
 func (step1) Sum(a, b []graph.VertexID) []graph.VertexID { return append(a, b...) }
 
 // Apply stores the sorted sample as Γ̂.
-func (step1) Apply(_ graph.VertexID, d *vdata, sum []graph.VertexID, has bool) {
+func (step1) Apply(_ graph.VertexID, d *VData, sum []graph.VertexID, has bool) {
 	if !has {
 		d.Nbrs = nil
 		return
@@ -81,7 +83,7 @@ func (step1) Apply(_ graph.VertexID, d *vdata, sum []graph.VertexID, has bool) {
 }
 
 // VertexBytes implements gas.Program.
-func (step1) VertexBytes(v *vdata) int64 { return vdataBytes(v) }
+func (step1) VertexBytes(v *VData) int64 { return vdataBytes(v) }
 
 // GatherBytes implements gas.Program.
 func (step1) GatherBytes(g []graph.VertexID) int64 { return 4 * int64(len(g)) }
@@ -95,7 +97,7 @@ func (step2) Direction() gas.Direction { return gas.Out }
 
 // Gather emits (v, sim(u,v)) computed on the truncated neighbourhoods (and
 // vertex attributes, for identity-aware metrics).
-func (s step2) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) ([]VertexSim, bool) {
+func (s step2) Gather(src, dst graph.VertexID, srcD, dstD *VData, _ *struct{}) ([]VertexSim, bool) {
 	sim := simScore(s.cfg.Score.Sim, src, dst, srcD.Nbrs, dstD.Nbrs, int(s.deg[src]), int(s.deg[dst]))
 	return []VertexSim{{V: dst, Sim: sim}}, true
 }
@@ -105,7 +107,7 @@ func (step2) Sum(a, b []VertexSim) []VertexSim { return append(a, b...) }
 
 // Apply selects the k_local relays under the configured policy and stores
 // them sorted by vertex for step 3's binary searches.
-func (s step2) Apply(u graph.VertexID, d *vdata, sum []VertexSim, has bool) {
+func (s step2) Apply(u graph.VertexID, d *VData, sum []VertexSim, has bool) {
 	if !has {
 		d.Sims = nil
 		return
@@ -114,7 +116,7 @@ func (s step2) Apply(u graph.VertexID, d *vdata, sum []VertexSim, has bool) {
 }
 
 // VertexBytes implements gas.Program.
-func (step2) VertexBytes(v *vdata) int64 { return vdataBytes(v) }
+func (step2) VertexBytes(v *VData) int64 { return vdataBytes(v) }
 
 // GatherBytes implements gas.Program.
 func (step2) GatherBytes(g []VertexSim) int64 { return 12 * int64(len(g)) }
@@ -175,7 +177,7 @@ func (step3) Direction() gas.Direction { return gas.Out }
 
 // Gather walks the relay v's own relays z and emits one path-candidate per
 // kept 2-hop path u→v→z (Algorithm 2, lines 13-15).
-func (s step3) Gather(src, dst graph.VertexID, srcD, dstD *vdata, _ *struct{}) ([]PathCand, bool) {
+func (s step3) Gather(src, dst graph.VertexID, srcD, dstD *VData, _ *struct{}) ([]PathCand, bool) {
 	suv, ok := lookupSim(srcD.Sims, dst)
 	if !ok {
 		return nil, false // v ∉ Du.sims.keys (line 13)
@@ -222,7 +224,7 @@ func (step3) Sum(a, b []PathCand) []PathCand {
 // Apply groups path candidates by Z, folds each group with the aggregator
 // (⊕pre then ⊕post, line 19) and keeps the top-k scores (line 20). The
 // grouping and fold are shared with every other substrate (steps.go).
-func (s step3) Apply(_ graph.VertexID, d *vdata, sum []PathCand, has bool) {
+func (s step3) Apply(_ graph.VertexID, d *VData, sum []PathCand, has bool) {
 	if !has {
 		d.Pred = nil
 		return
@@ -231,7 +233,7 @@ func (s step3) Apply(_ graph.VertexID, d *vdata, sum []PathCand, has bool) {
 }
 
 // VertexBytes implements gas.Program.
-func (step3) VertexBytes(v *vdata) int64 { return vdataBytes(v) }
+func (step3) VertexBytes(v *VData) int64 { return vdataBytes(v) }
 
 // GatherBytes prices a partial sum the way the paper's implementation ships
 // it: one (z, σ, n) triplet (16 B) per distinct candidate, since ⊕pre could
@@ -292,19 +294,19 @@ func PredictGASWorkers(g *graph.Digraph, assign partition.Assignment, cl *cluste
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	dg, err := gas.Distribute[vdata, struct{}](g, assign, cl, gas.Options{Seed: cfg.Seed, Workers: workers})
+	dg, err := gas.Distribute[VData, struct{}](g, assign, cl, gas.Options{Seed: cfg.Seed, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
 	st := newSnapleState(g, cfg)
 	res := &Result{ReplicationFactor: dg.ReplicationFactor()}
 
-	s1, err := gas.RunStep[vdata, struct{}, []graph.VertexID](dg, step1{st})
+	s1, err := gas.RunStep[VData, struct{}, []graph.VertexID](dg, step1{st})
 	res.record(s1)
 	if err != nil {
 		return res, fmt.Errorf("snaple step 1: %w", err)
 	}
-	s2, err := gas.RunStep[vdata, struct{}, []VertexSim](dg, step2{st})
+	s2, err := gas.RunStep[VData, struct{}, []VertexSim](dg, step2{st})
 	res.record(s2)
 	if err != nil {
 		return res, fmt.Errorf("snaple step 2: %w", err)
@@ -312,18 +314,18 @@ func PredictGASWorkers(g *graph.Digraph, assign partition.Assignment, cl *cluste
 	if cfg.Paths == 3 {
 		// The footnote-2 extension: materialise 2-hop path lists, then
 		// aggregate 2- and 3-hop paths together (khop.go).
-		s3a, err := gas.RunStep[vdata, struct{}, []PathCand](dg, step3a{st})
+		s3a, err := gas.RunStep[VData, struct{}, []PathCand](dg, step3a{st})
 		res.record(s3a)
 		if err != nil {
 			return res, fmt.Errorf("snaple step 3a: %w", err)
 		}
-		s3b, err := gas.RunStep[vdata, struct{}, []PathCand](dg, step3b{st})
+		s3b, err := gas.RunStep[VData, struct{}, []PathCand](dg, step3b{st})
 		res.record(s3b)
 		if err != nil {
 			return res, fmt.Errorf("snaple step 3b: %w", err)
 		}
 	} else {
-		s3, err := gas.RunStep[vdata, struct{}, []PathCand](dg, step3{st})
+		s3, err := gas.RunStep[VData, struct{}, []PathCand](dg, step3{st})
 		res.record(s3)
 		if err != nil {
 			return res, fmt.Errorf("snaple step 3: %w", err)
@@ -331,7 +333,7 @@ func PredictGASWorkers(g *graph.Digraph, assign partition.Assignment, cl *cluste
 	}
 
 	res.Pred = make(Predictions, g.NumVertices())
-	dg.ForEachMaster(func(v graph.VertexID, d *vdata) {
+	dg.ForEachMaster(func(v graph.VertexID, d *VData) {
 		if len(d.Pred) > 0 {
 			res.Pred[v] = d.Pred
 		}

@@ -1,0 +1,593 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"snaple/internal/core"
+	"snaple/internal/graph"
+	"snaple/internal/partition"
+	"snaple/internal/randx"
+	"snaple/internal/wire"
+)
+
+// Dist runs Algorithm 2 across real worker processes connected over TCP —
+// the scale-out half of the paper, with an actual network where the sim
+// backend has a cost model. The coordinator (this type) vertex-cuts the
+// graph with internal/partition, ships one partition to each worker
+// (cmd/snaple-worker speaking the internal/wire protocol), then drives the
+// same GAS supersteps the sim backend runs: workers gather locally, partials
+// for remotely-mastered vertices are routed through the coordinator to the
+// master's worker, masters apply, and refreshed state is routed back to the
+// mirror copies. Per-worker top-k predictions are merged at the end — each
+// vertex has exactly one master, and every fold along the way is
+// order-independent, so the result is bit-identical to Serial, Local and Sim
+// for any worker count.
+//
+// Stats.CrossBytes and Stats.CrossMsgs are measured on the wire (all
+// coordinator↔worker traffic after the initial partition shipping, which —
+// like the sim backend's graph load — the paper's timings exclude), not
+// simulated.
+//
+// Three ways to get workers, in priority order:
+//
+//   - Addrs: connect to already-running snaple-worker processes (a real
+//     cluster, or the CI cluster-smoke script's loopback fleet);
+//   - Spawn: fork N snaple-worker processes on loopback and tear them down
+//     with the run (requires the binary, see WorkerBin);
+//   - otherwise InProc in-process loopback workers (still real TCP + gob
+//     through the kernel, just not a separate OS process) — the zero-config
+//     default used by engine.New, Predict and the equivalence tests.
+type Dist struct {
+	// Addrs connects to running workers ("host:port" each). Takes priority
+	// over Spawn/InProc.
+	Addrs []string
+	// Spawn forks this many snaple-worker processes on loopback for the
+	// duration of the run.
+	Spawn int
+	// WorkerBin locates the worker binary for Spawn (default: "snaple-worker"
+	// resolved through PATH).
+	WorkerBin string
+	// InProc serves this many in-process loopback workers when neither Addrs
+	// nor Spawn is given (0 = 2).
+	InProc int
+	// Strategy selects the vertex-cut, one partition per worker
+	// (nil = partition.HashEdge{Seed}).
+	Strategy partition.Strategy
+	// Seed drives partitioning and master election.
+	Seed uint64
+	// StepTimeout bounds each superstep (and the final collect) per run: a
+	// wedged worker or a blackholed connection then fails the Predict call
+	// instead of hanging it forever. 0 means the 10-minute default; negative
+	// disables the bound (for legitimately enormous supersteps).
+	StepTimeout time.Duration
+}
+
+// distMode is the resolved connection mode; mode() is the single source of
+// the Addrs > Spawn > InProc priority and the in-proc default, consulted by
+// both workerCount and connect so the two can never drift.
+type distMode int
+
+const (
+	modeAddrs distMode = iota
+	modeSpawn
+	modeInProc
+)
+
+// mode resolves the connection mode and its worker count.
+func (d Dist) mode() (distMode, int) {
+	switch {
+	case len(d.Addrs) > 0:
+		return modeAddrs, len(d.Addrs)
+	case d.Spawn > 0:
+		return modeSpawn, d.Spawn
+	default:
+		n := d.InProc
+		if n <= 0 {
+			n = 2
+		}
+		return modeInProc, n
+	}
+}
+
+// shipTimeout bounds the ship/ready handshake per worker. Generous — a big
+// subgraph legitimately takes a while to encode and load — but finite: a
+// worker that is busy with another coordinator's session will never answer
+// at all, and that must surface as an error, not a hang.
+const shipTimeout = 2 * time.Minute
+
+// Name implements Backend.
+func (Dist) Name() string { return "dist" }
+
+// workerCount resolves how many workers the run will use.
+func (d Dist) workerCount() int {
+	_, n := d.mode()
+	return n
+}
+
+// stepTimeout resolves the per-superstep bound (0 = unbounded).
+func (d Dist) stepTimeout() time.Duration {
+	switch {
+	case d.StepTimeout < 0:
+		return 0
+	case d.StepTimeout == 0:
+		return 10 * time.Minute
+	default:
+		return d.StepTimeout
+	}
+}
+
+// armDeadline bounds every exchange of the upcoming phase on all
+// connections; the next phase re-arms, so a healthy long run never trips it.
+func (d Dist) armDeadline(conns []*wire.Conn) {
+	t := d.stepTimeout()
+	for _, c := range conns {
+		if t > 0 {
+			_ = c.SetDeadline(time.Now().Add(t))
+		} else {
+			_ = c.SetDeadline(time.Time{})
+		}
+	}
+}
+
+// Predict implements Backend.
+func (d Dist) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error) {
+	st := Stats{Engine: "dist", Workers: d.workerCount()}
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, st, err
+	}
+	job, err := wire.JobFromConfig(cfg)
+	if err != nil {
+		return nil, st, err
+	}
+	conns, inproc, cleanup, err := d.connect()
+	if err != nil {
+		return nil, st, fmt.Errorf("engine: dist: %w", err)
+	}
+	defer cleanup()
+
+	dep, err := d.deploy(g, len(conns))
+	if err != nil {
+		return nil, st, err
+	}
+	st.ReplicationFactor = dep.replicationFactor()
+
+	// Ship the partitions (the distributed graph load, untimed like every
+	// other backend's setup) and wait for every worker to acknowledge. The
+	// handshake runs under a deadline: a worker busy with another session
+	// never reads the ship, and without the bound that is a silent hang, not
+	// an error (workers serve one session at a time).
+	err = eachConn(conns, func(i int, c *wire.Conn) error {
+		_ = c.SetDeadline(time.Now().Add(shipTimeout))
+		defer func() { _ = c.SetDeadline(time.Time{}) }()
+		if err := c.Send(&wire.Msg{Kind: wire.KindShip, Version: wire.ProtocolVersion, Job: job, Part: dep.parts[i]}); err != nil {
+			return err
+		}
+		_, err := c.Expect(wire.KindReady)
+		return err
+	})
+	if err != nil {
+		return nil, st, fmt.Errorf("engine: dist ship: %w", err)
+	}
+
+	// Everything from here on is the prediction itself: timed, and its
+	// traffic is the measured cross-worker cost.
+	base := make([]wire.Counters, len(conns))
+	for i, c := range conns {
+		base[i] = c.Counters()
+	}
+	start := time.Now()
+
+	steps := core.DistSteps(cfg.Paths)
+	for si, step := range steps {
+		final := si == len(steps)-1
+		d.armDeadline(conns)
+		if err := d.runStep(conns, dep, step, final); err != nil {
+			return nil, st, fmt.Errorf("engine: dist %v: %w", step, err)
+		}
+	}
+
+	// Collect: each master's top-k drops into its vertex's slot — the merge
+	// needs no further folding because masters are disjoint.
+	d.armDeadline(conns)
+	results := make([]wire.WorkerResult, len(conns))
+	err = eachConn(conns, func(i int, c *wire.Conn) error {
+		if err := c.Send(&wire.Msg{Kind: wire.KindCollect}); err != nil {
+			return err
+		}
+		m, err := c.Expect(wire.KindResult)
+		if err != nil {
+			return err
+		}
+		results[i] = m.Result
+		return nil
+	})
+	if err != nil {
+		return nil, st, fmt.Errorf("engine: dist collect: %w", err)
+	}
+	pred := make(core.Predictions, g.NumVertices())
+	for _, res := range results {
+		for _, vp := range res.Preds {
+			pred[vp.V] = vp.Preds
+		}
+		if inproc {
+			// Loopback workers share this process, so each worker's MemStats
+			// delta already covers everyone (coordinator included): summing
+			// would count the same heap N times. The max is the closest
+			// honest process-wide figure.
+			st.AllocBytes = max(st.AllocBytes, res.Stats.AllocBytes)
+			st.AllocObjects = max(st.AllocObjects, res.Stats.AllocObjects)
+		} else {
+			st.AllocBytes += res.Stats.AllocBytes
+			st.AllocObjects += res.Stats.AllocObjects
+		}
+		if res.Stats.HeapBytes > st.MemPeakBytes {
+			st.MemPeakBytes = res.Stats.HeapBytes
+		}
+	}
+
+	st.WallSeconds = time.Since(start).Seconds()
+	if st.WallSeconds > 0 {
+		st.EdgesPerSec = float64(g.NumEdges()) / st.WallSeconds
+	}
+	for i, c := range conns {
+		delta := c.Counters().Sub(base[i])
+		st.CrossBytes += delta.BytesIn + delta.BytesOut
+		st.CrossMsgs += delta.MsgsIn + delta.MsgsOut
+	}
+	return pred, st, nil
+}
+
+// runStep drives one bulk-synchronous superstep across the workers: begin,
+// collect gather partials, route them to masters, and (unless final) route
+// the refreshed master state back to mirrors.
+func (d Dist) runStep(conns []*wire.Conn, dep *deployment, step core.DistStep, final bool) error {
+	nw := len(conns)
+	err := eachConn(conns, func(_ int, c *wire.Conn) error {
+		return c.Send(&wire.Msg{Kind: wire.KindStepBegin, Step: step, Final: final})
+	})
+	if err != nil {
+		return err
+	}
+	recvd := make([][]core.DistPartial, nw)
+	err = eachConn(conns, func(i int, c *wire.Conn) error {
+		m, err := c.Expect(wire.KindPartials)
+		if err != nil {
+			return err
+		}
+		if m.Step != step {
+			return fmt.Errorf("partials for %v during %v", m.Step, step)
+		}
+		recvd[i] = m.Partials
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Route every partial to its vertex's master partition. Order across
+	// sources is irrelevant: all folds canonicalise before reducing.
+	outbox := make([][]core.DistPartial, nw)
+	for _, batch := range recvd {
+		for _, dp := range batch {
+			mp := dep.masterPart[dp.V]
+			if mp < 0 {
+				return fmt.Errorf("partial for vertex %d, which no partition hosts", dp.V)
+			}
+			outbox[mp] = append(outbox[mp], dp)
+		}
+	}
+	err = eachConn(conns, func(i int, c *wire.Conn) error {
+		return c.Send(&wire.Msg{Kind: wire.KindForeign, Step: step, Partials: outbox[i]})
+	})
+	if err != nil || final {
+		return err
+	}
+	// Refresh round: masters push fresh state up, the coordinator fans each
+	// vertex's state out to the partitions holding its mirrors.
+	states := make([][]wire.VertexState, nw)
+	err = eachConn(conns, func(i int, c *wire.Conn) error {
+		m, err := c.Expect(wire.KindRefresh)
+		if err != nil {
+			return err
+		}
+		if m.Step != step {
+			return fmt.Errorf("refresh for %v during %v", m.Step, step)
+		}
+		states[i] = m.States
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	outboxS := make([][]wire.VertexState, nw)
+	for _, batch := range states {
+		for _, vs := range batch {
+			for _, mp := range dep.mirrors[vs.V] {
+				outboxS[mp] = append(outboxS[mp], vs)
+			}
+		}
+	}
+	return eachConn(conns, func(i int, c *wire.Conn) error {
+		return c.Send(&wire.Msg{Kind: wire.KindMirrors, Step: step, States: outboxS[i]})
+	})
+}
+
+// deployment is the coordinator's routing state: the shippable partition
+// payloads plus, per global vertex, the partition mastering it and the
+// partitions holding its mirror copies.
+type deployment struct {
+	parts      []wire.Partition
+	masterPart []int32   // per vertex; -1 when the vertex has no edges
+	mirrors    [][]int32 // per vertex: replica partitions excluding the master
+	replicas   int       // total replica count
+	present    int       // vertices with at least one replica
+}
+
+func (d *deployment) replicationFactor() float64 {
+	if d.present == 0 {
+		return 0
+	}
+	return float64(d.replicas) / float64(d.present)
+}
+
+// deploy vertex-cuts g into one partition per worker and elects masters the
+// same deterministic way gas.Distribute does.
+func (d Dist) deploy(g *graph.Digraph, nw int) (*deployment, error) {
+	strat := d.Strategy
+	if strat == nil {
+		strat = partition.HashEdge{Seed: d.Seed}
+	}
+	assign, err := strat.Partition(g, nw)
+	if err != nil {
+		return nil, err
+	}
+
+	type rawEdge struct{ u, v graph.VertexID }
+	rawEdges := make([][]rawEdge, nw)
+	{
+		i := 0
+		g.ForEachEdge(func(u, v graph.VertexID) {
+			p := assign.EdgeTo[i]
+			rawEdges[p] = append(rawEdges[p], rawEdge{u, v})
+			i++
+		})
+	}
+
+	dep := &deployment{
+		parts:      make([]wire.Partition, nw),
+		masterPart: make([]int32, g.NumVertices()),
+		mirrors:    make([][]int32, g.NumVertices()),
+	}
+	for v := range dep.masterPart {
+		dep.masterPart[v] = -1
+	}
+	index := make([]map[graph.VertexID]int32, nw)
+	for p := 0; p < nw; p++ {
+		seen := make(map[graph.VertexID]struct{}, len(rawEdges[p]))
+		for _, e := range rawEdges[p] {
+			seen[e.u] = struct{}{}
+			seen[e.v] = struct{}{}
+		}
+		locals := make([]graph.VertexID, 0, len(seen))
+		for v := range seen {
+			locals = append(locals, v)
+		}
+		sort.Slice(locals, func(i, j int) bool { return locals[i] < locals[j] })
+		idx := make(map[graph.VertexID]int32, len(locals))
+		deg := make([]int32, len(locals))
+		for i, v := range locals {
+			idx[v] = int32(i)
+			deg[i] = int32(g.OutDegree(v))
+		}
+		edgeSrc := make([]int32, len(rawEdges[p]))
+		edgeDst := make([]int32, len(rawEdges[p]))
+		for i, e := range rawEdges[p] {
+			edgeSrc[i] = idx[e.u]
+			edgeDst[i] = idx[e.v]
+		}
+		index[p] = idx
+		dep.parts[p] = wire.Partition{
+			Part: p, NumVertices: g.NumVertices(),
+			Locals: locals, Deg: deg,
+			EdgeSrc: edgeSrc, EdgeDst: edgeDst,
+			IsMaster:  make([]bool, len(locals)),
+			HasRemote: make([]bool, len(locals)),
+		}
+	}
+
+	// Master election among each vertex's replicas, in ascending partition
+	// order — the same deterministic draw gas.Distribute uses. (Placement
+	// never changes results, only where each apply runs.)
+	type vp struct {
+		v graph.VertexID
+		p int32
+	}
+	var pairs []vp
+	for p := 0; p < nw; p++ {
+		for _, v := range dep.parts[p].Locals {
+			pairs = append(pairs, vp{v, int32(p)})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].v != pairs[j].v {
+			return pairs[i].v < pairs[j].v
+		}
+		return pairs[i].p < pairs[j].p
+	})
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j].v == pairs[i].v {
+			j++
+		}
+		v := pairs[i].v
+		replicas := pairs[i:j]
+		mp := replicas[randx.Uint64n(uint64(len(replicas)), d.Seed, uint64(v), 0xA5)].p
+		dep.masterPart[v] = mp
+		mi := index[mp][v]
+		dep.parts[mp].IsMaster[mi] = true
+		dep.parts[mp].HasRemote[mi] = len(replicas) > 1
+		if len(replicas) > 1 {
+			mirrors := make([]int32, 0, len(replicas)-1)
+			for _, r := range replicas {
+				if r.p != mp {
+					mirrors = append(mirrors, r.p)
+				}
+			}
+			dep.mirrors[v] = mirrors
+		}
+		dep.replicas += len(replicas)
+		dep.present++
+		i = j
+	}
+	return dep, nil
+}
+
+// connect establishes one connection per worker according to the configured
+// mode, returning a cleanup that closes connections and reclaims whatever
+// was started. inproc reports that the workers share this process (the
+// loopback default), which changes how worker memory reports aggregate.
+// cleanup is non-nil even on error.
+func (d Dist) connect() (conns []*wire.Conn, inproc bool, cleanup func(), err error) {
+	var closers []func()
+	cleanup = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	fail := func(err error) ([]*wire.Conn, bool, func(), error) {
+		cleanup()
+		return nil, false, func() {}, err
+	}
+	addConn := func(addr string) error {
+		c, err := wire.Dial(addr)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, func() { c.Close() })
+		conns = append(conns, c)
+		return nil
+	}
+
+	mode, n := d.mode()
+	switch mode {
+	case modeAddrs:
+		// A worker serves one session at a time, so dialing the same worker
+		// twice deadlocks the ship handshake (caught late by shipTimeout);
+		// reject the footgun up front instead.
+		seen := make(map[string]struct{}, len(d.Addrs))
+		for _, addr := range d.Addrs {
+			if _, dup := seen[addr]; dup {
+				return fail(fmt.Errorf("duplicate worker address %q: each worker serves one session at a time", addr))
+			}
+			seen[addr] = struct{}{}
+			if err := addConn(addr); err != nil {
+				return fail(err)
+			}
+		}
+	case modeSpawn:
+		bin := d.WorkerBin
+		if bin == "" {
+			bin = "snaple-worker"
+		}
+		path, err := exec.LookPath(bin)
+		if err != nil {
+			return fail(fmt.Errorf("worker binary %q not found (build cmd/snaple-worker or set WorkerBin): %w", bin, err))
+		}
+		for i := 0; i < n; i++ {
+			addr, stop, err := spawnWorker(path)
+			if err != nil {
+				return fail(err)
+			}
+			closers = append(closers, stop)
+			if err := addConn(addr); err != nil {
+				return fail(err)
+			}
+		}
+	default:
+		inproc = true
+		for i := 0; i < n; i++ {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return fail(err)
+			}
+			go func() { _ = wire.Serve(l, nil) }()
+			closers = append(closers, func() { l.Close() })
+			if err := addConn(l.Addr().String()); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	return conns, inproc, cleanup, nil
+}
+
+// spawnWorker forks one snaple-worker on an ephemeral loopback port and
+// parses the address it announces on stdout ("listening <addr>"). The
+// worker's stderr passes through, so a crashed worker leaves its diagnostics
+// next to the coordinator's gob EOF error.
+func spawnWorker(bin string) (addr string, stop func(), err error) {
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", nil, fmt.Errorf("spawn %s: %w", bin, err)
+	}
+	stop = func() {
+		// Kill first so the stdout scanner (below) hits EOF, then cmd.Wait —
+		// not Process.Wait — to release the StdoutPipe.
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		if sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	select {
+	case line, ok := <-lines:
+		fields := strings.Fields(line)
+		if !ok || len(fields) != 2 || fields[0] != "listening" {
+			stop()
+			return "", nil, fmt.Errorf("spawn %s: unexpected announcement %q", bin, line)
+		}
+		return fields[1], stop, nil
+	case <-time.After(10 * time.Second):
+		stop()
+		return "", nil, fmt.Errorf("spawn %s: worker never announced its address", bin)
+	}
+}
+
+// eachConn runs fn once per connection on its own goroutine and returns the
+// first error. Each connection is touched by exactly one goroutine, so the
+// per-conn gob streams never interleave.
+func eachConn(conns []*wire.Conn, fn func(i int, c *wire.Conn) error) error {
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	for i, c := range conns {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = fn(i, c)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"snaple/internal/core"
+	"snaple/internal/partition"
+	"snaple/internal/wire"
+)
+
+// workerAddrsEnv lets CI point the equivalence tests at externally spawned
+// snaple-worker processes (the cluster-smoke job) instead of the in-process
+// loopback fleet. The value is a comma-separated address list.
+const workerAddrsEnv = "SNAPLE_WORKER_ADDRS"
+
+// workerPool provides worker addresses for a test: external processes when
+// workerAddrsEnv is set, otherwise an in-process loopback fleet (real TCP
+// and gob, torn down with the test).
+func workerPool(t *testing.T, n int) []string {
+	t.Helper()
+	if env := os.Getenv(workerAddrsEnv); env != "" {
+		addrs := strings.Split(env, ",")
+		if len(addrs) < n {
+			t.Skipf("%s provides %d workers, test wants %d", workerAddrsEnv, len(addrs), n)
+		}
+		return addrs[:n]
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		go func() { _ = wire.Serve(l, nil) }()
+		addrs[i] = l.Addr().String()
+	}
+	return addrs
+}
+
+// TestDistMatchesReference is the dist backend's equivalence table: real
+// worker processes (or their in-process stand-ins) over TCP must reproduce
+// core.ReferenceSnaple bit for bit across scores, policies, sampling
+// parameters, path lengths, seeds and 1, 2 and 4 workers. The CI
+// cluster-smoke job reruns it under -race against 3 externally spawned
+// snaple-worker processes via SNAPLE_WORKER_ADDRS.
+func TestDistMatchesReference(t *testing.T) {
+	g := testGraph(t, 200, 7)
+
+	type tc struct {
+		score  string
+		policy core.SelectionPolicy
+		thr    int
+		klocal int
+		paths  int
+		seed   uint64
+	}
+	cases := []tc{
+		// Policy × sampling cross for the default score.
+		{"linearSum", core.SelectMax, core.Unlimited, core.Unlimited, 2, 1},
+		{"linearSum", core.SelectMax, 10, 4, 2, 42},
+		{"linearSum", core.SelectMin, 10, 4, 2, 42},
+		{"linearSum", core.SelectRnd, 10, 4, 2, 42},
+		{"linearSum", core.SelectRnd, core.Unlimited, 4, 2, 1},
+		// Every aggregator family and the identity-aware PPR similarity.
+		{"PPR", core.SelectMax, 10, 4, 2, 42},
+		{"counter", core.SelectMax, 10, 4, 2, 42},
+		{"geomMean", core.SelectMax, 10, 4, 2, 42},
+		{"euclGeom", core.SelectMax, 10, 4, 2, 42},
+		// The 3-hop extension (4 supersteps with a TwoHop refresh).
+		{"linearSum", core.SelectMax, 10, 3, 3, 42},
+		{"geomSum", core.SelectRnd, core.Unlimited, 3, 3, 1},
+	}
+
+	workerCounts := []int{1, 2, 4}
+	maxWorkers := 4
+	if env := os.Getenv(workerAddrsEnv); env != "" {
+		// An external fleet has a fixed size; exercise every prefix of it.
+		n := len(strings.Split(env, ","))
+		workerCounts = nil
+		for _, w := range []int{1, 2, 4} {
+			if w <= n {
+				workerCounts = append(workerCounts, w)
+			}
+		}
+		if len(workerCounts) == 0 || workerCounts[len(workerCounts)-1] != n {
+			workerCounts = append(workerCounts, n)
+		}
+		maxWorkers = n
+	}
+	addrs := workerPool(t, maxWorkers)
+
+	for _, c := range cases {
+		cfg := core.Config{
+			Score:    mustScore(t, c.score),
+			K:        5,
+			KLocal:   c.klocal,
+			ThrGamma: c.thr,
+			Policy:   c.policy,
+			Paths:    c.paths,
+			Seed:     c.seed,
+		}
+		want, err := core.ReferenceSnaple(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range workerCounts {
+			name := fmt.Sprintf("%s/%s/thr=%d/klocal=%d/paths=%d/seed=%d/workers=%d",
+				c.score, c.policy, c.thr, c.klocal, c.paths, c.seed, workers)
+			t.Run(name, func(t *testing.T) {
+				got, st, err := Dist{Addrs: addrs[:workers], Seed: c.seed}.Predict(g, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Engine != "dist" || st.Workers != workers {
+					t.Errorf("stats = %+v", st)
+				}
+				if !reflect.DeepEqual(want, got) {
+					diffPredictions(t, want, got)
+				}
+			})
+		}
+	}
+}
+
+// TestDistStrategies pins equivalence across vertex-cut strategies: the cut
+// decides replication and traffic, never results.
+func TestDistStrategies(t *testing.T) {
+	g := testGraph(t, 150, 11)
+	cfg := core.Config{Score: mustScore(t, "linearSum"), K: 5, KLocal: 8, ThrGamma: 10, Seed: 5}
+	want, err := core.ReferenceSnaple(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := workerPool(t, 3)
+	for _, strat := range []partition.Strategy{
+		partition.HashEdge{Seed: 9}, partition.HashSource{Seed: 9}, partition.Greedy{},
+	} {
+		t.Run(strat.Name(), func(t *testing.T) {
+			got, st, err := Dist{Addrs: addrs, Strategy: strat, Seed: 9}.Predict(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				diffPredictions(t, want, got)
+			}
+			if st.ReplicationFactor < 1 {
+				t.Errorf("replication factor %v", st.ReplicationFactor)
+			}
+		})
+	}
+}
+
+// TestDistMeasuredStats checks the wire measurements: a multi-worker run
+// must report real traffic, and Predict must never leave the counters zero
+// when partials actually crossed partitions.
+func TestDistMeasuredStats(t *testing.T) {
+	g := testGraph(t, 200, 3)
+	cfg := core.Config{Score: mustScore(t, "linearSum"), K: 5, KLocal: 8, ThrGamma: 10, Seed: 5}
+	addrs := workerPool(t, 3)
+	_, st, err := Dist{Addrs: addrs, Seed: 9}.Predict(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CrossBytes == 0 || st.CrossMsgs == 0 {
+		t.Errorf("measured traffic missing: %+v", st)
+	}
+	if st.ReplicationFactor < 1 || st.MemPeakBytes == 0 {
+		t.Errorf("deployment stats missing: %+v", st)
+	}
+	if st.WallSeconds <= 0 || st.EdgesPerSec <= 0 {
+		t.Errorf("timing missing: %+v", st)
+	}
+}
+
+// TestDistRejectsCustomScore: a hand-assembled ScoreSpec cannot cross the
+// wire and must fail fast, before any connection is made.
+func TestDistRejectsCustomScore(t *testing.T) {
+	g := testGraph(t, 20, 1)
+	cfg := core.Config{Score: core.ScoreSpec{
+		Name: "custom", Sim: core.Jaccard{}, Comb: core.SumComb(), Agg: core.AggSum(),
+	}, K: 5}
+	// No workers exist at this address; reaching the dial would hang/fail
+	// differently than the wanted validation error.
+	_, _, err := Dist{Addrs: []string{"127.0.0.1:1"}}.Predict(g, cfg)
+	if err == nil || !strings.Contains(err.Error(), "not shippable") {
+		t.Fatalf("err = %v, want shippability failure", err)
+	}
+}
+
+// TestDistInProc covers the zero-config mode engine.New returns: the
+// backend serves its own loopback workers and still matches the oracle.
+func TestDistInProc(t *testing.T) {
+	g := testGraph(t, 120, 2)
+	cfg := core.Config{Score: mustScore(t, "linearSum"), K: 5, KLocal: 6, ThrGamma: 10, Seed: 3}
+	want, err := core.ReferenceSnaple(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := New("dist", 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := be.Predict(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine != "dist" || st.Workers != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !reflect.DeepEqual(want, got) {
+		diffPredictions(t, want, got)
+	}
+}
+
+// TestDistRejectsDuplicateAddrs: dialing the same worker twice would
+// deadlock its sequential session loop, so the coordinator refuses up front.
+func TestDistRejectsDuplicateAddrs(t *testing.T) {
+	g := testGraph(t, 20, 1)
+	cfg := core.Config{Score: mustScore(t, "linearSum"), K: 5, Seed: 1}
+	addrs := workerPool(t, 1)
+	_, _, err := Dist{Addrs: []string{addrs[0], addrs[0]}}.Predict(g, cfg)
+	if err == nil || !strings.Contains(err.Error(), "duplicate worker address") {
+		t.Fatalf("err = %v, want duplicate-address rejection", err)
+	}
+}
+
+// TestDistWorkerCount pins the resolution order of the connection modes.
+func TestDistWorkerCount(t *testing.T) {
+	cases := []struct {
+		d    Dist
+		want int
+	}{
+		{Dist{}, 2},
+		{Dist{InProc: 3}, 3},
+		{Dist{Spawn: 5}, 5},
+		{Dist{Addrs: []string{"a", "b"}, Spawn: 5, InProc: 9}, 2},
+	}
+	for _, c := range cases {
+		if got := c.d.workerCount(); got != c.want {
+			t.Errorf("workerCount(%+v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

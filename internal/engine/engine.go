@@ -3,7 +3,7 @@
 // it, the way SNAP pairs one algorithm API with a tuned single-machine core
 // and GiGL layers one API over interchangeable local/distributed backends.
 //
-// Three Backend implementations exist:
+// Four Backend implementations exist:
 //
 //   - Serial — the single-threaded reference loop (core.ReferenceSnaple),
 //     the test oracle every other backend must match bit for bit;
@@ -13,49 +13,59 @@
 //     accounting): the fastest way to predict on one machine;
 //   - Sim — the paper's system: the GAS engine over a simulated cluster
 //     with vertex-cut partitioning, master/mirror replication and full cost
-//     accounting (internal/gas, internal/partition, internal/cluster).
+//     accounting (internal/gas, internal/partition, internal/cluster);
+//   - Dist — the same supersteps across real worker processes over TCP
+//     (internal/wire, cmd/snaple-worker), with cross-worker traffic
+//     measured on the wire instead of simulated.
 //
 // All backends produce bit-identical Predictions for the same (graph,
 // Config): truncation and the Γrnd relay selection are hash-keyed draws and
 // aggregation folds path values in sorted order, so results never depend on
-// scheduling, partitioning or worker count.
+// scheduling, partitioning, placement or worker count.
 package engine
 
 import (
 	"fmt"
+	"strings"
 
 	"snaple/internal/core"
 	"snaple/internal/graph"
 )
 
 // Stats reports what a prediction run cost. Wall-clock fields are always
-// set; the simulated-cluster fields are zero for the Serial and Local
-// backends, which model no deployment.
+// set; the cluster fields are zero for the Serial and Local backends, which
+// model no deployment. For the sim backend the cluster fields are simulated
+// from the paper's cost model; for the dist backend CrossBytes/CrossMsgs
+// and MemPeakBytes are measured — real bytes through real sockets.
 type Stats struct {
-	// Engine is the backend's name ("serial", "local" or "sim").
+	// Engine is the backend's name ("serial", "local", "sim" or "dist").
 	Engine string
 	// Workers is the backend's resolved concurrency bound (the configured
 	// value, or GOMAXPROCS when it was 0). Small inputs may use fewer
-	// goroutines than the bound.
+	// goroutines than the bound. For dist it is the worker-process count.
 	Workers int
 	// WallSeconds is host wall-clock time of the prediction steps.
 	WallSeconds float64
 	// EdgesPerSec is the ingest-style throughput NumEdges / WallSeconds, the
 	// paper's headline scale metric normalised to this run's graph.
 	EdgesPerSec float64
-	// AllocBytes / AllocObjects are the process heap bytes and objects
-	// allocated during the run (runtime.MemStats deltas; approximate under
-	// concurrent load). Set by the serial and local backends, which are
-	// engineered to keep the per-vertex steady state allocation-free.
+	// AllocBytes / AllocObjects are heap bytes and objects allocated during
+	// the run (runtime.MemStats deltas; approximate under concurrent load).
+	// Set by the serial and local backends, which are engineered to keep the
+	// per-vertex steady state allocation-free; for dist they sum the
+	// worker-reported deltas.
 	AllocBytes, AllocObjects int64
 	// SimSeconds is the simulated cluster latency (sim backend only).
 	SimSeconds float64
-	// CrossBytes / CrossMsgs count cross-node traffic (sim backend only).
+	// CrossBytes / CrossMsgs count cross-node traffic: simulated from the
+	// paper's cost model for sim, measured on the wire for dist (all
+	// coordinator↔worker traffic after the initial partition shipping).
 	CrossBytes, CrossMsgs int64
-	// MemPeakBytes is the highest per-node memory footprint (sim only).
+	// MemPeakBytes is the highest per-node memory footprint: simulated for
+	// sim, the largest worker-reported live heap for dist.
 	MemPeakBytes int64
 	// ReplicationFactor is the vertex-cut's average replicas per vertex
-	// (sim backend only).
+	// (sim and dist backends).
 	ReplicationFactor float64
 }
 
@@ -69,14 +79,21 @@ type Backend interface {
 	Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error)
 }
 
-// Names lists the built-in backend names accepted by New.
-func Names() []string { return []string{"local", "serial", "sim"} }
+// Names lists the built-in backend names accepted by New. It is the single
+// source of truth for the backend set: every help text and error message
+// that enumerates backends (engine.New, cmd/snaple, cmd/snaple-bench) must
+// derive from it, so a new backend can never be silently missing from one
+// of the lists.
+func Names() []string { return []string{"local", "serial", "sim", "dist"} }
 
 // New returns a backend by name: "local" (or "") for the parallel
 // shared-memory backend with the given worker bound, "serial" for the
 // reference loop, "sim" for the GAS engine on a default single-node type-II
-// cluster partitioned with the given seed. seed only matters to "sim"; for
-// a custom deployment construct a Sim directly.
+// cluster partitioned with the given seed, "dist" for the multi-process TCP
+// backend with the given number of in-process loopback workers (for real
+// worker processes or remote addresses construct a Dist directly). seed
+// drives partitioning for "sim" and "dist"; for a custom deployment
+// construct a Sim or Dist directly.
 func New(name string, workers int, seed uint64) (Backend, error) {
 	switch name {
 	case "", "local":
@@ -85,7 +102,9 @@ func New(name string, workers int, seed uint64) (Backend, error) {
 		return Serial{}, nil
 	case "sim":
 		return Sim{Nodes: 1, Workers: workers, Seed: seed}, nil
+	case "dist":
+		return Dist{InProc: workers, Seed: seed}, nil
 	default:
-		return nil, fmt.Errorf("engine: unknown backend %q (local|serial|sim)", name)
+		return nil, fmt.Errorf("engine: unknown backend %q (%s)", name, strings.Join(Names(), "|"))
 	}
 }

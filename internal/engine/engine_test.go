@@ -194,7 +194,8 @@ func TestNewFactory(t *testing.T) {
 func TestBackendsRejectInvalidConfig(t *testing.T) {
 	g := testGraph(t, 20, 1)
 	bad := core.Config{Score: mustScore(t, "linearSum"), K: -1}
-	for _, be := range []Backend{Serial{}, Local{}, Sim{}} {
+	// Dist validates before connecting, so no worker needs to exist.
+	for _, be := range []Backend{Serial{}, Local{}, Sim{}, Dist{}} {
 		if _, _, err := be.Predict(g, bad); err == nil {
 			t.Errorf("%s accepted invalid config", be.Name())
 		}

@@ -1,0 +1,75 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func basePerfReport() PerfReport {
+	return PerfReport{
+		Dataset: "livejournal", Scale: 0.5, Seed: 42, Vertices: 1000, Edges: 50000,
+		Rows: []PerfRow{
+			{Engine: "local", Workers: 4, WallSeconds: 1, EdgesPerSec: 100000, AllocBytes: 1 << 20, AllocObjects: 500},
+			{Engine: "dist", Workers: 2, WallSeconds: 2, EdgesPerSec: 50000, AllocBytes: 4 << 20, AllocObjects: 90000, CrossBytes: 8 << 20, CrossMsgs: 60},
+		},
+	}
+}
+
+func TestComparePerfPasses(t *testing.T) {
+	base := basePerfReport()
+	// Identical reports pass.
+	if f := ComparePerf(base, base, 0.35); len(f) != 0 {
+		t.Fatalf("identical reports fail: %v", f)
+	}
+	// Noise inside the tolerance passes, in both directions.
+	cur := basePerfReport()
+	cur.Rows[0].EdgesPerSec *= 0.70
+	cur.Rows[0].AllocObjects = int64(float64(cur.Rows[0].AllocObjects) * 1.30)
+	cur.Rows[1].CrossBytes = int64(float64(cur.Rows[1].CrossBytes) * 1.20)
+	if f := ComparePerf(base, cur, 0.35); len(f) != 0 {
+		t.Fatalf("in-tolerance noise fails: %v", f)
+	}
+	// Improvements never fail, however large.
+	cur = basePerfReport()
+	cur.Rows[0].EdgesPerSec *= 10
+	cur.Rows[0].AllocObjects = 1
+	cur.Rows[1].CrossBytes = 1
+	if f := ComparePerf(base, cur, 0.35); len(f) != 0 {
+		t.Fatalf("improvement fails: %v", f)
+	}
+}
+
+func TestComparePerfCatchesHardRegressions(t *testing.T) {
+	check := func(name string, mutate func(*PerfReport), wantSubstr string) {
+		t.Run(name, func(t *testing.T) {
+			cur := basePerfReport()
+			mutate(&cur)
+			f := ComparePerf(basePerfReport(), cur, 0.35)
+			if len(f) == 0 {
+				t.Fatal("regression passed the gate")
+			}
+			if !strings.Contains(strings.Join(f, "\n"), wantSubstr) {
+				t.Errorf("failures %v do not mention %q", f, wantSubstr)
+			}
+		})
+	}
+	check("throughput cliff", func(r *PerfReport) { r.Rows[0].EdgesPerSec /= 2 }, "throughput")
+	check("allocation blow-up", func(r *PerfReport) { r.Rows[0].AllocObjects *= 3 }, "alloc_objects")
+	check("alloc bytes blow-up", func(r *PerfReport) { r.Rows[1].AllocBytes *= 2 }, "alloc_bytes")
+	check("wire bloat", func(r *PerfReport) { r.Rows[1].CrossBytes *= 2 }, "cross_bytes")
+	check("engine row dropped", func(r *PerfReport) { r.Rows = r.Rows[:1] }, "missing")
+	check("different graph", func(r *PerfReport) { r.Edges++ }, "different graphs")
+	check("different worker count", func(r *PerfReport) { r.Rows[0].Workers++ }, "worker counts")
+}
+
+func TestComparePerfZeroBaselineMetricsIgnored(t *testing.T) {
+	// A baseline without wire traffic (local-only history) must not fail a
+	// current report that has some.
+	base := basePerfReport()
+	base.Rows[1].CrossBytes = 0
+	cur := basePerfReport()
+	cur.Rows[1].CrossBytes = 100 << 20
+	if f := ComparePerf(base, cur, 0.35); len(f) != 0 {
+		t.Fatalf("zero-baseline metric enforced: %v", f)
+	}
+}

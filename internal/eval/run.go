@@ -23,9 +23,10 @@ type Options struct {
 	// Engine selects the execution backend SNAPLE runs on: "sim" (default)
 	// keeps the simulated cluster whose cost columns (seconds, traffic,
 	// memory) the paper's tables report; "local" and "serial" run the
-	// shared-memory backends instead — predictions (and therefore recall)
-	// are bit-identical, but the simulated cost columns read as zero. Use
-	// them to iterate on quality experiments quickly.
+	// shared-memory backends and "dist" real TCP worker processes instead —
+	// predictions (and therefore recall) are bit-identical, but the
+	// simulated cost columns read as zero. Use the shared-memory backends
+	// to iterate on quality experiments quickly.
 	Engine string
 	// Workers bounds each backend's host goroutines (0 = GOMAXPROCS). It
 	// never affects results or simulated costs.

@@ -1,0 +1,375 @@
+// Package wire is the network substrate of the dist execution backend: the
+// gob-encoded message protocol that a coordinator (engine.Dist) speaks with
+// snaple-worker processes over TCP, plus the worker-side session loop
+// (worker.go) shared by cmd/snaple-worker and in-process test workers.
+//
+// One TCP connection carries one prediction job as a strict half-duplex
+// conversation — at any moment messages flow in only one direction, so the
+// protocol cannot deadlock on full kernel buffers:
+//
+//	coordinator                       worker
+//	----------- ship -------------->          partition payload + job spec
+//	<---------- ready --------------          (or error: bad payload/config)
+//	then, per superstep:
+//	----------- step-begin -------->
+//	<---------- partials -----------          gather partials for vertices
+//	                                          mastered elsewhere
+//	----------- foreign ----------->          partials routed from other
+//	                                          partitions; worker applies
+//	<---------- refresh ------------          refreshed master state with
+//	                                          remote mirrors   (skipped on
+//	----------- mirrors ----------->          the final superstep)
+//	finally:
+//	----------- collect ----------->
+//	<---------- result -------------          master predictions + stats
+//
+// Every exchange uses the single Msg envelope; payload fields are sparse and
+// which ones are set depends on Kind. All payload types are concrete, so gob
+// needs no interface registration, and both ends can be any mix of
+// architectures gob supports.
+//
+// Conn counts bytes and messages in both directions: the dist backend's
+// Stats.CrossBytes/CrossMsgs are measured on the wire (everything after the
+// ship phase), not simulated like the sim backend's.
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"snaple/internal/core"
+	"snaple/internal/graph"
+)
+
+// ProtocolVersion guards against coordinator/worker skew: a worker rejects a
+// ship whose version differs from its own.
+const ProtocolVersion = 1
+
+// Kind discriminates the Msg envelope.
+type Kind uint8
+
+const (
+	// KindShip carries the job spec and partition payload (coordinator → worker).
+	KindShip Kind = iota + 1
+	// KindReady acknowledges a ship (worker → coordinator).
+	KindReady
+	// KindStepBegin starts a superstep (coordinator → worker).
+	KindStepBegin
+	// KindPartials carries gather partials for vertices mastered elsewhere
+	// (worker → coordinator).
+	KindPartials
+	// KindForeign carries partials routed from other partitions for vertices
+	// mastered here (coordinator → worker).
+	KindForeign
+	// KindRefresh carries refreshed master state for vertices with remote
+	// mirrors (worker → coordinator).
+	KindRefresh
+	// KindMirrors carries refreshed state routed to this partition's mirror
+	// copies (coordinator → worker).
+	KindMirrors
+	// KindCollect requests the final results (coordinator → worker).
+	KindCollect
+	// KindResult carries the partition's master predictions and run stats
+	// (worker → coordinator).
+	KindResult
+	// KindError aborts the session; Err holds the cause (either direction).
+	KindError
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	names := map[Kind]string{
+		KindShip: "ship", KindReady: "ready", KindStepBegin: "step-begin",
+		KindPartials: "partials", KindForeign: "foreign", KindRefresh: "refresh",
+		KindMirrors: "mirrors", KindCollect: "collect", KindResult: "result",
+		KindError: "error",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// JobSpec is a core.Config in shippable form: the Table 3 score is carried
+// by (name, alpha) and reassembled remotely, because function values cannot
+// cross the wire.
+type JobSpec struct {
+	Score    string
+	Alpha    float64
+	K        int
+	KLocal   int
+	ThrGamma int
+	Policy   core.SelectionPolicy
+	Paths    int
+	Seed     uint64
+}
+
+// JobFromConfig converts a validated Config into its wire form. It fails
+// when the score is not a named Table 3 configuration (a hand-assembled
+// ScoreSpec with custom functions cannot be shipped).
+func JobFromConfig(cfg core.Config) (JobSpec, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return JobSpec{}, err
+	}
+	// Round-trip the score now so a custom spec fails on the coordinator
+	// with a clear error instead of on every worker.
+	if _, err := core.ScoreByName(cfg.Score.Name, cfg.Score.Alpha); err != nil {
+		return JobSpec{}, fmt.Errorf("wire: score %q is not shippable: %w", cfg.Score.Name, err)
+	}
+	return JobSpec{
+		Score: cfg.Score.Name, Alpha: cfg.Score.Alpha,
+		K: cfg.K, KLocal: cfg.KLocal, ThrGamma: cfg.ThrGamma,
+		Policy: cfg.Policy, Paths: cfg.Paths, Seed: cfg.Seed,
+	}, nil
+}
+
+// Config reassembles the core.Config a JobSpec describes.
+func (j JobSpec) Config() (core.Config, error) {
+	spec, err := core.ScoreByName(j.Score, j.Alpha)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg := core.Config{
+		Score: spec, K: j.K, KLocal: j.KLocal, ThrGamma: j.ThrGamma,
+		Policy: j.Policy, Paths: j.Paths, Seed: j.Seed,
+	}
+	return cfg.Normalized()
+}
+
+// Partition is the serializable description of one worker's share of the
+// vertex-cut: its local vertex table, the out-degrees of those vertices, the
+// partition's edges as indices into the table, and the master/mirror roles
+// the coordinator elected. It is everything core.NewDistPartition needs plus
+// the routing roles the worker consults per superstep.
+type Partition struct {
+	// Part is the partition index in [0, workers).
+	Part int
+	// NumVertices is the global vertex count.
+	NumVertices int
+	// Locals holds the sorted global IDs of the vertices replicated here.
+	Locals []graph.VertexID
+	// Deg holds the full out-degree of each local vertex, aligned with Locals.
+	Deg []int32
+	// EdgeSrc/EdgeDst are the partition's edges as indices into Locals, in
+	// global CSR order.
+	EdgeSrc, EdgeDst []int32
+	// IsMaster marks the local vertices whose master copy lives here.
+	IsMaster []bool
+	// HasRemote marks local masters that are replicated on other partitions
+	// and therefore must broadcast refreshed state after each apply.
+	HasRemote []bool
+}
+
+// Validate checks the payload's internal consistency (lengths and index
+// ranges the worker would otherwise discover mid-run).
+func (p *Partition) Validate() error {
+	switch {
+	case p.Part < 0:
+		return fmt.Errorf("wire: negative partition index %d", p.Part)
+	case len(p.Deg) != len(p.Locals):
+		return fmt.Errorf("wire: %d degrees for %d locals", len(p.Deg), len(p.Locals))
+	case len(p.IsMaster) != len(p.Locals):
+		return fmt.Errorf("wire: %d master flags for %d locals", len(p.IsMaster), len(p.Locals))
+	case len(p.HasRemote) != len(p.Locals):
+		return fmt.Errorf("wire: %d remote flags for %d locals", len(p.HasRemote), len(p.Locals))
+	case len(p.EdgeSrc) != len(p.EdgeDst):
+		return fmt.Errorf("wire: %d edge sources, %d edge targets", len(p.EdgeSrc), len(p.EdgeDst))
+	}
+	for i := range p.EdgeSrc {
+		if p.EdgeSrc[i] < 0 || int(p.EdgeSrc[i]) >= len(p.Locals) ||
+			p.EdgeDst[i] < 0 || int(p.EdgeDst[i]) >= len(p.Locals) {
+			return fmt.Errorf("wire: edge %d outside the local table", i)
+		}
+	}
+	return nil
+}
+
+// VertexState pairs a vertex with its full replica state, for master→mirror
+// refreshes.
+type VertexState struct {
+	V    graph.VertexID
+	Data core.VData
+}
+
+// VertexPreds pairs a vertex with its final predictions — the collect-phase
+// payload, slimmer than a full VertexState.
+type VertexPreds struct {
+	V     graph.VertexID
+	Preds []core.Prediction
+}
+
+// WorkerStats is the per-worker cost report returned with the results.
+type WorkerStats struct {
+	// Verts/Edges are the partition's local table and edge counts.
+	Verts, Edges int
+	// BusySeconds is the worker's compute time (gather + apply + refresh),
+	// excluding time blocked on the wire.
+	BusySeconds float64
+	// AllocBytes/AllocObjects are the worker process's heap deltas across the
+	// supersteps (runtime.MemStats).
+	AllocBytes, AllocObjects int64
+	// HeapBytes is the worker's live heap after the final superstep — the
+	// dist analog of the sim backend's per-node memory footprint.
+	HeapBytes int64
+}
+
+// WorkerResult is the collect-phase payload.
+type WorkerResult struct {
+	Part  int
+	Preds []VertexPreds
+	Stats WorkerStats
+}
+
+// Msg is the single envelope every wire exchange uses. Kind selects which
+// payload fields are meaningful; the rest stay zero and cost nothing on the
+// wire (gob omits zero-valued fields).
+type Msg struct {
+	Kind     Kind
+	Version  int       // KindShip
+	Job      JobSpec   // KindShip
+	Part     Partition // KindShip
+	Step     core.DistStep
+	Final    bool               // KindStepBegin: no refresh/mirror round follows
+	Partials []core.DistPartial // KindPartials, KindForeign
+	States   []VertexState      // KindRefresh, KindMirrors
+	Result   WorkerResult       // KindResult
+	Err      string             // KindError
+}
+
+// countingRW wraps a transport and counts traffic in both directions. The
+// counters are atomics so stats can be read while a session is in flight.
+type countingRW struct {
+	rw      io.ReadWriter
+	in, out atomic.Int64
+	msgIn   atomic.Int64
+	msgOut  atomic.Int64
+}
+
+func (c *countingRW) Read(p []byte) (int, error) {
+	n, err := c.rw.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *countingRW) Write(p []byte) (int, error) {
+	n, err := c.rw.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}
+
+// Counters is a point-in-time traffic snapshot of one connection.
+type Counters struct {
+	BytesIn, BytesOut int64
+	MsgsIn, MsgsOut   int64
+}
+
+// Sub returns the delta c − base.
+func (c Counters) Sub(base Counters) Counters {
+	return Counters{
+		BytesIn: c.BytesIn - base.BytesIn, BytesOut: c.BytesOut - base.BytesOut,
+		MsgsIn: c.MsgsIn - base.MsgsIn, MsgsOut: c.MsgsOut - base.MsgsOut,
+	}
+}
+
+// Conn is a gob message stream over a transport, with traffic counting.
+// It is not safe for concurrent Send or concurrent Recv; the protocol is
+// half-duplex, so sessions never need either.
+type Conn struct {
+	crw    *countingRW
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	closer io.Closer
+}
+
+// NewConn wraps a transport (net.Conn in production, net.Pipe in tests) in
+// the message protocol.
+func NewConn(rwc io.ReadWriteCloser) *Conn {
+	crw := &countingRW{rw: rwc}
+	return &Conn{
+		crw:    crw,
+		enc:    gob.NewEncoder(crw),
+		dec:    gob.NewDecoder(crw),
+		closer: rwc,
+	}
+}
+
+// Dial connects to a worker address.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return NewConn(c), nil
+}
+
+// Send encodes one message.
+func (c *Conn) Send(m *Msg) error {
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("wire: send %s: %w", m.Kind, err)
+	}
+	c.crw.msgOut.Add(1)
+	return nil
+}
+
+// Recv decodes the next message into a fresh envelope. (gob merges into
+// presized fields, so reusing an envelope would leak state across messages.)
+func (c *Conn) Recv() (*Msg, error) {
+	m := new(Msg)
+	if err := c.dec.Decode(m); err != nil {
+		if err == io.EOF {
+			return nil, err
+		}
+		return nil, fmt.Errorf("wire: recv: %w", err)
+	}
+	c.crw.msgIn.Add(1)
+	if m.Kind == KindError {
+		return m, fmt.Errorf("wire: remote error: %s", m.Err)
+	}
+	return m, nil
+}
+
+// Expect receives the next message and checks its kind.
+func (c *Conn) Expect(kind Kind) (*Msg, error) {
+	m, err := c.Recv()
+	if err != nil {
+		return m, err
+	}
+	if m.Kind != kind {
+		return m, fmt.Errorf("wire: expected %s, got %s", kind, m.Kind)
+	}
+	return m, nil
+}
+
+// SetDeadline bounds every pending and future Send/Recv when the transport
+// supports deadlines (net.Conn and net.Pipe do; a transport that does not is
+// silently unbounded). The zero time clears the deadline. Coordinators use
+// it to keep a handshake against a busy worker — one already serving another
+// session never reads the next ship — from hanging forever.
+func (c *Conn) SetDeadline(t time.Time) error {
+	if d, ok := c.closer.(interface{ SetDeadline(time.Time) error }); ok {
+		return d.SetDeadline(t)
+	}
+	return nil
+}
+
+// SendError best-effort reports an error to the peer before the session
+// unwinds.
+func (c *Conn) SendError(err error) {
+	_ = c.Send(&Msg{Kind: KindError, Err: err.Error()})
+}
+
+// Counters snapshots the connection's traffic so far.
+func (c *Conn) Counters() Counters {
+	return Counters{
+		BytesIn: c.crw.in.Load(), BytesOut: c.crw.out.Load(),
+		MsgsIn: c.crw.msgIn.Load(), MsgsOut: c.crw.msgOut.Load(),
+	}
+}
+
+// Close closes the underlying transport.
+func (c *Conn) Close() error { return c.closer.Close() }

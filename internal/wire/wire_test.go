@@ -1,0 +1,345 @@
+package wire
+
+import (
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+
+	"snaple/internal/core"
+	"snaple/internal/graph"
+)
+
+// pipePair returns two ends of an in-memory message stream.
+func pipePair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	return ca, cb
+}
+
+// roundTrip pushes m through a real encoder/decoder pair and returns the
+// decoded copy.
+func roundTrip(t *testing.T, m *Msg) *Msg {
+	t.Helper()
+	ca, cb := pipePair(t)
+	errc := make(chan error, 1)
+	go func() { errc <- ca.Send(m) }()
+	got, err := cb.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	return got
+}
+
+// normalize maps empty slices to nil recursively via gob's own convention:
+// gob does not distinguish nil from empty, so lossless means "equal after
+// normalization".
+func normalizeMsg(m *Msg) {
+	if len(m.Partials) == 0 {
+		m.Partials = nil
+	}
+	for i := range m.Partials {
+		p := &m.Partials[i]
+		if len(p.Nbrs) == 0 {
+			p.Nbrs = nil
+		}
+		if len(p.Sims) == 0 {
+			p.Sims = nil
+		}
+		if len(p.Cands) == 0 {
+			p.Cands = nil
+		}
+	}
+	if len(m.States) == 0 {
+		m.States = nil
+	}
+	for i := range m.States {
+		d := &m.States[i].Data
+		if len(d.Nbrs) == 0 {
+			d.Nbrs = nil
+		}
+		if len(d.Sims) == 0 {
+			d.Sims = nil
+		}
+		if len(d.TwoHop) == 0 {
+			d.TwoHop = nil
+		}
+		if len(d.Pred) == 0 {
+			d.Pred = nil
+		}
+	}
+	if len(m.Result.Preds) == 0 {
+		m.Result.Preds = nil
+	}
+	for i := range m.Result.Preds {
+		if len(m.Result.Preds[i].Preds) == 0 {
+			m.Result.Preds[i].Preds = nil
+		}
+	}
+	p := &m.Part
+	if len(p.Locals) == 0 {
+		p.Locals = nil
+	}
+	if len(p.Deg) == 0 {
+		p.Deg = nil
+	}
+	if len(p.EdgeSrc) == 0 {
+		p.EdgeSrc = nil
+	}
+	if len(p.EdgeDst) == 0 {
+		p.EdgeDst = nil
+	}
+	if len(p.IsMaster) == 0 {
+		p.IsMaster = nil
+	}
+	if len(p.HasRemote) == 0 {
+		p.HasRemote = nil
+	}
+}
+
+// checkLossless asserts that a message survives the wire bit for bit (modulo
+// gob's nil/empty unification).
+func checkLossless(t *testing.T, m *Msg) {
+	t.Helper()
+	want := *m
+	got := roundTrip(t, m)
+	normalizeMsg(&want)
+	normalizeMsg(got)
+	if !reflect.DeepEqual(&want, got) {
+		t.Fatalf("round trip lost data:\nsent %+v\ngot  %+v", &want, got)
+	}
+}
+
+// randPartition generates a partition payload. n=0 produces the empty
+// partition; hub makes one local vertex own almost every edge.
+func randPartition(r *rand.Rand, n int, hub bool) Partition {
+	p := Partition{Part: r.Intn(8), NumVertices: n}
+	if n == 0 {
+		return p
+	}
+	// A sorted subset of [0, n) as the local table.
+	for v := 0; v < n; v++ {
+		if r.Intn(3) > 0 {
+			p.Locals = append(p.Locals, graph.VertexID(v))
+		}
+	}
+	if len(p.Locals) == 0 {
+		p.Locals = append(p.Locals, graph.VertexID(r.Intn(n)))
+	}
+	for range p.Locals {
+		p.Deg = append(p.Deg, int32(r.Intn(1000)))
+		p.IsMaster = append(p.IsMaster, r.Intn(2) == 0)
+		p.HasRemote = append(p.HasRemote, r.Intn(2) == 0)
+	}
+	edges := r.Intn(4 * len(p.Locals))
+	if hub {
+		edges = 5000 // one source fans out to thousands of targets
+	}
+	for i := 0; i < edges; i++ {
+		src := int32(r.Intn(len(p.Locals)))
+		if hub {
+			src = 0
+		}
+		p.EdgeSrc = append(p.EdgeSrc, src)
+		p.EdgeDst = append(p.EdgeDst, int32(r.Intn(len(p.Locals))))
+	}
+	return p
+}
+
+func randPartials(r *rand.Rand, kind int) []core.DistPartial {
+	n := r.Intn(20)
+	out := make([]core.DistPartial, 0, n)
+	for i := 0; i < n; i++ {
+		dp := core.DistPartial{V: graph.VertexID(r.Uint32())}
+		m := r.Intn(30) + 1
+		switch kind {
+		case 0:
+			for j := 0; j < m; j++ {
+				dp.Nbrs = append(dp.Nbrs, graph.VertexID(r.Uint32()))
+			}
+		case 1:
+			for j := 0; j < m; j++ {
+				dp.Sims = append(dp.Sims, core.VertexSim{V: graph.VertexID(r.Uint32()), Sim: r.Float64()})
+			}
+		default:
+			for j := 0; j < m; j++ {
+				dp.Cands = append(dp.Cands, core.PathCand{Z: graph.VertexID(r.Uint32()), S: r.NormFloat64()})
+			}
+		}
+		out = append(out, dp)
+	}
+	return out
+}
+
+func randStates(r *rand.Rand) []VertexState {
+	n := r.Intn(10)
+	out := make([]VertexState, 0, n)
+	for i := 0; i < n; i++ {
+		vs := VertexState{V: graph.VertexID(r.Uint32())}
+		for j := r.Intn(10); j > 0; j-- {
+			vs.Data.Nbrs = append(vs.Data.Nbrs, graph.VertexID(r.Uint32()))
+		}
+		for j := r.Intn(10); j > 0; j-- {
+			vs.Data.Sims = append(vs.Data.Sims, core.VertexSim{V: graph.VertexID(r.Uint32()), Sim: r.Float64()})
+		}
+		for j := r.Intn(10); j > 0; j-- {
+			vs.Data.TwoHop = append(vs.Data.TwoHop, core.PathCand{Z: graph.VertexID(r.Uint32()), S: r.Float64()})
+		}
+		for j := r.Intn(6); j > 0; j-- {
+			vs.Data.Pred = append(vs.Data.Pred, core.Prediction{Vertex: graph.VertexID(r.Uint32()), Score: r.Float64()})
+		}
+		out = append(out, vs)
+	}
+	return out
+}
+
+// TestShipRoundTrip property-tests that subgraph shipping is lossless,
+// including the empty partition and hub-vertex skew.
+func TestShipRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	job := JobSpec{Score: "linearSum", Alpha: 0.9, K: 5, KLocal: 20, ThrGamma: 200, Paths: 2, Seed: 42}
+	cases := []Partition{
+		randPartition(r, 0, false),   // empty partition
+		randPartition(r, 1, false),   // single vertex
+		randPartition(r, 4000, true), // hub vertex with thousands of edges
+	}
+	for i := 0; i < 20; i++ {
+		cases = append(cases, randPartition(r, 1+r.Intn(200), false))
+	}
+	for _, part := range cases {
+		checkLossless(t, &Msg{Kind: KindShip, Version: ProtocolVersion, Job: job, Part: part})
+	}
+}
+
+// TestPartialRoundTrip property-tests score-message exchange for all three
+// gather payload types, including the empty batch.
+func TestPartialRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	checkLossless(t, &Msg{Kind: KindPartials, Step: core.DistTruncate}) // empty
+	for i := 0; i < 30; i++ {
+		kind := i % 3
+		step := []core.DistStep{core.DistTruncate, core.DistRelays, core.DistCombine}[kind]
+		checkLossless(t, &Msg{Kind: KindPartials, Step: step, Partials: randPartials(r, kind)})
+		checkLossless(t, &Msg{Kind: KindForeign, Step: step, Partials: randPartials(r, kind)})
+	}
+}
+
+// TestStateAndResultRoundTrip covers refresh broadcasts and the collect
+// payload (predictions + stats).
+func TestStateAndResultRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 20; i++ {
+		checkLossless(t, &Msg{Kind: KindRefresh, Step: core.DistRelays, States: randStates(r)})
+		res := WorkerResult{
+			Part: r.Intn(8),
+			Stats: WorkerStats{
+				Verts: r.Intn(1000), Edges: r.Intn(100000),
+				BusySeconds:  r.Float64(),
+				AllocBytes:   r.Int63(),
+				AllocObjects: r.Int63(),
+				HeapBytes:    r.Int63(),
+			},
+		}
+		for j := r.Intn(20); j > 0; j-- {
+			vp := VertexPreds{V: graph.VertexID(r.Uint32())}
+			for k := r.Intn(5) + 1; k > 0; k-- {
+				vp.Preds = append(vp.Preds, core.Prediction{Vertex: graph.VertexID(r.Uint32()), Score: r.NormFloat64()})
+			}
+			res.Preds = append(res.Preds, vp)
+		}
+		checkLossless(t, &Msg{Kind: KindResult, Result: res})
+	}
+}
+
+// TestJobSpecConfigRoundTrip checks Config → JobSpec → Config for every
+// Table 3 score and both path lengths.
+func TestJobSpecConfigRoundTrip(t *testing.T) {
+	for _, score := range core.ScoreNames() {
+		for _, paths := range []int{2, 3} {
+			spec, err := core.ScoreByName(score, 0.7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.Config{Score: spec, K: 7, KLocal: 4, ThrGamma: 11, Policy: core.SelectRnd, Paths: paths, Seed: 99}
+			job, err := JobFromConfig(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", score, err)
+			}
+			back, err := job.Config()
+			if err != nil {
+				t.Fatalf("%s: %v", score, err)
+			}
+			if back.Score.Name != score || back.Score.Alpha != 0.7 ||
+				back.K != 7 || back.KLocal != 4 || back.ThrGamma != 11 ||
+				back.Policy != core.SelectRnd || back.Paths != paths || back.Seed != 99 {
+				t.Fatalf("%s: config did not survive the wire: %+v", score, back)
+			}
+		}
+	}
+	// A hand-assembled spec with anonymous functions must be rejected.
+	bad := core.Config{Score: core.ScoreSpec{
+		Name: "custom", Sim: core.Jaccard{}, Comb: core.SumComb(), Agg: core.AggSum(),
+	}, K: 5}
+	if _, err := JobFromConfig(bad); err == nil {
+		t.Fatal("custom score crossed the wire")
+	}
+}
+
+// TestConnCounters pins the traffic accounting Send/Recv maintain.
+func TestConnCounters(t *testing.T) {
+	ca, cb := pipePair(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 3; i++ {
+			if _, err := cb.Recv(); err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if err := ca.Send(&Msg{Kind: KindStepBegin, Step: core.DistTruncate}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	sent, recvd := ca.Counters(), cb.Counters()
+	if sent.MsgsOut != 3 || recvd.MsgsIn != 3 {
+		t.Fatalf("message counts: sent %+v, received %+v", sent, recvd)
+	}
+	if sent.BytesOut == 0 || sent.BytesOut != recvd.BytesIn {
+		t.Fatalf("byte counts disagree: sent %+v, received %+v", sent, recvd)
+	}
+	delta := sent.Sub(Counters{MsgsOut: 1})
+	if delta.MsgsOut != 2 {
+		t.Fatalf("Sub: %+v", delta)
+	}
+}
+
+// TestExpectRejectsWrongKind pins the protocol guard.
+func TestExpectRejectsWrongKind(t *testing.T) {
+	ca, cb := pipePair(t)
+	go func() { _ = ca.Send(&Msg{Kind: KindCollect}) }()
+	if _, err := cb.Expect(KindStepBegin); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+// TestErrorPropagation: a KindError surfaces as an error on Recv.
+func TestErrorPropagation(t *testing.T) {
+	ca, cb := pipePair(t)
+	go func() { ca.SendError(errInjected{}) }()
+	if _, err := cb.Recv(); err == nil {
+		t.Fatal("remote error swallowed")
+	}
+}
+
+type errInjected struct{}
+
+func (errInjected) Error() string { return "injected failure" }

@@ -1,0 +1,234 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"time"
+
+	"snaple/internal/core"
+)
+
+// Serve accepts coordinator sessions on l until the listener is closed,
+// running them sequentially: a worker owns one partition at a time, so
+// serving jobs back to back is the natural unit of isolation. Session
+// errors are reported to logf (nil discards them) and do not stop the
+// worker — the next coordinator gets a fresh session.
+func Serve(l net.Listener, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("wire: accept: %w", err)
+		}
+		logf("session from %s", c.RemoteAddr())
+		if err := ServeConn(c); err != nil {
+			logf("session from %s failed: %v", c.RemoteAddr(), err)
+		} else {
+			logf("session from %s done", c.RemoteAddr())
+		}
+	}
+}
+
+// ServeConn executes one coordinator session over rwc and closes it when the
+// session ends. Protocol violations and compute errors are reported to the
+// coordinator (KindError) and returned.
+func ServeConn(rwc io.ReadWriteCloser) error {
+	conn := NewConn(rwc)
+	defer conn.Close()
+	s, err := newSession(conn)
+	if err != nil {
+		conn.SendError(err)
+		return err
+	}
+	if err := conn.Send(&Msg{Kind: KindReady}); err != nil {
+		return err
+	}
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			if err == io.EOF {
+				return nil // coordinator done with us
+			}
+			return err
+		}
+		switch m.Kind {
+		case KindStepBegin:
+			if err := s.runStep(m.Step, m.Final); err != nil {
+				conn.SendError(err)
+				return err
+			}
+		case KindCollect:
+			if err := conn.Send(&Msg{Kind: KindResult, Result: s.collect(&m0)}); err != nil {
+				return err
+			}
+		default:
+			err := fmt.Errorf("wire: unexpected %s mid-session", m.Kind)
+			conn.SendError(err)
+			return err
+		}
+	}
+}
+
+// session is a worker's state for one job: the compute partition plus the
+// master/mirror roles the coordinator elected.
+type session struct {
+	conn      *Conn
+	partIdx   int
+	part      *core.DistPartition
+	isMaster  []bool
+	hasRemote []bool
+	busy      time.Duration
+}
+
+// newSession performs the ship handshake.
+func newSession(conn *Conn) (*session, error) {
+	m, err := conn.Expect(KindShip)
+	if err != nil {
+		return nil, err
+	}
+	if m.Version != ProtocolVersion {
+		return nil, fmt.Errorf("wire: protocol version %d, worker speaks %d", m.Version, ProtocolVersion)
+	}
+	if err := m.Part.Validate(); err != nil {
+		return nil, err
+	}
+	cfg, err := m.Job.Config()
+	if err != nil {
+		return nil, err
+	}
+	part, err := core.NewDistPartition(cfg, m.Part.NumVertices, m.Part.Locals, m.Part.Deg, m.Part.EdgeSrc, m.Part.EdgeDst)
+	if err != nil {
+		return nil, err
+	}
+	return &session{
+		conn:      conn,
+		partIdx:   m.Part.Part,
+		part:      part,
+		isMaster:  m.Part.IsMaster,
+		hasRemote: m.Part.HasRemote,
+	}, nil
+}
+
+// runStep executes one superstep: gather, exchange partials through the
+// coordinator, apply at the masters and (unless final) broadcast refreshed
+// state back through the coordinator to the mirrors.
+func (s *session) runStep(step core.DistStep, final bool) error {
+	t0 := time.Now()
+	partials, err := s.part.Gather(step)
+	if err != nil {
+		return err
+	}
+	// Split: partials for vertices mastered here wait for the apply phase;
+	// the rest go up to the coordinator for routing.
+	locals := s.part.Locals()
+	mine := make([][]core.DistPartial, len(locals))
+	var foreign []core.DistPartial
+	for _, dp := range partials {
+		li, _ := s.part.LocalIndex(dp.V) // gather only emits local vertices
+		if s.isMaster[li] {
+			mine[li] = append(mine[li], dp)
+		} else {
+			foreign = append(foreign, dp)
+		}
+	}
+	s.busy += time.Since(t0)
+
+	if err := s.conn.Send(&Msg{Kind: KindPartials, Step: step, Partials: foreign}); err != nil {
+		return err
+	}
+	fm, err := s.conn.Expect(KindForeign)
+	if err != nil {
+		return err
+	}
+	if fm.Step != step {
+		return fmt.Errorf("wire: foreign partials for %v during %v", fm.Step, step)
+	}
+
+	t0 = time.Now()
+	for _, dp := range fm.Partials {
+		li, ok := s.part.LocalIndex(dp.V)
+		if !ok || !s.isMaster[li] {
+			return fmt.Errorf("wire: routed partial for vertex %d, which is not mastered here", dp.V)
+		}
+		mine[li] = append(mine[li], dp)
+	}
+	for li, v := range locals {
+		if !s.isMaster[li] {
+			continue
+		}
+		if err := s.part.Apply(step, v, mine[li]); err != nil {
+			return err
+		}
+	}
+	if final {
+		// The last superstep's output is read back through collect; mirrors
+		// never consume it, so the refresh round is skipped entirely.
+		s.busy += time.Since(t0)
+		return nil
+	}
+	var states []VertexState
+	for li, v := range locals {
+		if !s.isMaster[li] || !s.hasRemote[li] {
+			continue
+		}
+		d, _ := s.part.State(v)
+		states = append(states, VertexState{V: v, Data: d})
+	}
+	s.busy += time.Since(t0)
+
+	if err := s.conn.Send(&Msg{Kind: KindRefresh, Step: step, States: states}); err != nil {
+		return err
+	}
+	mm, err := s.conn.Expect(KindMirrors)
+	if err != nil {
+		return err
+	}
+	if mm.Step != step {
+		return fmt.Errorf("wire: mirror refresh for %v during %v", mm.Step, step)
+	}
+	t0 = time.Now()
+	for _, vs := range mm.States {
+		if err := s.part.SetState(vs.V, vs.Data); err != nil {
+			return err
+		}
+	}
+	s.busy += time.Since(t0)
+	return nil
+}
+
+// collect assembles the partition's master predictions and cost report.
+func (s *session) collect(m0 *runtime.MemStats) WorkerResult {
+	res := WorkerResult{
+		Part: s.partIdx,
+		Stats: WorkerStats{
+			Verts:       len(s.part.Locals()),
+			Edges:       s.part.NumEdges(),
+			BusySeconds: s.busy.Seconds(),
+		},
+	}
+	for li, v := range s.part.Locals() {
+		if !s.isMaster[li] {
+			continue
+		}
+		d, _ := s.part.State(v)
+		if len(d.Pred) > 0 {
+			res.Preds = append(res.Preds, VertexPreds{V: v, Preds: d.Pred})
+		}
+	}
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	res.Stats.AllocBytes = int64(m1.TotalAlloc - m0.TotalAlloc)
+	res.Stats.AllocObjects = int64(m1.Mallocs - m0.Mallocs)
+	res.Stats.HeapBytes = int64(m1.HeapAlloc)
+	return res
+}

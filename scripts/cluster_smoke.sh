@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — CI's cluster-smoke gate for the dist backend.
+#
+# Builds cmd/snaple-worker, spawns a 3-process worker fleet on loopback,
+# runs the dist-vs-serial equivalence tests under the race detector against
+# that fleet (SNAPLE_WORKER_ADDRS points the tests at it), then exercises
+# both CLI paths: -addrs against the running fleet and -spawn, where the CLI
+# forks its own workers. The trap tears every worker down even when a step
+# fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+  status=$?
+  for pid in "${pids[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  if [ $status -ne 0 ]; then
+    echo "--- worker logs ---" >&2
+    cat "$workdir"/worker*.err 2>/dev/null >&2 || true
+  fi
+  rm -rf "$workdir"
+  exit $status
+}
+trap cleanup EXIT INT TERM
+
+echo "==> building worker and CLI"
+go build -o "$workdir/snaple-worker" ./cmd/snaple-worker
+go build -o "$workdir/snaple" ./cmd/snaple
+
+echo "==> spawning 3 workers on loopback"
+addrs=()
+for i in 1 2 3; do
+  "$workdir/snaple-worker" -listen 127.0.0.1:0 \
+    >"$workdir/worker$i.out" 2>"$workdir/worker$i.err" &
+  pids+=($!)
+done
+for i in 1 2 3; do
+  line=""
+  for _ in $(seq 1 100); do
+    line="$(head -n1 "$workdir/worker$i.out" 2>/dev/null || true)"
+    [ -n "$line" ] && break
+    sleep 0.1
+  done
+  case "$line" in
+    "listening "*) addrs+=("${line#listening }") ;;
+    *) echo "worker $i never announced its address (got: '$line')" >&2; exit 1 ;;
+  esac
+done
+addr_list="$(IFS=,; echo "${addrs[*]}")"
+echo "    fleet: $addr_list"
+
+echo "==> dist-vs-serial equivalence under -race against the external fleet"
+SNAPLE_WORKER_ADDRS="$addr_list" \
+  go test -race -count=1 -run 'TestDistMatchesReference|TestDistStrategies|TestDistMeasuredStats' \
+  ./internal/engine/
+
+echo "==> CLI end-to-end against the running fleet (-addrs)"
+"$workdir/snaple" -dataset gowalla -scale 0.3 -engine dist -addrs "$addr_list" -eval
+
+echo "==> CLI auto-spawn path (-spawn forks its own workers)"
+PATH="$workdir:$PATH" "$workdir/snaple" -dataset gowalla -scale 0.3 -engine dist -spawn 2 -eval
+
+echo "==> cluster smoke OK"

@@ -10,17 +10,19 @@
 //   - the SNAPLE scoring framework: Algorithm 2 decomposed into reusable
 //     per-vertex step primitives, plus the naive BASELINE comparison system
 //     (internal/core),
-//   - a pluggable execution layer (internal/engine) with three backends
+//   - a pluggable execution layer (internal/engine) with four backends
 //     behind one interface: "local", a parallel shared-memory engine that
 //     shards vertex ranges over goroutines; "serial", the single-threaded
-//     reference loop; and "sim", the paper's GAS engine over a simulated
+//     reference loop; "sim", the paper's GAS engine over a simulated
 //     cluster with vertex-cut placement, master/mirror replication and cost
-//     accounting (internal/gas, internal/partition, internal/cluster),
+//     accounting (internal/gas, internal/partition, internal/cluster); and
+//     "dist", the same supersteps across real worker processes over TCP
+//     (internal/wire, cmd/snaple-worker) with traffic measured on the wire,
 //   - a Cassovary-style random-walk comparator (internal/walk),
 //   - synthetic dataset analogs and the paper's evaluation protocol
 //     (internal/gen, internal/eval).
 //
-// All three backends produce bit-identical predictions for the same
+// All four backends produce bit-identical predictions for the same
 // Options; they differ only in speed and in which costs they report.
 //
 // Quick start:
@@ -87,11 +89,13 @@ type Options struct {
 	Seed uint64
 	// Engine selects the execution backend used by Predict: "local" (the
 	// default: parallel shared-memory), "serial" (the single-threaded
-	// reference) or "sim" (the GAS engine on a default single-node simulated
-	// cluster; use PredictDistributed to configure the deployment). All
-	// backends return bit-identical predictions.
+	// reference), "sim" (the GAS engine on a default single-node simulated
+	// cluster) or "dist" (real worker processes over TCP, served in-process
+	// on loopback by default; use PredictDistributed to configure either
+	// deployment). All backends return bit-identical predictions.
 	Engine string
 	// Workers bounds the goroutines of the chosen backend (0 = GOMAXPROCS).
+	// For "dist" it is the worker count (0 = 2 loopback workers).
 	Workers int
 }
 
@@ -160,27 +164,44 @@ func PredictStats(g *Graph, opts Options) (Predictions, EngineStats, error) {
 	return be.Predict(g, cfg)
 }
 
-// ClusterOptions describes the simulated deployment for distributed runs.
+// ClusterOptions describes the deployment for distributed runs: the
+// simulated cluster of the "sim" backend (Nodes/NodeType/Partitions/
+// MemBudgetBytes) or the real worker fleet of the "dist" backend
+// (WorkerAddrs/SpawnWorkers/Workers). Strategy and Seed apply to both.
 type ClusterOptions struct {
-	// Nodes is the number of cluster nodes (default 1).
+	// Nodes is the number of simulated cluster nodes (default 1; sim only).
 	Nodes int
 	// NodeType is "type-I" (8 cores, 32 GB, GbE) or "type-II" (20 cores,
-	// 128 GB, 10GbE; the default) — the paper's two machine classes.
+	// 128 GB, 10GbE; the default) — the paper's two machine classes (sim
+	// only).
 	NodeType string
-	// Partitions overrides the partition count (default one per core).
+	// Partitions overrides the partition count (default one per core; sim
+	// only — the dist backend always uses one partition per worker).
 	Partitions int
 	// Strategy selects the vertex-cut: "hash-edge" (default), "hash-source"
 	// or "greedy".
 	Strategy string
 	// MemBudgetBytes optionally caps per-node memory (0 = the node spec's
 	// capacity). Exceeding it aborts with an error wrapping
-	// ErrMemoryExhausted.
+	// ErrMemoryExhausted (sim only).
 	MemBudgetBytes int64
 	// Seed drives partitioning and master election.
 	Seed uint64
 	// Workers bounds the host goroutines processing partitions
-	// (0 = GOMAXPROCS). It never affects results or simulated costs.
+	// (0 = GOMAXPROCS). It never affects results or simulated costs. For
+	// the dist backend it is the loopback worker count used when neither
+	// WorkerAddrs nor SpawnWorkers is given.
 	Workers int
+	// WorkerAddrs connects the dist backend to running snaple-worker
+	// processes ("host:port" each); one partition is shipped to each.
+	WorkerAddrs []string
+	// SpawnWorkers makes the dist backend fork this many snaple-worker
+	// processes on loopback for the duration of the run (requires the
+	// binary; see WorkerBin). Ignored when WorkerAddrs is set.
+	SpawnWorkers int
+	// WorkerBin locates the worker binary for SpawnWorkers (default
+	// "snaple-worker" resolved through PATH).
+	WorkerBin string
 }
 
 // ErrMemoryExhausted is returned (wrapped) when a simulated node exceeds its
@@ -190,18 +211,37 @@ var ErrMemoryExhausted = cluster.ErrMemoryExhausted
 // Result reports a distributed run: the predictions plus the engine costs.
 type Result struct {
 	Predictions Predictions
-	// WallSeconds is host wall-clock time of the three supersteps.
+	// Engine is the backend that produced the result ("sim" or "dist").
+	Engine string
+	// WallSeconds is host wall-clock time of the supersteps.
 	WallSeconds float64
 	// SimSeconds is the simulated cluster latency (compute makespan over
-	// the configured cores plus network transfer time).
+	// the configured cores plus network transfer time; sim only — the dist
+	// backend's latency IS WallSeconds).
 	SimSeconds float64
-	// CrossBytes / CrossMsgs count cross-node traffic.
+	// CrossBytes / CrossMsgs count cross-node traffic: simulated from the
+	// paper's cost model on "sim", measured on real sockets on "dist".
 	CrossBytes, CrossMsgs int64
-	// MemPeakBytes is the highest per-node memory footprint.
+	// MemPeakBytes is the highest per-node memory footprint (simulated on
+	// "sim", the largest worker-reported live heap on "dist").
 	MemPeakBytes int64
 	// ReplicationFactor is the average replicas per vertex of the
 	// vertex-cut.
 	ReplicationFactor float64
+}
+
+// strategy maps the string-typed vertex-cut selection onto internal/partition.
+func (c ClusterOptions) strategy() (partition.Strategy, error) {
+	switch c.Strategy {
+	case "", "hash-edge":
+		return partition.HashEdge{Seed: c.Seed}, nil
+	case "hash-source":
+		return partition.HashSource{Seed: c.Seed}, nil
+	case "greedy":
+		return partition.Greedy{}, nil
+	default:
+		return nil, fmt.Errorf("snaple: unknown strategy %q (hash-edge|hash-source|greedy)", c.Strategy)
+	}
 }
 
 // toSim maps the string-typed deployment description onto the engine
@@ -216,16 +256,9 @@ func (c ClusterOptions) toSim() (engine.Sim, error) {
 	default:
 		return engine.Sim{}, fmt.Errorf("snaple: unknown node type %q (type-I|type-II)", c.NodeType)
 	}
-	var strat partition.Strategy
-	switch c.Strategy {
-	case "", "hash-edge":
-		strat = partition.HashEdge{Seed: c.Seed}
-	case "hash-source":
-		strat = partition.HashSource{Seed: c.Seed}
-	case "greedy":
-		strat = partition.Greedy{}
-	default:
-		return engine.Sim{}, fmt.Errorf("snaple: unknown strategy %q (hash-edge|hash-source|greedy)", c.Strategy)
+	strat, err := c.strategy()
+	if err != nil {
+		return engine.Sim{}, err
 	}
 	return engine.Sim{
 		Nodes:          c.Nodes,
@@ -241,6 +274,7 @@ func (c ClusterOptions) toSim() (engine.Sim, error) {
 func toResult(preds Predictions, st engine.Stats) *Result {
 	return &Result{
 		Predictions:       preds,
+		Engine:            st.Engine,
 		WallSeconds:       st.WallSeconds,
 		SimSeconds:        st.SimSeconds,
 		CrossBytes:        st.CrossBytes,
@@ -250,14 +284,44 @@ func toResult(preds Predictions, st engine.Stats) *Result {
 	}
 }
 
-// PredictDistributed runs SNAPLE's Algorithm 2 on the GAS engine over a
-// simulated cluster (the engine layer's "sim" backend). Results are
-// bit-identical to Predict for the same Options, independent of the
-// deployment.
+// toDist maps the deployment description onto the engine layer's Dist
+// backend (real worker processes over TCP).
+func (c ClusterOptions) toDist() (engine.Dist, error) {
+	strat, err := c.strategy()
+	if err != nil {
+		return engine.Dist{}, err
+	}
+	return engine.Dist{
+		Addrs:     c.WorkerAddrs,
+		Spawn:     c.SpawnWorkers,
+		WorkerBin: c.WorkerBin,
+		InProc:    c.Workers,
+		Strategy:  strat,
+		Seed:      c.Seed,
+	}, nil
+}
+
+// PredictDistributed runs SNAPLE's Algorithm 2 on a configured deployment:
+// by default the GAS engine over a simulated cluster (the engine layer's
+// "sim" backend, with the paper's cost model), or — when opts.Engine is
+// "dist" — across real snaple-worker processes over TCP, with the traffic
+// fields measured on the wire. Results are bit-identical to Predict for the
+// same Options, independent of the deployment.
 func PredictDistributed(g *Graph, opts Options, cl ClusterOptions) (*Result, error) {
 	cfg, err := opts.toCore()
 	if err != nil {
 		return nil, err
+	}
+	if opts.Engine == "dist" {
+		d, err := cl.toDist()
+		if err != nil {
+			return nil, err
+		}
+		preds, st, err := d.Predict(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return toResult(preds, st), nil
 	}
 	sim, err := cl.toSim()
 	if err != nil {
