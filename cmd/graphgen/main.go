@@ -1,9 +1,12 @@
-// Command graphgen emits synthetic graphs as SNAP-style edge lists: either
-// one of the paper's dataset analogs or a raw generator model.
+// Command graphgen emits synthetic graphs — either one of the paper's
+// dataset analogs or a raw generator model — as SNAP-style edge lists or,
+// when the output path ends in .sgr (or -format sgr is given), as binary
+// CSR snapshots that snaple/snaple-bench load without any parsing.
 //
 // Usage:
 //
 //	graphgen -dataset livejournal -scale 0.5 -out lj.txt
+//	graphgen -dataset twitter-rv -scale 2 -o tw.sgr
 //	graphgen -model ba -n 10000 -m 4 -out ba.txt
 //	graphgen -model community -n 5000 -communities 25 -out comm.txt
 package main
@@ -11,7 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"snaple"
 	"snaple/internal/gen"
@@ -25,6 +30,7 @@ func main() {
 		scale       = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		seed        = flag.Uint64("seed", 42, "generator seed")
 		out         = flag.String("out", "-", "output path ('-' = stdout)")
+		format      = flag.String("format", "auto", "output format: auto|text|sgr (auto: sgr when the path ends in .sgr, else text)")
 		n           = flag.Int("n", 1000, "vertices (raw models)")
 		m           = flag.Int("m", 4, "edges per vertex (ba) / total edges (er)")
 		k           = flag.Int("k", 4, "ring degree (ws)")
@@ -34,6 +40,7 @@ func main() {
 		communities = flag.Int("communities", 10, "communities (community model)")
 		symmetric   = flag.Bool("symmetric", false, "duplicate edges in both directions (community model)")
 	)
+	flag.StringVar(out, "o", *out, "alias for -out")
 	flag.Parse()
 
 	g, err := generate(*dataset, *model, *scale, *seed, rawParams{
@@ -56,12 +63,30 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := snaple.WriteEdgeList(w, g); err != nil {
+	if err := writeGraph(w, g, *format, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}
 	st := graph.ComputeStats(g)
 	fmt.Fprintf(os.Stderr, "graphgen: wrote %s\n", st)
+}
+
+// writeGraph emits g in the requested format; "auto" keys off the output
+// path's extension (stdout defaults to text).
+func writeGraph(w io.Writer, g *snaple.Graph, format, outPath string) error {
+	switch format {
+	case "auto":
+		if strings.HasSuffix(outPath, ".sgr") {
+			return snaple.WriteSnapshot(w, g)
+		}
+		return snaple.WriteEdgeList(w, g)
+	case "text":
+		return snaple.WriteEdgeList(w, g)
+	case "sgr":
+		return snaple.WriteSnapshot(w, g)
+	default:
+		return fmt.Errorf("unknown format %q (auto|text|sgr)", format)
+	}
 }
 
 type rawParams struct {

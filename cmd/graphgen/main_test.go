@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"snaple"
+)
 
 func TestGenerate(t *testing.T) {
 	defaults := rawParams{n: 100, m: 3, k: 4, beta: 0.1, rmatScale: 6, edgeFactor: 4, communities: 5}
@@ -35,6 +41,58 @@ func TestGenerate(t *testing.T) {
 			}
 			if g.NumVertices() == 0 {
 				t.Error("empty graph")
+			}
+		})
+	}
+}
+
+// TestWriteGraph covers the format switch: explicit text/sgr, extension
+// auto-detection, and rejection of unknown formats. Snapshot output must
+// load back identically through the auto-detecting reader.
+func TestWriteGraph(t *testing.T) {
+	g, err := generate("", "ba", 0.1, 7, rawParams{n: 100, m: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name, format, out string
+		wantSnap          bool
+		wantErr           bool
+	}{
+		{"explicit text", "text", "g.sgr", false, false}, // explicit beats extension
+		{"explicit sgr", "sgr", "g.txt", true, false},
+		{"auto text", "auto", "g.txt", false, false},
+		{"auto stdout", "auto", "-", false, false},
+		{"auto sgr", "auto", "g.sgr", true, false},
+		{"unknown", "nope", "g.txt", false, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := writeGraph(&buf, g, tc.format, tc.out)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			isSnap := bytes.HasPrefix(buf.Bytes(), []byte("SNAPLSGR"))
+			if isSnap != tc.wantSnap {
+				t.Fatalf("snapshot output = %v, want %v", isSnap, tc.wantSnap)
+			}
+			var g2 *snaple.Graph
+			if tc.wantSnap {
+				g2, err = snaple.ReadSnapshot(bytes.NewReader(buf.Bytes()))
+			} else {
+				g2, err = snaple.ReadEdgeList(strings.NewReader(buf.String()), false)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g2.NumEdges() != g.NumEdges() {
+				t.Fatalf("round trip lost edges: %d -> %d", g.NumEdges(), g2.NumEdges())
 			}
 		})
 	}

@@ -86,17 +86,25 @@ func TestRunPerfWritesReport(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON report: %v\n%s", err, data)
 	}
-	if rep.Edges <= 0 || len(rep.Rows) != len(perfEngines) {
+	wantRows := append(append([]string{}, perfEngines...), "ingest-text", "ingest-sgr")
+	if rep.Edges <= 0 || len(rep.Rows) != len(wantRows) {
 		t.Fatalf("implausible report: %+v", rep)
 	}
 	for i, row := range rep.Rows {
-		if row.Engine != perfEngines[i] || row.EdgesPerSec <= 0 || row.WallSeconds <= 0 {
+		if row.Engine != wantRows[i] || row.EdgesPerSec <= 0 || row.WallSeconds <= 0 {
 			t.Errorf("implausible row: %+v", row)
 		}
 	}
 	// The dist row's traffic is measured on real sockets; it cannot be zero.
-	if last := rep.Rows[len(rep.Rows)-1]; last.Engine == "dist" && (last.CrossBytes == 0 || last.CrossMsgs == 0) {
+	if dist, ok := rep.Row("dist"); !ok || dist.CrossBytes == 0 || dist.CrossMsgs == 0 {
 		t.Errorf("dist row missing measured traffic: %+v", rep.Rows)
+	}
+	// The ingest rows measure load throughput and peak live memory.
+	for _, engine := range []string{"ingest-text", "ingest-sgr"} {
+		row, ok := rep.Row(engine)
+		if !ok || row.MBPerSec <= 0 || row.PeakBytes <= 0 {
+			t.Errorf("%s row missing load metrics: %+v", engine, row)
+		}
 	}
 	if !strings.Contains(sb.String(), "edges/s") {
 		t.Errorf("missing summary line:\n%s", sb.String())

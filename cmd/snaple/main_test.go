@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,6 +43,91 @@ func TestLoad(t *testing.T) {
 				t.Error("empty graph loaded")
 			}
 		})
+	}
+}
+
+// TestPack covers the pack subcommand: text -> snapshot conversion, the
+// default output path, option pass-through, re-packing a snapshot, the
+// packed file loading back through the auto-detecting -in path, and the
+// error cases.
+func TestPack(t *testing.T) {
+	dir := t.TempDir()
+	text := filepath.Join(dir, "g.txt")
+	// Vertex 5 exists only via the header: pack must preserve it.
+	if err := os.WriteFile(text, []byte("# vertices: 6\n0 1\n1 2\n3 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runPack([]string{"-in", text, "-preserve-ids", "-in-edges"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	sgr := filepath.Join(dir, "g.sgr") // default: input path with .sgr extension
+	g, err := load(runArgs{in: sgr})
+	if err != nil {
+		t.Fatalf("load packed: %v", err)
+	}
+	if g.NumVertices() != 6 || g.NumEdges() != 3 {
+		t.Fatalf("packed graph is %s, want V=6 E=3", g)
+	}
+	if !g.HasInEdges() {
+		t.Error("-in-edges not packed")
+	}
+	if !strings.Contains(out.String(), "packed") {
+		t.Errorf("no pack summary printed: %q", out.String())
+	}
+
+	// Re-pack the snapshot to an explicit path.
+	repacked := filepath.Join(dir, "g2.sgr")
+	if err := runPack([]string{"-in", sgr, "-out", repacked}, &out); err != nil {
+		t.Fatalf("re-pack: %v", err)
+	}
+	g2, err := load(runArgs{in: repacked})
+	if err != nil || g2.NumEdges() != 3 {
+		t.Fatalf("re-packed graph: %s err=%v", g2, err)
+	}
+
+	if err := runPack(nil, &out); err == nil {
+		t.Error("pack without -in: want error")
+	}
+	// Re-packing in place would truncate (and on failure delete) the input.
+	if err := runPack([]string{"-in", sgr}, &out); err == nil || !strings.Contains(err.Error(), "overwrite") {
+		t.Errorf("pack onto the input path: want overwrite error, got %v", err)
+	}
+	if err := runPack([]string{"-in", text, "-out", text}, &out); err == nil {
+		t.Error("pack -out equal to -in: want error")
+	}
+	// A differently-spelled path to the same file must be caught too.
+	link := filepath.Join(dir, "alias.sgr")
+	if err := os.Symlink(sgr, link); err == nil {
+		if err := runPack([]string{"-in", sgr, "-out", link}, &out); err == nil {
+			t.Error("pack -out symlinked to -in: want error")
+		}
+	}
+	if err := runPack([]string{"-in", filepath.Join(dir, "absent.txt")}, &out); err == nil {
+		t.Error("pack of missing file: want error")
+	}
+}
+
+// TestLoadAutoDetect: -in accepts both formats interchangeably.
+func TestLoadAutoDetect(t *testing.T) {
+	dir := t.TempDir()
+	text := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(text, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gText, err := load(runArgs{in: text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runPack([]string{"-in", text}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	gSnap, err := load(runArgs{in: filepath.Join(dir, "g.sgr")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gText.NumVertices() != gSnap.NumVertices() || gText.NumEdges() != gSnap.NumEdges() {
+		t.Fatalf("text load %s != snapshot load %s", gText, gSnap)
 	}
 }
 

@@ -19,7 +19,11 @@ type PerfReport struct {
 }
 
 // PerfRow is one backend's measurements. CrossBytes/CrossMsgs are real wire
-// traffic (dist backend only; zero for shared-memory backends).
+// traffic (dist backend only; zero for shared-memory backends). The ingest
+// rows ("ingest-text", "ingest-sgr") measure graph loading rather than
+// prediction: for them MBPerSec is input bytes consumed per second and
+// PeakBytes the sampled peak live heap during the load — the metric that
+// catches an O(E) ingest intermediate sneaking back in.
 type PerfRow struct {
 	Engine       string  `json:"engine"`
 	Workers      int     `json:"workers"`
@@ -29,6 +33,8 @@ type PerfRow struct {
 	AllocObjects int64   `json:"alloc_objects"`
 	CrossBytes   int64   `json:"cross_bytes,omitempty"`
 	CrossMsgs    int64   `json:"cross_msgs,omitempty"`
+	MBPerSec     float64 `json:"mb_per_sec,omitempty"`
+	PeakBytes    int64   `json:"peak_bytes,omitempty"`
 }
 
 // Row returns the report's row for an engine.
@@ -53,7 +59,12 @@ func (r PerfReport) Row(engine string) (PerfRow, bool) {
 //     (these are near-deterministic per code version, so the same tolerance
 //     is comfortably wide);
 //   - cross_bytes must not exceed (1+tol) × baseline when the baseline
-//     measured any (wire bloat is a regression of the dist protocol).
+//     measured any (wire bloat is a regression of the dist protocol);
+//   - mb_per_sec must not drop below (1−tol) × baseline when the baseline
+//     measured any (ingest rows: parse/load throughput);
+//   - peak_bytes must not exceed (1+tol) × baseline when the baseline
+//     measured any (ingest rows: an O(E) loading intermediate is exactly
+//     the step-function blow-up this gate exists to catch).
 //
 // Improvements never fail. The graphs must be identical (dataset, scale,
 // seed, vertex and edge counts) — otherwise the comparison is meaningless
@@ -90,6 +101,12 @@ func ComparePerf(baseline, current PerfReport, tol float64) []string {
 			failf("%s: throughput regressed: %.0f edges/s < %.0f (baseline %.0f − %d%%)",
 				base.Engine, cur.EdgesPerSec, floor, base.EdgesPerSec, int(tol*100))
 		}
+		if base.MBPerSec > 0 {
+			if floor := base.MBPerSec * (1 - tol); cur.MBPerSec < floor {
+				failf("%s: ingest throughput regressed: %.1f MB/s < %.1f (baseline %.1f − %d%%)",
+					base.Engine, cur.MBPerSec, floor, base.MBPerSec, int(tol*100))
+			}
+		}
 		checkCeil := func(metric string, base64, cur64 int64) {
 			if base64 <= 0 {
 				return
@@ -102,6 +119,7 @@ func ComparePerf(baseline, current PerfReport, tol float64) []string {
 		checkCeil("alloc_bytes", base.AllocBytes, cur.AllocBytes)
 		checkCeil("alloc_objects", base.AllocObjects, cur.AllocObjects)
 		checkCeil("cross_bytes", base.CrossBytes, cur.CrossBytes)
+		checkCeil("peak_bytes", base.PeakBytes, cur.PeakBytes)
 	}
 	return failures
 }

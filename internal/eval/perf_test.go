@@ -11,6 +11,8 @@ func basePerfReport() PerfReport {
 		Rows: []PerfRow{
 			{Engine: "local", Workers: 4, WallSeconds: 1, EdgesPerSec: 100000, AllocBytes: 1 << 20, AllocObjects: 500},
 			{Engine: "dist", Workers: 2, WallSeconds: 2, EdgesPerSec: 50000, AllocBytes: 4 << 20, AllocObjects: 90000, CrossBytes: 8 << 20, CrossMsgs: 60},
+			{Engine: "ingest-text", Workers: 2, WallSeconds: 0.5, EdgesPerSec: 200000, AllocBytes: 2 << 20, AllocObjects: 900, MBPerSec: 120, PeakBytes: 3 << 20},
+			{Engine: "ingest-sgr", Workers: 2, WallSeconds: 0.05, EdgesPerSec: 2000000, AllocBytes: 1 << 20, AllocObjects: 40, MBPerSec: 900, PeakBytes: 2 << 20},
 		},
 	}
 }
@@ -57,6 +59,8 @@ func TestComparePerfCatchesHardRegressions(t *testing.T) {
 	check("allocation blow-up", func(r *PerfReport) { r.Rows[0].AllocObjects *= 3 }, "alloc_objects")
 	check("alloc bytes blow-up", func(r *PerfReport) { r.Rows[1].AllocBytes *= 2 }, "alloc_bytes")
 	check("wire bloat", func(r *PerfReport) { r.Rows[1].CrossBytes *= 2 }, "cross_bytes")
+	check("ingest throughput cliff", func(r *PerfReport) { r.Rows[2].MBPerSec /= 2 }, "ingest throughput")
+	check("ingest peak-memory blow-up", func(r *PerfReport) { r.Rows[3].PeakBytes *= 2 }, "peak_bytes")
 	check("engine row dropped", func(r *PerfReport) { r.Rows = r.Rows[:1] }, "missing")
 	check("different graph", func(r *PerfReport) { r.Edges++ }, "different graphs")
 	check("different worker count", func(r *PerfReport) { r.Rows[0].Workers++ }, "worker counts")
@@ -67,8 +71,13 @@ func TestComparePerfZeroBaselineMetricsIgnored(t *testing.T) {
 	// current report that has some.
 	base := basePerfReport()
 	base.Rows[1].CrossBytes = 0
+	// Likewise an ingest row from before MB/s and peak tracking existed.
+	base.Rows[2].MBPerSec = 0
+	base.Rows[2].PeakBytes = 0
 	cur := basePerfReport()
 	cur.Rows[1].CrossBytes = 100 << 20
+	cur.Rows[2].MBPerSec = 1
+	cur.Rows[2].PeakBytes = 100 << 20
 	if f := ComparePerf(base, cur, 0.35); len(f) != 0 {
 		t.Fatalf("zero-baseline metric enforced: %v", f)
 	}

@@ -179,8 +179,18 @@ func (b *Builder) build(workers int) (*Digraph, error) {
 		}
 	})
 
-	// Pass 3: sort and deduplicate every row in place, then compact into
-	// exact-sized final arrays.
+	// Pass 3: sort, deduplicate and compact the scattered rows.
+	return finishCSR(workers, n, off, adj, b.withInEdges), nil
+}
+
+// finishCSR is the counting-sort builder's final pass, shared with the
+// streaming text ingester: given the duplicate-inclusive scatter layout
+// (off is the per-vertex row offsets, adj the scattered destinations), it
+// sorts and deduplicates every row in place in parallel and compacts the
+// survivors into exact-sized final arrays. The scatter order within a row
+// does not matter — rows come out sorted either way — which is what lets
+// callers scatter from any sharding without synchronisation.
+func finishCSR(workers, n int, off []int64, adj []VertexID, withInEdges bool) *Digraph {
 	g := &Digraph{numVertices: n, outOff: make([]int64, n+1)}
 	parallelRanges(workers, n, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
@@ -199,11 +209,10 @@ func (b *Builder) build(workers int) (*Digraph, error) {
 			copy(g.outAdj[g.outOff[u]:g.outOff[u+1]], adj[off[u]:off[u]+kept])
 		}
 	})
-
-	if b.withInEdges {
+	if withInEdges {
 		g.buildInAdjacency()
 	}
-	return g, nil
+	return g
 }
 
 // edgeRange returns worker w's contiguous share [lo, hi) of m edges.

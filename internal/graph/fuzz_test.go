@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEdgeList drives the streaming parallel parser with arbitrary
+// bytes and holds it to three properties: worker counts never disagree
+// (same graph or same verdict), ASCII inputs match the sequential oracle
+// exactly (the byte parser is ASCII-only by design, so non-ASCII inputs
+// only assert no-panic), and every parsed graph survives both codec round
+// trips (edge list with header, binary snapshot).
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("# c\n0 1\n1 2\n"))
+	f.Add([]byte("# vertices: 9\n3 4 0.5\n"))
+	f.Add([]byte("5 2\n2 0"))
+	f.Add([]byte("7 7\n\n% x\n1 2 3 4\n"))
+	f.Add([]byte(" \t1\t2\r\n4294967295 0\n"))
+	f.Add([]byte("42\n"))
+	f.Add([]byte("1 99999999999999999999\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		g1, err1 := ReadEdgeList(bytes.NewReader(data), ReadOptions{Workers: 1})
+		g4, err4 := ReadEdgeList(bytes.NewReader(data), ReadOptions{Workers: 4})
+		if (err1 == nil) != (err4 == nil) {
+			t.Fatalf("worker counts disagree on validity: %v vs %v", err1, err4)
+		}
+		if err1 == nil && !graphEqual(g1, g4) {
+			t.Fatal("worker counts disagree on the graph")
+		}
+		ascii := true
+		for _, b := range data {
+			if b >= 0x80 {
+				ascii = false
+				break
+			}
+		}
+		if ascii {
+			want, werr := readEdgeListReference(bytes.NewReader(data), ReadOptions{})
+			if (werr == nil) != (err1 == nil) {
+				t.Fatalf("oracle disagrees on validity: oracle %v, ingester %v", werr, err1)
+			}
+			if werr == nil && !graphEqual(g1, want) {
+				t.Fatal("ingester diverged from the sequential oracle")
+			}
+		}
+		if err1 != nil {
+			return
+		}
+		// Codec round trips: text (exact, thanks to the vertices header)...
+		var txt bytes.Buffer
+		if err := WriteEdgeList(&txt, g1); err != nil {
+			t.Fatal(err)
+		}
+		rt, err := ReadEdgeList(bytes.NewReader(txt.Bytes()), ReadOptions{PreserveIDs: true})
+		if err != nil {
+			t.Fatalf("re-read of written edge list: %v", err)
+		}
+		if !graphEqual(g1, rt) {
+			t.Fatal("edge-list round trip changed the graph")
+		}
+		// ...and binary snapshot.
+		var snap bytes.Buffer
+		if err := WriteSnapshot(&snap, g1); err != nil {
+			t.Fatal(err)
+		}
+		rs, err := ReadSnapshot(bytes.NewReader(snap.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of written snapshot: %v", err)
+		}
+		if !graphEqual(g1, rs) {
+			t.Fatal("snapshot round trip changed the graph")
+		}
+	})
+}
+
+// FuzzReadSnapshot throws arbitrary bytes at the snapshot loader: it must
+// never panic, and anything it accepts must satisfy the CSR invariants and
+// survive a write/read round trip.
+func FuzzReadSnapshot(f *testing.F) {
+	for _, g := range []*Digraph{
+		MustFromEdges(4, []Edge{{0, 1}, {1, 2}, {3, 0}}),
+		MustFromEdges(1, nil),
+	} {
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, g); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		g.buildInAdjacency()
+		buf.Reset()
+		if err := WriteSnapshot(&buf, g); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("SNAPLSGR"))
+	f.Add([]byte("not a snapshot"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		g, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := validateCSR(g.NumVertices(), g.outOff, g.outAdj, "out"); err != nil {
+			t.Fatalf("accepted snapshot violates CSR invariants: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of re-written snapshot: %v", err)
+		}
+		if !graphEqual(g, g2) {
+			t.Fatal("snapshot round trip changed the graph")
+		}
+	})
+}

@@ -1,0 +1,442 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+)
+
+// Streaming parallel edge-list ingestion.
+//
+// ReadEdgeList used to buffer every parsed edge in a []Edge plus a full
+// remap map before the CSR build even started — an O(E) intermediate that
+// dominated peak memory and wall time exactly where billion-edge ingest
+// (Section 5's headline scale) hurts most. The ingester below removes the
+// intermediate: the input is split into one contiguous byte-range shard
+// per worker, aligned to newline boundaries, and parsed in multiple cheap
+// passes that feed the counting-sort CSR build directly —
+//
+//   - PreserveIDs mode (dense inputs, e.g. packed or written by
+//     WriteEdgeList): a scan pass finds max ID and the "# vertices:"
+//     header; a count pass fills a budget-capped groups×V cursor table; a
+//     scatter pass writes destinations straight into the
+//     duplicate-inclusive CSR layout. No map, no edge list: peak memory is
+//     the CSR being built plus the capped cursor table.
+//   - Remap mode (sparse raw IDs): pass 1 additionally records each
+//     shard's raw IDs in local first-appearance order with a per-shard
+//     map; merging those orders in shard order reproduces the sequential
+//     reader's dense remap bit for bit (an ID's global first appearance
+//     lies in the earliest shard that saw it, at its first position
+//     there). Per-shard maps are inherent to parallel remapping and cost
+//     O(distinct IDs) per shard in the worst case — for graphs near
+//     memory scale, pack once with PreserveIDs instead.
+//
+// After scattering, finishCSR sorts, deduplicates and compacts the rows;
+// scatter order inside a row is irrelevant because rows are sorted
+// afterwards, which is what lets any grouping of shards write without
+// synchronisation. Results are bit-identical to a sequential read for any
+// worker count.
+const (
+	// ingestChunkBytes is the per-read granularity of the shard scanners.
+	ingestChunkBytes = 512 << 10
+	// minShardBytes keeps tiny inputs serial: below this per-shard size the
+	// goroutine fan-out costs more than it saves.
+	minShardBytes = 256 << 10
+	// maxLineBytes bounds a single line (the old bufio.Scanner limit was
+	// 1 MiB and surfaced as a bare "token too long" with no context; the
+	// chunked scanner raises it 64-fold and reports the line number, but an
+	// unbounded carry buffer would let one malformed line exhaust memory).
+	maxLineBytes = 64 << 20
+	// cursorBudgetBytes caps the groups×vertices count/cursor table, the
+	// analog of the builder's histBudgetBytes: with very many vertices the
+	// count/scatter fan-out is reduced rather than allocating unboundedly.
+	cursorBudgetBytes = 1 << 30
+)
+
+// parseError carries the byte offset of the line that failed so the caller
+// can report a line number without every shard counting lines it skips.
+type parseError struct {
+	off int64
+	err error
+}
+
+func (e *parseError) Error() string { return e.err.Error() }
+func (e *parseError) Unwrap() error { return e.err }
+
+// ReadEdgeListAt parses the SNAP-style edge list stored in ra's first size
+// bytes with the streaming parallel ingester. ReadEdgeList delegates here
+// for files and in-memory buffers; use it directly to parse a random-access
+// region without an *os.File.
+func ReadEdgeListAt(ra io.ReaderAt, size int64, opts ReadOptions) (*Digraph, error) {
+	return readEdgeListAt(ra, 0, size, opts)
+}
+
+// ingest carries the state shared by the ingestion passes.
+type ingest struct {
+	ra         io.ReaderAt
+	start, end int64
+	opts       ReadOptions
+	workers    int
+	shards     []ingestShard
+}
+
+func (in *ingest) shardLo(w int) int64 {
+	return in.start + (in.end-in.start)*int64(w)/int64(in.workers)
+}
+
+// scanShard runs fn over shard w's lines through the shard's reusable
+// chunk buffer.
+func (in *ingest) scanShard(w int, fn func(off int64, line []byte) error) error {
+	return forEachLine(in.ra, in.start, in.shardLo(w), in.shardLo(w+1), in.end, &in.shards[w].buf, fn)
+}
+
+func readEdgeListAt(ra io.ReaderAt, start, end int64, opts ReadOptions) (*Digraph, error) {
+	if end < start {
+		end = start
+	}
+	in := &ingest{
+		ra: ra, start: start, end: end, opts: opts,
+		workers: ingestShards(end-start, opts),
+	}
+	in.shards = make([]ingestShard, in.workers)
+
+	// Pass 1. Both modes validate every line and resolve the vertex space;
+	// remap mode also records the per-shard first-appearance orders and
+	// degree counts (it has to touch a map per edge anyway — fusing the
+	// count into the same pass is free, unlike preserve mode where a
+	// dedicated count pass lets the counter table be budget-capped).
+	errs := make([]error, in.workers)
+	forEachWorker(in.workers, func(w int) {
+		s := &in.shards[w]
+		s.headerV = -1
+		if !opts.PreserveIDs {
+			s.local = make(map[uint64]uint32)
+		}
+		errs[w] = in.scanShard(w, s.pass1(opts))
+	})
+	if err := firstParseError(ra, start, errs); err != nil {
+		return nil, err
+	}
+	n, err := in.resolveVertexSpace()
+	if err != nil {
+		return nil, err
+	}
+
+	// Group shards so the groups×n count/cursor table respects the budget;
+	// each group counts and scatters its shards sequentially through one
+	// table row, which stays correct because the interleaved prefix sum
+	// below hands every group a reserved sub-range of every CSR row it
+	// contributes to.
+	groups := in.workers
+	if n > 0 {
+		if maxG := int(cursorBudgetBytes / (8 * int64(n))); groups > maxG {
+			groups = max(maxG, 1)
+		}
+	}
+	groupShards := func(g int) (int, int) { return g * in.workers / groups, (g + 1) * in.workers / groups }
+
+	cnt := make([]int64, groups*n)
+	if opts.PreserveIDs {
+		// Count pass (preserve mode): straight into the capped table.
+		cerrs := make([]error, groups)
+		forEachWorker(groups, func(g int) {
+			row := cnt[g*n : (g+1)*n]
+			lo, hi := groupShards(g)
+			for w := lo; w < hi; w++ {
+				if err := in.scanShard(w, countLine(opts, row)); err != nil {
+					cerrs[g] = err
+					return
+				}
+			}
+		})
+		if err := errors.Join(cerrs...); err != nil {
+			return nil, fmt.Errorf("graph: reread: %w", err)
+		}
+	} else {
+		// Remap mode counted during pass 1; translate the per-shard local
+		// counts into the grouped table.
+		forEachWorker(groups, func(g int) {
+			row := cnt[g*n : (g+1)*n]
+			lo, hi := groupShards(g)
+			for w := lo; w < hi; w++ {
+				s := &in.shards[w]
+				for l, c := range s.counts {
+					row[s.globalOf[l]] += int64(c)
+				}
+			}
+		})
+	}
+
+	// Interleaved prefix sum (vertex-major, group-minor): off becomes the
+	// duplicate-inclusive row offsets and cnt each group's write cursors.
+	off := make([]int64, n+1)
+	var total int64
+	for u := 0; u < n; u++ {
+		off[u] = total
+		for g := 0; g < groups; g++ {
+			c := cnt[g*n+u]
+			cnt[g*n+u] = total
+			total += c
+		}
+	}
+	off[n] = total
+
+	// Scatter pass: re-parse and place destinations. Only valid inputs
+	// reach this point, so the per-line callbacks skip anything but
+	// well-formed edges.
+	adj := make([]VertexID, total)
+	rerrs := make([]error, groups)
+	forEachWorker(groups, func(g int) {
+		cur := cnt[g*n : (g+1)*n]
+		lo, hi := groupShards(g)
+		for w := lo; w < hi; w++ {
+			if err := in.scanShard(w, in.shards[w].scatter(opts, cur, adj)); err != nil {
+				rerrs[g] = err
+				return
+			}
+		}
+	})
+	if err := errors.Join(rerrs...); err != nil {
+		return nil, fmt.Errorf("graph: reread: %w", err)
+	}
+	return finishCSR(in.workers, n, off, adj, opts.WithInEdges), nil
+}
+
+// resolveVertexSpace merges the shards' pass-1 results into the vertex
+// count, honoring the "# vertices:" header in PreserveIDs mode and filling
+// the shards' local→global remap tables otherwise.
+func (in *ingest) resolveVertexSpace() (int, error) {
+	if in.opts.PreserveIDs {
+		headerV := int64(-1)
+		for i := range in.shards {
+			if hv := in.shards[i].headerV; hv >= 0 {
+				if headerV >= 0 && headerV != hv {
+					return 0, fmt.Errorf("graph: conflicting '# vertices:' headers (%d and %d)", headerV, hv)
+				}
+				headerV = hv
+			}
+		}
+		var maxRaw uint64
+		sawEdge := false
+		for i := range in.shards {
+			if in.shards[i].sawEdge {
+				sawEdge = true
+				maxRaw = max(maxRaw, in.shards[i].maxRaw)
+			}
+		}
+		n := 0
+		if sawEdge {
+			n = int(maxRaw) + 1
+		}
+		if headerV >= 0 {
+			// headerV <= 2^32 is guaranteed by parseVerticesHeader, which
+			// treats anything larger as an ordinary comment.
+			if sawEdge && int64(maxRaw) >= headerV {
+				return 0, fmt.Errorf("graph: vertex id %d out of range for '# vertices: %d' header", maxRaw, headerV)
+			}
+			n = int(headerV)
+		}
+		return n, nil
+	}
+	// Sequential merge of the shards' local first-appearance orders, in
+	// shard order, reproduces the sequential reader's dense remap bit for
+	// bit (see the package comment above).
+	distinct := 0
+	for i := range in.shards {
+		distinct += len(in.shards[i].order)
+	}
+	global := make(map[uint64]VertexID, distinct)
+	for i := range in.shards {
+		s := &in.shards[i]
+		s.globalOf = make([]VertexID, len(s.order))
+		for l, raw := range s.order {
+			id, ok := global[raw]
+			if !ok {
+				id = VertexID(len(global))
+				global[raw] = id
+			}
+			s.globalOf[l] = id
+		}
+	}
+	return len(global), nil
+}
+
+// ingestShards picks the shard fan-out: the configured worker count, or
+// GOMAXPROCS capped so every shard gets a meaningful amount of input.
+func ingestShards(size int64, opts ReadOptions) int {
+	if opts.Workers > 0 {
+		return opts.Workers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if maxW := int(size/minShardBytes) + 1; w > maxW {
+		w = maxW
+	}
+	return max(w, 1)
+}
+
+// ingestShard is one byte-range shard's parse state across the passes.
+type ingestShard struct {
+	buf []byte // chunk buffer, reused across passes
+
+	// Remap mode: raw IDs interned densely per shard in first-appearance
+	// order; counts is the duplicate-inclusive degree contribution per
+	// local ID, globalOf the local→global translation filled by the merge.
+	local    map[uint64]uint32
+	order    []uint64
+	counts   []uint32
+	globalOf []VertexID
+
+	// PreserveIDs mode.
+	maxRaw uint64
+
+	sawEdge bool
+	headerV int64 // value of a '# vertices: N' header seen in this shard (-1: none)
+}
+
+func (s *ingestShard) intern(raw uint64) uint32 {
+	if l, ok := s.local[raw]; ok {
+		return l
+	}
+	l := uint32(len(s.order))
+	s.local[raw] = l
+	s.order = append(s.order, raw)
+	s.counts = append(s.counts, 0)
+	return l
+}
+
+// pass1 returns the per-line validation callback: max-ID/header tracking
+// in preserve mode, interning plus degree counting in remap mode.
+func (s *ingestShard) pass1(opts ReadOptions) func(off int64, line []byte) error {
+	return func(off int64, line []byte) error {
+		src, dst, kind, err := parseEdgeLine(line)
+		if err != nil {
+			return &parseError{off: off, err: err}
+		}
+		switch kind {
+		case lineSkip:
+			return nil
+		case lineHeader:
+			// The header only means something in PreserveIDs mode; the
+			// dense remap ignores it like any other comment (concatenated
+			// WriteEdgeList outputs stay valid remap inputs).
+			if opts.PreserveIDs {
+				v := int64(src)
+				if s.headerV >= 0 && s.headerV != v {
+					return &parseError{off: off, err: fmt.Errorf("conflicting '# vertices:' headers (%d and %d)", s.headerV, v)}
+				}
+				s.headerV = v
+			}
+			return nil
+		}
+		s.sawEdge = true
+		if opts.PreserveIDs {
+			s.maxRaw = max(s.maxRaw, src, dst)
+			return nil
+		}
+		ls := s.intern(src)
+		ld := s.intern(dst)
+		if src == dst {
+			return nil // self-loops are dropped, matching the Builder
+		}
+		if s.counts[ls] == math.MaxUint32 {
+			return &parseError{off: off, err: fmt.Errorf("vertex %d: per-shard edge count overflows uint32", src)}
+		}
+		s.counts[ls]++
+		if opts.Symmetrize {
+			if s.counts[ld] == math.MaxUint32 {
+				return &parseError{off: off, err: fmt.Errorf("vertex %d: per-shard edge count overflows uint32", dst)}
+			}
+			s.counts[ld]++
+		}
+		return nil
+	}
+}
+
+// countLine returns the preserve-mode counting callback writing into one
+// group's row of the count table.
+func countLine(opts ReadOptions, row []int64) func(off int64, line []byte) error {
+	return func(_ int64, line []byte) error {
+		src, dst, kind, err := parseEdgeLine(line)
+		if err != nil || kind != lineEdge || src == dst {
+			return nil // pass 1 already validated; only kept edges count
+		}
+		row[src]++
+		if opts.Symmetrize {
+			row[dst]++
+		}
+		return nil
+	}
+}
+
+// scatter returns the per-line scatter callback writing through cur.
+func (s *ingestShard) scatter(opts ReadOptions, cur []int64, adj []VertexID) func(off int64, line []byte) error {
+	return func(_ int64, line []byte) error {
+		src, dst, kind, err := parseEdgeLine(line)
+		if err != nil || kind != lineEdge || src == dst {
+			return nil
+		}
+		var gs, gd VertexID
+		if opts.PreserveIDs {
+			gs, gd = VertexID(src), VertexID(dst)
+		} else {
+			gs = s.globalOf[s.local[src]]
+			gd = s.globalOf[s.local[dst]]
+		}
+		adj[cur[gs]] = gd
+		cur[gs]++
+		if opts.Symmetrize {
+			adj[cur[gd]] = gs
+			cur[gd]++
+		}
+		return nil
+	}
+}
+
+// firstParseError turns the shards' errors into the sequential reader's
+// contract: the failure on the earliest bad line wins, reported with its
+// 1-based line number (counted only on the error path).
+func firstParseError(ra io.ReaderAt, start int64, errs []error) error {
+	var best *parseError
+	var other error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		var pe *parseError
+		if errors.As(e, &pe) {
+			if best == nil || pe.off < best.off {
+				best = pe
+			}
+		} else if other == nil {
+			other = e
+		}
+	}
+	if best != nil {
+		return fmt.Errorf("graph: line %d: %w", lineNumberAt(ra, start, best.off), best.err)
+	}
+	if other != nil {
+		return fmt.Errorf("graph: read: %w", other)
+	}
+	return nil
+}
+
+// lineNumberAt returns the 1-based line number of the line starting at off.
+func lineNumberAt(ra io.ReaderAt, start, off int64) int {
+	buf := make([]byte, ingestChunkBytes)
+	n := 1
+	for pos := start; pos < off; {
+		m, err := ra.ReadAt(buf[:min(int64(len(buf)), off-pos)], pos)
+		if m <= 0 {
+			break
+		}
+		n += bytes.Count(buf[:m], []byte{'\n'})
+		pos += int64(m)
+		if err != nil {
+			break
+		}
+	}
+	return n
+}

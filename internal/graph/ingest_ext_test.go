@@ -1,0 +1,105 @@
+// Package graph_test holds the tests that need the synthetic generators
+// (internal/gen imports graph, so they cannot live in the internal test
+// package without an import cycle).
+package graph_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"snaple/internal/gen"
+	"snaple/internal/graph"
+)
+
+// genGraphFiles generates an RMAT graph of at least minEdges edges and
+// materialises it in both on-disk formats.
+func genGraphFiles(tb testing.TB, scale, minEdges int) (g *graph.Digraph, textPath, sgrPath string) {
+	tb.Helper()
+	g, err := gen.RMAT(scale, 8, 0.57, 0.19, 0.19, 42)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if g.NumEdges() < minEdges {
+		tb.Fatalf("generated only %d edges, want >= %d", g.NumEdges(), minEdges)
+	}
+	dir := tb.TempDir()
+	textPath = filepath.Join(dir, "g.txt")
+	sgrPath = filepath.Join(dir, "g.sgr")
+	writeVia := func(path string, write func(*os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := write(f); err != nil {
+			tb.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	writeVia(textPath, func(f *os.File) error { return graph.WriteEdgeList(f, g) })
+	writeVia(sgrPath, func(f *os.File) error { return graph.WriteSnapshot(f, g) })
+	return g, textPath, sgrPath
+}
+
+// TestSnapshotLoadSpeedup pins the point of the binary format: loading a
+// >=1M-edge snapshot must be at least 5x faster than parsing the same
+// graph from text (best of two runs each, to shake off cold caches).
+func TestSnapshotLoadSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	g, textPath, sgrPath := genGraphFiles(t, 18, 1_000_000)
+
+	load := func(path string, opts graph.ReadOptions) (time.Duration, *graph.Digraph) {
+		best := time.Duration(1<<62 - 1)
+		var out *graph.Digraph
+		for i := 0; i < 2; i++ {
+			start := time.Now()
+			got, err := graph.ReadGraphFile(path, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			out = got
+		}
+		return best, out
+	}
+	textTime, fromText := load(textPath, graph.ReadOptions{PreserveIDs: true})
+	snapTime, fromSnap := load(sgrPath, graph.ReadOptions{})
+	if fromText.NumVertices() != g.NumVertices() || fromText.NumEdges() != g.NumEdges() ||
+		fromSnap.NumVertices() != g.NumVertices() || fromSnap.NumEdges() != g.NumEdges() {
+		t.Fatalf("loads disagree with source: text %s, snapshot %s, want %s", fromText, fromSnap, g)
+	}
+	t.Logf("E=%d: text parse %v, snapshot load %v (%.1fx)",
+		g.NumEdges(), textTime, snapTime, float64(textTime)/float64(snapTime))
+	if snapTime*5 > textTime {
+		t.Errorf("snapshot load %v is not >=5x faster than text parse %v", snapTime, textTime)
+	}
+}
+
+func BenchmarkIngestText(b *testing.B) {
+	g, textPath, _ := genGraphFiles(b, 14, 100_000)
+	b.SetBytes(int64(g.NumEdges()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.ReadGraphFile(textPath, graph.ReadOptions{PreserveIDs: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotLoad(b *testing.B) {
+	g, _, sgrPath := genGraphFiles(b, 14, 100_000)
+	b.SetBytes(int64(g.NumEdges()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.ReadGraphFile(sgrPath, graph.ReadOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,18 +2,25 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 )
 
 // WriteEdgeList writes g in the SNAP edge-list format used by the paper's
-// datasets: one "src dst" pair per line, '#' comment header first.
+// datasets: one "src dst" pair per line, '#' comment headers first. The
+// second header line, "# vertices: N", is machine-readable: ReadEdgeList
+// honors it in PreserveIDs mode, so a write/read round trip preserves the
+// vertex count even when the highest-ID vertices are isolated (without it
+// the reader can only infer max(ID)+1 from the edges it sees, silently
+// shrinking such graphs).
 func WriteEdgeList(w io.Writer, g *Digraph) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := fmt.Fprintf(bw, "# Directed graph: %d vertices, %d edges\n",
-		g.NumVertices(), g.NumEdges()); err != nil {
+	if _, err := fmt.Fprintf(bw, "# Directed graph: %d vertices, %d edges\n# %s %d\n",
+		g.NumVertices(), g.NumEdges(), vertexHeaderTag, g.NumVertices()); err != nil {
 		return fmt.Errorf("graph: write header: %w", err)
 	}
 	var err error
@@ -44,76 +51,100 @@ type ReadOptions struct {
 	Symmetrize bool
 	// WithInEdges materialises the reverse adjacency.
 	WithInEdges bool
-	// PreserveIDs keeps raw vertex IDs instead of remapping them densely;
-	// the vertex count becomes max(ID)+1. Only sensible for inputs that are
-	// already dense, e.g. files produced by WriteEdgeList.
+	// PreserveIDs keeps raw vertex IDs instead of remapping them densely.
+	// The vertex count is taken from the machine-readable "# vertices: N"
+	// header when the file carries one (WriteEdgeList emits it), else
+	// inferred as max(ID)+1 — which silently loses trailing isolated
+	// vertices, the bug the header exists to fix. Only sensible for inputs
+	// that are already dense, e.g. files produced by WriteEdgeList.
 	PreserveIDs bool
+	// Workers bounds the streaming parser's shard fan-out (0 = GOMAXPROCS,
+	// capped so small inputs stay serial). The resulting graph is identical
+	// for every value.
+	Workers int
 }
 
 // ReadEdgeList parses a SNAP-style edge list: whitespace-separated vertex-ID
-// pairs, blank lines and lines starting with '#' or '%' ignored. Vertex IDs
-// may be sparse; they are remapped to a dense range in first-appearance
-// order. The number of vertices is max(seen IDs treated densely); any ID is
-// accepted up to 2^32-1.
+// pairs, blank lines and lines starting with '#' or '%' ignored (except the
+// "# vertices: N" header, see ReadOptions.PreserveIDs). Fields past the
+// second — the weights or timestamps of weighted SNAP lists — are ignored.
+// Vertex IDs may be sparse; they are remapped to a dense range in
+// first-appearance order. Any ID is accepted up to 2^32-1.
+//
+// Regular files are parsed in place with the streaming parallel ingester
+// (see ReadEdgeListAt), whose peak memory is the CSR being built plus
+// per-shard counters — no edge-list intermediate. Other readers are
+// buffered in memory first, then parsed the same way.
 func ReadEdgeList(r io.Reader, opts ReadOptions) (*Digraph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-
-	remap := make(map[uint64]VertexID)
-	maxID := uint64(0)
-	intern := func(raw uint64) VertexID {
-		if opts.PreserveIDs {
-			if raw > maxID {
-				maxID = raw
+	switch src := r.(type) {
+	case *os.File:
+		if fi, err := src.Stat(); err == nil && fi.Mode().IsRegular() {
+			if pos, err := src.Seek(0, io.SeekCurrent); err == nil {
+				return readEdgeListAt(src, pos, fi.Size(), opts)
 			}
-			return VertexID(raw)
 		}
-		if id, ok := remap[raw]; ok {
-			return id
-		}
-		id := VertexID(len(remap))
-		remap[raw] = id
-		return id
+	case *bytes.Reader:
+		// Already random-access: parse the unread portion in place.
+		return readEdgeListAt(src, src.Size()-int64(src.Len()), src.Size(), opts)
+	case *strings.Reader:
+		return readEdgeListAt(src, src.Size()-int64(src.Len()), src.Size(), opts)
 	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	return readEdgeListAt(bytes.NewReader(data), 0, int64(len(data)), opts)
+}
 
-	var edges []Edge
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || line[0] == '#' || line[0] == '%' {
-			continue
+// Format identifies an on-disk graph encoding.
+type Format int
+
+const (
+	// FormatEdgeList is the SNAP-style text edge list.
+	FormatEdgeList Format = iota
+	// FormatSnapshot is the binary CSR snapshot (see WriteSnapshot).
+	FormatSnapshot
+)
+
+// DetectFormat classifies a file by its leading bytes (8 suffice). Anything
+// that does not carry the snapshot magic is treated as a text edge list.
+func DetectFormat(prefix []byte) Format {
+	if len(prefix) >= len(snapshotMagic) && string(prefix[:len(snapshotMagic)]) == snapshotMagic {
+		return FormatSnapshot
+	}
+	return FormatEdgeList
+}
+
+// ReadGraphFile loads a graph from path in either supported on-disk format,
+// detected by magic bytes: a binary CSR snapshot or a text edge list. opts
+// applies to the text decoder; snapshots bake Symmetrize and the ID space
+// in at pack time, so Symmetrize is rejected for them and WithInEdges
+// materialises the reverse adjacency only when the file does not already
+// carry one.
+func ReadGraphFile(path string, opts ReadOptions) (*Digraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var magic [len(snapshotMagic)]byte
+	n, err := f.ReadAt(magic[:], 0)
+	if err != nil && err != io.EOF {
+		// Unseekable input (pipe, device): only the text decoder streams it.
+		return ReadEdgeList(f, opts)
+	}
+	if DetectFormat(magic[:n]) == FormatSnapshot {
+		if opts.Symmetrize {
+			return nil, fmt.Errorf("graph: %s: snapshots are packed directed; Symmetrize applies when packing", path)
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: want 2 fields, got %d", lineNo, len(fields))
-		}
-		src, err := strconv.ParseUint(fields[0], 10, 32)
+		g, err := ReadSnapshot(f)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad source %q: %w", lineNo, fields[0], err)
+			return nil, fmt.Errorf("graph: %s: %w", path, err)
 		}
-		dst, err := strconv.ParseUint(fields[1], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad target %q: %w", lineNo, fields[1], err)
+		if opts.WithInEdges && !g.HasInEdges() {
+			g.buildInAdjacency()
 		}
-		edges = append(edges, Edge{intern(src), intern(dst)})
+		return g, nil
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: scan: %w", err)
-	}
-	numVertices := len(remap)
-	if opts.PreserveIDs {
-		numVertices = 0
-		if len(edges) > 0 {
-			numVertices = int(maxID) + 1
-		}
-	}
-	b := NewBuilder(numVertices).
-		Symmetrize(opts.Symmetrize).
-		WithInEdges(opts.WithInEdges)
-	b.Grow(len(edges))
-	for _, e := range edges {
-		b.AddEdge(e.Src, e.Dst)
-	}
-	return b.Build()
+	return ReadEdgeList(f, opts)
 }

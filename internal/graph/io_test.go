@@ -90,15 +90,85 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Vertex count can shrink if the top IDs were isolated; compare edges.
-	if g2.NumEdges() != g.NumEdges() {
-		t.Fatalf("edge count changed: %d -> %d", g.NumEdges(), g2.NumEdges())
+	// The "# vertices:" header makes the round trip exact, isolated top
+	// IDs included.
+	if !graphEqual(g, g2) {
+		t.Fatalf("round trip changed the graph: %s -> %s", g, g2)
 	}
-	g.ForEachEdge(func(u, v VertexID) {
-		if !g2.HasEdge(u, v) {
-			t.Fatalf("edge (%d,%d) lost in round trip", u, v)
-		}
-	})
+}
+
+// TestRoundTripIsolatedMaxIDVertex is the regression test for the
+// round-trip vertex-loss bug: without the "# vertices:" header, a graph
+// whose highest-ID vertices are isolated silently shrank from maxID+1
+// recomputation on read.
+func TestRoundTripIsolatedMaxIDVertex(t *testing.T) {
+	g := MustFromEdges(6, []Edge{{0, 1}, {1, 2}}) // vertices 3..5 isolated
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(bytes.NewReader(buf.Bytes()), ReadOptions{PreserveIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 6 {
+		t.Fatalf("NumVertices = %d after round trip, want 6 (isolated max-ID vertices lost)", g2.NumVertices())
+	}
+	if !graphEqual(g, g2) {
+		t.Fatalf("round trip changed the graph: %s -> %s", g, g2)
+	}
+	// An all-isolated graph survives too (no edges at all).
+	empty := MustFromEdges(4, nil)
+	buf.Reset()
+	if err := WriteEdgeList(&buf, empty); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := ReadEdgeList(bytes.NewReader(buf.Bytes()), ReadOptions{PreserveIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.NumVertices() != 4 {
+		t.Fatalf("NumVertices = %d, want 4", e2.NumVertices())
+	}
+}
+
+// TestVerticesHeader pins the header semantics: honored in PreserveIDs
+// mode, ignored by the dense remap, conflicts and out-of-range IDs are
+// errors, malformed variants are ordinary comments.
+func TestVerticesHeader(t *testing.T) {
+	read := func(in string, preserve bool) (*Digraph, error) {
+		return ReadEdgeList(strings.NewReader(in), ReadOptions{PreserveIDs: preserve, Workers: 2})
+	}
+	g, err := read("# vertices: 9\n0 1\n", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 9 {
+		t.Errorf("preserve: V = %d, want 9", g.NumVertices())
+	}
+	if g, err = read("# vertices: 9\n0 1\n", false); err != nil || g.NumVertices() != 2 {
+		t.Errorf("remap: V = %d err=%v, want V=2 (header ignored)", g.NumVertices(), err)
+	}
+	if _, err = read("# vertices: 3\n0 1\n# vertices: 4\n", true); err == nil {
+		t.Error("conflicting headers: want error")
+	}
+	// Remap mode ignores headers entirely, so concatenated WriteEdgeList
+	// outputs (each with its own header) stay valid inputs.
+	if g, err = read("# vertices: 3\n0 1\n# vertices: 4\n1 2\n", false); err != nil || g.NumVertices() != 3 {
+		t.Errorf("remap with conflicting headers: V=%d err=%v, want V=3 (headers ignored)", g.NumVertices(), err)
+	}
+	if _, err = read("# vertices: 2\n0 5\n", true); err == nil {
+		t.Error("edge beyond header count: want error")
+	}
+	if g, err = read("# vertices: x\n0 1\n", true); err != nil || g.NumVertices() != 2 {
+		t.Errorf("malformed header: V = %d err=%v, want plain comment (V=2)", g.NumVertices(), err)
+	}
+	if g, err = read("# vertices: 99999999999999\n0 1\n", true); err != nil || g.NumVertices() != 2 {
+		t.Errorf("oversized header: V = %d err=%v, want plain comment (V=2)", g.NumVertices(), err)
+	}
+	if g, err = read("# vertices: 5\n", true); err != nil || g.NumVertices() != 5 {
+		t.Errorf("header only: V = %d err=%v, want V=5 E=0", g.NumVertices(), err)
+	}
 }
 
 func TestReadEmpty(t *testing.T) {

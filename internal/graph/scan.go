@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Chunked, shard-aware line scanning and field parsing for the streaming
+// ingester. The scanner replaces the old bufio.Scanner: it has no fixed
+// line-length ceiling (a >1 MiB line used to surface as a bare
+// "bufio.Scanner: token too long" with no line number), and it can start
+// mid-file, which is what lets shards align themselves to newline
+// boundaries without coordination.
+
+// forEachLine streams the lines of ra whose first byte lies in [lo, hi) to
+// fn, reading in chunks through *bufp (allocated on first use and reused
+// across passes). start and end delimit the whole input. A line is owned by
+// the shard its first byte falls in and is parsed to its end even when it
+// crosses hi, so every line is seen by exactly one shard. fn receives the
+// offset of the line's first byte and its content without the trailing
+// newline.
+func forEachLine(ra io.ReaderAt, start, lo, hi, end int64, bufp *[]byte, fn func(off int64, line []byte) error) error {
+	if *bufp == nil {
+		*bufp = make([]byte, ingestChunkBytes)
+	}
+	buf := *bufp
+	pos := lo
+	if lo > start {
+		// The line containing byte lo belongs to this shard only if it
+		// starts exactly there, i.e. the previous byte is a newline: scan
+		// from lo-1 for the first newline and start just past it.
+		scan := lo - 1
+		found := false
+		for scan < end && !found {
+			m := int(min(int64(len(buf)), end-scan))
+			if err := readFullAt(ra, buf[:m], scan); err != nil {
+				return err
+			}
+			if i := bytes.IndexByte(buf[:m], '\n'); i >= 0 {
+				pos = scan + int64(i) + 1
+				found = true
+			} else {
+				scan += int64(m)
+			}
+		}
+		if !found || pos >= hi {
+			return nil // shard is interior to one line, or past its range
+		}
+	}
+	var carry []byte // spill for lines crossing a chunk boundary
+	var carryStart int64
+	for cur := pos; cur < end; {
+		m := int(min(int64(len(buf)), end-cur))
+		if err := readFullAt(ra, buf[:m], cur); err != nil {
+			return err
+		}
+		base := 0
+		for {
+			i := bytes.IndexByte(buf[base:m], '\n')
+			if i < 0 {
+				break
+			}
+			lineEnd := base + i
+			if len(carry) > 0 {
+				carry = append(carry, buf[base:lineEnd]...)
+				if len(carry) > maxLineBytes {
+					return lineTooLong(carryStart)
+				}
+				if err := fn(carryStart, carry); err != nil {
+					return err
+				}
+				carry = carry[:0]
+			} else if err := fn(cur+int64(base), buf[base:lineEnd]); err != nil {
+				return err
+			}
+			base = lineEnd + 1
+			if cur+int64(base) >= hi {
+				return nil // the next line starts in another shard
+			}
+		}
+		if base < m {
+			if len(carry) == 0 {
+				carryStart = cur + int64(base)
+			}
+			carry = append(carry, buf[base:m]...)
+			if len(carry) > maxLineBytes {
+				return lineTooLong(carryStart)
+			}
+		}
+		cur += int64(m)
+	}
+	if len(carry) > 0 {
+		return fn(carryStart, carry) // final line without trailing newline
+	}
+	return nil
+}
+
+func lineTooLong(off int64) error {
+	return &parseError{off: off, err: fmt.Errorf("line exceeds %d MiB", maxLineBytes>>20)}
+}
+
+func readFullAt(ra io.ReaderAt, p []byte, off int64) error {
+	n, err := ra.ReadAt(p, off)
+	if n == len(p) {
+		return nil // ReadAt may pair a full read with io.EOF at the end
+	}
+	if err == nil || err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("read at offset %d: %w", off, err)
+}
+
+// Line classification for parseEdgeLine.
+const (
+	lineEdge   = iota // src and dst hold a parsed edge
+	lineSkip          // blank line or ordinary comment
+	lineHeader        // '# vertices: N' header; src holds N
+)
+
+// isHSpace reports horizontal whitespace. The parser is byte-oriented:
+// it recognises the ASCII whitespace bytes (space, tab, CR, VT, FF), which
+// is what SNAP-style files contain, not the full Unicode space set.
+func isHSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\r' || b == '\v' || b == '\f'
+}
+
+// parseEdgeLine classifies one line and, for edge lines, parses the two
+// leading vertex-ID fields. Blank lines and lines whose first non-space
+// byte is '#' or '%' are skipped (except the machine-readable
+// "# vertices: N" header, which is surfaced to the caller). Fields past
+// the second — the weights or timestamps of weighted SNAP lists — are
+// deliberately ignored, whatever they contain: only the first two fields
+// of an edge line are interpreted.
+func parseEdgeLine(line []byte) (src, dst uint64, kind int, err error) {
+	i := 0
+	for i < len(line) && isHSpace(line[i]) {
+		i++
+	}
+	if i == len(line) {
+		return 0, 0, lineSkip, nil
+	}
+	if line[i] == '#' || line[i] == '%' {
+		if v, ok := parseVerticesHeader(line[i:]); ok {
+			return v, 0, lineHeader, nil
+		}
+		return 0, 0, lineSkip, nil
+	}
+	src, i, err = parseVertexField(line, i, "source")
+	if err != nil {
+		return 0, 0, lineEdge, err
+	}
+	for i < len(line) && isHSpace(line[i]) {
+		i++
+	}
+	if i == len(line) {
+		return 0, 0, lineEdge, fmt.Errorf("want 2 fields, got 1")
+	}
+	dst, _, err = parseVertexField(line, i, "target")
+	if err != nil {
+		return 0, 0, lineEdge, err
+	}
+	return src, dst, lineEdge, nil
+}
+
+// parseVertexField parses one base-10 vertex ID starting at line[i] and
+// returns the value and the index just past the field. The field must be
+// all digits and fit in 32 bits, mirroring the strconv.ParseUint(…, 10, 32)
+// contract of the sequential reader it replaced.
+func parseVertexField(line []byte, i int, what string) (uint64, int, error) {
+	fieldStart := i
+	var v uint64
+	for i < len(line) && !isHSpace(line[i]) {
+		c := line[i]
+		if c < '0' || c > '9' {
+			return 0, i, fmt.Errorf("bad %s %q: want a base-10 vertex id", what, field(line, fieldStart))
+		}
+		v = v*10 + uint64(c-'0')
+		if v > math.MaxUint32 {
+			return 0, i, fmt.Errorf("bad %s %q: vertex id exceeds 2^32-1", what, field(line, fieldStart))
+		}
+		i++
+	}
+	return v, i, nil
+}
+
+// field returns the whitespace-delimited field starting at line[i], for
+// error messages.
+func field(line []byte, i int) []byte {
+	j := i
+	for j < len(line) && !isHSpace(line[j]) {
+		j++
+	}
+	return line[i:j]
+}
+
+// vertexHeaderTag is the machine-readable comment WriteEdgeList emits so a
+// save/load round trip preserves trailing isolated vertices.
+const vertexHeaderTag = "vertices:"
+
+// parseVerticesHeader recognises "# vertices: N" (line starts at the
+// comment marker; internal and trailing horizontal whitespace is free).
+// Malformed variants — non-numeric, trailing junk, or a value beyond the
+// 2^32 vertex-count ceiling — are treated as ordinary comments, so the
+// returned value always fits the representable vertex space.
+func parseVerticesHeader(line []byte) (uint64, bool) {
+	i := 1 // past '#' or '%'
+	for i < len(line) && isHSpace(line[i]) {
+		i++
+	}
+	if !bytes.HasPrefix(line[i:], []byte(vertexHeaderTag)) {
+		return 0, false
+	}
+	i += len(vertexHeaderTag)
+	for i < len(line) && isHSpace(line[i]) {
+		i++
+	}
+	digits := 0
+	var v uint64
+	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+		v = v*10 + uint64(line[i]-'0')
+		if v > math.MaxUint32+1 {
+			return 0, false // beyond any representable vertex count
+		}
+		digits++
+		i++
+	}
+	if digits == 0 {
+		return 0, false
+	}
+	for i < len(line) && isHSpace(line[i]) {
+		i++
+	}
+	return v, i == len(line)
+}

@@ -20,7 +20,12 @@
 //     (internal/wire, cmd/snaple-worker) with traffic measured on the wire,
 //   - a Cassovary-style random-walk comparator (internal/walk),
 //   - synthetic dataset analogs and the paper's evaluation protocol
-//     (internal/gen, internal/eval).
+//     (internal/gen, internal/eval),
+//   - a graph I/O subsystem (internal/graph): streaming parallel
+//     edge-list ingestion with no O(E) intermediate, plus versioned,
+//     checksummed binary CSR snapshots (.sgr) that load with zero
+//     per-edge work — pack once with `snaple pack`, start every later
+//     run at disk speed.
 //
 // All four backends produce bit-identical predictions for the same
 // Options; they differ only in speed and in which costs they report.
@@ -398,7 +403,9 @@ func FromEdges(numVertices int, edges []Edge) (*Graph, error) {
 }
 
 // ReadEdgeList parses a SNAP-style edge list ("src dst" per line, '#'
-// comments). Set symmetrize for undirected inputs.
+// comments). Set symmetrize for undirected inputs. Regular files are
+// parsed with the streaming parallel ingester, whose peak memory is the
+// CSR being built plus per-shard counters — no edge-list intermediate.
 func ReadEdgeList(r io.Reader, symmetrize bool) (*Graph, error) {
 	return graph.ReadEdgeList(r, graph.ReadOptions{Symmetrize: symmetrize})
 }
@@ -413,5 +420,35 @@ func ReadEdgeListFile(path string, symmetrize bool) (*Graph, error) {
 	return ReadEdgeList(f, symmetrize)
 }
 
-// WriteEdgeList writes g as a SNAP-style edge list.
+// WriteEdgeList writes g as a SNAP-style edge list, including the
+// machine-readable "# vertices: N" header that makes save/load round trips
+// preserve isolated vertices.
 func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// GraphReadOptions configures the graph loaders (see the fields' docs in
+// internal/graph).
+type GraphReadOptions = graph.ReadOptions
+
+// ReadGraphFile loads a graph from path in either supported on-disk
+// format, auto-detected by magic bytes: a binary CSR snapshot (.sgr, see
+// WriteSnapshot) or a SNAP-style text edge list.
+func ReadGraphFile(path string, opts GraphReadOptions) (*Graph, error) {
+	return graph.ReadGraphFile(path, opts)
+}
+
+// LoadGraphFile is ReadGraphFile with the CLI's defaults: just the
+// undirected-input switch, which only applies to text inputs (snapshots
+// bake the edge direction in when packed).
+func LoadGraphFile(path string, symmetrize bool) (*Graph, error) {
+	return graph.ReadGraphFile(path, graph.ReadOptions{Symmetrize: symmetrize})
+}
+
+// WriteSnapshot writes g as a versioned, checksummed binary CSR snapshot.
+// Loading one materialises the graph with zero per-edge allocation — no
+// parsing, no remap, no re-sort — which is why `snaple pack` converts big
+// edge lists once and every later run starts at disk speed.
+func WriteSnapshot(w io.Writer, g *Graph) error { return graph.WriteSnapshot(w, g) }
+
+// ReadSnapshot loads a binary CSR snapshot written by WriteSnapshot,
+// verifying its checksums and structural invariants.
+func ReadSnapshot(r io.Reader) (*Graph, error) { return graph.ReadSnapshot(r) }
