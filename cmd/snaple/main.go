@@ -12,6 +12,8 @@
 //	snaple -dataset livejournal -scale 0.25 -score linearSum -klocal 20 -eval
 //	snaple -dataset livejournal -engine local -workers 8 -eval
 //	snaple -in graph.txt -score PPR -k 10 -vertex 42
+//	snaple -in graph.sgr -engine local -sources 17,42,99 -vertex 42
+//	snaple -in graph.sgr -engine local -sources @user-ids.txt
 //	snaple pack -in graph.txt -out graph.sgr
 //	snaple -in graph.sgr -engine local -eval
 //	snaple -dataset pokec -system walks -walks 100 -depth 3 -eval
@@ -28,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"slices"
+	"strconv"
 	"strings"
 	"time"
 
@@ -72,6 +75,8 @@ func main() {
 		spawn     = flag.Int("spawn", 0, "auto-spawn this many local snaple-worker processes for -engine dist")
 		workerBin = flag.String("worker-bin", "", "snaple-worker binary for -spawn (default: found on PATH)")
 
+		sources = flag.String("sources", "", "scope the prediction to these source vertices: comma-separated IDs, or @FILE with whitespace-separated IDs ('#' comments); empty = all vertices")
+
 		walks = flag.Int("walks", 100, "walks per vertex (system=walks)")
 		depth = flag.Int("depth", 3, "walk depth (system=walks)")
 
@@ -98,7 +103,7 @@ func main() {
 		policy: *policy, alpha: *alpha, engine: *engineF, engineSet: engineSet,
 		workers: *workers, serial: *serial,
 		nodes: *nodes, nodeType: *nodeType, strategy: *strategy, budget: *budget,
-		addrs: *addrs, spawn: *spawn, workerBin: *workerBin,
+		addrs: *addrs, spawn: *spawn, workerBin: *workerBin, sources: *sources,
 		walks: *walks, depth: *depth, doEval: *doEval, vertex: *vertex,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "snaple:", err)
@@ -129,10 +134,51 @@ type runArgs struct {
 	addrs     string
 	spawn     int
 	workerBin string
+	sources   string
 	walks     int
 	depth     int
 	doEval    bool
 	vertex    int
+}
+
+// parseSources parses the -sources flag: a comma-separated ID list, or
+// "@path" naming a file of whitespace-separated IDs where '#' starts a
+// line comment — the shape a batch of user IDs arrives in.
+func parseSources(s string) ([]snaple.VertexID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var fields []string
+	if strings.HasPrefix(s, "@") {
+		data, err := os.ReadFile(s[1:])
+		if err != nil {
+			return nil, fmt.Errorf("-sources: %w", err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			fields = append(fields, strings.Fields(line)...)
+		}
+	} else {
+		fields = strings.Split(s, ",")
+	}
+	out := make([]snaple.VertexID, 0, len(fields))
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		id, err := strconv.ParseUint(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("-sources: bad vertex id %q: %w", f, err)
+		}
+		out = append(out, snaple.VertexID(id))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-sources: no vertex ids in %q", s)
+	}
+	return out, nil
 }
 
 func run(a runArgs) error {
@@ -169,10 +215,23 @@ func run(a runArgs) error {
 	if !slices.Contains(snaple.EngineNames(), eng) {
 		return fmt.Errorf("unknown engine %q (%s)", eng, strings.Join(snaple.EngineNames(), "|"))
 	}
+	srcs, err := parseSources(a.sources)
+	if err != nil {
+		return err
+	}
+	if srcs != nil && a.system != "snaple" {
+		return fmt.Errorf("-sources only applies to -system snaple")
+	}
+	if srcs != nil && a.doEval {
+		// Recall's denominator is every vertex's hidden edge; a scoped run
+		// only predicts for the sources, so the figure would be silently
+		// deflated to near zero. Refuse rather than mislead.
+		return fmt.Errorf("-sources cannot be combined with -eval: recall is defined over all vertices, a scoped run predicts only for the sources")
+	}
 	opts := snaple.Options{
 		Score: a.score, Alpha: a.alpha, K: a.k, KLocal: a.klocal,
 		ThrGamma: a.thr, Policy: a.policy, Seed: a.seed,
-		Engine: eng, Workers: a.workers,
+		Engine: eng, Workers: a.workers, Sources: srcs,
 	}
 	cl := snaple.ClusterOptions{
 		Nodes: a.nodes, NodeType: a.nodeType, Strategy: a.strategy,
@@ -204,6 +263,10 @@ func run(a runArgs) error {
 				fmt.Printf("engine: %s workers=%d %.2fs %.0f edges/s alloc=%.1fMiB (%d objects)\n",
 					st.Engine, st.Workers, st.WallSeconds, st.EdgesPerSec,
 					float64(st.AllocBytes)/(1<<20), st.AllocObjects)
+				if st.FrontierVertices > 0 {
+					fmt.Printf("frontier: %d sources -> %d-vertex closure (of %d)\n",
+						st.ScoredVertices, st.FrontierVertices, g.NumVertices())
+				}
 			}
 		}
 	case "baseline":
@@ -331,6 +394,9 @@ func runPack(args []string, w io.Writer) error {
 }
 
 func printStats(r *snaple.Result) {
+	if r.FrontierVertices > 0 {
+		fmt.Printf("frontier: %d sources -> %d-vertex closure\n", r.ScoredVertices, r.FrontierVertices)
+	}
 	if r.Engine == "dist" {
 		// Everything here is measured, not simulated: real sockets, real heap.
 		fmt.Printf("engine: dist wall=%.3fs cross=%.1fMiB msgs=%d (measured) peak=%.1fMiB/worker rf=%.2f\n",

@@ -4,6 +4,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 
@@ -150,6 +151,39 @@ func TestEngineListIsShared(t *testing.T) {
 	}
 }
 
+// TestParseSources covers the -sources flag's two spellings: an inline
+// comma list and an @file of whitespace-separated IDs with comments.
+func TestParseSources(t *testing.T) {
+	if got, err := parseSources(""); err != nil || got != nil {
+		t.Fatalf("empty = (%v, %v)", got, err)
+	}
+	got, err := parseSources("3, 1,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []snaple.VertexID{3, 1, 4}; !slices.Equal(got, want) {
+		t.Fatalf("inline = %v, want %v", got, want)
+	}
+
+	file := filepath.Join(t.TempDir(), "ids.txt")
+	if err := os.WriteFile(file, []byte("# cohort A\n10 11\n12 # trailing comment\n\n13\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = parseSources("@" + file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []snaple.VertexID{10, 11, 12, 13}; !slices.Equal(got, want) {
+		t.Fatalf("file = %v, want %v", got, want)
+	}
+
+	for _, bad := range []string{"1,x", "-3", ",", "@" + filepath.Join(t.TempDir(), "absent"), "@" + file + "x"} {
+		if _, err := parseSources(bad); err == nil {
+			t.Errorf("parseSources(%q) accepted", bad)
+		}
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	base := runArgs{
 		dataset: "gowalla", scale: 0.1, seed: 1,
@@ -171,6 +205,19 @@ func TestRunEndToEnd(t *testing.T) {
 		{"bad score", func(a *runArgs) { a.score = "nope" }, false},
 		{"bad engine", func(a *runArgs) { a.engine = "nope"; a.engineSet = true }, false},
 		{"exhaustion reported not fatal", func(a *runArgs) { a.system = "baseline"; a.budget = 1024 }, true},
+		{"scoped local", func(a *runArgs) { a.engine = "local"; a.engineSet = true; a.sources = "3,5,9"; a.doEval = false }, true},
+		{"scoped sim", func(a *runArgs) { a.sources = "0,1"; a.doEval = false }, true},
+		{"scoped dist", func(a *runArgs) {
+			a.engine = "dist"
+			a.engineSet = true
+			a.workers = 2
+			a.sources = "3"
+			a.doEval = false
+		}, true},
+		{"sources bad id", func(a *runArgs) { a.sources = "3,x" }, false},
+		{"sources out of range", func(a *runArgs) { a.engine = "local"; a.engineSet = true; a.sources = "99999999"; a.doEval = false }, false},
+		{"sources wrong system", func(a *runArgs) { a.system = "walks"; a.sources = "1"; a.doEval = false }, false},
+		{"sources with eval rejected", func(a *runArgs) { a.engine = "local"; a.engineSet = true; a.sources = "1" }, false},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			args := base

@@ -36,6 +36,23 @@ func (p SelectionPolicy) String() string {
 	}
 }
 
+// PolicyByName maps the CLI/API spelling of a selection policy ("max",
+// "min", "rnd"; "" defaults to "max") onto its SelectionPolicy. It is the
+// single parser shared by the public Options, cmd/snaple-serve and every
+// other string-typed entry point.
+func PolicyByName(name string) (SelectionPolicy, error) {
+	switch name {
+	case "", "max":
+		return SelectMax, nil
+	case "min":
+		return SelectMin, nil
+	case "rnd":
+		return SelectRnd, nil
+	default:
+		return 0, fmt.Errorf("core: unknown policy %q (max|min|rnd)", name)
+	}
+}
+
 // Unlimited disables a sampling parameter (the paper's ∞ rows in Table 5).
 const Unlimited = 0
 
@@ -60,6 +77,15 @@ type Config struct {
 	Paths int
 	// Seed drives truncation and the Γrnd policy.
 	Seed uint64
+	// Sources optionally scopes the run to a query frontier: when
+	// non-empty, only these vertices receive predictions and only the
+	// closure their step programs read (see NewFrontier) is computed — the
+	// online per-user shape served by cmd/snaple-serve. Empty means a full
+	// run over every vertex. Duplicates are deduplicated; a source outside
+	// the graph's vertex range fails the run. Scoped predictions are
+	// bit-identical to the full run's, filtered to the sources, on every
+	// backend.
+	Sources []graph.VertexID
 }
 
 // withDefaults fills zero fields that have non-zero defaults.

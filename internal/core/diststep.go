@@ -93,6 +93,11 @@ type DistPartition struct {
 	edgeSrc []int32                  // local source index per local edge
 	edgeDst []int32                  // local target index per local edge
 	data    []VData                  // replica state, one per local vertex
+	// scope holds each local vertex's frontier scope mask on a
+	// query-scoped run (Scope* bits, frontier.go), nil on a full run. The
+	// coordinator computes the global closure and ships only these local
+	// bits; Gather consults the source's bit for the running step.
+	scope []uint8
 }
 
 // NewDistPartition assembles a partition from its shipped description:
@@ -145,6 +150,22 @@ func NewDistPartition(cfg Config, numVertices int, locals []graph.VertexID, deg 
 // Config returns the partition's configuration with defaults applied.
 func (p *DistPartition) Config() Config { return p.st.cfg }
 
+// SetScope installs the per-local frontier scope masks of a query-scoped
+// run (one Scope* bitmask per local vertex, aligned with Locals). A nil
+// scope restores the full-run behaviour.
+func (p *DistPartition) SetScope(scope []uint8) error {
+	if scope != nil && len(scope) != len(p.locals) {
+		return fmt.Errorf("core: dist partition: %d scope masks for %d local vertices", len(scope), len(p.locals))
+	}
+	p.scope = scope
+	return nil
+}
+
+// inScope reports whether local vertex li gathers during step.
+func (p *DistPartition) inScope(step DistStep, li int32) bool {
+	return p.scope == nil || p.scope[li]&step.ScopeBit() != 0
+}
+
 // Locals returns the sorted global IDs of the partition's local vertices.
 // The slice is owned by the partition and must not be modified.
 func (p *DistPartition) Locals() []graph.VertexID { return p.locals }
@@ -160,12 +181,17 @@ func (p *DistPartition) LocalIndex(v graph.VertexID) (int, bool) {
 
 // gatherEdges folds gather over the partition's edges, accumulating one
 // partial sum per local source vertex (all of Algorithm 2's programs gather
-// over out-edges).
-func gatherEdges[G any](p *DistPartition, gather func(si, di int32) (G, bool), sum func(a, b G) G) ([]G, []bool) {
+// over out-edges). On a scoped run, edges whose source is outside step's
+// frontier set contribute nothing — the worker-side twin of the frontier
+// gating the sim backend's step programs apply themselves.
+func gatherEdges[G any](p *DistPartition, step DistStep, gather func(si, di int32) (G, bool), sum func(a, b G) G) ([]G, []bool) {
 	partial := make([]G, len(p.locals))
 	has := make([]bool, len(p.locals))
 	for i := range p.edgeSrc {
 		si, di := p.edgeSrc[i], p.edgeDst[i]
+		if !p.inScope(step, si) {
+			continue
+		}
 		gval, ok := gather(si, di)
 		if !ok {
 			continue
@@ -207,31 +233,31 @@ func (p *DistPartition) Gather(step DistStep) ([]DistPartial, error) {
 	switch step {
 	case DistTruncate:
 		prog := step1{p.st}
-		partial, has := gatherEdges(p, func(si, di int32) ([]graph.VertexID, bool) {
+		partial, has := gatherEdges(p, step, func(si, di int32) ([]graph.VertexID, bool) {
 			return prog.Gather(p.locals[si], p.locals[di], &p.data[si], &p.data[di], nil)
 		}, prog.Sum)
 		return packPartials(p, partial, has, func(dp *DistPartial, g []graph.VertexID) { dp.Nbrs = g }), nil
 	case DistRelays:
 		prog := step2{p.st}
-		partial, has := gatherEdges(p, func(si, di int32) ([]VertexSim, bool) {
+		partial, has := gatherEdges(p, step, func(si, di int32) ([]VertexSim, bool) {
 			return prog.Gather(p.locals[si], p.locals[di], &p.data[si], &p.data[di], nil)
 		}, prog.Sum)
 		return packPartials(p, partial, has, func(dp *DistPartial, g []VertexSim) { dp.Sims = g }), nil
 	case DistCombine:
 		prog := step3{p.st}
-		partial, has := gatherEdges(p, func(si, di int32) ([]PathCand, bool) {
+		partial, has := gatherEdges(p, step, func(si, di int32) ([]PathCand, bool) {
 			return prog.Gather(p.locals[si], p.locals[di], &p.data[si], &p.data[di], nil)
 		}, prog.Sum)
 		return packPartials(p, partial, has, func(dp *DistPartial, g []PathCand) { dp.Cands = g }), nil
 	case DistTwoHop:
 		prog := step3a{p.st}
-		partial, has := gatherEdges(p, func(si, di int32) ([]PathCand, bool) {
+		partial, has := gatherEdges(p, step, func(si, di int32) ([]PathCand, bool) {
 			return prog.Gather(p.locals[si], p.locals[di], &p.data[si], &p.data[di], nil)
 		}, prog.Sum)
 		return packPartials(p, partial, has, func(dp *DistPartial, g []PathCand) { dp.Cands = g }), nil
 	case DistCombine3:
 		prog := step3b{p.st}
-		partial, has := gatherEdges(p, func(si, di int32) ([]PathCand, bool) {
+		partial, has := gatherEdges(p, step, func(si, di int32) ([]PathCand, bool) {
 			return prog.Gather(p.locals[si], p.locals[di], &p.data[si], &p.data[di], nil)
 		}, prog.Sum)
 		return packPartials(p, partial, has, func(dp *DistPartial, g []PathCand) { dp.Cands = g }), nil

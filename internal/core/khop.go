@@ -37,6 +37,9 @@ func (step3a) Direction() gas.Direction { return gas.Out }
 // Gather emits v's 2-hop paths through the edge (v,z); only edges to
 // relays contribute.
 func (s step3a) Gather(src, dst graph.VertexID, srcD, dstD *VData, _ *struct{}) ([]PathCand, bool) {
+	if !s.frontier.InTwoHop(src) {
+		return nil, false
+	}
 	svz, ok := lookupSim(srcD.Sims, dst)
 	if !ok || len(dstD.Sims) == 0 {
 		return nil, false
@@ -84,6 +87,9 @@ func (step3b) Direction() gas.Direction { return gas.Out }
 // Gather emits, for the edge (u,v) with relay v: the 2-hop paths u→v→z and
 // the 3-hop paths u→v→(z→w) obtained by extending v's stored 2-hop list.
 func (s step3b) Gather(src, dst graph.VertexID, srcD, dstD *VData, _ *struct{}) ([]PathCand, bool) {
+	if !s.frontier.InPred(src) {
+		return nil, false
+	}
 	suv, ok := lookupSim(srcD.Sims, dst)
 	if !ok {
 		return nil, false
@@ -138,25 +144,27 @@ func ReferenceSnaple3Hop(g *graph.Digraph, cfg Config) (Predictions, error) {
 	// Steps 1-2 shared with the 2-hop reference.
 	trunc, sims := runSteps12(r, n, s)
 
-	// Step 3a: per-vertex 2-hop path lists, in a flat arena.
+	// Step 3a: per-vertex 2-hop path lists, in a flat arena (scoped runs
+	// visit only the sources' relays).
+	f := r.Frontier()
 	twoHop := NewArena[PathCand](n)
-	for v := 0; v < n; v++ {
-		twoHop.SetCount(graph.VertexID(v), r.TwoHopCount(graph.VertexID(v), sims))
-	}
+	eachScoped(n, f.StepSet(DistTwoHop), func(v graph.VertexID) {
+		twoHop.SetCount(v, r.TwoHopCount(v, sims))
+	})
 	twoHop.FinishCounts()
-	for v := 0; v < n; v++ {
-		r.TwoHopFill(graph.VertexID(v), sims, twoHop.Row(graph.VertexID(v)))
-	}
+	eachScoped(n, f.StepSet(DistTwoHop), func(v graph.VertexID) {
+		r.TwoHopFill(v, sims, twoHop.Row(v))
+	})
 
 	// Step 3b: final aggregation over 2- and 3-hop paths.
 	pred := make(Predictions, n)
 	var buf []Prediction
-	for u := 0; u < n; u++ {
+	eachScoped(n, f.StepSet(DistCombine3), func(u graph.VertexID) {
 		start := len(buf)
-		buf = r.Combine3Append(graph.VertexID(u), trunc, sims, twoHop, s, buf)
+		buf = r.Combine3Append(u, trunc, sims, twoHop, s, buf)
 		if len(buf) > start {
 			pred[u] = buf[start:len(buf):len(buf)]
 		}
-	}
+	})
 	return pred, nil
 }

@@ -30,39 +30,57 @@ func ReferenceSnaple(g *graph.Digraph, cfg Config) (Predictions, error) {
 	trunc, sims := runSteps12(r, n, s)
 
 	// Step 3: path combination and aggregation. Predictions append into one
-	// shared buffer; pred[u] aliases its region.
+	// shared buffer; pred[u] aliases its region. A scoped run visits only
+	// the sources — members are ascending, so the buffer layout matches the
+	// full loop's.
 	pred := make(Predictions, n)
 	var buf []Prediction
-	for u := 0; u < n; u++ {
+	eachScoped(n, r.Frontier().StepSet(DistCombine), func(u graph.VertexID) {
 		start := len(buf)
-		buf = r.CombineAppend(graph.VertexID(u), trunc, sims, s, buf)
+		buf = r.CombineAppend(u, trunc, sims, s, buf)
 		if len(buf) > start {
 			pred[u] = buf[start:len(buf):len(buf)]
 		}
-	}
+	})
 	return pred, nil
 }
 
+// eachScoped runs fn over set's members (a query-scoped pass), or over all
+// n vertices when set is nil (a full pass). Both orders are ascending.
+func eachScoped(n int, set *VertexSet, fn func(graph.VertexID)) {
+	if set == nil {
+		for u := 0; u < n; u++ {
+			fn(graph.VertexID(u))
+		}
+		return
+	}
+	for _, u := range set.Members() {
+		fn(u)
+	}
+}
+
 // runSteps12 executes steps 1 and 2 serially into fresh arenas — the shared
-// prefix of the 2-hop and 3-hop references.
+// prefix of the 2-hop and 3-hop references. Scoped runs restrict each pass
+// to its frontier set; unvisited rows keep their zero count.
 func runSteps12(r *StepRunner, n int, s *Scratch) (*Arena[graph.VertexID], *Arena[VertexSim]) {
+	f := r.Frontier()
 	trunc := NewArena[graph.VertexID](n)
-	for u := 0; u < n; u++ {
-		trunc.SetCount(graph.VertexID(u), r.TruncateCount(graph.VertexID(u)))
-	}
+	eachScoped(n, f.StepSet(DistTruncate), func(u graph.VertexID) {
+		trunc.SetCount(u, r.TruncateCount(u))
+	})
 	trunc.FinishCounts()
-	for u := 0; u < n; u++ {
-		r.TruncateFill(graph.VertexID(u), trunc.Row(graph.VertexID(u)))
-	}
+	eachScoped(n, f.StepSet(DistTruncate), func(u graph.VertexID) {
+		r.TruncateFill(u, trunc.Row(u))
+	})
 
 	sims := NewArena[VertexSim](n)
-	for u := 0; u < n; u++ {
-		sims.SetCount(graph.VertexID(u), r.RelayCount(graph.VertexID(u)))
-	}
+	eachScoped(n, f.StepSet(DistRelays), func(u graph.VertexID) {
+		sims.SetCount(u, r.RelayCount(u))
+	})
 	sims.FinishCounts()
-	for u := 0; u < n; u++ {
-		r.RelaysFill(graph.VertexID(u), trunc, sims.Row(graph.VertexID(u)), s)
-	}
+	eachScoped(n, f.StepSet(DistRelays), func(u graph.VertexID) {
+		r.RelaysFill(u, trunc, sims.Row(u), s)
+	})
 	return trunc, sims
 }
 

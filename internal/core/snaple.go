@@ -43,6 +43,12 @@ func vdataBytes(v *VData) int64 {
 type snapleState struct {
 	cfg Config
 	deg []int32 // full out-degrees, static topology metadata
+	// frontier is the query scope of the run. It is set by
+	// PredictGASWorkers for scoped sim runs (the step programs gate their
+	// gathers on it) and stays nil on dist workers, whose partitions gate
+	// by the shipped per-local scope masks instead (diststep.go) — a worker
+	// holds only a partition and cannot compute the global closure.
+	frontier *Frontier
 }
 
 func newSnapleState(g *graph.Digraph, cfg Config) *snapleState {
@@ -60,8 +66,12 @@ type step1 struct{ *snapleState }
 // Direction implements gas.Program.
 func (step1) Direction() gas.Direction { return gas.Out }
 
-// Gather emits {v}, or nothing when the truncation draw rejects the edge.
+// Gather emits {v}, or nothing when the truncation draw rejects the edge
+// (or, on a scoped run, when src's neighbourhood is outside the closure).
 func (s step1) Gather(src, dst graph.VertexID, _, _ *VData, _ *struct{}) ([]graph.VertexID, bool) {
+	if !s.frontier.InTrunc(src) {
+		return nil, false
+	}
 	if !keepTruncated(s.cfg.Seed, src, dst, int(s.deg[src]), s.cfg.ThrGamma) {
 		return nil, false
 	}
@@ -98,6 +108,9 @@ func (step2) Direction() gas.Direction { return gas.Out }
 // Gather emits (v, sim(u,v)) computed on the truncated neighbourhoods (and
 // vertex attributes, for identity-aware metrics).
 func (s step2) Gather(src, dst graph.VertexID, srcD, dstD *VData, _ *struct{}) ([]VertexSim, bool) {
+	if !s.frontier.InSims(src) {
+		return nil, false
+	}
 	sim := simScore(s.cfg.Score.Sim, src, dst, srcD.Nbrs, dstD.Nbrs, int(s.deg[src]), int(s.deg[dst]))
 	return []VertexSim{{V: dst, Sim: sim}}, true
 }
@@ -178,6 +191,9 @@ func (step3) Direction() gas.Direction { return gas.Out }
 // Gather walks the relay v's own relays z and emits one path-candidate per
 // kept 2-hop path u→v→z (Algorithm 2, lines 13-15).
 func (s step3) Gather(src, dst graph.VertexID, srcD, dstD *VData, _ *struct{}) ([]PathCand, bool) {
+	if !s.frontier.InPred(src) {
+		return nil, false
+	}
 	suv, ok := lookupSim(srcD.Sims, dst)
 	if !ok {
 		return nil, false // v ∉ Du.sims.keys (line 13)
@@ -269,12 +285,20 @@ func containsVertex(nbrs []graph.VertexID, v graph.VertexID) bool {
 // Result carries the predictions of a distributed run plus its costs.
 type Result struct {
 	Pred Predictions
-	// Steps holds the per-superstep engine statistics (3 entries).
+	// Steps holds the per-superstep engine statistics (one entry per
+	// superstep that ran; a scoped run may skip workless supersteps).
 	Steps []gas.StepStats
 	// Total aggregates Steps.
 	Total gas.StepStats
 	// ReplicationFactor of the distributed graph.
 	ReplicationFactor float64
+	// FrontierVertices is the query closure's vertex count on a scoped run
+	// (Config.Sources non-empty); 0 on a full run.
+	FrontierVertices int
+	// ScoredVertices is how many vertices the final combine step visited:
+	// the deduplicated source count on a scoped run, NumVertices on a full
+	// run.
+	ScoredVertices int
 }
 
 // PredictGAS runs Algorithm 2 on g distributed over cl according to assign,
@@ -299,32 +323,56 @@ func PredictGASWorkers(g *graph.Digraph, assign partition.Assignment, cl *cluste
 		return nil, err
 	}
 	st := newSnapleState(g, cfg)
-	res := &Result{ReplicationFactor: dg.ReplicationFactor()}
-
-	s1, err := gas.RunStep[VData, struct{}, []graph.VertexID](dg, step1{st})
-	res.record(s1)
+	st.frontier, err = NewFrontier(g, cfg)
 	if err != nil {
-		return res, fmt.Errorf("snaple step 1: %w", err)
+		return nil, err
 	}
-	s2, err := gas.RunStep[VData, struct{}, []VertexSim](dg, step2{st})
-	res.record(s2)
-	if err != nil {
-		return res, fmt.Errorf("snaple step 2: %w", err)
+	res := &Result{
+		ReplicationFactor: dg.ReplicationFactor(),
+		FrontierVertices:  st.frontier.Size(),
+		ScoredVertices:    g.NumVertices(),
+	}
+	if st.frontier != nil {
+		res.ScoredVertices = st.frontier.Pred.Len()
+	}
+
+	// A scoped superstep whose frontier set has no out-edges gathers
+	// nothing on any partition and applies nil state everywhere — skipping
+	// it produces the same (zero) state for free (see Frontier.StepHasWork).
+	skip := func(step DistStep) bool { return !st.frontier.StepHasWork(step, st.deg) }
+
+	if !skip(DistTruncate) {
+		s1, err := gas.RunStep[VData, struct{}, []graph.VertexID](dg, step1{st})
+		res.record(s1)
+		if err != nil {
+			return res, fmt.Errorf("snaple step 1: %w", err)
+		}
+	}
+	if !skip(DistRelays) {
+		s2, err := gas.RunStep[VData, struct{}, []VertexSim](dg, step2{st})
+		res.record(s2)
+		if err != nil {
+			return res, fmt.Errorf("snaple step 2: %w", err)
+		}
 	}
 	if cfg.Paths == 3 {
 		// The footnote-2 extension: materialise 2-hop path lists, then
 		// aggregate 2- and 3-hop paths together (khop.go).
-		s3a, err := gas.RunStep[VData, struct{}, []PathCand](dg, step3a{st})
-		res.record(s3a)
-		if err != nil {
-			return res, fmt.Errorf("snaple step 3a: %w", err)
+		if !skip(DistTwoHop) {
+			s3a, err := gas.RunStep[VData, struct{}, []PathCand](dg, step3a{st})
+			res.record(s3a)
+			if err != nil {
+				return res, fmt.Errorf("snaple step 3a: %w", err)
+			}
 		}
-		s3b, err := gas.RunStep[VData, struct{}, []PathCand](dg, step3b{st})
-		res.record(s3b)
-		if err != nil {
-			return res, fmt.Errorf("snaple step 3b: %w", err)
+		if !skip(DistCombine3) {
+			s3b, err := gas.RunStep[VData, struct{}, []PathCand](dg, step3b{st})
+			res.record(s3b)
+			if err != nil {
+				return res, fmt.Errorf("snaple step 3b: %w", err)
+			}
 		}
-	} else {
+	} else if !skip(DistCombine) {
 		s3, err := gas.RunStep[VData, struct{}, []PathCand](dg, step3{st})
 		res.record(s3)
 		if err != nil {

@@ -48,24 +48,36 @@ func sortPathCands(cands []PathCand) {
 // concurrent use as long as each goroutine uses its own Scratch and writes
 // to disjoint vertices.
 type StepRunner struct {
-	g   *graph.Digraph
-	cfg Config
-	deg []int32 // full out-degrees, static topology metadata
+	g        *graph.Digraph
+	cfg      Config
+	deg      []int32   // full out-degrees, static topology metadata
+	frontier *Frontier // query scope; nil = full run
 }
 
-// NewStepRunner validates cfg, fills defaults and precomputes the degree
-// table shared by all steps.
+// NewStepRunner validates cfg, fills defaults, precomputes the degree table
+// shared by all steps and — for a query-scoped run (cfg.Sources non-empty)
+// — the frontier closure that gates every step primitive.
 func NewStepRunner(g *graph.Digraph, cfg Config) (*StepRunner, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	st := newSnapleState(g, cfg)
-	return &StepRunner{g: g, cfg: cfg, deg: st.deg}, nil
+	f, err := NewFrontier(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &StepRunner{g: g, cfg: cfg, deg: st.deg, frontier: f}, nil
 }
 
 // Config returns the runner's configuration with defaults applied.
 func (r *StepRunner) Config() Config { return r.cfg }
+
+// Frontier returns the run's query scope, or nil for a full run. Scoped
+// vertex loops iterate the appropriate set's Members instead of [0, n); the
+// step primitives below additionally gate themselves, so a loop that visits
+// an out-of-scope vertex anyway writes nothing for it.
+func (r *StepRunner) Frontier() *Frontier { return r.frontier }
 
 // Scratch holds the per-worker reusable buffers of the step functions. Each
 // concurrent worker needs its own; construct with StepRunner.NewScratch.
@@ -93,6 +105,9 @@ func (r *StepRunner) NewScratch() *Scratch {
 // TruncateCount returns |Γ̂(u)|, the number of out-neighbours the hash-keyed
 // truncation keeps for u (the count pass of step 1).
 func (r *StepRunner) TruncateCount(u graph.VertexID) int {
+	if !r.frontier.InTrunc(u) {
+		return 0
+	}
 	deg := int(r.deg[u])
 	if r.cfg.ThrGamma == Unlimited || deg <= r.cfg.ThrGamma {
 		return deg
@@ -110,6 +125,9 @@ func (r *StepRunner) TruncateCount(u graph.VertexID) int {
 // The result is sorted ascending because it is a subsequence of the sorted
 // adjacency. The hash draws repeat the count pass's exactly.
 func (r *StepRunner) TruncateFill(u graph.VertexID, dst []graph.VertexID) {
+	if !r.frontier.InTrunc(u) {
+		return
+	}
 	nbrs := r.g.OutNeighbors(u)
 	deg := int(r.deg[u])
 	if r.cfg.ThrGamma == Unlimited || deg <= r.cfg.ThrGamma {
@@ -132,6 +150,9 @@ func (r *StepRunner) TruncateFill(u graph.VertexID, dst []graph.VertexID) {
 // O(1) — the selection policy only decides which relays survive, never how
 // many.
 func (r *StepRunner) RelayCount(u graph.VertexID) int {
+	if !r.frontier.InSims(u) {
+		return 0
+	}
 	deg := int(r.deg[u])
 	if r.cfg.KLocal != Unlimited && deg > r.cfg.KLocal {
 		return r.cfg.KLocal
@@ -143,6 +164,9 @@ func (r *StepRunner) RelayCount(u graph.VertexID) int {
 // the truncated neighbourhoods of trunc, then the k_local selection policy.
 // dst must have length RelayCount(u); the result is sorted by vertex ID.
 func (r *StepRunner) RelaysFill(u graph.VertexID, trunc *Arena[graph.VertexID], dst []VertexSim, s *Scratch) {
+	if !r.frontier.InSims(u) {
+		return
+	}
 	nbrs := r.g.OutNeighbors(u)
 	if len(nbrs) == 0 {
 		return
@@ -208,6 +232,9 @@ func (r *StepRunner) RelaysFill(u graph.VertexID, trunc *Arena[graph.VertexID], 
 // extended slice (unchanged when u has no candidates). dst is caller-owned
 // retained storage; everything transient lives in s.
 func (r *StepRunner) CombineAppend(u graph.VertexID, trunc *Arena[graph.VertexID], sims *Arena[VertexSim], s *Scratch, dst []Prediction) []Prediction {
+	if !r.frontier.InPred(u) {
+		return dst
+	}
 	comb := r.cfg.Score.Comb.Fn
 	cands := s.cands[:0]
 	uTrunc := trunc.Row(u)
@@ -232,6 +259,9 @@ func (r *StepRunner) CombineAppend(u graph.VertexID, trunc *Arena[graph.VertexID
 // of the 3-hop extension: Σ_{z ∈ sims(v)} |sims(z) \ {v}|. Relay lists are
 // V-sorted, so the self-exclusion is a binary search per relay.
 func (r *StepRunner) TwoHopCount(v graph.VertexID, sims *Arena[VertexSim]) int {
+	if !r.frontier.InTwoHop(v) {
+		return 0
+	}
 	n := 0
 	for _, zs := range sims.Row(v) {
 		row := sims.Row(zs.V)
@@ -247,6 +277,9 @@ func (r *StepRunner) TwoHopCount(v graph.VertexID, sims *Arena[VertexSim]) int {
 // z ∈ sims(v), w ∈ sims(z), w ≠ v} into dst, which must have length
 // TwoHopCount(v). See khop.go for the fold-direction discussion.
 func (r *StepRunner) TwoHopFill(v graph.VertexID, sims *Arena[VertexSim], dst []PathCand) {
+	if !r.frontier.InTwoHop(v) {
+		return
+	}
 	comb := r.cfg.Score.Comb.Fn
 	k := 0
 	for _, zs := range sims.Row(v) {
@@ -265,6 +298,9 @@ func (r *StepRunner) TwoHopFill(v graph.VertexID, sims *Arena[VertexSim], dst []
 // relay's stored 2-hop list by the edge (u,v), appending the top-k
 // predictions to dst like CombineAppend.
 func (r *StepRunner) Combine3Append(u graph.VertexID, trunc *Arena[graph.VertexID], sims *Arena[VertexSim], twoHop *Arena[PathCand], s *Scratch, dst []Prediction) []Prediction {
+	if !r.frontier.InPred(u) {
+		return dst
+	}
 	comb := r.cfg.Score.Comb.Fn
 	cands := s.cands[:0]
 	uTrunc := trunc.Row(u)

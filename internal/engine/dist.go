@@ -148,17 +148,38 @@ func (d Dist) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stat
 	if err != nil {
 		return nil, st, err
 	}
-	conns, inproc, cleanup, err := d.connect()
-	if err != nil {
-		return nil, st, fmt.Errorf("engine: dist: %w", err)
-	}
-	defer cleanup()
 
-	dep, err := d.deploy(g, len(conns))
+	// Query scope: the coordinator computes the frontier closure once, then
+	// ships only the partitions that hold at least one closure edge —
+	// everything any superstep's gather can touch — plus per-local scope
+	// masks so workers gate their gathers without ever seeing the closure.
+	frontier, err := core.NewFrontier(g, cfg)
+	if err != nil {
+		return nil, st, err
+	}
+	st.FrontierVertices = frontier.Size()
+	st.ScoredVertices = g.NumVertices()
+	if frontier != nil {
+		st.ScoredVertices = frontier.Pred.Len()
+	}
+
+	dep, err := d.deploy(g, d.workerCount(), frontier)
 	if err != nil {
 		return nil, st, err
 	}
 	st.ReplicationFactor = dep.replicationFactor()
+	if len(dep.parts) == 0 {
+		// Scoped run whose closure touches no edge anywhere (isolated
+		// sources): nothing to ship and nothing to compute.
+		return make(core.Predictions, g.NumVertices()), st, nil
+	}
+	st.Workers = len(dep.parts)
+
+	conns, inproc, cleanup, err := d.connect(len(dep.parts))
+	if err != nil {
+		return nil, st, fmt.Errorf("engine: dist: %w", err)
+	}
+	defer cleanup()
 
 	// Ship the partitions (the distributed graph load, untimed like every
 	// other backend's setup) and wait for every worker to acknowledge. The
@@ -186,7 +207,16 @@ func (d Dist) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stat
 	}
 	start := time.Now()
 
-	steps := core.DistSteps(cfg.Paths)
+	// A scoped superstep with no relevant gather edge on any kept partition
+	// is skipped entirely — no messages, no barrier (see
+	// deployment.stepHasWork). The final flag moves to the last superstep
+	// that actually runs, so its refresh round is elided like a full run's.
+	steps := make([]core.DistStep, 0, 4)
+	for _, step := range core.DistSteps(cfg.Paths) {
+		if dep.stepHasWork(step) {
+			steps = append(steps, step)
+		}
+	}
 	for si, step := range steps {
 		final := si == len(steps)-1
 		d.armDeadline(conns)
@@ -322,13 +352,20 @@ func (d Dist) runStep(conns []*wire.Conn, dep *deployment, step core.DistStep, f
 
 // deployment is the coordinator's routing state: the shippable partition
 // payloads plus, per global vertex, the partition mastering it and the
-// partitions holding its mirror copies.
+// partitions holding its mirror copies. On a query-scoped run only the
+// partitions intersecting the frontier closure exist here — the rest of the
+// vertex-cut is never shipped.
 type deployment struct {
 	parts      []wire.Partition
 	masterPart []int32   // per vertex; -1 when the vertex has no edges
 	mirrors    [][]int32 // per vertex: replica partitions excluding the master
 	replicas   int       // total replica count
 	present    int       // vertices with at least one replica
+	frontier   *core.Frontier
+	// stepEdges counts, per superstep, the gather edges inside the step's
+	// frontier set across all kept partitions (scoped runs only): a step
+	// with zero is skipped outright.
+	stepEdges map[core.DistStep]int
 }
 
 func (d *deployment) replicationFactor() float64 {
@@ -338,9 +375,20 @@ func (d *deployment) replicationFactor() float64 {
 	return float64(d.replicas) / float64(d.present)
 }
 
+// stepHasWork reports whether any kept partition gathers anything in step.
+// Always true on a full run.
+func (d *deployment) stepHasWork(step core.DistStep) bool {
+	return d.frontier == nil || d.stepEdges[step] > 0
+}
+
 // deploy vertex-cuts g into one partition per worker and elects masters the
-// same deterministic way gas.Distribute does.
-func (d Dist) deploy(g *graph.Digraph, nw int) (*deployment, error) {
+// same deterministic way gas.Distribute does. On a query-scoped run
+// (frontier non-nil) partitions holding no closure edge are dropped before
+// shipping, the survivors renumbered densely, and each kept partition
+// carries its locals' scope masks; election then runs over the surviving
+// replicas — placement never changes results, so the scoped predictions
+// still match the full run's bit for bit.
+func (d Dist) deploy(g *graph.Digraph, nw int, frontier *core.Frontier) (*deployment, error) {
 	strat := d.Strategy
 	if strat == nil {
 		strat = partition.HashEdge{Seed: d.Seed}
@@ -360,11 +408,29 @@ func (d Dist) deploy(g *graph.Digraph, nw int) (*deployment, error) {
 			i++
 		})
 	}
+	if frontier != nil {
+		// An edge matters to some superstep iff its source is in the
+		// truncation closure (the largest set); a partition with none can
+		// never contribute a byte to the sources' predictions.
+		kept := rawEdges[:0]
+		for _, edges := range rawEdges {
+			for _, e := range edges {
+				if frontier.InTrunc(e.u) {
+					kept = append(kept, edges)
+					break
+				}
+			}
+		}
+		rawEdges = kept
+		nw = len(rawEdges)
+	}
 
 	dep := &deployment{
 		parts:      make([]wire.Partition, nw),
 		masterPart: make([]int32, g.NumVertices()),
 		mirrors:    make([][]int32, g.NumVertices()),
+		frontier:   frontier,
+		stepEdges:  make(map[core.DistStep]int),
 	}
 	for v := range dep.masterPart {
 		dep.masterPart[v] = -1
@@ -400,6 +466,23 @@ func (d Dist) deploy(g *graph.Digraph, nw int) (*deployment, error) {
 			EdgeSrc: edgeSrc, EdgeDst: edgeDst,
 			IsMaster:  make([]bool, len(locals)),
 			HasRemote: make([]bool, len(locals)),
+		}
+		if frontier != nil {
+			scope := make([]uint8, len(locals))
+			for i, v := range locals {
+				scope[i] = frontier.ScopeMask(v)
+			}
+			dep.parts[p].Scope = scope
+			allSteps := []core.DistStep{core.DistTruncate, core.DistRelays,
+				core.DistCombine, core.DistTwoHop, core.DistCombine3}
+			for _, e := range rawEdges[p] {
+				mask := scope[idx[e.u]]
+				for _, step := range allSteps {
+					if mask&step.ScopeBit() != 0 {
+						dep.stepEdges[step]++
+					}
+				}
+			}
 		}
 	}
 
@@ -450,12 +533,14 @@ func (d Dist) deploy(g *graph.Digraph, nw int) (*deployment, error) {
 	return dep, nil
 }
 
-// connect establishes one connection per worker according to the configured
+// connect establishes connections to n workers according to the configured
 // mode, returning a cleanup that closes connections and reclaims whatever
-// was started. inproc reports that the workers share this process (the
-// loopback default), which changes how worker memory reports aggregate.
-// cleanup is non-nil even on error.
-func (d Dist) connect() (conns []*wire.Conn, inproc bool, cleanup func(), err error) {
+// was started. n is at most the mode's worker count — a query-scoped run
+// that dropped partitions needs fewer workers (the first n addresses, or n
+// spawned/loopback workers). inproc reports that the workers share this
+// process (the loopback default), which changes how worker memory reports
+// aggregate. cleanup is non-nil even on error.
+func (d Dist) connect(n int) (conns []*wire.Conn, inproc bool, cleanup func(), err error) {
 	var closers []func()
 	cleanup = func() {
 		for i := len(closers) - 1; i >= 0; i-- {
@@ -476,14 +561,17 @@ func (d Dist) connect() (conns []*wire.Conn, inproc bool, cleanup func(), err er
 		return nil
 	}
 
-	mode, n := d.mode()
+	mode, avail := d.mode()
+	if n > avail {
+		return fail(fmt.Errorf("need %d workers but the deployment provides %d", n, avail))
+	}
 	switch mode {
 	case modeAddrs:
 		// A worker serves one session at a time, so dialing the same worker
 		// twice deadlocks the ship handshake (caught late by shipTimeout);
 		// reject the footgun up front instead.
 		seen := make(map[string]struct{}, len(d.Addrs))
-		for _, addr := range d.Addrs {
+		for _, addr := range d.Addrs[:n] {
 			if _, dup := seen[addr]; dup {
 				return fail(fmt.Errorf("duplicate worker address %q: each worker serves one session at a time", addr))
 			}

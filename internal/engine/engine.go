@@ -67,15 +67,31 @@ type Stats struct {
 	// ReplicationFactor is the vertex-cut's average replicas per vertex
 	// (sim and dist backends).
 	ReplicationFactor float64
+	// FrontierVertices is the query closure's vertex count when the run was
+	// scoped to a source frontier (core.Config.Sources non-empty): how many
+	// vertices any step had to touch. 0 on a full run.
+	FrontierVertices int
+	// ScoredVertices is how many vertices the final combine step visited —
+	// the deduplicated source count on a scoped run, NumVertices on a full
+	// run. Together with FrontierVertices it is the work-done measure that
+	// lets callers assert a scoped query did less than a full pass without
+	// relying on wall-clock noise.
+	ScoredVertices int
 }
 
 // Backend executes SNAPLE's Algorithm 2 on some substrate. Implementations
-// must be bit-identical to core.ReferenceSnaple for every valid Config.
+// must be bit-identical to core.ReferenceSnaple for every valid Config —
+// including query-scoped configs (Config.Sources non-empty), whose
+// predictions must equal the full run's filtered to the sources.
 type Backend interface {
-	// Name identifies the backend ("serial", "local", "sim").
+	// Name identifies the backend: one of engine.Names(), which is the
+	// single source of truth for the backend set.
 	Name() string
 	// Predict runs Algorithm 2 over g and returns per-vertex predictions
-	// with the run's cost. On error the predictions may be partial or nil.
+	// with the run's cost. When cfg.Sources is non-empty the run is scoped
+	// to that frontier: only the sources receive predictions, and the
+	// backend restricts its work to the frontier closure. On error the
+	// predictions may be partial or nil.
 	Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error)
 }
 

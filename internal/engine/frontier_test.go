@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"snaple/internal/core"
+	"snaple/internal/graph"
+	"snaple/internal/randx"
+)
+
+// filterToSources is the specification of a query-scoped run: the full
+// run's predictions with every non-source row dropped.
+func filterToSources(full core.Predictions, sources []graph.VertexID) core.Predictions {
+	out := make(core.Predictions, len(full))
+	for _, s := range sources {
+		out[s] = full[s]
+	}
+	return out
+}
+
+// frontierSourceSets returns the source-set shapes the equivalence table
+// exercises on an n-vertex graph: a singleton, a hub, duplicates, a
+// deterministic random subset, and every vertex (scoped-but-complete).
+func frontierSourceSets(n int) map[string][]graph.VertexID {
+	random := make([]graph.VertexID, 0, 25)
+	for i := 0; i < 25; i++ {
+		random = append(random, graph.VertexID(randx.Uint64n(uint64(n), 99, uint64(i), 0)))
+	}
+	all := make([]graph.VertexID, n)
+	for i := range all {
+		all[i] = graph.VertexID(i)
+	}
+	return map[string][]graph.VertexID{
+		"single":     {17},
+		"hub":        {50},
+		"duplicates": {7, 7, 7, 200},
+		"random25":   random,
+		"all":        all,
+	}
+}
+
+// TestFrontierEquivalence is the query-scoped equivalence table: on every
+// backend, for every policy, path length and worker count, predictions of a
+// run scoped to Sources=S must be bit-identical to the full run filtered to
+// S. Run under -race to also exercise the scoped sharding.
+func TestFrontierEquivalence(t *testing.T) {
+	g := testGraph(t, 300, 7)
+	n := g.NumVertices()
+
+	type tc struct {
+		score  string
+		policy core.SelectionPolicy
+		paths  int
+	}
+	var cases []tc
+	for _, policy := range []core.SelectionPolicy{core.SelectMax, core.SelectMin, core.SelectRnd} {
+		cases = append(cases, tc{"linearSum", policy, 2})
+	}
+	cases = append(cases,
+		tc{"geomSum", core.SelectMax, 2},
+		tc{"PPR", core.SelectMax, 2},
+		tc{"linearSum", core.SelectMax, 3},
+		tc{"linearSum", core.SelectRnd, 3},
+	)
+
+	for _, c := range cases {
+		base := core.Config{
+			Score:    mustScore(t, c.score),
+			K:        5,
+			KLocal:   4,
+			ThrGamma: 10,
+			Policy:   c.policy,
+			Paths:    c.paths,
+			Seed:     42,
+		}
+		full, err := core.ReferenceSnaple(g, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for setName, sources := range frontierSourceSets(n) {
+			want := filterToSources(full, sources)
+			cfg := base
+			cfg.Sources = sources
+
+			backends := []struct {
+				name string
+				be   Backend
+			}{
+				{"serial", Serial{}},
+				{"local/w=1", Local{Workers: 1}},
+				{"local/w=3", Local{Workers: 3}},
+				{"local/w=8", Local{Workers: 8}},
+				{"sim", Sim{Nodes: 3, Seed: 9}},
+				{"dist/w=1", Dist{InProc: 1, Seed: 5}},
+				{"dist/w=3", Dist{InProc: 3, Seed: 5}},
+			}
+			for _, b := range backends {
+				name := fmt.Sprintf("%s/%s/paths=%d/%s/%s", c.score, c.policy, c.paths, setName, b.name)
+				t.Run(name, func(t *testing.T) {
+					got, st, err := b.be.Predict(g, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(want, got) {
+						for u := range want {
+							if !reflect.DeepEqual(want[u], got[u]) {
+								t.Fatalf("vertex %d: want %v, got %v", u, want[u], got[u])
+							}
+						}
+						t.Fatal("predictions differ")
+					}
+					if st.FrontierVertices <= 0 || st.FrontierVertices > n {
+						t.Errorf("FrontierVertices = %d", st.FrontierVertices)
+					}
+					distinct := map[graph.VertexID]bool{}
+					for _, s := range sources {
+						distinct[s] = true
+					}
+					if st.ScoredVertices != len(distinct) {
+						t.Errorf("ScoredVertices = %d, want %d", st.ScoredVertices, len(distinct))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFrontierIsolatedSources pins the degenerate scoped run: sources with
+// no edges at all produce empty predictions on every backend (and the dist
+// backend ships nothing).
+func TestFrontierIsolatedSources(t *testing.T) {
+	g, err := graph.FromEdges(5, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Score: mustScore(t, "linearSum"), K: 5, Seed: 1, Sources: []graph.VertexID{4}}
+	for _, be := range []Backend{Serial{}, Local{}, Sim{}, Dist{InProc: 2}} {
+		preds, st, err := be.Predict(g, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", be.Name(), err)
+		}
+		if len(preds) != 5 {
+			t.Fatalf("%s: %d rows, want 5", be.Name(), len(preds))
+		}
+		for u, ps := range preds {
+			if len(ps) != 0 {
+				t.Fatalf("%s: vertex %d has predictions %v", be.Name(), u, ps)
+			}
+		}
+		if st.ScoredVertices != 1 {
+			t.Errorf("%s: ScoredVertices = %d", be.Name(), st.ScoredVertices)
+		}
+	}
+}
+
+// TestFrontierRejectsBadSources pins the error path: a source outside the
+// vertex range fails on every backend before any work happens.
+func TestFrontierRejectsBadSources(t *testing.T) {
+	g := testGraph(t, 20, 1)
+	cfg := core.Config{Score: mustScore(t, "linearSum"), K: 5, Sources: []graph.VertexID{20}}
+	for _, be := range []Backend{Serial{}, Local{}, Sim{}, Dist{InProc: 2}} {
+		if _, _, err := be.Predict(g, cfg); err == nil {
+			t.Errorf("%s accepted out-of-range source", be.Name())
+		}
+	}
+}

@@ -68,25 +68,44 @@ func (l Local) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Sta
 		return nil, st, err
 	}
 	n := g.NumVertices()
-	bounds := degreeChunks(g)
+
+	// Each pass iterates one step's vertex scope: all n vertices on a full
+	// run (verts nil, one shared set of chunk bounds), or the step's
+	// frontier member list on a query-scoped run — the vertex loop itself
+	// is restricted, not just the per-vertex work.
+	f := r.Frontier()
+	var full pass
+	if f == nil {
+		full = pass{bounds: degreeChunks(g, nil)}
+	} else {
+		st.FrontierVertices = f.Size()
+	}
+	passFor := func(set *core.VertexSet) pass {
+		if f == nil {
+			return full
+		}
+		return pass{verts: set.Members(), bounds: degreeChunks(g, set.Members())}
+	}
 
 	// Step 1: truncated neighbourhoods Γ̂ (count pass, prefix sum, fill pass).
+	truncPass := passFor(f.StepSet(core.DistTruncate))
 	trunc := core.NewArena[graph.VertexID](n)
-	forEachVertex(r, workers, bounds, func(w *worker, u graph.VertexID) {
+	forEachVertex(r, workers, truncPass, func(w *worker, u graph.VertexID) {
 		trunc.SetCount(u, r.TruncateCount(u))
 	})
 	trunc.FinishCounts()
-	forEachVertex(r, workers, bounds, func(w *worker, u graph.VertexID) {
+	forEachVertex(r, workers, truncPass, func(w *worker, u graph.VertexID) {
 		r.TruncateFill(u, trunc.Row(u))
 	})
 
 	// Step 2: raw similarities and k_local relay selection.
+	simsPass := passFor(f.StepSet(core.DistRelays))
 	sims := core.NewArena[core.VertexSim](n)
-	forEachVertex(r, workers, bounds, func(w *worker, u graph.VertexID) {
+	forEachVertex(r, workers, simsPass, func(w *worker, u graph.VertexID) {
 		sims.SetCount(u, r.RelayCount(u))
 	})
 	sims.FinishCounts()
-	forEachVertex(r, workers, bounds, func(w *worker, u graph.VertexID) {
+	forEachVertex(r, workers, simsPass, func(w *worker, u graph.VertexID) {
 		r.RelaysFill(u, trunc, sims.Row(u), w.s)
 	})
 
@@ -95,16 +114,21 @@ func (l Local) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Sta
 	// and pred[u] aliases the region, so the per-vertex cost is amortised
 	// append growth instead of one allocation per vertex.
 	pred := make(core.Predictions, n)
+	st.ScoredVertices = n
+	if f != nil {
+		st.ScoredVertices = f.Pred.Len()
+	}
 	if r.Config().Paths == 3 {
+		twoPass := passFor(f.StepSet(core.DistTwoHop))
 		twoHop := core.NewArena[core.PathCand](n)
-		forEachVertex(r, workers, bounds, func(w *worker, v graph.VertexID) {
+		forEachVertex(r, workers, twoPass, func(w *worker, v graph.VertexID) {
 			twoHop.SetCount(v, r.TwoHopCount(v, sims))
 		})
 		twoHop.FinishCounts()
-		forEachVertex(r, workers, bounds, func(w *worker, v graph.VertexID) {
+		forEachVertex(r, workers, twoPass, func(w *worker, v graph.VertexID) {
 			r.TwoHopFill(v, sims, twoHop.Row(v))
 		})
-		forEachVertex(r, workers, bounds, func(w *worker, u graph.VertexID) {
+		forEachVertex(r, workers, passFor(f.StepSet(core.DistCombine3)), func(w *worker, u graph.VertexID) {
 			begin := len(w.preds)
 			w.preds = r.Combine3Append(u, trunc, sims, twoHop, w.s, w.preds)
 			if len(w.preds) > begin {
@@ -112,7 +136,7 @@ func (l Local) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Sta
 			}
 		})
 	} else {
-		forEachVertex(r, workers, bounds, func(w *worker, u graph.VertexID) {
+		forEachVertex(r, workers, passFor(f.StepSet(core.DistCombine)), func(w *worker, u graph.VertexID) {
 			begin := len(w.preds)
 			w.preds = r.CombineAppend(u, trunc, sims, w.s, w.preds)
 			if len(w.preds) > begin {
@@ -139,19 +163,43 @@ type worker struct {
 	preds []core.Prediction
 }
 
-// degreeChunks splits [0, n) into contiguous chunks of at most chunkVerts
-// vertices and roughly chunkEdges out-edges each. The boundaries are
-// computed once per run and shared by every pass.
-func degreeChunks(g *graph.Digraph) []int {
+// pass is one parallel sweep's vertex sequence: the explicit member list of
+// a frontier set (query-scoped run), or — when verts is nil — the identity
+// sequence 0..n-1 (full run). bounds index positions of the sequence.
+type pass struct {
+	verts  []graph.VertexID
+	bounds []int
+}
+
+// vertex maps a sequence position to its vertex.
+func (p pass) vertex(i int) graph.VertexID {
+	if p.verts == nil {
+		return graph.VertexID(i)
+	}
+	return p.verts[i]
+}
+
+// degreeChunks splits a vertex sequence (verts, or [0, n) when verts is
+// nil) into contiguous chunks of at most chunkVerts vertices and roughly
+// chunkEdges out-edges each. The boundaries are computed once per sequence
+// and shared by every pass over it.
+func degreeChunks(g *graph.Digraph, verts []graph.VertexID) []int {
 	n := g.NumVertices()
+	if verts != nil {
+		n = len(verts)
+	}
 	bounds := make([]int, 1, n/chunkVerts+2)
-	verts, edges := 0, 0
-	for u := 0; u < n; u++ {
-		verts++
-		edges += g.OutDegree(graph.VertexID(u))
-		if verts >= chunkVerts || edges >= chunkEdges {
-			bounds = append(bounds, u+1)
-			verts, edges = 0, 0
+	vcount, edges := 0, 0
+	for i := 0; i < n; i++ {
+		u := graph.VertexID(i)
+		if verts != nil {
+			u = verts[i]
+		}
+		vcount++
+		edges += g.OutDegree(u)
+		if vcount >= chunkVerts || edges >= chunkEdges {
+			bounds = append(bounds, i+1)
+			vcount, edges = 0, 0
 		}
 	}
 	if bounds[len(bounds)-1] != n {
@@ -160,20 +208,20 @@ func degreeChunks(g *graph.Digraph) []int {
 	return bounds
 }
 
-// forEachVertex executes fn for every vertex in bounds' range, sharding
-// degree-aware chunks over up to workers goroutines with work stealing.
-// Each goroutine gets its own worker state; fn must write only to its
-// vertex's slot (or arena row).
-func forEachVertex(r *core.StepRunner, workers int, bounds []int, fn func(*worker, graph.VertexID)) {
-	n := bounds[len(bounds)-1]
-	chunks := len(bounds) - 1
+// forEachVertex executes fn for every vertex of the pass's sequence,
+// sharding degree-aware chunks over up to workers goroutines with work
+// stealing. Each goroutine gets its own worker state; fn must write only to
+// its vertex's slot (or arena row).
+func forEachVertex(r *core.StepRunner, workers int, p pass, fn func(*worker, graph.VertexID)) {
+	n := p.bounds[len(p.bounds)-1]
+	chunks := len(p.bounds) - 1
 	if workers > chunks {
 		workers = chunks
 	}
 	if workers <= 1 {
 		w := &worker{s: r.NewScratch()}
-		for u := 0; u < n; u++ {
-			fn(w, graph.VertexID(u))
+		for i := 0; i < n; i++ {
+			fn(w, p.vertex(i))
 		}
 		return
 	}
@@ -189,8 +237,8 @@ func forEachVertex(r *core.StepRunner, workers int, bounds []int, fn func(*worke
 				if c >= chunks {
 					return
 				}
-				for u := bounds[c]; u < bounds[c+1]; u++ {
-					fn(w, graph.VertexID(u))
+				for i := p.bounds[c]; i < p.bounds[c+1]; i++ {
+					fn(w, p.vertex(i))
 				}
 			}
 		}()

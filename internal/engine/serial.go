@@ -23,9 +23,17 @@ func (Serial) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stat
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	pred, err := core.ReferenceSnaple(g, cfg)
-	st := Stats{Engine: "serial", Workers: 1, WallSeconds: time.Since(start).Seconds()}
+	st := Stats{Engine: "serial", Workers: 1, WallSeconds: time.Since(start).Seconds(), ScoredVertices: g.NumVertices()}
 	if st.WallSeconds > 0 {
 		st.EdgesPerSec = float64(g.NumEdges()) / st.WallSeconds
+	}
+	if err == nil {
+		// The reference computed the same closure internally; recomputing it
+		// for the report costs one pass over the closure's adjacency.
+		if f, ferr := core.NewFrontier(g, cfg); ferr == nil && f != nil {
+			st.FrontierVertices = f.Size()
+			st.ScoredVertices = f.Pred.Len()
+		}
 	}
 	var m1 runtime.MemStats
 	runtime.ReadMemStats(&m1)

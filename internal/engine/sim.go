@@ -114,5 +114,7 @@ func StatsFromResult(res *core.Result, workers int) Stats {
 		CrossMsgs:         res.Total.CrossMsgs,
 		MemPeakBytes:      res.Total.MemPeakBytes,
 		ReplicationFactor: res.ReplicationFactor,
+		FrontierVertices:  res.FrontierVertices,
+		ScoredVertices:    res.ScoredVertices,
 	}
 }

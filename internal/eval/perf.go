@@ -23,7 +23,11 @@ type PerfReport struct {
 // rows ("ingest-text", "ingest-sgr") measure graph loading rather than
 // prediction: for them MBPerSec is input bytes consumed per second and
 // PeakBytes the sampled peak live heap during the load — the metric that
-// catches an O(E) ingest intermediate sneaking back in.
+// catches an O(E) ingest intermediate sneaking back in. The "query-latency"
+// row measures repeated query-scoped predictions (the snaple-serve shape):
+// P50Ms/P99Ms are per-query latency percentiles, WallSeconds the mean
+// query, and EdgesPerSec is 0 (a scoped query deliberately avoids touching
+// every edge).
 type PerfRow struct {
 	Engine       string  `json:"engine"`
 	Workers      int     `json:"workers"`
@@ -35,6 +39,8 @@ type PerfRow struct {
 	CrossMsgs    int64   `json:"cross_msgs,omitempty"`
 	MBPerSec     float64 `json:"mb_per_sec,omitempty"`
 	PeakBytes    int64   `json:"peak_bytes,omitempty"`
+	P50Ms        float64 `json:"p50_ms,omitempty"`
+	P99Ms        float64 `json:"p99_ms,omitempty"`
 }
 
 // Row returns the report's row for an engine.
@@ -64,7 +70,10 @@ func (r PerfReport) Row(engine string) (PerfRow, bool) {
 //     measured any (ingest rows: parse/load throughput);
 //   - peak_bytes must not exceed (1+tol) × baseline when the baseline
 //     measured any (ingest rows: an O(E) loading intermediate is exactly
-//     the step-function blow-up this gate exists to catch).
+//     the step-function blow-up this gate exists to catch);
+//   - p99_ms must not exceed (1+tol) × baseline when the baseline measured
+//     any (the query-latency row: a tail-latency regression is a serving
+//     regression even when throughput holds).
 //
 // Improvements never fail. The graphs must be identical (dataset, scale,
 // seed, vertex and edge counts) — otherwise the comparison is meaningless
@@ -120,6 +129,12 @@ func ComparePerf(baseline, current PerfReport, tol float64) []string {
 		checkCeil("alloc_objects", base.AllocObjects, cur.AllocObjects)
 		checkCeil("cross_bytes", base.CrossBytes, cur.CrossBytes)
 		checkCeil("peak_bytes", base.PeakBytes, cur.PeakBytes)
+		if base.P99Ms > 0 {
+			if ceil := base.P99Ms * (1 + tol); cur.P99Ms > ceil {
+				failf("%s: query p99 regressed: %.2fms > %.2fms (baseline %.2fms + %d%%)",
+					base.Engine, cur.P99Ms, ceil, base.P99Ms, int(tol*100))
+			}
+		}
 	}
 	return failures
 }

@@ -13,6 +13,7 @@ func basePerfReport() PerfReport {
 			{Engine: "dist", Workers: 2, WallSeconds: 2, EdgesPerSec: 50000, AllocBytes: 4 << 20, AllocObjects: 90000, CrossBytes: 8 << 20, CrossMsgs: 60},
 			{Engine: "ingest-text", Workers: 2, WallSeconds: 0.5, EdgesPerSec: 200000, AllocBytes: 2 << 20, AllocObjects: 900, MBPerSec: 120, PeakBytes: 3 << 20},
 			{Engine: "ingest-sgr", Workers: 2, WallSeconds: 0.05, EdgesPerSec: 2000000, AllocBytes: 1 << 20, AllocObjects: 40, MBPerSec: 900, PeakBytes: 2 << 20},
+			{Engine: "query-latency", Workers: 2, WallSeconds: 0.002, AllocBytes: 1 << 18, AllocObjects: 120, P50Ms: 1.5, P99Ms: 4},
 		},
 	}
 }
@@ -61,6 +62,7 @@ func TestComparePerfCatchesHardRegressions(t *testing.T) {
 	check("wire bloat", func(r *PerfReport) { r.Rows[1].CrossBytes *= 2 }, "cross_bytes")
 	check("ingest throughput cliff", func(r *PerfReport) { r.Rows[2].MBPerSec /= 2 }, "ingest throughput")
 	check("ingest peak-memory blow-up", func(r *PerfReport) { r.Rows[3].PeakBytes *= 2 }, "peak_bytes")
+	check("query p99 regression", func(r *PerfReport) { r.Rows[4].P99Ms *= 2 }, "query p99")
 	check("engine row dropped", func(r *PerfReport) { r.Rows = r.Rows[:1] }, "missing")
 	check("different graph", func(r *PerfReport) { r.Edges++ }, "different graphs")
 	check("different worker count", func(r *PerfReport) { r.Rows[0].Workers++ }, "worker counts")
@@ -74,10 +76,14 @@ func TestComparePerfZeroBaselineMetricsIgnored(t *testing.T) {
 	// Likewise an ingest row from before MB/s and peak tracking existed.
 	base.Rows[2].MBPerSec = 0
 	base.Rows[2].PeakBytes = 0
+	// And a query row from before latency percentiles were recorded.
+	base.Rows[4].P50Ms = 0
+	base.Rows[4].P99Ms = 0
 	cur := basePerfReport()
 	cur.Rows[1].CrossBytes = 100 << 20
 	cur.Rows[2].MBPerSec = 1
 	cur.Rows[2].PeakBytes = 100 << 20
+	cur.Rows[4].P99Ms = 100
 	if f := ComparePerf(base, cur, 0.35); len(f) != 0 {
 		t.Fatalf("zero-baseline metric enforced: %v", f)
 	}

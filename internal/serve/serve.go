@@ -1,0 +1,467 @@
+// Package serve is the online half of the repository: a long-lived
+// prediction server over the query-scoped engine layer, the way GiGL puts
+// one inference API over interchangeable batch and online backends and SNAP
+// serves neighborhood-scoped queries from a tuned in-memory core.
+//
+// The server loads a graph once (ideally a binary .sgr snapshot — disk
+// speed, zero per-edge work) and answers "top-k for these users" requests
+// from it:
+//
+//   - POST /v1/predict {"ids":[...], "k":K} — per-vertex top-k predictions;
+//   - GET /healthz — liveness plus the loaded graph's shape;
+//   - GET /statsz — QPS, p50/p99 latency, cache hit rate, batch counters.
+//
+// Concurrent requests are micro-batched: a collector goroutine gathers
+// everything that arrives within BatchWindow (or until BatchMax distinct
+// uncached vertices accumulate), unions the uncached vertices into one
+// Config.Sources frontier, and runs a single scoped engine.Backend.Predict
+// for the whole tick — N concurrent users cost one closure computation, not
+// N. Results land in an LRU keyed by (vertex, config fingerprint), so hot
+// vertices are served without touching the engine at all; both hit and miss
+// answers slice the same cached row, making responses for a vertex
+// identical regardless of which request computed them.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"snaple/internal/core"
+	"snaple/internal/engine"
+	"snaple/internal/graph"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Graph is the loaded graph to serve. Required.
+	Graph *graph.Digraph
+	// Backend executes the scoped prediction runs (default engine.Local{}).
+	Backend engine.Backend
+	// Config is the prediction configuration. Its K is the server's maximum
+	// servable k: requests may ask for any k up to it. Sources must be
+	// empty (the batcher owns the field).
+	Config core.Config
+	// BatchWindow is how long the collector waits for more requests after
+	// the first of a tick (default 2ms). Larger windows trade first-request
+	// latency for bigger shared frontiers.
+	BatchWindow time.Duration
+	// BatchMax caps the distinct uncached vertices folded into one run
+	// (default 4096); a full window is cut short when reached.
+	BatchMax int
+	// CacheSize is the LRU capacity in vertices (default 65536).
+	CacheSize int
+}
+
+// Server answers online prediction queries over one loaded graph. Create
+// with New, expose with Handler, stop with Close.
+type Server struct {
+	g       *graph.Digraph
+	be      engine.Backend
+	cfg     core.Config
+	cfgKey  uint64
+	window  time.Duration
+	maxIDs  int
+	cache   *lruCache
+	queue   chan *batchReq
+	stop    chan struct{}
+	done    chan struct{}
+	stats   serverStats
+	started time.Time
+}
+
+// batchReq is one in-flight /v1/predict request: its vertices, the rows
+// that were already cached when the collector folded it into a tick
+// (snapshotted then, so later cache eviction cannot lose them), and the
+// channel its assembled rows (or error) comes back on.
+type batchReq struct {
+	ids    []graph.VertexID
+	cached map[graph.VertexID][]core.Prediction
+	resp   chan batchResp
+}
+
+type batchResp struct {
+	rows map[graph.VertexID][]core.Prediction
+	hits int
+	err  error
+}
+
+// New validates opts and starts the server's collector goroutine.
+func New(opts Options) (*Server, error) {
+	if opts.Graph == nil {
+		return nil, errors.New("serve: nil graph")
+	}
+	if opts.Backend == nil {
+		opts.Backend = engine.Local{}
+	}
+	if len(opts.Config.Sources) != 0 {
+		return nil, errors.New("serve: Config.Sources must be empty (scoping is per batch)")
+	}
+	cfg, err := opts.Config.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if opts.BatchWindow <= 0 {
+		opts.BatchWindow = 2 * time.Millisecond
+	}
+	if opts.BatchMax <= 0 {
+		opts.BatchMax = 4096
+	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 65536
+	}
+	s := &Server{
+		g:       opts.Graph,
+		be:      opts.Backend,
+		cfg:     cfg,
+		cfgKey:  configFingerprint(cfg),
+		window:  opts.BatchWindow,
+		maxIDs:  opts.BatchMax,
+		cache:   newLRU(opts.CacheSize),
+		queue:   make(chan *batchReq),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		started: time.Now(),
+	}
+	go s.collector()
+	return s, nil
+}
+
+// configFingerprint hashes the parts of a Config that determine a vertex's
+// predictions, for the cache key (FNV-1a over the printable form; the score
+// is identified by name and alpha, the same pair the wire protocol ships).
+func configFingerprint(cfg core.Config) uint64 {
+	desc := fmt.Sprintf("%s|%g|%d|%d|%d|%d|%d|%d",
+		cfg.Score.Name, cfg.Score.Alpha, cfg.K, cfg.KLocal, cfg.ThrGamma,
+		int(cfg.Policy), cfg.Paths, cfg.Seed)
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(desc); i++ {
+		h ^= uint64(desc[i])
+		h *= prime
+	}
+	return h
+}
+
+// MaxK returns the largest k a request may ask for (the config's K).
+func (s *Server) MaxK() int { return s.cfg.K }
+
+// Close stops the collector; queued requests fail with a shutdown error.
+func (s *Server) Close() {
+	close(s.stop)
+	<-s.done
+}
+
+// errShutdown is returned to requests caught mid-shutdown.
+var errShutdown = errors.New("serve: server shutting down")
+
+// collector is the micro-batching loop: it blocks for the tick's first
+// request, gathers more until the window closes (or BatchMax distinct
+// uncached vertices accumulate), then answers the whole tick from one
+// scoped run plus the cache. A tick whose requests are fully cached is
+// answered immediately — waiting out the window could only help uncached
+// work, and there is none. A request whose ids would push the tick past
+// BatchMax is carried into the next tick instead of over-growing this one.
+func (s *Server) collector() {
+	defer close(s.done)
+	var carry *batchReq
+	for {
+		first := carry
+		carry = nil
+		if first == nil {
+			select {
+			case <-s.stop:
+				return
+			case first = <-s.queue:
+			}
+		}
+		batch := []*batchReq{first}
+		uncached := make(map[graph.VertexID]bool)
+		// A single request's distinct uncached ids always fit: the handler
+		// caps len(ids) at maxIDs.
+		s.fold(first, uncached)
+		if len(uncached) > 0 {
+			timer := time.NewTimer(s.window)
+		gather:
+			for len(uncached) < s.maxIDs {
+				select {
+				case <-s.stop:
+					timer.Stop()
+					for _, r := range batch {
+						r.resp <- batchResp{err: errShutdown}
+					}
+					return
+				case r := <-s.queue:
+					if len(uncached)+s.freshCount(r.ids, uncached) > s.maxIDs {
+						carry = r // starts the next tick
+						break gather
+					}
+					batch = append(batch, r)
+					s.fold(r, uncached)
+				case <-timer.C:
+					break gather
+				}
+			}
+			timer.Stop()
+		}
+		s.runBatch(batch, uncached)
+	}
+}
+
+// fold splits a request's ids between the tick's frontier (cache misses,
+// added to acc) and the request's own cached-row snapshot. Snapshotting at
+// fold time means the tick's later cache churn — including this very tick
+// evicting entries to make room for its own results — cannot lose a row
+// that was present when the request was admitted.
+func (s *Server) fold(r *batchReq, acc map[graph.VertexID]bool) {
+	r.cached = make(map[graph.VertexID][]core.Prediction)
+	for _, v := range r.ids {
+		if _, have := r.cached[v]; have || acc[v] {
+			continue
+		}
+		if row, ok := s.cache.get(cacheKey{vertex: v, cfg: s.cfgKey}); ok {
+			r.cached[v] = row
+		} else {
+			acc[v] = true
+		}
+	}
+}
+
+// freshCount reports how many of ids are cache misses not already in acc —
+// the frontier growth folding them would cause.
+func (s *Server) freshCount(ids []graph.VertexID, acc map[graph.VertexID]bool) int {
+	n := 0
+	seen := make(map[graph.VertexID]bool, len(ids))
+	for _, v := range ids {
+		if seen[v] || acc[v] {
+			continue
+		}
+		seen[v] = true
+		if _, ok := s.cache.get(cacheKey{vertex: v, cfg: s.cfgKey}); !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// runBatch executes one tick: a single frontier run over the batch's
+// uncached vertices, cache fill, then per-request assembly. Fresh rows are
+// served from the run's own output — the cache is only consulted for
+// vertices cached before the tick, so cache pressure (a tick larger than
+// the LRU) can evict rows but never corrupt answers.
+func (s *Server) runBatch(batch []*batchReq, uncached map[graph.VertexID]bool) {
+	s.stats.observeBatch(len(uncached) > 0)
+	fresh := make(map[graph.VertexID][]core.Prediction, len(uncached))
+	if len(uncached) > 0 {
+		sources := make([]graph.VertexID, 0, len(uncached))
+		for v := range uncached {
+			sources = append(sources, v)
+		}
+		cfg := s.cfg
+		cfg.Sources = sources
+		preds, _, err := s.be.Predict(s.g, cfg)
+		if err != nil {
+			for _, r := range batch {
+				r.resp <- batchResp{err: err}
+			}
+			return
+		}
+		for _, v := range sources {
+			// Clone: the engine's rows alias large shared per-batch append
+			// buffers, and a cached row must not pin a whole batch's worth
+			// of memory. Empty results are kept too — "no recommendations"
+			// is as expensive to recompute as a full answer.
+			row := append(make([]core.Prediction, 0, len(preds[v])), preds[v]...)
+			fresh[v] = row
+			s.cache.put(cacheKey{vertex: v, cfg: s.cfgKey}, row)
+		}
+	}
+	for _, r := range batch {
+		rows := make(map[graph.VertexID][]core.Prediction, len(r.ids))
+		hits := 0
+		for _, v := range r.ids {
+			if _, seen := rows[v]; seen {
+				continue
+			}
+			if row, ok := r.cached[v]; ok {
+				rows[v] = row
+				hits++
+				continue
+			}
+			// Every id is either in the fold-time snapshot or in this
+			// tick's frontier; fresh rows come straight from the run, so
+			// cache pressure can evict but never corrupt an answer.
+			rows[v] = fresh[v]
+		}
+		r.resp <- batchResp{rows: rows, hits: hits}
+	}
+}
+
+// predict runs one query through the batcher and returns the per-vertex
+// rows (capped at the server's K; the handler slices to the request's k).
+func (s *Server) predict(ids []graph.VertexID) (map[graph.VertexID][]core.Prediction, int, error) {
+	req := &batchReq{ids: ids, resp: make(chan batchResp, 1)}
+	select {
+	case <-s.stop:
+		return nil, 0, errShutdown
+	case s.queue <- req:
+	}
+	resp := <-req.resp
+	return resp.rows, resp.hits, resp.err
+}
+
+// ---- HTTP layer ----
+
+// PredictRequest is the /v1/predict body.
+type PredictRequest struct {
+	// IDs are the vertices to predict for (1 to BatchMax per request).
+	IDs []uint32 `json:"ids"`
+	// K is the predictions wanted per vertex (0 = the server's maximum; at
+	// most the server's maximum).
+	K int `json:"k"`
+}
+
+// PredictionJSON is one recommended edge target.
+type PredictionJSON struct {
+	ID    uint32  `json:"id"`
+	Score float64 `json:"score"`
+}
+
+// VertexResult is one queried vertex's answer. Predictions is empty (not
+// null) when the vertex has no recommendations.
+type VertexResult struct {
+	ID          uint32           `json:"id"`
+	Predictions []PredictionJSON `json:"predictions"`
+}
+
+// PredictResponse is the /v1/predict reply. Results are in request order
+// (first occurrence, for duplicated ids).
+type PredictResponse struct {
+	Results   []VertexResult `json:"results"`
+	CacheHits int            `json:"cache_hits"`
+	ServedMs  float64        `json:"served_ms"`
+}
+
+// HealthResponse is the /healthz reply.
+type HealthResponse struct {
+	Status    string  `json:"status"`
+	Engine    string  `json:"engine"`
+	Vertices  int     `json:"vertices"`
+	Edges     int     `json:"edges"`
+	MaxK      int     `json:"max_k"`
+	UptimeSec float64 `json:"uptime_sec"`
+}
+
+// Handler returns the server's HTTP mux: POST /v1/predict, GET /healthz,
+// GET /statsz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	return mux
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	start := time.Now()
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(req.IDs) == 0 {
+		httpError(w, http.StatusBadRequest, "ids is empty")
+		return
+	}
+	if len(req.IDs) > s.maxIDs {
+		httpError(w, http.StatusBadRequest, "%d ids exceeds the per-request maximum %d", len(req.IDs), s.maxIDs)
+		return
+	}
+	k := req.K
+	switch {
+	case k == 0:
+		k = s.cfg.K
+	case k < 0 || k > s.cfg.K:
+		httpError(w, http.StatusBadRequest, "k=%d outside [1,%d] (the server computes top-%d)", k, s.cfg.K, s.cfg.K)
+		return
+	}
+	n := s.g.NumVertices()
+	ids := make([]graph.VertexID, len(req.IDs))
+	for i, id := range req.IDs {
+		if int(id) >= n {
+			httpError(w, http.StatusBadRequest, "vertex %d outside [0,%d)", id, n)
+			return
+		}
+		ids[i] = graph.VertexID(id)
+	}
+
+	rows, hits, err := s.predict(ids)
+	lat := time.Since(start)
+	if err != nil {
+		s.stats.observe(lat, len(ids), 0, true)
+		httpError(w, http.StatusInternalServerError, "predict: %v", err)
+		return
+	}
+	resp := PredictResponse{
+		Results:   make([]VertexResult, 0, len(rows)),
+		CacheHits: hits,
+		ServedMs:  float64(lat.Microseconds()) / 1000,
+	}
+	emitted := make(map[graph.VertexID]bool, len(rows))
+	for _, v := range ids {
+		if emitted[v] {
+			continue
+		}
+		emitted[v] = true
+		row := rows[v]
+		vr := VertexResult{ID: uint32(v), Predictions: make([]PredictionJSON, 0, min(k, len(row)))}
+		for i, p := range row {
+			if i == k {
+				break
+			}
+			vr.Predictions = append(vr.Predictions, PredictionJSON{ID: uint32(p.Vertex), Score: p.Score})
+		}
+		resp.Results = append(resp.Results, vr)
+	}
+	s.stats.observe(lat, len(ids), hits, false)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:    "ok",
+		Engine:    s.be.Name(),
+		Vertices:  s.g.NumVertices(),
+		Edges:     s.g.NumEdges(),
+		MaxK:      s.cfg.K,
+		UptimeSec: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	snap := s.stats.snapshot()
+	snap.CacheSize = s.cache.len()
+	snap.CacheCap = s.cache.cap
+	snap.UptimeSec = time.Since(s.started).Seconds()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

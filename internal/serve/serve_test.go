@@ -1,0 +1,475 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"snaple/internal/core"
+	"snaple/internal/engine"
+	"snaple/internal/graph"
+	"snaple/internal/randx"
+)
+
+func testGraph(t testing.TB, n int, seed uint64) *graph.Digraph {
+	t.Helper()
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			p := 8.0 / float64(n)
+			if u%50 == 0 {
+				p = 0.25
+			}
+			if randx.Float64(seed, uint64(u), uint64(v)) < p {
+				edges = append(edges, graph.Edge{Src: graph.VertexID(u), Dst: graph.VertexID(v)})
+			}
+		}
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testConfig(t testing.TB, k int) core.Config {
+	t.Helper()
+	spec, err := core.ScoreByName("linearSum", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Config{Score: spec, K: k, KLocal: 4, ThrGamma: 10, Seed: 42}
+}
+
+// countingBackend wraps a Backend and counts Predict calls and the source
+// vertices they were scoped to.
+type countingBackend struct {
+	inner   engine.Backend
+	calls   atomic.Int64
+	sources atomic.Int64
+}
+
+func (c *countingBackend) Name() string { return c.inner.Name() }
+func (c *countingBackend) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, engine.Stats, error) {
+	c.calls.Add(1)
+	c.sources.Add(int64(len(cfg.Sources)))
+	return c.inner.Predict(g, cfg)
+}
+
+func newTestServer(t *testing.T, g *graph.Digraph, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postPredict(t *testing.T, url string, body string) (*http.Response, PredictResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/predict", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr PredictResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, pr
+}
+
+// TestPredictMatchesReference holds the served answers to the full-run
+// oracle: for any ids and any k ≤ kmax, the response must be the reference
+// predictions truncated to k.
+func TestPredictMatchesReference(t *testing.T) {
+	g := testGraph(t, 200, 3)
+	cfg := testConfig(t, 10)
+	full, err := core.ReferenceSnaple(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, g, Options{Graph: g, Config: cfg, BatchWindow: time.Millisecond})
+
+	for _, k := range []int{0, 1, 5, 10} {
+		ids := []uint32{0, 17, 50, 199, 17} // duplicate collapses
+		body, _ := json.Marshal(PredictRequest{IDs: ids, K: k})
+		resp, pr := postPredict(t, ts.URL, string(body))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("k=%d: status %d", k, resp.StatusCode)
+		}
+		if len(pr.Results) != 4 {
+			t.Fatalf("k=%d: %d results, want 4 (duplicate id collapsed)", k, len(pr.Results))
+		}
+		effK := k
+		if effK == 0 {
+			effK = 10
+		}
+		for _, vr := range pr.Results {
+			want := full[vr.ID]
+			if len(want) > effK {
+				want = want[:effK]
+			}
+			got := make([]core.Prediction, len(vr.Predictions))
+			for i, p := range vr.Predictions {
+				got[i] = core.Prediction{Vertex: graph.VertexID(p.ID), Score: p.Score}
+			}
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual([]core.Prediction(want), got) {
+				t.Fatalf("k=%d vertex %d: want %v, got %v", k, vr.ID, want, got)
+			}
+		}
+	}
+}
+
+// TestMicroBatchingCoalesces pins the batching contract: requests arriving
+// within one window share a single backend run, and identical ids are
+// served from the cache forever after.
+func TestMicroBatchingCoalesces(t *testing.T) {
+	g := testGraph(t, 120, 5)
+	be := &countingBackend{inner: engine.Local{Workers: 1}}
+	s, err := New(Options{Graph: g, Backend: be, Config: testConfig(t, 5), BatchWindow: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Distinct id sets sent while the first request's window is open: the
+	// collector folds all of them into one frontier run.
+	var wg sync.WaitGroup
+	results := make([]map[graph.VertexID][]core.Prediction, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows, _, err := s.predict([]graph.VertexID{graph.VertexID(i * 10), graph.VertexID(i*10 + 5)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = rows
+		}()
+		if i == 0 {
+			time.Sleep(30 * time.Millisecond) // let the window open first
+		}
+	}
+	wg.Wait()
+	if got := be.calls.Load(); got != 1 {
+		t.Fatalf("backend ran %d times for one batch window, want 1", got)
+	}
+	if got := be.sources.Load(); got != 16 {
+		t.Fatalf("batched run scoped to %d sources, want 16", got)
+	}
+
+	// Same ids again: pure cache hits, no new backend run.
+	rows, hits, err := s.predict([]graph.VertexID{0, 5, 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 3 {
+		t.Fatalf("cache hits = %d, want 3", hits)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	if got := be.calls.Load(); got != 1 {
+		t.Fatalf("cached query re-ran the backend (%d calls)", got)
+	}
+}
+
+// TestTickLargerThanCache pins the eviction-under-pressure contract: when
+// one tick computes more vertices than the LRU can hold, every request of
+// the tick is still answered from the run's own output — cache pressure
+// may evict rows but can never turn a real answer into an empty one.
+func TestTickLargerThanCache(t *testing.T) {
+	g := testGraph(t, 200, 3)
+	cfg := testConfig(t, 5)
+	full, err := core.ReferenceSnaple(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Graph: g, Config: cfg, BatchWindow: time.Millisecond, CacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ids := make([]graph.VertexID, 20) // 5x the cache capacity, one tick
+	for i := range ids {
+		ids[i] = graph.VertexID(i * 7)
+	}
+	rows, hits, err := s.predict(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 0 {
+		t.Fatalf("cold tick reported %d hits", hits)
+	}
+	for _, v := range ids {
+		want := full[v]
+		got := rows[v]
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual([]core.Prediction(want), got) {
+			t.Fatalf("vertex %d: got %v, want %v (evicted mid-tick?)", v, got, want)
+		}
+	}
+	if s.cache.len() != 4 {
+		t.Fatalf("cache holds %d entries, capacity 4", s.cache.len())
+	}
+}
+
+// TestFullyCachedSkipsWindow pins the hot-path contract: a request whose
+// ids are all cached is answered immediately, not after the batch window —
+// an empty frontier can never benefit from batching.
+func TestFullyCachedSkipsWindow(t *testing.T) {
+	g := testGraph(t, 50, 1)
+	s, err := New(Options{Graph: g, Config: testConfig(t, 5), BatchWindow: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.cache.put(cacheKey{vertex: 3, cfg: s.cfgKey}, []core.Prediction{{Vertex: 9, Score: 1}})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rows, hits, err := s.predict([]graph.VertexID{3})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if hits != 1 || len(rows[3]) != 1 {
+			t.Errorf("rows=%v hits=%d", rows, hits)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second): // far below the 1h window
+		t.Fatal("fully-cached request waited for the batch window")
+	}
+}
+
+// TestStatsz exercises the metrics endpoint end to end.
+func TestStatsz(t *testing.T) {
+	g := testGraph(t, 100, 7)
+	_, ts := newTestServer(t, g, Options{Graph: g, Config: testConfig(t, 5), BatchWindow: time.Millisecond})
+
+	for i := 0; i < 3; i++ {
+		resp, _ := postPredict(t, ts.URL, `{"ids":[1,2,3]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Requests != 3 || snap.IDs != 9 {
+		t.Fatalf("requests=%d ids=%d, want 3/9", snap.Requests, snap.IDs)
+	}
+	if snap.CacheHits < 6 { // requests 2 and 3 are fully cached
+		t.Fatalf("cache_hits = %d, want >= 6", snap.CacheHits)
+	}
+	if snap.CacheHitRate <= 0 || snap.CacheHitRate > 1 {
+		t.Fatalf("cache_hit_rate = %v", snap.CacheHitRate)
+	}
+	if snap.PredictRuns < 1 || snap.Batches < snap.PredictRuns {
+		t.Fatalf("batches=%d runs=%d", snap.Batches, snap.PredictRuns)
+	}
+	if snap.QPS <= 0 {
+		t.Fatalf("qps = %v", snap.QPS)
+	}
+	if snap.P99Ms < snap.P50Ms {
+		t.Fatalf("p99 %v < p50 %v", snap.P99Ms, snap.P50Ms)
+	}
+	if snap.CacheSize != 3 || snap.CacheCap != 65536 {
+		t.Fatalf("cache size/cap = %d/%d", snap.CacheSize, snap.CacheCap)
+	}
+}
+
+// TestHealthz pins the liveness payload.
+func TestHealthz(t *testing.T) {
+	g := testGraph(t, 50, 1)
+	_, ts := newTestServer(t, g, Options{Graph: g, Config: testConfig(t, 7)})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Vertices != g.NumVertices() || h.Edges != g.NumEdges() || h.MaxK != 7 || h.Engine != "local" {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+// TestPredictRejects pins the request-validation errors.
+func TestPredictRejects(t *testing.T) {
+	g := testGraph(t, 50, 1)
+	_, ts := newTestServer(t, g, Options{Graph: g, Config: testConfig(t, 5), BatchMax: 8})
+
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"empty ids", `{"ids":[]}`, http.StatusBadRequest},
+		{"bad json", `{"ids":`, http.StatusBadRequest},
+		{"k too big", `{"ids":[1],"k":6}`, http.StatusBadRequest},
+		{"negative k", `{"ids":[1],"k":-1}`, http.StatusBadRequest},
+		{"id out of range", `{"ids":[50]}`, http.StatusBadRequest},
+		{"too many ids", fmt.Sprintf(`{"ids":%v}`, jsonIDs(9)), http.StatusBadRequest},
+		{"ok", `{"ids":[1],"k":5}`, http.StatusOK},
+	}
+	for _, c := range cases {
+		resp, _ := postPredict(t, ts.URL, c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.status)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET predict: status %d", resp.StatusCode)
+	}
+}
+
+func jsonIDs(n int) string {
+	b, _ := json.Marshal(make([]int, n))
+	return string(b)
+}
+
+// TestNewRejects pins the constructor's validation.
+func TestNewRejects(t *testing.T) {
+	g := testGraph(t, 20, 1)
+	if _, err := New(Options{Config: testConfig(t, 5)}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	cfg := testConfig(t, 5)
+	cfg.Sources = []graph.VertexID{1}
+	if _, err := New(Options{Graph: g, Config: cfg}); err == nil {
+		t.Error("preset Sources accepted")
+	}
+	bad := testConfig(t, 5)
+	bad.K = -3
+	if _, err := New(Options{Graph: g, Config: bad}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// TestLRU pins the cache's eviction and refresh behaviour.
+func TestLRU(t *testing.T) {
+	c := newLRU(2)
+	k := func(v int) cacheKey { return cacheKey{vertex: graph.VertexID(v), cfg: 1} }
+	p := func(v int) []core.Prediction { return []core.Prediction{{Vertex: graph.VertexID(v)}} }
+
+	c.put(k(1), p(1))
+	c.put(k(2), p(2))
+	if _, ok := c.get(k(1)); !ok {
+		t.Fatal("1 evicted early")
+	}
+	c.put(k(3), p(3)) // evicts 2 (1 was refreshed by the get)
+	if _, ok := c.get(k(2)); ok {
+		t.Fatal("2 survived eviction")
+	}
+	if _, ok := c.get(k(1)); !ok {
+		t.Fatal("1 evicted despite being MRU")
+	}
+	if got, _ := c.get(k(3)); !reflect.DeepEqual(got, p(3)) {
+		t.Fatalf("3 = %v", got)
+	}
+	c.put(k(3), p(9)) // refresh in place
+	if got, _ := c.get(k(3)); !reflect.DeepEqual(got, p(9)) {
+		t.Fatalf("refresh lost: %v", got)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+	// A different config fingerprint is a different entry.
+	other := cacheKey{vertex: 3, cfg: 2}
+	if _, ok := c.get(other); ok {
+		t.Fatal("config fingerprint ignored")
+	}
+}
+
+// TestConfigFingerprint ensures distinct scoring configs key distinct cache
+// entries.
+func TestConfigFingerprint(t *testing.T) {
+	base := testConfig(t, 5)
+	mods := []func(*core.Config){
+		func(c *core.Config) { c.K = 6 },
+		func(c *core.Config) { c.KLocal = 5 },
+		func(c *core.Config) { c.ThrGamma = 11 },
+		func(c *core.Config) { c.Seed = 43 },
+		func(c *core.Config) { c.Policy = core.SelectRnd },
+		func(c *core.Config) { c.Paths = 3 },
+		func(c *core.Config) { c.Score.Alpha = 0.5 },
+		func(c *core.Config) { c.Score.Name = "geomSum" },
+	}
+	seen := map[uint64]int{configFingerprint(base): -1}
+	for i, mod := range mods {
+		cfg := base
+		mod(&cfg)
+		fp := configFingerprint(cfg)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("mod %d collides with %d", i, prev)
+		}
+		seen[fp] = i
+	}
+}
+
+// TestServeClose ensures Close unblocks pending requests with an error
+// instead of hanging them.
+func TestServeClose(t *testing.T) {
+	g := testGraph(t, 50, 1)
+	s, err := New(Options{Graph: g, Config: testConfig(t, 5), BatchWindow: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := s.predict([]graph.VertexID{1})
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // request inside the (huge) window
+	s.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("pending request succeeded after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending request hung after Close")
+	}
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRingSize bounds the latency samples kept for the percentile
+// report; old samples are overwritten in ring order.
+const latencyRingSize = 4096
+
+// qpsWindow is the sliding window the QPS figure is computed over.
+const qpsWindow = 60 * time.Second
+
+// serverStats aggregates the serving metrics behind /statsz. Counters are
+// cumulative since start; latency percentiles and QPS are computed over the
+// recent sample ring at read time.
+type serverStats struct {
+	mu sync.Mutex
+
+	requests    int64 // /v1/predict requests answered (success or error)
+	ids         int64 // vertices asked for, summed over requests
+	cacheHits   int64 // ids answered from the LRU
+	cacheMisses int64 // ids that needed a frontier run
+	batches     int64 // micro-batches assembled
+	runs        int64 // backend Predict calls (batches with ≥1 uncached id)
+	errors      int64 // requests that failed
+
+	ring  [latencyRingSize]sample
+	ringN int64 // total samples ever recorded; ring index = ringN % size
+}
+
+type sample struct {
+	at time.Time
+	ms float64
+}
+
+// observe records one answered request.
+func (s *serverStats) observe(lat time.Duration, ids, hits int, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	s.ids += int64(ids)
+	s.cacheHits += int64(hits)
+	s.cacheMisses += int64(ids - hits)
+	if failed {
+		s.errors++
+	}
+	s.ring[s.ringN%latencyRingSize] = sample{at: time.Now(), ms: float64(lat.Microseconds()) / 1000}
+	s.ringN++
+}
+
+// observeBatch records one assembled micro-batch and whether it ran the
+// backend.
+func (s *serverStats) observeBatch(ran bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches++
+	if ran {
+		s.runs++
+	}
+}
+
+// Snapshot is the /statsz payload.
+type Snapshot struct {
+	Requests     int64   `json:"requests"`
+	IDs          int64   `json:"ids"`
+	Errors       int64   `json:"errors"`
+	QPS          float64 `json:"qps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	Batches      int64   `json:"batches"`
+	PredictRuns  int64   `json:"predict_runs"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheSize    int     `json:"cache_size"`
+	CacheCap     int     `json:"cache_capacity"`
+	UptimeSec    float64 `json:"uptime_sec"`
+}
+
+// snapshot computes the report. Percentiles cover the ring's samples (the
+// last latencyRingSize requests); QPS counts ring samples inside the last
+// qpsWindow — when the ring wrapped within the window, the rate is
+// extrapolated from the span the ring still covers.
+func (s *serverStats) snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		Requests: s.requests, IDs: s.ids, Errors: s.errors,
+		Batches: s.batches, PredictRuns: s.runs,
+		CacheHits: s.cacheHits, CacheMisses: s.cacheMisses,
+	}
+	if total := s.cacheHits + s.cacheMisses; total > 0 {
+		snap.CacheHitRate = float64(s.cacheHits) / float64(total)
+	}
+	n := int(min(s.ringN, latencyRingSize))
+	if n == 0 {
+		return snap
+	}
+	lats := make([]float64, 0, n)
+	now := time.Now()
+	recent := 0
+	var oldest time.Time
+	for i := 0; i < n; i++ {
+		smp := s.ring[i]
+		lats = append(lats, smp.ms)
+		if age := now.Sub(smp.at); age <= qpsWindow {
+			recent++
+			if oldest.IsZero() || smp.at.Before(oldest) {
+				oldest = smp.at
+			}
+		}
+	}
+	sort.Float64s(lats)
+	snap.P50Ms = percentile(lats, 0.50)
+	snap.P99Ms = percentile(lats, 0.99)
+	if recent > 0 {
+		span := qpsWindow.Seconds()
+		if s.ringN > latencyRingSize && recent == n { // ring wrapped inside the window
+			span = now.Sub(oldest).Seconds()
+		}
+		if span > 0 {
+			snap.QPS = float64(recent) / span
+		}
+	}
+	return snap
+}
+
+// percentile returns the p-quantile of an ascending sample set
+// (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

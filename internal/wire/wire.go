@@ -46,8 +46,10 @@ import (
 )
 
 // ProtocolVersion guards against coordinator/worker skew: a worker rejects a
-// ship whose version differs from its own.
-const ProtocolVersion = 1
+// ship whose version differs from its own. Version 2 added query-scoped
+// runs (Partition.Scope) — an old worker would silently run the full graph,
+// which is exactly the skew the version check exists to catch.
+const ProtocolVersion = 2
 
 // Kind discriminates the Msg envelope.
 type Kind uint8
@@ -163,6 +165,11 @@ type Partition struct {
 	// HasRemote marks local masters that are replicated on other partitions
 	// and therefore must broadcast refreshed state after each apply.
 	HasRemote []bool
+	// Scope holds each local vertex's frontier scope mask on a query-scoped
+	// run (core.Scope* bits, aligned with Locals); nil for a full run. The
+	// coordinator derives it from the global closure so workers never need
+	// the source list, let alone the graph.
+	Scope []uint8
 }
 
 // Validate checks the payload's internal consistency (lengths and index
@@ -179,6 +186,8 @@ func (p *Partition) Validate() error {
 		return fmt.Errorf("wire: %d remote flags for %d locals", len(p.HasRemote), len(p.Locals))
 	case len(p.EdgeSrc) != len(p.EdgeDst):
 		return fmt.Errorf("wire: %d edge sources, %d edge targets", len(p.EdgeSrc), len(p.EdgeDst))
+	case p.Scope != nil && len(p.Scope) != len(p.Locals):
+		return fmt.Errorf("wire: %d scope masks for %d locals", len(p.Scope), len(p.Locals))
 	}
 	for i := range p.EdgeSrc {
 		if p.EdgeSrc[i] < 0 || int(p.EdgeSrc[i]) >= len(p.Locals) ||

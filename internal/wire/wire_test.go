@@ -136,6 +136,13 @@ func randPartition(r *rand.Rand, n int, hub bool) Partition {
 		p.IsMaster = append(p.IsMaster, r.Intn(2) == 0)
 		p.HasRemote = append(p.HasRemote, r.Intn(2) == 0)
 	}
+	if r.Intn(2) == 0 {
+		// Query-scoped ship: per-local frontier masks ride along.
+		p.Scope = make([]uint8, len(p.Locals))
+		for i := range p.Scope {
+			p.Scope[i] = uint8(r.Intn(16))
+		}
+	}
 	edges := r.Intn(4 * len(p.Locals))
 	if hub {
 		edges = 5000 // one source fans out to thousands of targets
@@ -213,6 +220,26 @@ func TestShipRoundTrip(t *testing.T) {
 	}
 	for _, part := range cases {
 		checkLossless(t, &Msg{Kind: KindShip, Version: ProtocolVersion, Job: job, Part: part})
+	}
+}
+
+// TestPartitionValidateScope pins the scope-mask length check: a scoped
+// ship whose masks do not align with the local table is rejected before the
+// worker builds anything from it.
+func TestPartitionValidateScope(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	p := randPartition(r, 50, false)
+	p.Scope = nil
+	if err := p.Validate(); err != nil {
+		t.Fatalf("nil scope rejected: %v", err)
+	}
+	p.Scope = make([]uint8, len(p.Locals))
+	if err := p.Validate(); err != nil {
+		t.Fatalf("aligned scope rejected: %v", err)
+	}
+	p.Scope = append(p.Scope, 0)
+	if err := p.Validate(); err == nil {
+		t.Fatal("misaligned scope accepted")
 	}
 }
 

@@ -110,6 +110,9 @@ func newSession(conn *Conn) (*session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := part.SetScope(m.Part.Scope); err != nil {
+		return nil, err
+	}
 	return &session{
 		conn:      conn,
 		partIdx:   m.Part.Part,

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — CI's serve-smoke gate for the online serving path.
+#
+# Builds cmd/graphgen and cmd/snaple-serve, packs a generated graph into a
+# binary snapshot, starts the server on an ephemeral loopback port, and
+# exercises the full HTTP surface: /healthz, /v1/predict (twice, so the
+# second round is answered from the LRU), /statsz (asserting the cache hits
+# actually registered), and a malformed request (must be a clean 400, not a
+# crash). The trap tears the server down even when a step fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+  status=$?
+  for pid in "${pids[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  if [ $status -ne 0 ]; then
+    echo "--- server log ---" >&2
+    cat "$workdir/serve.err" 2>/dev/null >&2 || true
+  fi
+  rm -rf "$workdir"
+  exit $status
+}
+trap cleanup EXIT INT TERM
+
+echo "==> building graphgen and snaple-serve"
+go build -o "$workdir/graphgen" ./cmd/graphgen
+go build -o "$workdir/snaple-serve" ./cmd/snaple-serve
+
+echo "==> generating a packed graph"
+"$workdir/graphgen" -dataset gowalla -scale 0.3 -seed 7 -o "$workdir/g.sgr"
+
+echo "==> starting the server on an ephemeral port"
+"$workdir/snaple-serve" -in "$workdir/g.sgr" -listen 127.0.0.1:0 -kmax 10 \
+  >"$workdir/serve.out" 2>"$workdir/serve.err" &
+pids+=($!)
+addr=""
+for _ in $(seq 1 100); do
+  line="$(head -n1 "$workdir/serve.out" 2>/dev/null || true)"
+  case "$line" in
+    "serving "*) addr="${line#serving }"; break ;;
+  esac
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "server never announced its address" >&2
+  exit 1
+fi
+echo "    serving on $addr"
+
+echo "==> /healthz"
+health="$(curl -sf "http://$addr/healthz")"
+echo "    $health"
+echo "$health" | grep -q '"status":"ok"'
+echo "$health" | grep -q '"vertices":'
+echo "$health" | grep -q '"edges":'
+
+echo "==> POST /v1/predict"
+resp="$(curl -sf -X POST "http://$addr/v1/predict" -d '{"ids":[1,2,3],"k":5}')"
+echo "    $resp"
+echo "$resp" | grep -q '"results":\['
+echo "$resp" | grep -q '"id":1'
+echo "$resp" | grep -q '"predictions":'
+
+echo "==> POST /v1/predict again (must be served from the cache)"
+curl -sf -X POST "http://$addr/v1/predict" -d '{"ids":[1,2,3],"k":5}' >/dev/null
+
+echo "==> /statsz reflects both requests and the cache hits"
+stats="$(curl -sf "http://$addr/statsz")"
+echo "    $stats"
+echo "$stats" | grep -q '"requests":2'
+echo "$stats" | grep -q '"cache_hits":3'
+echo "$stats" | grep -q '"p99_ms":'
+
+echo "==> malformed requests fail cleanly"
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/v1/predict" -d '{"ids":[]}')"
+[ "$code" = "400" ] || { echo "empty ids returned $code, want 400" >&2; exit 1; }
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/v1/predict" -d '{"ids":[99999999]}')"
+[ "$code" = "400" ] || { echo "out-of-range id returned $code, want 400" >&2; exit 1; }
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/healthz")"
+[ "$code" = "200" ] || { echo "server unhealthy after bad requests ($code)" >&2; exit 1; }
+
+echo "==> serve smoke OK"

@@ -25,7 +25,12 @@
 //     edge-list ingestion with no O(E) intermediate, plus versioned,
 //     checksummed binary CSR snapshots (.sgr) that load with zero
 //     per-edge work — pack once with `snaple pack`, start every later
-//     run at disk speed.
+//     run at disk speed,
+//   - an online serving layer (internal/serve, cmd/snaple-serve): every
+//     backend accepts a query frontier (Options.Sources, PredictFor) and
+//     computes only the ≤2-hop closure the sources' scores depend on, and
+//     the server batches concurrent HTTP requests into one frontier run
+//     per tick with an LRU result cache in front.
 //
 // All four backends produce bit-identical predictions for the same
 // Options; they differ only in speed and in which costs they report.
@@ -102,6 +107,13 @@ type Options struct {
 	// Workers bounds the goroutines of the chosen backend (0 = GOMAXPROCS).
 	// For "dist" it is the worker count (0 = 2 loopback workers).
 	Workers int
+	// Sources optionally scopes the run to a query frontier: when
+	// non-empty, only these vertices receive predictions and every backend
+	// restricts its work to the exact closure their predictions depend on
+	// (2 hops out; 3 for Paths=3). The results are bit-identical to the
+	// full run's, filtered to the sources. This is the online per-user
+	// shape — see PredictFor and cmd/snaple-serve.
+	Sources []VertexID
 }
 
 func (o Options) toCore() (core.Config, error) {
@@ -122,16 +134,11 @@ func (o Options) toCore() (core.Config, error) {
 		ThrGamma: o.ThrGamma,
 		Paths:    o.Paths,
 		Seed:     o.Seed,
+		Sources:  o.Sources,
 	}
-	switch o.Policy {
-	case "", "max":
-		cfg.Policy = core.SelectMax
-	case "min":
-		cfg.Policy = core.SelectMin
-	case "rnd":
-		cfg.Policy = core.SelectRnd
-	default:
-		return core.Config{}, fmt.Errorf("snaple: unknown policy %q (max|min|rnd)", o.Policy)
+	cfg.Policy, err = core.PolicyByName(o.Policy)
+	if err != nil {
+		return core.Config{}, err
 	}
 	return cfg, nil
 }
@@ -148,6 +155,18 @@ func EngineNames() []string { return engine.Names() }
 func Predict(g *Graph, opts Options) (Predictions, error) {
 	preds, _, err := PredictStats(g, opts)
 	return preds, err
+}
+
+// PredictFor answers the online question — "top-k for these vertices" —
+// without a full-graph pass: it runs a query-scoped prediction for sources
+// on the backend selected by opts.Engine, computing only the ≤2-hop closure
+// the sources' scores depend on. The returned Predictions are indexed by
+// vertex like Predict's, with non-source rows nil, and are bit-identical to
+// the full run's rows for the same Options. It is the one-shot form of what
+// cmd/snaple-serve serves continuously.
+func PredictFor(g *Graph, sources []VertexID, opts Options) (Predictions, error) {
+	opts.Sources = sources
+	return Predict(g, opts)
 }
 
 // EngineStats reports what a prediction run cost: wall-clock time, ingest
@@ -233,6 +252,12 @@ type Result struct {
 	// ReplicationFactor is the average replicas per vertex of the
 	// vertex-cut.
 	ReplicationFactor float64
+	// FrontierVertices is the query closure's vertex count when the run was
+	// scoped (Options.Sources non-empty); 0 on a full run.
+	FrontierVertices int
+	// ScoredVertices is how many vertices the final combine step visited:
+	// the source count on a scoped run, NumVertices on a full run.
+	ScoredVertices int
 }
 
 // strategy maps the string-typed vertex-cut selection onto internal/partition.
@@ -286,6 +311,8 @@ func toResult(preds Predictions, st engine.Stats) *Result {
 		CrossMsgs:         st.CrossMsgs,
 		MemPeakBytes:      st.MemPeakBytes,
 		ReplicationFactor: st.ReplicationFactor,
+		FrontierVertices:  st.FrontierVertices,
+		ScoredVertices:    st.ScoredVertices,
 	}
 }
 

@@ -31,6 +31,105 @@ func TestPredictFacade(t *testing.T) {
 	}
 }
 
+func TestPredictForFacade(t *testing.T) {
+	g := facadeGraph(t)
+	opts := Options{Score: "linearSum", KLocal: 10, Seed: 1}
+	full, err := Predict(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []VertexID{3, 77, 201, 399}
+	scoped, err := PredictFor(g, sources, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scoped) != len(full) {
+		t.Fatalf("scoped has %d rows, full %d", len(scoped), len(full))
+	}
+	isSource := map[VertexID]bool{}
+	for _, s := range sources {
+		isSource[s] = true
+	}
+	for u := range scoped {
+		v := VertexID(u)
+		if isSource[v] {
+			if !reflect.DeepEqual(scoped[u], full[u]) {
+				t.Fatalf("source %d: scoped %v != full %v", v, scoped[u], full[u])
+			}
+		} else if scoped[u] != nil {
+			t.Fatalf("non-source %d has predictions", v)
+		}
+	}
+	if _, err := PredictFor(g, []VertexID{VertexID(len(full))}, opts); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+// TestQueryScopedDoesLessWork is the serving refactor's acceptance gate: on
+// a ≥1M-edge graph, a 10k-source query must do measurably less work than a
+// full pass — asserted on the engine's deterministic work counters
+// (ScoredVertices, FrontierVertices, allocation volume) with wall time as a
+// generous sanity bound, and produce bit-identical rows for the sources.
+func TestQueryScopedDoesLessWork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a ~1.4M-edge graph")
+	}
+	g, err := Dataset("livejournal", 12, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 1_000_000 {
+		t.Fatalf("graph too small for the acceptance bound: %v", g)
+	}
+	opts := Options{Score: "linearSum", KLocal: 20, ThrGamma: 200, Seed: 42, Engine: "local"}
+	full, fullStats, err := PredictStats(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 10k distinct sources, deterministically scattered.
+	n := g.NumVertices()
+	sources := make([]VertexID, 0, 10_000)
+	seen := make(map[VertexID]bool, 10_000)
+	for i := 0; len(sources) < cap(sources); i++ {
+		v := VertexID(uint32(i*2654435761) % uint32(n))
+		if !seen[v] {
+			seen[v] = true
+			sources = append(sources, v)
+		}
+	}
+	opts.Sources = sources
+	scoped, scopedStats, err := PredictStats(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, s := range sources {
+		if !reflect.DeepEqual(scoped[s], full[s]) {
+			t.Fatalf("source %d: scoped %v != full %v", s, scoped[s], full[s])
+		}
+	}
+	if fullStats.ScoredVertices != n || fullStats.FrontierVertices != 0 {
+		t.Fatalf("full stats: %+v", fullStats)
+	}
+	if scopedStats.ScoredVertices != len(sources) {
+		t.Fatalf("scoped ScoredVertices = %d, want %d", scopedStats.ScoredVertices, len(sources))
+	}
+	if scopedStats.FrontierVertices <= 0 || scopedStats.FrontierVertices >= n {
+		t.Fatalf("scoped FrontierVertices = %d (n=%d)", scopedStats.FrontierVertices, n)
+	}
+	// Measured locally at ~0.24 of the full pass each; 0.6 leaves room for
+	// CI noise while still proving the pass did a fraction of the work.
+	if ratio := float64(scopedStats.AllocBytes) / float64(fullStats.AllocBytes); ratio > 0.6 {
+		t.Errorf("scoped run allocated %.2fx of the full pass (%d vs %d bytes)",
+			ratio, scopedStats.AllocBytes, fullStats.AllocBytes)
+	}
+	if ratio := scopedStats.WallSeconds / fullStats.WallSeconds; ratio > 0.8 {
+		t.Errorf("scoped run took %.2fx of the full pass (%.3fs vs %.3fs)",
+			ratio, scopedStats.WallSeconds, fullStats.WallSeconds)
+	}
+}
+
 func TestPredictDefaultsAndErrors(t *testing.T) {
 	g := facadeGraph(t)
 	if _, err := Predict(g, Options{}); err != nil {
