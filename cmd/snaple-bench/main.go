@@ -20,6 +20,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,8 +33,12 @@ import (
 	"time"
 
 	"snaple"
+	"snaple/internal/core"
+	distengine "snaple/internal/engine"
 	"snaple/internal/eval"
+	"snaple/internal/graph"
 	"snaple/internal/randx"
+	"snaple/internal/wire"
 )
 
 // perfOutPath is where the perf experiment writes its JSON report
@@ -202,14 +207,14 @@ func runPerf(o eval.Options, w io.Writer) error {
 		Dataset: dataset, Scale: o.Scale, Seed: o.Seed,
 		Vertices: g.NumVertices(), Edges: g.NumEdges(),
 	}
-	for _, engine := range perfEngines {
+	for _, engineName := range perfEngines {
 		opts := snaple.Options{
 			Score: "linearSum", KLocal: 20, ThrGamma: 200, Seed: o.Seed,
-			Engine: engine, Workers: o.Workers,
+			Engine: engineName, Workers: o.Workers,
 		}
-		_, st, err := snaple.PredictStats(g, opts)
+		_, st, err := distPerfStats(g, opts)
 		if err != nil {
-			return fmt.Errorf("%s backend: %w", engine, err)
+			return fmt.Errorf("%s backend: %w", engineName, err)
 		}
 		rep.Rows = append(rep.Rows, eval.PerfRow{
 			Engine: st.Engine, Workers: st.Workers,
@@ -218,7 +223,7 @@ func runPerf(o eval.Options, w io.Writer) error {
 			CrossBytes: st.CrossBytes, CrossMsgs: st.CrossMsgs,
 		})
 		fmt.Fprintf(w, "%s backend on %s (scale %.2f): %.2fs, %.0f edges/s, %.1f MiB / %d objects allocated",
-			engine, dataset, o.Scale, st.WallSeconds, st.EdgesPerSec,
+			engineName, dataset, o.Scale, st.WallSeconds, st.EdgesPerSec,
 			float64(st.AllocBytes)/(1<<20), st.AllocObjects)
 		if st.CrossBytes > 0 {
 			fmt.Fprintf(w, ", %.1f MiB / %d msgs on the wire", float64(st.CrossBytes)/(1<<20), st.CrossMsgs)
@@ -235,6 +240,11 @@ func runPerf(o eval.Options, w io.Writer) error {
 		return fmt.Errorf("query: %w", err)
 	}
 	rep.Rows = append(rep.Rows, queryRow)
+	codecRow, err := codecPerf(w)
+	if err != nil {
+		return fmt.Errorf("wire-codec: %w", err)
+	}
+	rep.Rows = append(rep.Rows, codecRow)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -245,6 +255,31 @@ func runPerf(o eval.Options, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "wrote %s\n", perfOutPath)
 	return nil
+}
+
+// distPerfStats runs one perf-tracked backend. The dist backend is
+// constructed directly so the bench measures it with wire compression on —
+// the configuration whose cross_bytes the baseline pins (the cross-rack
+// shape, matching the CLI's -wire-compress); every other engine goes through
+// the public API unchanged.
+func distPerfStats(g *snaple.Graph, opts snaple.Options) (snaple.Predictions, snaple.EngineStats, error) {
+	if opts.Engine != "dist" {
+		return snaple.PredictStats(g, opts)
+	}
+	spec, err := core.ScoreByName(opts.Score, 0.9)
+	if err != nil {
+		return nil, snaple.EngineStats{}, err
+	}
+	pol, err := core.PolicyByName(opts.Policy)
+	if err != nil {
+		return nil, snaple.EngineStats{}, err
+	}
+	cfg := core.Config{
+		Score: spec, Policy: pol,
+		KLocal: opts.KLocal, ThrGamma: opts.ThrGamma, Seed: opts.Seed,
+	}
+	d := distengine.Dist{InProc: opts.Workers, Seed: opts.Seed, Compress: true}
+	return d.Predict(g, cfg)
 }
 
 // ingestPerf measures the two graph-loading paths on the perf graph: the
@@ -439,6 +474,116 @@ func queryPerf(g *snaple.Graph, workers int, seed uint64, w io.Writer) (eval.Per
 		sourcesPerQuery, best.P50Ms, best.P99Ms,
 		float64(best.AllocBytes)/(1<<20), best.AllocObjects)
 	return best, nil
+}
+
+// codecConn adapts a byte buffer to the wire transport interface, so the
+// codec row measures pure encode+decode with no sockets in the way.
+type codecConn struct{ bytes.Buffer }
+
+func (*codecConn) Close() error { return nil }
+
+// codecPerf measures the v3 wire codec in isolation on one superstep's
+// representative traffic: a partials batch up and a state-refresh batch
+// down. MBPerSec is frame bytes pushed through the codec per second (each
+// byte encoded once and decoded once); the allocation columns are the
+// steady-state per-iteration deltas — where a codec regression (a dropped
+// scratch reuse, per-record boxing creeping back) shows first. CrossBytes
+// pins the encoded size of the fixed message mix, which is deterministic per
+// code version, so the regression gate's cross_bytes ceiling also guards
+// frame-format bloat.
+func codecPerf(w io.Writer) (eval.PerfRow, error) {
+	const (
+		nPartials = 2000
+		nStates   = 600
+		idSpace   = 50000
+	)
+	partials := make([]core.DistPartial, nPartials)
+	for i := range partials {
+		p := core.DistPartial{V: graph.VertexID(i)}
+		for j := 0; j < 4; j++ {
+			p.Nbrs = append(p.Nbrs, graph.VertexID((i*7+j*13)%idSpace))
+			p.Sims = append(p.Sims, core.VertexSim{V: graph.VertexID((i*5 + j*17) % idSpace), Sim: 1 / float64(j+1)})
+		}
+		for j := 0; j < 6; j++ {
+			p.Cands = append(p.Cands, core.PathCand{Z: graph.VertexID((i*11 + j) % idSpace), S: float64(i%17) * 0.125})
+		}
+		partials[i] = p
+	}
+	states := make([]wire.VertexState, nStates)
+	for i := range states {
+		s := wire.VertexState{V: graph.VertexID(i)}
+		for j := 0; j < 6; j++ {
+			s.Data.Nbrs = append(s.Data.Nbrs, graph.VertexID((i*3+j*7)%idSpace))
+			s.Data.Sims = append(s.Data.Sims, core.VertexSim{V: graph.VertexID((i*13 + j) % idSpace), Sim: 1 / float64(j+2)})
+		}
+		for j := 0; j < 3; j++ {
+			s.Data.TwoHop = append(s.Data.TwoHop, core.PathCand{Z: graph.VertexID((i*19 + j) % idSpace), S: float64(j) * 0.5})
+			s.Data.Pred = append(s.Data.Pred, core.Prediction{Vertex: graph.VertexID((i*23 + j) % idSpace), Score: float64(i%29) * 0.25})
+		}
+		states[i] = s
+	}
+	msgs := []*wire.Msg{
+		{Kind: wire.KindPartials, Step: core.DistCombine, Partials: partials},
+		{Kind: wire.KindRefresh, Step: core.DistRelays, States: states, Final: true},
+	}
+	c := wire.NewConn(&codecConn{})
+	iter := func() error {
+		for _, m := range msgs {
+			if err := c.Send(m); err != nil {
+				return err
+			}
+		}
+		for range msgs {
+			if _, err := c.Recv(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Warm-up puts the connection's reusable buffers at steady-state size and
+	// records the deterministic wire footprint of the mix.
+	if err := iter(); err != nil {
+		return eval.PerfRow{}, err
+	}
+	bytesPerIter := c.Counters().BytesOut
+
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	if err := iter(); err != nil {
+		return eval.PerfRow{}, err
+	}
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+
+	const (
+		minIters = 3
+		minTotal = 100 * time.Millisecond
+	)
+	best := time.Duration(1<<62 - 1)
+	var total time.Duration
+	for iters := 0; iters < minIters || total < minTotal; iters++ {
+		start := time.Now()
+		if err := iter(); err != nil {
+			return eval.PerfRow{}, err
+		}
+		d := time.Since(start)
+		best = min(best, d)
+		total += d
+	}
+	wall := best.Seconds()
+	row := eval.PerfRow{
+		Engine: "wire-codec", Workers: 1, WallSeconds: wall,
+		MBPerSec:     float64(bytesPerIter) / wall / 1e6,
+		AllocBytes:   int64(m1.TotalAlloc - m0.TotalAlloc),
+		AllocObjects: int64(m1.Mallocs - m0.Mallocs),
+		CrossBytes:   bytesPerIter,
+		CrossMsgs:    int64(len(msgs)),
+	}
+	fmt.Fprintf(w, "wire-codec: %.1f MB/s encode+decode, %.1f KiB frames/iter, %.1f KiB / %d objects allocated per iter\n",
+		row.MBPerSec, float64(bytesPerIter)/(1<<10),
+		float64(row.AllocBytes)/(1<<10), row.AllocObjects)
+	return row, nil
 }
 
 func run(id string, opts eval.Options, w io.Writer) error {

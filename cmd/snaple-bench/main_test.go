@@ -86,7 +86,7 @@ func TestRunPerfWritesReport(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON report: %v\n%s", err, data)
 	}
-	wantRows := append(append([]string{}, perfEngines...), "ingest-text", "ingest-sgr", "query-latency")
+	wantRows := append(append([]string{}, perfEngines...), "ingest-text", "ingest-sgr", "query-latency", "wire-codec")
 	if rep.Edges <= 0 || len(rep.Rows) != len(wantRows) {
 		t.Fatalf("implausible report: %+v", rep)
 	}
@@ -94,14 +94,22 @@ func TestRunPerfWritesReport(t *testing.T) {
 		if row.Engine != wantRows[i] || row.WallSeconds <= 0 {
 			t.Errorf("implausible row: %+v", row)
 		}
+		switch row.Engine {
 		// Scoped queries deliberately do not touch every edge, so the query
 		// row reports latency percentiles instead of edge throughput.
-		if row.Engine == "query-latency" {
+		case "query-latency":
 			if row.EdgesPerSec != 0 || row.P50Ms <= 0 || row.P99Ms < row.P50Ms {
 				t.Errorf("implausible query row: %+v", row)
 			}
-		} else if row.EdgesPerSec <= 0 {
-			t.Errorf("implausible row: %+v", row)
+		// The codec row measures frame throughput, not graph traversal.
+		case "wire-codec":
+			if row.EdgesPerSec != 0 || row.MBPerSec <= 0 || row.CrossBytes <= 0 {
+				t.Errorf("implausible codec row: %+v", row)
+			}
+		default:
+			if row.EdgesPerSec <= 0 {
+				t.Errorf("implausible row: %+v", row)
+			}
 		}
 	}
 	// The dist row's traffic is measured on real sockets; it cannot be zero.

@@ -30,18 +30,23 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:0", "address to listen on ('host:0' picks an ephemeral port)")
-		quiet  = flag.Bool("quiet", false, "suppress per-session logging on stderr")
+		listen   = flag.String("listen", "127.0.0.1:0", "address to listen on ('host:0' picks an ephemeral port)")
+		quiet    = flag.Bool("quiet", false, "suppress per-session logging on stderr")
+		maxProto = flag.Int("max-proto", wire.ProtocolV3, "highest wire protocol to accept: 3 (binary frames, default) or 2 (legacy gob only — emulates an old worker)")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *quiet); err != nil {
+	if *maxProto != wire.ProtocolV2 && *maxProto != wire.ProtocolV3 {
+		fmt.Fprintf(os.Stderr, "snaple-worker: -max-proto must be %d or %d\n", wire.ProtocolV2, wire.ProtocolV3)
+		os.Exit(1)
+	}
+	if err := run(*listen, *quiet, *maxProto); err != nil {
 		fmt.Fprintln(os.Stderr, "snaple-worker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, quiet bool) error {
+func run(listen string, quiet bool, maxProto int) error {
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -63,5 +68,5 @@ func run(listen string, quiet bool) error {
 		<-sig
 		l.Close() // Serve returns nil on a closed listener
 	}()
-	return wire.Serve(l, logf)
+	return wire.ServeWith(l, logf, wire.ServeOptions{MaxProto: maxProto})
 }

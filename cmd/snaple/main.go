@@ -71,9 +71,11 @@ func main() {
 		strategy = flag.String("strategy", "hash-edge", "vertex-cut strategy: hash-edge|hash-source|greedy")
 		budget   = flag.Int64("budget", 0, "per-node memory budget in bytes (0 = node capacity)")
 
-		addrs     = flag.String("addrs", "", "comma-separated snaple-worker addresses for -engine dist")
-		spawn     = flag.Int("spawn", 0, "auto-spawn this many local snaple-worker processes for -engine dist")
-		workerBin = flag.String("worker-bin", "", "snaple-worker binary for -spawn (default: found on PATH)")
+		addrs        = flag.String("addrs", "", "comma-separated snaple-worker addresses for -engine dist")
+		spawn        = flag.Int("spawn", 0, "auto-spawn this many local snaple-worker processes for -engine dist")
+		workerBin    = flag.String("worker-bin", "", "snaple-worker binary for -spawn (default: found on PATH)")
+		wireProto    = flag.Int("wire-proto", 0, "pin the dist wire protocol: 0 = negotiate (v3, gob fallback), 2 = force legacy gob, 3 = require v3")
+		wireCompress = flag.Bool("wire-compress", false, "compress dist wire frames (flate; v3 connections only)")
 
 		sources = flag.String("sources", "", "scope the prediction to these source vertices: comma-separated IDs, or @FILE with whitespace-separated IDs ('#' comments); empty = all vertices")
 
@@ -103,7 +105,8 @@ func main() {
 		policy: *policy, alpha: *alpha, engine: *engineF, engineSet: engineSet,
 		workers: *workers, serial: *serial,
 		nodes: *nodes, nodeType: *nodeType, strategy: *strategy, budget: *budget,
-		addrs: *addrs, spawn: *spawn, workerBin: *workerBin, sources: *sources,
+		addrs: *addrs, spawn: *spawn, workerBin: *workerBin,
+		wireProto: *wireProto, wireCompress: *wireCompress, sources: *sources,
 		walks: *walks, depth: *depth, doEval: *doEval, vertex: *vertex,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "snaple:", err)
@@ -112,33 +115,35 @@ func main() {
 }
 
 type runArgs struct {
-	in        string
-	symmetric bool
-	dataset   string
-	scale     float64
-	seed      uint64
-	system    string
-	score     string
-	k, klocal int
-	thr       int
-	policy    string
-	alpha     float64
-	engine    string
-	engineSet bool
-	workers   int
-	serial    bool
-	nodes     int
-	nodeType  string
-	strategy  string
-	budget    int64
-	addrs     string
-	spawn     int
-	workerBin string
-	sources   string
-	walks     int
-	depth     int
-	doEval    bool
-	vertex    int
+	in           string
+	symmetric    bool
+	dataset      string
+	scale        float64
+	seed         uint64
+	system       string
+	score        string
+	k, klocal    int
+	thr          int
+	policy       string
+	alpha        float64
+	engine       string
+	engineSet    bool
+	workers      int
+	serial       bool
+	nodes        int
+	nodeType     string
+	strategy     string
+	budget       int64
+	addrs        string
+	spawn        int
+	workerBin    string
+	wireProto    int
+	wireCompress bool
+	sources      string
+	walks        int
+	depth        int
+	doEval       bool
+	vertex       int
 }
 
 // parseSources parses the -sources flag: a comma-separated ID list, or
@@ -237,6 +242,7 @@ func run(a runArgs) error {
 		Nodes: a.nodes, NodeType: a.nodeType, Strategy: a.strategy,
 		MemBudgetBytes: a.budget, Seed: a.seed, Workers: a.workers,
 		SpawnWorkers: a.spawn, WorkerBin: a.workerBin,
+		WireProto: a.wireProto, WireCompress: a.wireCompress,
 	}
 	if a.addrs != "" {
 		cl.WorkerAddrs = strings.Split(a.addrs, ",")
@@ -398,9 +404,11 @@ func printStats(r *snaple.Result) {
 		fmt.Printf("frontier: %d sources -> %d-vertex closure\n", r.ScoredVertices, r.FrontierVertices)
 	}
 	if r.Engine == "dist" {
-		// Everything here is measured, not simulated: real sockets, real heap.
-		fmt.Printf("engine: dist wall=%.3fs cross=%.1fMiB msgs=%d (measured) peak=%.1fMiB/worker rf=%.2f\n",
-			r.WallSeconds, float64(r.CrossBytes)/(1<<20), r.CrossMsgs,
+		// Everything here is measured, not simulated: real sockets, real
+		// heap. The raw byte count rides along so scripts (cluster_smoke.sh's
+		// compression check) can compare runs without MiB rounding.
+		fmt.Printf("engine: dist wall=%.3fs cross=%.1fMiB (%d B) msgs=%d (measured) peak=%.1fMiB/worker rf=%.2f\n",
+			r.WallSeconds, float64(r.CrossBytes)/(1<<20), r.CrossBytes, r.CrossMsgs,
 			float64(r.MemPeakBytes)/(1<<20), r.ReplicationFactor)
 		return
 	}

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"snaple/internal/cluster"
 	"snaple/internal/gas"
@@ -72,7 +73,7 @@ func (bstep1) Apply(_ graph.VertexID, d *bdata, sum []graph.VertexID, has bool) 
 		return
 	}
 	nbrs := append([]graph.VertexID(nil), sum...)
-	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	slices.Sort(nbrs)
 	d.Nbrs = nbrs
 }
 
@@ -105,7 +106,7 @@ func (bstep2) Apply(_ graph.VertexID, d *bdata, sum []nbrList, has bool) {
 		return
 	}
 	two := append([]nbrList(nil), sum...)
-	sort.Slice(two, func(i, j int) bool { return two[i].V < two[j].V })
+	slices.SortFunc(two, func(a, b nbrList) int { return cmp.Compare(a.V, b.V) })
 	d.Two = two
 }
 

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"snaple/internal/graph"
 )
@@ -98,6 +99,18 @@ type DistPartition struct {
 	// coordinator computes the global closure and ships only these local
 	// bits; Gather consults the source's bit for the running step.
 	scope []uint8
+
+	// srcContig caches whether edgeSrc is grouped into one contiguous run
+	// per source (0 unknown, 1 yes, 2 no) — the precondition for the
+	// streaming gather. srcSorted additionally records whether those runs
+	// ascend by source index, the precondition for GatherVertex's binary
+	// search; both are filled by the same scan.
+	srcContig uint8
+	srcSorted uint8
+	// GatherStream's per-source scratch, reused across runs and supersteps.
+	gatherIDs   []graph.VertexID
+	gatherSims  []VertexSim
+	gatherCands []PathCand
 }
 
 // NewDistPartition assembles a partition from its shipped description:
@@ -266,6 +279,255 @@ func (p *DistPartition) Gather(step DistStep) ([]DistPartial, error) {
 	}
 }
 
+// srcContiguous reports whether the partition's edges are grouped into one
+// contiguous run per source vertex — true for every partition cut from a CSR
+// graph in edge order (engine.Dist's deploy), and the precondition for the
+// run-at-a-time streaming gather. The same pass records whether the runs are
+// ascending by source (srcSorted), the extra precondition GatherVertex needs
+// to find a run by binary search. The check is linear and cached.
+func (p *DistPartition) srcContiguous() bool {
+	if p.srcContig != 0 {
+		return p.srcContig == 1
+	}
+	seen := make([]bool, len(p.locals))
+	p.srcContig = 1
+	p.srcSorted = 1
+	prev := int32(-1)
+	for i := 0; i < len(p.edgeSrc); {
+		si := p.edgeSrc[i]
+		if seen[si] {
+			p.srcContig = 2
+			p.srcSorted = 2
+			break
+		}
+		if si < prev {
+			p.srcSorted = 2
+		}
+		seen[si] = true
+		prev = si
+		j := i + 1
+		for j < len(p.edgeSrc) && p.edgeSrc[j] == si {
+			j++
+		}
+		i = j
+	}
+	return p.srcContig == 1
+}
+
+// CanGatherVertex reports whether GatherVertex is available: the partition's
+// edges must be grouped per source with runs ascending by local index, which
+// holds for every partition engine.Dist deploys from a CSR cut.
+func (p *DistPartition) CanGatherVertex() bool {
+	return p.srcContiguous() && p.srcSorted == 1
+}
+
+// GatherStream runs step's gather phase one source vertex at a time, handing
+// emit each contributing source's partial as soon as its edge run completes —
+// the producer side of the pipelined superstep, which streams partials onto
+// the wire while later sources are still gathering. The DistPartial (and its
+// slices) is scratch owned by the partition, valid only during the emit call;
+// emit must encode or copy, not retain. Partials arrive ascending by local
+// index, one per contributing source, exactly like Gather's. An emit error
+// aborts the stream and is returned.
+//
+// When the partition's edges are not source-contiguous the stream degrades
+// to the buffered Gather and emits its result in order.
+func (p *DistPartition) GatherStream(step DistStep, emit func(li int32, dp *DistPartial) error) error {
+	if !p.srcContiguous() {
+		parts, err := p.Gather(step)
+		if err != nil {
+			return err
+		}
+		for i := range parts {
+			li := p.index[parts[i].V]
+			if err := emit(li, &parts[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch step {
+	case DistTruncate, DistRelays, DistCombine, DistTwoHop, DistCombine3:
+	default:
+		return fmt.Errorf("core: unknown dist step %d", int(step))
+	}
+	var dp DistPartial
+	for i := 0; i < len(p.edgeSrc); {
+		si := p.edgeSrc[i]
+		j := i + 1
+		for j < len(p.edgeSrc) && p.edgeSrc[j] == si {
+			j++
+		}
+		if p.gatherRun(step, si, i, j, &dp) {
+			if err := emit(si, &dp); err != nil {
+				return err
+			}
+		}
+		i = j
+	}
+	return nil
+}
+
+// gatherRun gathers one source's edge run [i,j) into dp, reporting whether
+// the source contributed. dp's slices alias the partition's gather scratch,
+// valid until the next gatherRun call.
+//
+// The run bodies inline the step programs of snaple.go / khop.go with two
+// divergences that cannot change a bit of the output: the frontier checks
+// are dropped (a dist worker's frontier is always nil — scoping is the
+// shipped scope masks, consulted below), and candidate lists are built in
+// edge order without the buffered path's sorted merge — Apply canonicalises
+// (sortPathCands + value-sorting folds) before any order could matter.
+func (p *DistPartition) gatherRun(step DistStep, si int32, i, j int, dp *DistPartial) bool {
+	if !p.inScope(step, si) {
+		return false
+	}
+	cfg := &p.st.cfg
+	deg := p.st.deg
+	src := p.locals[si]
+	srcD := &p.data[si]
+	switch step {
+	case DistTruncate:
+		ids := p.gatherIDs[:0]
+		sd := int(deg[src])
+		for e := i; e < j; e++ {
+			dst := p.locals[p.edgeDst[e]]
+			if keepTruncated(cfg.Seed, src, dst, sd, cfg.ThrGamma) {
+				ids = append(ids, dst)
+			}
+		}
+		p.gatherIDs = ids
+		if len(ids) > 0 {
+			*dp = DistPartial{V: src, Nbrs: ids}
+			return true
+		}
+	case DistRelays:
+		sims := p.gatherSims[:0]
+		for e := i; e < j; e++ {
+			di := p.edgeDst[e]
+			dst := p.locals[di]
+			dstD := &p.data[di]
+			sims = append(sims, VertexSim{
+				V:   dst,
+				Sim: simScore(cfg.Score.Sim, src, dst, srcD.Nbrs, dstD.Nbrs, int(deg[src]), int(deg[dst])),
+			})
+		}
+		p.gatherSims = sims
+		// Every edge contributes a similarity, and j > i.
+		*dp = DistPartial{V: src, Sims: sims}
+		return true
+	case DistCombine:
+		comb := cfg.Score.Comb.Fn
+		cands := p.gatherCands[:0]
+		for e := i; e < j; e++ {
+			di := p.edgeDst[e]
+			dstD := &p.data[di]
+			suv, ok := lookupSim(srcD.Sims, p.locals[di])
+			if !ok || len(dstD.Sims) == 0 {
+				continue
+			}
+			for _, zs := range dstD.Sims {
+				if zs.V == src || containsVertex(srcD.Nbrs, zs.V) {
+					continue
+				}
+				cands = append(cands, PathCand{Z: zs.V, S: comb(suv, zs.Sim)})
+			}
+		}
+		p.gatherCands = cands
+		if len(cands) > 0 {
+			*dp = DistPartial{V: src, Cands: cands}
+			return true
+		}
+	case DistTwoHop:
+		comb := cfg.Score.Comb.Fn
+		cands := p.gatherCands[:0]
+		for e := i; e < j; e++ {
+			di := p.edgeDst[e]
+			dstD := &p.data[di]
+			svz, ok := lookupSim(srcD.Sims, p.locals[di])
+			if !ok || len(dstD.Sims) == 0 {
+				continue
+			}
+			for _, ws := range dstD.Sims {
+				if ws.V == src {
+					continue
+				}
+				cands = append(cands, PathCand{Z: ws.V, S: comb(svz, ws.Sim)})
+			}
+		}
+		p.gatherCands = cands
+		if len(cands) > 0 {
+			*dp = DistPartial{V: src, Cands: cands}
+			return true
+		}
+	case DistCombine3:
+		comb := cfg.Score.Comb.Fn
+		cands := p.gatherCands[:0]
+		for e := i; e < j; e++ {
+			di := p.edgeDst[e]
+			dstD := &p.data[di]
+			suv, ok := lookupSim(srcD.Sims, p.locals[di])
+			if !ok {
+				continue
+			}
+			for _, zs := range dstD.Sims {
+				if zs.V == src || containsVertex(srcD.Nbrs, zs.V) {
+					continue
+				}
+				cands = append(cands, PathCand{Z: zs.V, S: comb(suv, zs.Sim)})
+			}
+			for _, pc := range dstD.TwoHop {
+				if pc.Z == src || containsVertex(srcD.Nbrs, pc.Z) {
+					continue
+				}
+				cands = append(cands, PathCand{Z: pc.Z, S: comb(suv, pc.S)})
+			}
+		}
+		p.gatherCands = cands
+		if len(cands) > 0 {
+			*dp = DistPartial{V: src, Cands: cands}
+			return true
+		}
+	}
+	return false
+}
+
+// GatherVertex re-runs step's gather for the single local vertex li, filling
+// dp exactly as GatherStream's emit for that vertex would and reporting
+// whether it contributed. dp's slices alias the partition's gather scratch,
+// valid until the next gather call.
+//
+// This is the apply-time twin of the streaming gather: a master that also
+// gathers locally can recompute its own partial on demand instead of keeping
+// an encoded copy across the superstep's exchange. Re-gathering after other
+// vertices have applied is exact: apply writes only the step's output field,
+// which the same step's gather never reads — the same property that lets
+// GatherStream's inline applies run mid-stream.
+//
+// Requires CanGatherVertex (source-grouped, ascending edge runs).
+func (p *DistPartition) GatherVertex(step DistStep, li int32, dp *DistPartial) (bool, error) {
+	switch step {
+	case DistTruncate, DistRelays, DistCombine, DistTwoHop, DistCombine3:
+	default:
+		return false, fmt.Errorf("core: unknown dist step %d", int(step))
+	}
+	if !p.CanGatherVertex() {
+		return false, fmt.Errorf("core: GatherVertex on a partition without sorted source runs")
+	}
+	if li < 0 || int(li) >= len(p.locals) {
+		return false, fmt.Errorf("core: GatherVertex: local index %d outside [0,%d)", li, len(p.locals))
+	}
+	i, found := slices.BinarySearch(p.edgeSrc, li)
+	if !found {
+		return false, nil // no out-edges here, so no contribution
+	}
+	j := i + 1
+	for j < len(p.edgeSrc) && p.edgeSrc[j] == li {
+		j++
+	}
+	return p.gatherRun(step, li, i, j, dp), nil
+}
+
 // Apply runs step's sum+apply phase for one vertex mastered on this
 // partition: it folds parts — the local partial plus any partials received
 // from other partitions, in any order — and updates v's local replica, which
@@ -278,23 +540,40 @@ func (p *DistPartition) Apply(step DistStep, v graph.VertexID, parts []DistParti
 		return fmt.Errorf("core: apply for %v: vertex %d is not local", step, v)
 	}
 	d := &p.data[li]
+	// A single partial (the streaming session's pre-merged case) skips the
+	// concatenation alloc and feeds its slices to apply directly; the cand
+	// steps still canonicalise, which may reorder the caller's slice in
+	// place — harmless, callers hand over scratch or routing copies.
+	one := len(parts) == 1
 	switch step {
 	case DistTruncate:
 		var sum []graph.VertexID
-		for _, dp := range parts {
-			sum = append(sum, dp.Nbrs...)
+		if one {
+			sum = parts[0].Nbrs
+		} else {
+			for _, dp := range parts {
+				sum = append(sum, dp.Nbrs...)
+			}
 		}
 		step1{p.st}.Apply(v, d, sum, len(sum) > 0)
 	case DistRelays:
 		var sum []VertexSim
-		for _, dp := range parts {
-			sum = append(sum, dp.Sims...)
+		if one {
+			sum = parts[0].Sims
+		} else {
+			for _, dp := range parts {
+				sum = append(sum, dp.Sims...)
+			}
 		}
 		step2{p.st}.Apply(v, d, sum, len(sum) > 0)
 	case DistCombine, DistTwoHop, DistCombine3:
 		var sum []PathCand
-		for _, dp := range parts {
-			sum = append(sum, dp.Cands...)
+		if one {
+			sum = parts[0].Cands
+		} else {
+			for _, dp := range parts {
+				sum = append(sum, dp.Cands...)
+			}
 		}
 		// The gas engine merges partials Z-sorted; concatenation needs one
 		// sort to restore the grouping Apply expects. Equal-Z value order is
@@ -335,8 +614,19 @@ func (p *DistPartition) SetState(v graph.VertexID, d VData) error {
 	return nil
 }
 
+// MutableState returns a pointer to v's local replica so a refresh can be
+// decoded in place, reusing the slice capacity the previous refresh left
+// behind. The pointer is valid until the partition is rebuilt.
+func (p *DistPartition) MutableState(v graph.VertexID) (*VData, bool) {
+	li, ok := p.index[v]
+	if !ok {
+		return nil, false
+	}
+	return &p.data[li], true
+}
+
 // SortDistPartials orders partials by vertex ID (the canonical wire order;
 // routing may interleave sources). Ties are impossible within one message.
 func SortDistPartials(parts []DistPartial) {
-	sort.Slice(parts, func(i, j int) bool { return parts[i].V < parts[j].V })
+	slices.SortFunc(parts, func(a, b DistPartial) int { return cmp.Compare(a.V, b.V) })
 }

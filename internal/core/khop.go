@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"snaple/internal/gas"
 	"snaple/internal/graph"
@@ -112,7 +113,7 @@ func (s step3b) Gather(src, dst graph.VertexID, srcD, dstD *VData, _ *struct{}) 
 		return nil, false
 	}
 	// Contributions interleave Sims and TwoHop candidates: restore Z order.
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Z < out[j].Z })
+	slices.SortStableFunc(out, func(a, b PathCand) int { return cmp.Compare(a.Z, b.Z) })
 	return out, true
 }
 

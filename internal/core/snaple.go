@@ -1,7 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"snaple/internal/cluster"
@@ -88,7 +90,7 @@ func (step1) Apply(_ graph.VertexID, d *VData, sum []graph.VertexID, has bool) {
 		return
 	}
 	nbrs := append([]graph.VertexID(nil), sum...)
-	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	slices.Sort(nbrs)
 	d.Nbrs = nbrs
 }
 
@@ -137,44 +139,48 @@ func (step2) GatherBytes(g []VertexSim) int64 { return 12 * int64(len(g)) }
 // selectRelays applies the selection policy (Γmax/Γmin/Γrnd as of Section
 // 5.6) to the (v, sim) candidates and returns them sorted by vertex ID.
 func selectRelays(cfg Config, u graph.VertexID, cands []VertexSim) []VertexSim {
-	kept := cands
-	if cfg.KLocal != Unlimited && len(cands) > cfg.KLocal {
-		items := make([]topk.Item, len(cands))
-		switch cfg.Policy {
-		case SelectMin, SelectMax:
-			for i, c := range cands {
-				items[i] = topk.Item{ID: uint32(c.V), Score: c.Sim}
-			}
-		case SelectRnd:
-			// Rank by a hash keyed by (seed, u, v): a deterministic uniform
-			// sample independent of discovery order.
-			for i, c := range cands {
-				items[i] = topk.Item{
-					ID:    uint32(c.V),
-					Score: randx.Float64(cfg.Seed^rndSelSalt, uint64(u), uint64(c.V)),
-				}
-			}
-		}
-		var sel []topk.Item
-		if cfg.Policy == SelectMin {
-			sel = topk.Bottom(cfg.KLocal, items)
-		} else {
-			sel = topk.Select(cfg.KLocal, items)
-		}
-		chosen := make(map[graph.VertexID]struct{}, len(sel))
-		for _, it := range sel {
-			chosen[graph.VertexID(it.ID)] = struct{}{}
-		}
-		filtered := make([]VertexSim, 0, len(sel))
-		for _, c := range cands {
-			if _, ok := chosen[c.V]; ok {
-				filtered = append(filtered, c)
-			}
-		}
-		kept = filtered
+	if cfg.KLocal == Unlimited || len(cands) <= cfg.KLocal {
+		out := append([]VertexSim(nil), cands...)
+		slices.SortFunc(out, func(a, b VertexSim) int { return cmp.Compare(a.V, b.V) })
+		return out
 	}
-	out := append([]VertexSim(nil), kept...)
-	sort.Slice(out, func(i, j int) bool { return out[i].V < out[j].V })
+	items := make([]topk.Item, len(cands))
+	switch cfg.Policy {
+	case SelectMin, SelectMax:
+		for i, c := range cands {
+			items[i] = topk.Item{ID: uint32(c.V), Score: c.Sim}
+		}
+	case SelectRnd:
+		// Rank by a hash keyed by (seed, u, v): a deterministic uniform
+		// sample independent of discovery order.
+		for i, c := range cands {
+			items[i] = topk.Item{
+				ID:    uint32(c.V),
+				Score: randx.Float64(cfg.Seed^rndSelSalt, uint64(u), uint64(c.V)),
+			}
+		}
+	}
+	var sel []topk.Item
+	if cfg.Policy == SelectMin {
+		sel = topk.Bottom(cfg.KLocal, items)
+	} else {
+		sel = topk.Select(cfg.KLocal, items)
+	}
+	// Winners are distinct vertices: membership is a binary search over the
+	// sorted ID list instead of a per-vertex map (this runs once per vertex
+	// per superstep — the map was the dist workers' top allocation site).
+	ids := make([]graph.VertexID, len(sel))
+	for i, it := range sel {
+		ids[i] = graph.VertexID(it.ID)
+	}
+	slices.Sort(ids)
+	out := make([]VertexSim, 0, len(sel))
+	for _, c := range cands {
+		if containsVertex(ids, c.V) {
+			out = append(out, c)
+		}
+	}
+	slices.SortFunc(out, func(a, b VertexSim) int { return cmp.Compare(a.V, b.V) })
 	return out
 }
 

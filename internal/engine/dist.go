@@ -42,9 +42,10 @@ import (
 //     cluster, or the CI cluster-smoke script's loopback fleet);
 //   - Spawn: fork N snaple-worker processes on loopback and tear them down
 //     with the run (requires the binary, see WorkerBin);
-//   - otherwise InProc in-process loopback workers (still real TCP + gob
-//     through the kernel, just not a separate OS process) — the zero-config
-//     default used by engine.New, Predict and the equivalence tests.
+//   - otherwise InProc in-process loopback workers (still real TCP and real
+//     wire frames through the kernel, just not a separate OS process) — the
+//     zero-config default used by engine.New, Predict and the equivalence
+//     tests.
 type Dist struct {
 	// Addrs connects to running workers ("host:port" each). Takes priority
 	// over Spawn/InProc.
@@ -68,7 +69,18 @@ type Dist struct {
 	// instead of hanging it forever. 0 means the 10-minute default; negative
 	// disables the bound (for legitimately enormous supersteps).
 	StepTimeout time.Duration
+	// Proto pins the wire protocol: 0 negotiates (v3 preferred, per-worker
+	// gob fallback for legacy binaries), wire.ProtocolV2 forces gob,
+	// wire.ProtocolV3 requires v3 and fails on a legacy worker.
+	Proto int
+	// Compress requests per-frame flate compression on v3 connections
+	// (subject to each worker granting it) — a cross-rack bandwidth trade.
+	Compress bool
 }
+
+// routeChunkBytes is the coordinator's flush threshold while routing v3
+// records: the same fixed chunk size workers stream partials up in.
+const routeChunkBytes = 64 << 10
 
 // distMode is the resolved connection mode; mode() is the single source of
 // the Addrs > Spawn > InProc priority and the in-proc default, consulted by
@@ -181,6 +193,10 @@ func (d Dist) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stat
 	}
 	defer cleanup()
 
+	// The router exists before the ship so its chunk buffers are paid for
+	// during setup, not inside the measured supersteps.
+	rt := newRouter(conns, dep)
+
 	// Ship the partitions (the distributed graph load, untimed like every
 	// other backend's setup) and wait for every worker to acknowledge. The
 	// handshake runs under a deadline: a worker busy with another session
@@ -189,7 +205,7 @@ func (d Dist) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stat
 	err = eachConn(conns, func(i int, c *wire.Conn) error {
 		_ = c.SetDeadline(time.Now().Add(shipTimeout))
 		defer func() { _ = c.SetDeadline(time.Time{}) }()
-		if err := c.Send(&wire.Msg{Kind: wire.KindShip, Version: wire.ProtocolVersion, Job: job, Part: dep.parts[i]}); err != nil {
+		if err := c.Send(&wire.Msg{Kind: wire.KindShip, Version: c.Proto(), Job: job, Part: dep.parts[i]}); err != nil {
 			return err
 		}
 		_, err := c.Expect(wire.KindReady)
@@ -220,7 +236,7 @@ func (d Dist) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stat
 	for si, step := range steps {
 		final := si == len(steps)-1
 		d.armDeadline(conns)
-		if err := d.runStep(conns, dep, step, final); err != nil {
+		if err := d.runStep(conns, rt, step, final); err != nil {
 			return nil, st, fmt.Errorf("engine: dist %v: %w", step, err)
 		}
 	}
@@ -276,19 +292,183 @@ func (d Dist) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stat
 	return pred, st, nil
 }
 
-// runStep drives one bulk-synchronous superstep across the workers: begin,
-// collect gather partials, route them to masters, and (unless final) route
-// the refreshed master state back to mirrors.
-func (d Dist) runStep(conns []*wire.Conn, dep *deployment, step core.DistStep, final bool) error {
-	nw := len(conns)
+// router is the coordinator's streaming exchange state: one destination per
+// worker, each holding the outgoing chunk under construction. v3 records are
+// routed raw — appended verbatim to the destination's batch and flushed in
+// fixed-size chunks as they arrive, so the coordinator never decodes what it
+// only forwards. v2 (gob) destinations buffer decoded values and get their
+// single legacy message after the barrier, bridging mixed fleets. The
+// per-destination mutex serialises the source-drain goroutines; destinations
+// never block each other.
+type router struct {
+	step  core.DistStep
+	dests []routeDest
+	dep   *deployment
+}
+
+type routeDest struct {
+	mu     sync.Mutex
+	c      *wire.Conn
+	bb     wire.BatchBuilder
+	parts  []core.DistPartial // v2 bridge: decoded partials
+	states []wire.VertexState // v2 bridge: decoded states
+}
+
+func newRouter(conns []*wire.Conn, dep *deployment) *router {
+	rt := &router{dests: make([]routeDest, len(conns)), dep: dep}
+	for i := range rt.dests {
+		rt.dests[i].c = conns[i]
+		// Chunks flush at routeChunkBytes, but the record that crosses the
+		// threshold still has to fit; the slop covers typical record sizes so
+		// steady-state routing never grows the builder.
+		rt.dests[i].bb.Reset()
+		rt.dests[i].bb.Grow(routeChunkBytes + routeChunkBytes/4)
+	}
+	return rt
+}
+
+// reset readies the router for one routing phase of step, keeping buffers.
+func (rt *router) reset(step core.DistStep) {
+	rt.step = step
+	for i := range rt.dests {
+		d := &rt.dests[i]
+		d.bb.Reset()
+		d.parts = d.parts[:0]
+		d.states = d.states[:0]
+	}
+}
+
+// flushLocked sends the destination's chunk when it reached the threshold.
+// Caller holds d.mu.
+func (rt *router) flushLocked(d *routeDest, kind wire.Kind) error {
+	if d.bb.Len() < routeChunkBytes {
+		return nil
+	}
+	err := d.c.SendRaw(kind, rt.step, false, d.bb.Payload())
+	d.bb.Reset()
+	return err
+}
+
+// routePartialRaw routes one encoded partial record (from a v3 worker's
+// stream) to its vertex's master partition.
+func (rt *router) routePartialRaw(v graph.VertexID, rec []byte) error {
+	mp := rt.dep.masterPart[v]
+	if mp < 0 {
+		return fmt.Errorf("partial for vertex %d, which no partition hosts", v)
+	}
+	d := &rt.dests[mp]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.c.Proto() == wire.ProtocolV3 {
+		d.bb.AppendRaw(rec)
+		return rt.flushLocked(d, wire.KindForeign)
+	}
+	dp, err := wire.DecodePartialRecord(rec)
+	if err != nil {
+		return err
+	}
+	d.parts = append(d.parts, dp)
+	return nil
+}
+
+// routePartialDec routes one decoded partial (from a v2 worker's message).
+func (rt *router) routePartialDec(dp core.DistPartial) error {
+	mp := rt.dep.masterPart[dp.V]
+	if mp < 0 {
+		return fmt.Errorf("partial for vertex %d, which no partition hosts", dp.V)
+	}
+	d := &rt.dests[mp]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.c.Proto() == wire.ProtocolV3 {
+		d.bb.AppendPartial(&dp)
+		return rt.flushLocked(d, wire.KindForeign)
+	}
+	d.parts = append(d.parts, dp)
+	return nil
+}
+
+// routeStateRaw fans one encoded state record out to the partitions holding
+// the vertex's mirrors.
+func (rt *router) routeStateRaw(v graph.VertexID, rec []byte) error {
+	for _, mp := range rt.dep.mirrors[v] {
+		d := &rt.dests[mp]
+		d.mu.Lock()
+		if d.c.Proto() == wire.ProtocolV3 {
+			d.bb.AppendRaw(rec)
+			if err := rt.flushLocked(d, wire.KindMirrors); err != nil {
+				d.mu.Unlock()
+				return err
+			}
+		} else {
+			vs, err := wire.DecodeStateRecord(rec)
+			if err != nil {
+				d.mu.Unlock()
+				return err
+			}
+			d.states = append(d.states, vs)
+		}
+		d.mu.Unlock()
+	}
+	return nil
+}
+
+// routeStateDec fans one decoded state out to the vertex's mirror partitions.
+func (rt *router) routeStateDec(vs wire.VertexState) error {
+	for _, mp := range rt.dep.mirrors[vs.V] {
+		d := &rt.dests[mp]
+		d.mu.Lock()
+		if d.c.Proto() == wire.ProtocolV3 {
+			d.bb.AppendState(vs.V, &vs.Data)
+			if err := rt.flushLocked(d, wire.KindMirrors); err != nil {
+				d.mu.Unlock()
+				return err
+			}
+		} else {
+			d.states = append(d.states, vs)
+		}
+		d.mu.Unlock()
+	}
+	return nil
+}
+
+// runStep drives one superstep across the workers. v3 workers stream their
+// gather partials in chunks that are routed to masters as they arrive —
+// communication overlaps compute on both sides instead of barriering each
+// half — and likewise for the refresh/mirror round. v2 workers keep the
+// legacy one-message-per-phase exchange; mixed fleets bridge through the
+// router's per-destination buffers. The drain barrier before each final
+// flush is inherent: a destination's batch is complete only when every
+// source has been drained.
+func (d Dist) runStep(conns []*wire.Conn, rt *router, step core.DistStep, final bool) error {
+	rt.reset(step)
 	err := eachConn(conns, func(_ int, c *wire.Conn) error {
 		return c.Send(&wire.Msg{Kind: wire.KindStepBegin, Step: step, Final: final})
 	})
 	if err != nil {
 		return err
 	}
-	recvd := make([][]core.DistPartial, nw)
+	// Drain every worker's partial stream, routing as records arrive. Order
+	// across sources is irrelevant: all folds canonicalise before reducing.
 	err = eachConn(conns, func(i int, c *wire.Conn) error {
+		if c.Proto() == wire.ProtocolV3 {
+			for {
+				f, err := c.RecvRaw()
+				if err != nil {
+					return err
+				}
+				if f.Kind != wire.KindPartials || f.Step != step {
+					return fmt.Errorf("%s for %v during %v partials", f.Kind, f.Step, step)
+				}
+				err = wire.ForEachPartialRecord(f.Payload, rt.routePartialRaw)
+				if err != nil {
+					return err
+				}
+				if f.Final {
+					return nil
+				}
+			}
+		}
 		m, err := c.Expect(wire.KindPartials)
 		if err != nil {
 			return err
@@ -296,34 +476,51 @@ func (d Dist) runStep(conns []*wire.Conn, dep *deployment, step core.DistStep, f
 		if m.Step != step {
 			return fmt.Errorf("partials for %v during %v", m.Step, step)
 		}
-		recvd[i] = m.Partials
+		for _, dp := range m.Partials {
+			if err := rt.routePartialDec(dp); err != nil {
+				return err
+			}
+		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	// Route every partial to its vertex's master partition. Order across
-	// sources is irrelevant: all folds canonicalise before reducing.
-	outbox := make([][]core.DistPartial, nw)
-	for _, batch := range recvd {
-		for _, dp := range batch {
-			mp := dep.masterPart[dp.V]
-			if mp < 0 {
-				return fmt.Errorf("partial for vertex %d, which no partition hosts", dp.V)
-			}
-			outbox[mp] = append(outbox[mp], dp)
-		}
-	}
+	// Every v3 destination gets a final-flagged chunk — possibly empty, the
+	// stream terminator its apply phase waits for; v2 destinations get their
+	// single legacy message.
 	err = eachConn(conns, func(i int, c *wire.Conn) error {
-		return c.Send(&wire.Msg{Kind: wire.KindForeign, Step: step, Partials: outbox[i]})
+		dst := &rt.dests[i]
+		if c.Proto() == wire.ProtocolV3 {
+			return c.SendRaw(wire.KindForeign, step, true, dst.bb.Payload())
+		}
+		return c.Send(&wire.Msg{Kind: wire.KindForeign, Step: step, Partials: dst.parts})
 	})
 	if err != nil || final {
 		return err
 	}
 	// Refresh round: masters push fresh state up, the coordinator fans each
 	// vertex's state out to the partitions holding its mirrors.
-	states := make([][]wire.VertexState, nw)
+	rt.reset(step)
 	err = eachConn(conns, func(i int, c *wire.Conn) error {
+		if c.Proto() == wire.ProtocolV3 {
+			for {
+				f, err := c.RecvRaw()
+				if err != nil {
+					return err
+				}
+				if f.Kind != wire.KindRefresh || f.Step != step {
+					return fmt.Errorf("%s for %v during %v refresh", f.Kind, f.Step, step)
+				}
+				err = wire.ForEachStateRecord(f.Payload, rt.routeStateRaw)
+				if err != nil {
+					return err
+				}
+				if f.Final {
+					return nil
+				}
+			}
+		}
 		m, err := c.Expect(wire.KindRefresh)
 		if err != nil {
 			return err
@@ -331,22 +528,22 @@ func (d Dist) runStep(conns []*wire.Conn, dep *deployment, step core.DistStep, f
 		if m.Step != step {
 			return fmt.Errorf("refresh for %v during %v", m.Step, step)
 		}
-		states[i] = m.States
+		for _, vs := range m.States {
+			if err := rt.routeStateDec(vs); err != nil {
+				return err
+			}
+		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	outboxS := make([][]wire.VertexState, nw)
-	for _, batch := range states {
-		for _, vs := range batch {
-			for _, mp := range dep.mirrors[vs.V] {
-				outboxS[mp] = append(outboxS[mp], vs)
-			}
-		}
-	}
 	return eachConn(conns, func(i int, c *wire.Conn) error {
-		return c.Send(&wire.Msg{Kind: wire.KindMirrors, Step: step, States: outboxS[i]})
+		dst := &rt.dests[i]
+		if c.Proto() == wire.ProtocolV3 {
+			return c.SendRaw(wire.KindMirrors, step, true, dst.bb.Payload())
+		}
+		return c.Send(&wire.Msg{Kind: wire.KindMirrors, Step: step, States: dst.states})
 	})
 }
 
@@ -552,7 +749,7 @@ func (d Dist) connect(n int) (conns []*wire.Conn, inproc bool, cleanup func(), e
 		return nil, false, func() {}, err
 	}
 	addConn := func(addr string) error {
-		c, err := wire.Dial(addr)
+		c, err := wire.DialWith(addr, wire.DialOptions{Proto: d.Proto, Compress: d.Compress})
 		if err != nil {
 			return err
 		}
@@ -619,7 +816,7 @@ func (d Dist) connect(n int) (conns []*wire.Conn, inproc bool, cleanup func(), e
 // spawnWorker forks one snaple-worker on an ephemeral loopback port and
 // parses the address it announces on stdout ("listening <addr>"). The
 // worker's stderr passes through, so a crashed worker leaves its diagnostics
-// next to the coordinator's gob EOF error.
+// next to the coordinator's EOF error.
 func spawnWorker(bin string) (addr string, stop func(), err error) {
 	cmd := exec.Command(bin, "-listen", "127.0.0.1:0")
 	cmd.Stderr = os.Stderr
@@ -659,8 +856,9 @@ func spawnWorker(bin string) (addr string, stop func(), err error) {
 }
 
 // eachConn runs fn once per connection on its own goroutine and returns the
-// first error. Each connection is touched by exactly one goroutine, so the
-// per-conn gob streams never interleave.
+// first error. Each connection is touched by exactly one goroutine per
+// direction, so the per-conn streams never interleave (the router's sends to
+// other destinations are serialised separately, by routeDest.mu).
 func eachConn(conns []*wire.Conn, fn func(i int, c *wire.Conn) error) error {
 	errs := make([]error, len(conns))
 	var wg sync.WaitGroup

@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"snaple/internal/core"
+	"snaple/internal/graph"
+)
+
+// memConn adapts a byte buffer to the transport interface NewConn expects.
+type memConn struct{ bytes.Buffer }
+
+func (*memConn) Close() error { return nil }
+
+// frameBytes encodes one message through a real connection and returns the
+// raw frame.
+func frameBytes(tb testing.TB, m *Msg, compress bool) []byte {
+	tb.Helper()
+	buf := &memConn{}
+	c := NewConn(buf)
+	c.SetCompression(compress)
+	if err := c.Send(m); err != nil {
+		tb.Fatal(err)
+	}
+	return append([]byte(nil), buf.Bytes()...)
+}
+
+// decodeOne decodes the first frame of data through a real connection.
+func decodeOne(data []byte) (*Msg, error) {
+	src := &memConn{}
+	src.Write(data)
+	return NewConn(src).Recv()
+}
+
+// FuzzWireFrame throws arbitrary bytes at the v3 frame decoder. Truncations,
+// bit-flips and lying length prefixes must surface as clean errors — never a
+// panic, and never an allocation beyond the bytes that actually arrived
+// (readCapped grows in bounded chunks; the per-array count guards check
+// declared element counts against the remaining payload). Any input that
+// does decode must re-encode canonically: decode → encode → decode → encode
+// is byte-stable.
+func FuzzWireFrame(f *testing.F) {
+	job := JobSpec{Score: "linearSum", Alpha: 0.9, K: 5, KLocal: 20, ThrGamma: 200, Paths: 2, Seed: 42}
+	part := Partition{
+		Part: 1, NumVertices: 6,
+		Locals:    []graph.VertexID{0, 2, 5},
+		Deg:       []int32{2, 1, 0},
+		EdgeSrc:   []int32{0, 0, 1},
+		EdgeDst:   []int32{1, 2, 2},
+		IsMaster:  []bool{true, false, true},
+		HasRemote: []bool{true, false, false},
+		Scope:     []uint8{7, 7, 3},
+	}
+	partials := []core.DistPartial{
+		{V: 0, Nbrs: []graph.VertexID{2, 5}},
+		{V: 2, Sims: []core.VertexSim{{V: 5, Sim: 0.25}}},
+		{V: 5, Cands: []core.PathCand{{Z: 0, S: 1.5}, {Z: 2, S: -0.5}}},
+	}
+	states := []VertexState{{V: 2, Data: core.VData{
+		Nbrs:   []graph.VertexID{0, 5},
+		Sims:   []core.VertexSim{{V: 0, Sim: 0.5}},
+		TwoHop: []core.PathCand{{Z: 5, S: 0.125}},
+		Pred:   []core.Prediction{{Vertex: 5, Score: 2.5}},
+	}}}
+	result := WorkerResult{
+		Part:  1,
+		Preds: []VertexPreds{{V: 0, Preds: []core.Prediction{{Vertex: 5, Score: 1.25}}}},
+		Stats: WorkerStats{Verts: 3, Edges: 3, BusySeconds: 0.5, AllocBytes: 4096, AllocObjects: 7, HeapBytes: 1 << 20},
+	}
+	seeds := []*Msg{
+		{Kind: KindHello, Version: ProtocolV3, Features: featCompress},
+		{Kind: KindShip, Version: ProtocolV3, Job: job, Part: part},
+		{Kind: KindReady},
+		{Kind: KindStepBegin, Step: core.DistRelays, Final: true},
+		{Kind: KindPartials, Step: core.DistTruncate, Partials: partials},
+		{Kind: KindForeign, Step: core.DistCombine, Partials: partials, Final: true},
+		{Kind: KindRefresh, Step: core.DistRelays, States: states},
+		{Kind: KindMirrors, Step: core.DistTwoHop, States: states, Final: true},
+		{Kind: KindCollect},
+		{Kind: KindResult, Result: result},
+		{Kind: KindError, Err: "injected failure"},
+	}
+	for _, m := range seeds {
+		f.Add(frameBytes(f, m, false))
+	}
+	// A compressed frame needs a payload big and repetitive enough to shrink.
+	big := &Msg{Kind: KindMirrors, Step: core.DistRelays}
+	for i := 0; i < 40; i++ {
+		vs := VertexState{V: graph.VertexID(i)}
+		for j := 0; j < 50; j++ {
+			vs.Data.Sims = append(vs.Data.Sims, core.VertexSim{V: graph.VertexID(j), Sim: 0.5})
+		}
+		big.States = append(big.States, vs)
+	}
+	f.Add(frameBytes(f, big, true))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeOne(data)
+		if err != nil {
+			return // rejected cleanly
+		}
+		if m.Kind == KindError {
+			return // surfaces as an error from Recv, never reaches here
+		}
+		enc1 := frameBytes(t, m, false)
+		m2, err := decodeOne(enc1)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		enc2 := frameBytes(t, m2, false)
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("decode→encode not canonical:\nfirst  %x\nsecond %x", enc1, enc2)
+		}
+	})
+}

@@ -1,32 +1,42 @@
 // Package wire is the network substrate of the dist execution backend: the
-// gob-encoded message protocol that a coordinator (engine.Dist) speaks with
+// framed binary protocol (v3) that a coordinator (engine.Dist) speaks with
 // snaple-worker processes over TCP, plus the worker-side session loop
-// (worker.go) shared by cmd/snaple-worker and in-process test workers.
+// (worker.go) shared by cmd/snaple-worker and in-process test workers, and a
+// legacy gob protocol (v2) retained for mixed-version fleets.
 //
-// One TCP connection carries one prediction job as a strict half-duplex
-// conversation — at any moment messages flow in only one direction, so the
-// protocol cannot deadlock on full kernel buffers:
+// One TCP connection carries one prediction job. The ship/ready handshake
+// and the collect exchange are strictly half-duplex; inside a superstep the
+// v3 protocol pipelines — workers stream gather partials up in fixed-size
+// chunks while concurrently draining the foreign partials the coordinator
+// routes back, and likewise for the refresh/mirror round:
 //
 //	coordinator                       worker
+//	----------- hello ------------->          protocol + feature negotiation
+//	<---------- hello --------------          (granted features echoed back)
 //	----------- ship -------------->          partition payload + job spec
 //	<---------- ready --------------          (or error: bad payload/config)
 //	then, per superstep:
 //	----------- step-begin -------->
-//	<---------- partials -----------          gather partials for vertices
-//	                                          mastered elsewhere
-//	----------- foreign ----------->          partials routed from other
-//	                                          partitions; worker applies
-//	<---------- refresh ------------          refreshed master state with
-//	                                          remote mirrors   (skipped on
-//	----------- mirrors ----------->          the final superstep)
+//	<>--------- partials/foreign --<>         chunked both ways concurrently;
+//	                                          a final-flagged chunk ends each
+//	                                          direction
+//	<>--------- refresh/mirrors ---<>         idem (skipped on the final
+//	                                          superstep)
 //	finally:
 //	----------- collect ----------->
 //	<---------- result -------------          master predictions + stats
 //
-// Every exchange uses the single Msg envelope; payload fields are sparse and
-// which ones are set depends on Kind. All payload types are concrete, so gob
-// needs no interface registration, and both ends can be any mix of
-// architectures gob supports.
+// v3 frames are length-prefixed, CRC-32C-checksummed flat sections (see
+// frame.go for the exact layout); batch payloads decode as single-copy,
+// exact-alloc slices, and the coordinator routes individual records without
+// decoding them at all. Optional per-frame flate compression is negotiated
+// through the hello feature bits.
+//
+// A v3 dialer recognises a legacy gob peer (the hello reply is not a v3
+// frame) and redials speaking v2, unless pinned to v3; a v3 listener peeks
+// the first four bytes and serves gob when they are not the frame magic.
+// Old coordinators and workers therefore interoperate with new ones in
+// either direction, at the legacy protocol's cost.
 //
 // Conn counts bytes and messages in both directions: the dist backend's
 // Stats.CrossBytes/CrossMsgs are measured on the wire (everything after the
@@ -34,7 +44,11 @@
 package wire
 
 import (
+	"bufio"
+	"bytes"
+	"compress/flate"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -45,13 +59,17 @@ import (
 	"snaple/internal/graph"
 )
 
-// ProtocolVersion guards against coordinator/worker skew: a worker rejects a
-// ship whose version differs from its own. Version 2 added query-scoped
-// runs (Partition.Scope) — an old worker would silently run the full graph,
-// which is exactly the skew the version check exists to catch.
-const ProtocolVersion = 2
+// Protocol versions. A worker rejects a ship whose version differs from the
+// one its connection negotiated — version skew must fail loudly, not
+// silently change semantics (v2 itself exists because query scoping did).
+const (
+	// ProtocolV2 is the legacy gob envelope protocol.
+	ProtocolV2 = 2
+	// ProtocolV3 is the framed binary protocol (frame.go).
+	ProtocolV3 = 3
+)
 
-// Kind discriminates the Msg envelope.
+// Kind discriminates the Msg envelope and the v3 frame header.
 type Kind uint8
 
 const (
@@ -62,16 +80,17 @@ const (
 	// KindStepBegin starts a superstep (coordinator → worker).
 	KindStepBegin
 	// KindPartials carries gather partials for vertices mastered elsewhere
-	// (worker → coordinator).
+	// (worker → coordinator). On v3 a superstep sends any number of chunks,
+	// the last one final-flagged.
 	KindPartials
 	// KindForeign carries partials routed from other partitions for vertices
-	// mastered here (coordinator → worker).
+	// mastered here (coordinator → worker). Chunked like KindPartials on v3.
 	KindForeign
 	// KindRefresh carries refreshed master state for vertices with remote
-	// mirrors (worker → coordinator).
+	// mirrors (worker → coordinator). Chunked on v3.
 	KindRefresh
 	// KindMirrors carries refreshed state routed to this partition's mirror
-	// copies (coordinator → worker).
+	// copies (coordinator → worker). Chunked on v3.
 	KindMirrors
 	// KindCollect requests the final results (coordinator → worker).
 	KindCollect
@@ -80,6 +99,9 @@ const (
 	KindResult
 	// KindError aborts the session; Err holds the cause (either direction).
 	KindError
+	// KindHello opens a v3 connection in both directions: the dialer's
+	// requested version and feature bits, answered with the granted ones.
+	KindHello
 )
 
 // String implements fmt.Stringer.
@@ -88,7 +110,7 @@ func (k Kind) String() string {
 		KindShip: "ship", KindReady: "ready", KindStepBegin: "step-begin",
 		KindPartials: "partials", KindForeign: "foreign", KindRefresh: "refresh",
 		KindMirrors: "mirrors", KindCollect: "collect", KindResult: "result",
-		KindError: "error",
+		KindError: "error", KindHello: "hello",
 	}
 	if n, ok := names[k]; ok {
 		return n
@@ -236,18 +258,32 @@ type WorkerResult struct {
 
 // Msg is the single envelope every wire exchange uses. Kind selects which
 // payload fields are meaningful; the rest stay zero and cost nothing on the
-// wire (gob omits zero-valued fields).
+// wire (v3 encodes only the kind's payload; gob omits zero-valued fields).
 type Msg struct {
 	Kind     Kind
-	Version  int       // KindShip
-	Job      JobSpec   // KindShip
+	Version  int    // KindShip, KindHello
+	Features uint32 // KindHello: requested/granted feature bits
+	Job      JobSpec
 	Part     Partition // KindShip
 	Step     core.DistStep
-	Final    bool               // KindStepBegin: no refresh/mirror round follows
+	// Final marks the last superstep on KindStepBegin (no refresh/mirror
+	// round follows) and the last chunk of a v3 streaming phase on
+	// KindPartials/KindForeign/KindRefresh/KindMirrors.
+	Final    bool
 	Partials []core.DistPartial // KindPartials, KindForeign
 	States   []VertexState      // KindRefresh, KindMirrors
 	Result   WorkerResult       // KindResult
 	Err      string             // KindError
+}
+
+// RawFrame is one received v3 frame with its payload left encoded — the
+// coordinator's routing input. Payload is a view into the connection's
+// scratch, valid only until the next Recv or RecvRaw.
+type RawFrame struct {
+	Kind    Kind
+	Step    core.DistStep
+	Final   bool
+	Payload []byte
 }
 
 // countingRW wraps a transport and counts traffic in both directions. The
@@ -285,61 +321,303 @@ func (c Counters) Sub(base Counters) Counters {
 	}
 }
 
-// Conn is a gob message stream over a transport, with traffic counting.
-// It is not safe for concurrent Send or concurrent Recv; the protocol is
-// half-duplex, so sessions never need either.
+// errRemote marks an error frame/message received from the peer, so dialers
+// can tell a deliberate rejection from line noise.
+var errRemote = errors.New("remote error")
+
+// Conn is a message stream over a transport, speaking either the v3 frame
+// protocol or the legacy gob protocol, with traffic counting. It is not safe
+// for concurrent Sends or concurrent Recvs, but one sender and one receiver
+// may run concurrently — the v3 supersteps pipeline exactly that way.
 type Conn struct {
 	crw    *countingRW
-	enc    *gob.Encoder
-	dec    *gob.Decoder
+	br     *bufio.Reader
+	bw     *bufio.Writer
 	closer io.Closer
+
+	proto    int
+	compress bool
+
+	// gob machinery (v2 only), built lazily so v3 connections never pay for it.
+	genc *gob.Encoder
+	gdec *gob.Decoder
+
+	// v3 scratch, reused across frames.
+	whdr   [frameHeaderSize]byte
+	rhdr   [frameHeaderSize]byte
+	rdBuf  []byte // wire payload
+	rawBuf []byte // decompressed payload
+	encBuf []byte // outgoing payload under construction
+	zwBuf  bytes.Buffer
+	zrSrc  bytes.Reader
+	fw     *flate.Writer
+	fr     io.ReadCloser
 }
 
 // NewConn wraps a transport (net.Conn in production, net.Pipe in tests) in
-// the message protocol.
+// the v3 frame protocol, without a hello exchange — both ends must already
+// agree (Dial/Serve negotiate; tests pair NewConn with NewConn).
 func NewConn(rwc io.ReadWriteCloser) *Conn {
 	crw := &countingRW{rw: rwc}
 	return &Conn{
 		crw:    crw,
-		enc:    gob.NewEncoder(crw),
-		dec:    gob.NewDecoder(crw),
+		br:     bufio.NewReader(crw),
+		bw:     bufio.NewWriter(crw),
 		closer: rwc,
+		proto:  ProtocolV3,
 	}
 }
 
-// Dial connects to a worker address.
+// NewGobConn wraps a transport in the legacy gob protocol (v2).
+func NewGobConn(rwc io.ReadWriteCloser) *Conn {
+	c := NewConn(rwc)
+	c.downgradeGob()
+	return c
+}
+
+// downgradeGob switches a fresh connection to the gob protocol. Reads go
+// through the existing bufio.Reader, so bytes peeked during negotiation are
+// preserved.
+func (c *Conn) downgradeGob() *Conn {
+	c.proto = ProtocolV2
+	return c
+}
+
+// Proto returns the connection's protocol version (ProtocolV2 or ProtocolV3).
+func (c *Conn) Proto() int { return c.proto }
+
+// SetCompression toggles per-frame flate compression on a v3 connection.
+// Production connections negotiate it via the hello feature bits; this is
+// for endpoints created with NewConn directly (tests, benches).
+func (c *Conn) SetCompression(on bool) {
+	c.compress = on && c.proto == ProtocolV3
+	if c.compress {
+		c.preallocCompression()
+	}
+}
+
+// DialOptions configures DialWith.
+type DialOptions struct {
+	// Proto pins the protocol: 0 negotiates (v3 preferred, gob fallback for
+	// legacy workers), ProtocolV2 forces gob, ProtocolV3 requires v3 and
+	// fails on a legacy peer.
+	Proto int
+	// Compress requests per-frame flate compression (v3 only, subject to
+	// the worker granting it).
+	Compress bool
+	// HelloTimeout bounds the version handshake (default 2 minutes — a
+	// worker busy with another session answers nothing at all, and that must
+	// surface as an error, not a hang).
+	HelloTimeout time.Duration
+}
+
+// Dial connects to a worker address, negotiating the newest protocol both
+// ends speak.
 func Dial(addr string) (*Conn, error) {
-	c, err := net.Dial("tcp", addr)
+	return DialWith(addr, DialOptions{})
+}
+
+// DialWith connects to a worker address with explicit protocol options.
+func DialWith(addr string, o DialOptions) (*Conn, error) {
+	switch o.Proto {
+	case 0, ProtocolV2, ProtocolV3:
+	default:
+		return nil, fmt.Errorf("wire: unsupported protocol %d", o.Proto)
+	}
+	dialGob := func() (*Conn, error) {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+		}
+		return NewGobConn(nc), nil
+	}
+	if o.Proto == ProtocolV2 {
+		return dialGob()
+	}
+	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	return NewConn(c), nil
+	c := NewConn(nc)
+	if err := c.hello(o); err != nil {
+		c.Close()
+		var nerr net.Error
+		switch {
+		case errors.As(err, &nerr) && nerr.Timeout():
+			// A busy worker, not an old one: the ship would hang the same way.
+			return nil, fmt.Errorf("wire: hello to %s: %w", addr, err)
+		case errors.Is(err, errRemote):
+			// The peer understood us and said no.
+			return nil, err
+		case o.Proto == ProtocolV3:
+			return nil, fmt.Errorf("wire: %s speaks the legacy gob protocol (v2) or is unreachable, and protocol v3 was required: %v", addr, err)
+		}
+		// Anything else — bad magic, EOF, a reset from a gob decoder choking
+		// on our frame — is the signature of a legacy worker: redial in v2.
+		return dialGob()
+	}
+	return c, nil
+}
+
+// hello runs the dialer's half of the v3 negotiation.
+func (c *Conn) hello(o DialOptions) error {
+	t := o.HelloTimeout
+	if t == 0 {
+		t = 2 * time.Minute
+	}
+	_ = c.SetDeadline(time.Now().Add(t))
+	defer func() { _ = c.SetDeadline(time.Time{}) }()
+	var feat uint32
+	if o.Compress {
+		feat |= featCompress
+	}
+	if err := c.Send(&Msg{Kind: KindHello, Version: ProtocolV3, Features: feat}); err != nil {
+		return err
+	}
+	m, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	if m.Kind != KindHello {
+		return fmt.Errorf("wire: expected hello reply, got %s", m.Kind)
+	}
+	if m.Version != ProtocolV3 {
+		return fmt.Errorf("wire: peer negotiated protocol %d, expected %d", m.Version, ProtocolV3)
+	}
+	if o.Compress && m.Features&featCompress != 0 {
+		c.compress = true
+		c.preallocCompression()
+	}
+	return nil
+}
+
+// accept runs the listener's half of the negotiation: peek the first bytes,
+// answer a v3 hello with the granted features, or fall back to gob for a
+// legacy coordinator (the peeked bytes stay buffered for its decoder).
+func accept(rwc io.ReadWriteCloser, o ServeOptions) (*Conn, error) {
+	if o.MaxProto == ProtocolV2 {
+		return NewGobConn(rwc), nil
+	}
+	c := NewConn(rwc)
+	magic, err := c.br.Peek(len(frameMagic))
+	if err != nil {
+		return nil, fmt.Errorf("wire: handshake peek: %w", err)
+	}
+	if string(magic) != frameMagic {
+		return c.downgradeGob(), nil
+	}
+	m, err := c.Expect(KindHello)
+	if err != nil {
+		return nil, err
+	}
+	if m.Version != ProtocolV3 {
+		err := fmt.Errorf("wire: peer requested protocol %d, worker speaks %d", m.Version, ProtocolV3)
+		c.SendError(err)
+		return nil, err
+	}
+	grant := m.Features & featCompress
+	if err := c.Send(&Msg{Kind: KindHello, Version: ProtocolV3, Features: grant}); err != nil {
+		return nil, err
+	}
+	if grant&featCompress != 0 {
+		c.compress = true
+		c.preallocCompression()
+	}
+	return c, nil
 }
 
 // Send encodes one message.
 func (c *Conn) Send(m *Msg) error {
-	if err := c.enc.Encode(m); err != nil {
-		return fmt.Errorf("wire: send %s: %w", m.Kind, err)
+	if c.proto == ProtocolV2 {
+		if c.genc == nil {
+			c.genc = gob.NewEncoder(c.bw)
+		}
+		if err := c.genc.Encode(m); err != nil {
+			return fmt.Errorf("wire: send %s: %w", m.Kind, err)
+		}
+		if err := c.bw.Flush(); err != nil {
+			return fmt.Errorf("wire: send %s: %w", m.Kind, err)
+		}
+		c.crw.msgOut.Add(1)
+		return nil
 	}
-	c.crw.msgOut.Add(1)
-	return nil
+	payload, flags, err := appendMsgPayload(c.encBuf[:0], m)
+	if err != nil {
+		return err
+	}
+	c.encBuf = payload[:0]
+	return c.writeFrame(m.Kind, flags, m.Step, payload)
 }
 
-// Recv decodes the next message into a fresh envelope. (gob merges into
+// SendRaw sends a pre-encoded batch payload as one v3 frame, final-flagged
+// when it ends the phase — the zero-copy path workers and the coordinator
+// stream chunks through.
+func (c *Conn) SendRaw(kind Kind, step core.DistStep, final bool, payload []byte) error {
+	if c.proto != ProtocolV3 {
+		return fmt.Errorf("wire: SendRaw on a v%d connection", c.proto)
+	}
+	var flags byte
+	if final {
+		flags |= flagFinal
+	}
+	return c.writeFrame(kind, flags, step, payload)
+}
+
+// Recv decodes the next message into a fresh envelope. (Both protocols
+// allocate exactly the message's payload; gob additionally merges into
 // presized fields, so reusing an envelope would leak state across messages.)
 func (c *Conn) Recv() (*Msg, error) {
-	m := new(Msg)
-	if err := c.dec.Decode(m); err != nil {
+	if c.proto == ProtocolV2 {
+		if c.gdec == nil {
+			c.gdec = gob.NewDecoder(c.br)
+		}
+		m := new(Msg)
+		if err := c.gdec.Decode(m); err != nil {
+			if err == io.EOF {
+				return nil, err
+			}
+			return nil, fmt.Errorf("wire: recv: %w", err)
+		}
+		c.crw.msgIn.Add(1)
+		if m.Kind == KindError {
+			return m, fmt.Errorf("wire: %w: %s", errRemote, m.Err)
+		}
+		return m, nil
+	}
+	kind, flags, step, payload, err := c.readFrame()
+	if err != nil {
 		if err == io.EOF {
 			return nil, err
 		}
 		return nil, fmt.Errorf("wire: recv: %w", err)
 	}
-	c.crw.msgIn.Add(1)
+	m, err := decodeMsgPayload(kind, flags, step, payload)
+	if err != nil {
+		return nil, fmt.Errorf("wire: recv %s: %w", kind, err)
+	}
 	if m.Kind == KindError {
-		return m, fmt.Errorf("wire: remote error: %s", m.Err)
+		return m, fmt.Errorf("wire: %w: %s", errRemote, m.Err)
 	}
 	return m, nil
+}
+
+// RecvRaw reads the next v3 frame without decoding its payload. An error
+// frame surfaces as an error, like Recv's.
+func (c *Conn) RecvRaw() (RawFrame, error) {
+	if c.proto != ProtocolV3 {
+		return RawFrame{}, fmt.Errorf("wire: RecvRaw on a v%d connection", c.proto)
+	}
+	kind, flags, step, payload, err := c.readFrame()
+	if err != nil {
+		if err == io.EOF {
+			return RawFrame{}, err
+		}
+		return RawFrame{}, fmt.Errorf("wire: recv: %w", err)
+	}
+	if kind == KindError {
+		return RawFrame{}, fmt.Errorf("wire: %w: %s", errRemote, string(payload))
+	}
+	return RawFrame{Kind: kind, Step: step, Final: flags&flagFinal != 0, Payload: payload}, nil
 }
 
 // Expect receives the next message and checks its kind.
@@ -358,7 +636,7 @@ func (c *Conn) Expect(kind Kind) (*Msg, error) {
 // supports deadlines (net.Conn and net.Pipe do; a transport that does not is
 // silently unbounded). The zero time clears the deadline. Coordinators use
 // it to keep a handshake against a busy worker — one already serving another
-// session never reads the next ship — from hanging forever.
+// session never reads the next hello or ship — from hanging forever.
 func (c *Conn) SetDeadline(t time.Time) error {
 	if d, ok := c.closer.(interface{ SetDeadline(time.Time) error }); ok {
 		return d.SetDeadline(t)

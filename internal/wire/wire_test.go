@@ -4,13 +4,14 @@ import (
 	"math/rand"
 	"net"
 	"reflect"
+	"strings"
 	"testing"
 
 	"snaple/internal/core"
 	"snaple/internal/graph"
 )
 
-// pipePair returns two ends of an in-memory message stream.
+// pipePair returns two ends of an in-memory v3 message stream.
 func pipePair(t *testing.T) (*Conn, *Conn) {
 	t.Helper()
 	a, b := net.Pipe()
@@ -19,11 +20,41 @@ func pipePair(t *testing.T) (*Conn, *Conn) {
 	return ca, cb
 }
 
-// roundTrip pushes m through a real encoder/decoder pair and returns the
-// decoded copy.
-func roundTrip(t *testing.T, m *Msg) *Msg {
+// zipPair is pipePair with per-frame compression enabled on both ends.
+func zipPair(t *testing.T) (*Conn, *Conn) {
 	t.Helper()
 	ca, cb := pipePair(t)
+	ca.SetCompression(true)
+	cb.SetCompression(true)
+	return ca, cb
+}
+
+// gobPair returns two ends of a legacy (v2) message stream.
+func gobPair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	ca, cb := NewGobConn(a), NewGobConn(b)
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	return ca, cb
+}
+
+// protoPairs lists the encoder/decoder pairings every lossless-codec test
+// runs through: the v3 frame protocol plain and compressed, and the legacy
+// gob protocol.
+var protoPairs = []struct {
+	name string
+	pair func(t *testing.T) (*Conn, *Conn)
+}{
+	{"v3", pipePair},
+	{"v3-flate", zipPair},
+	{"gob", gobPair},
+}
+
+// roundTrip pushes m through a real encoder/decoder pair and returns the
+// decoded copy.
+func roundTrip(t *testing.T, m *Msg, pair func(t *testing.T) (*Conn, *Conn)) *Msg {
+	t.Helper()
+	ca, cb := pair(t)
 	errc := make(chan error, 1)
 	go func() { errc <- ca.Send(m) }()
 	got, err := cb.Recv()
@@ -102,16 +133,19 @@ func normalizeMsg(m *Msg) {
 	}
 }
 
-// checkLossless asserts that a message survives the wire bit for bit (modulo
-// gob's nil/empty unification).
+// checkLossless asserts that a message survives the wire bit for bit on
+// every protocol pairing (modulo the shared nil/empty unification: neither
+// codec distinguishes a nil slice from an empty one).
 func checkLossless(t *testing.T, m *Msg) {
 	t.Helper()
 	want := *m
-	got := roundTrip(t, m)
 	normalizeMsg(&want)
-	normalizeMsg(got)
-	if !reflect.DeepEqual(&want, got) {
-		t.Fatalf("round trip lost data:\nsent %+v\ngot  %+v", &want, got)
+	for _, pp := range protoPairs {
+		got := roundTrip(t, m, pp.pair)
+		normalizeMsg(got)
+		if !reflect.DeepEqual(&want, got) {
+			t.Fatalf("%s round trip lost data:\nsent %+v\ngot  %+v", pp.name, &want, got)
+		}
 	}
 }
 
@@ -219,7 +253,7 @@ func TestShipRoundTrip(t *testing.T) {
 		cases = append(cases, randPartition(r, 1+r.Intn(200), false))
 	}
 	for _, part := range cases {
-		checkLossless(t, &Msg{Kind: KindShip, Version: ProtocolVersion, Job: job, Part: part})
+		checkLossless(t, &Msg{Kind: KindShip, Version: ProtocolV3, Job: job, Part: part})
 	}
 }
 
@@ -370,3 +404,134 @@ func TestErrorPropagation(t *testing.T) {
 type errInjected struct{}
 
 func (errInjected) Error() string { return "injected failure" }
+
+// serveWorkers runs a real listening worker fleet for negotiation tests and
+// returns its address.
+func serveWorkers(t *testing.T, o ServeOptions) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() { _ = ServeWith(l, nil, o) }()
+	return l.Addr().String()
+}
+
+// runMiniSession drives a complete (zero-superstep) session over c: ship an
+// empty partition, await ready, collect the result. It proves the negotiated
+// protocol actually works end to end, not just that the handshake returned.
+func runMiniSession(t *testing.T, c *Conn) {
+	t.Helper()
+	job := JobSpec{Score: "linearSum", Alpha: 0.9, K: 5, KLocal: 20, ThrGamma: 200, Paths: 2, Seed: 42}
+	ship := &Msg{Kind: KindShip, Version: c.Proto(), Job: job, Part: Partition{Part: 3}}
+	if err := c.Send(ship); err != nil {
+		t.Fatalf("ship: %v", err)
+	}
+	if _, err := c.Expect(KindReady); err != nil {
+		t.Fatalf("ready: %v", err)
+	}
+	if err := c.Send(&Msg{Kind: KindCollect}); err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	m, err := c.Expect(KindResult)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if m.Result.Part != 3 {
+		t.Fatalf("result for partition %d, shipped partition 3", m.Result.Part)
+	}
+}
+
+// TestProtocolNegotiation covers the mixed-version handshake matrix: v3
+// both ends (with compression granted), a v3 coordinator downgrading to a
+// legacy gob worker, a v3-pinned coordinator failing clearly against that
+// worker, and a v2-pinned coordinator against a v3-capable worker.
+func TestProtocolNegotiation(t *testing.T) {
+	t.Run("v3-with-compression", func(t *testing.T) {
+		addr := serveWorkers(t, ServeOptions{})
+		c, err := DialWith(addr, DialOptions{Compress: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if c.Proto() != ProtocolV3 {
+			t.Fatalf("negotiated v%d, want v3", c.Proto())
+		}
+		if !c.compress {
+			t.Fatal("compression requested but not granted")
+		}
+		runMiniSession(t, c)
+	})
+	t.Run("downgrade-to-legacy-worker", func(t *testing.T) {
+		// A MaxProto-2 fleet stands in for old worker binaries: its gob
+		// decoder chokes on the v3 hello, the dialer recognises the legacy
+		// peer and redials speaking gob.
+		addr := serveWorkers(t, ServeOptions{MaxProto: ProtocolV2})
+		c, err := DialWith(addr, DialOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if c.Proto() != ProtocolV2 {
+			t.Fatalf("negotiated v%d, want v2 fallback", c.Proto())
+		}
+		runMiniSession(t, c)
+	})
+	t.Run("v3-required-fails-clearly", func(t *testing.T) {
+		addr := serveWorkers(t, ServeOptions{MaxProto: ProtocolV2})
+		c, err := DialWith(addr, DialOptions{Proto: ProtocolV3})
+		if err == nil {
+			c.Close()
+			t.Fatal("v3-pinned dial succeeded against a legacy worker")
+		}
+		if !strings.Contains(err.Error(), "legacy gob protocol") {
+			t.Fatalf("unhelpful error for a legacy peer: %v", err)
+		}
+	})
+	t.Run("v2-pinned-against-v3-worker", func(t *testing.T) {
+		// The reverse skew: an old coordinator (pinned to gob) against a new
+		// worker, which must peek the non-frame bytes and serve gob.
+		addr := serveWorkers(t, ServeOptions{})
+		c, err := DialWith(addr, DialOptions{Proto: ProtocolV2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if c.Proto() != ProtocolV2 {
+			t.Fatalf("negotiated v%d, want v2", c.Proto())
+		}
+		runMiniSession(t, c)
+	})
+}
+
+// TestCompressionShrinksWire pins the point of the compression flag: the
+// same highly-compressible payload crosses the wire in fewer bytes on a
+// compressed connection.
+func TestCompressionShrinksWire(t *testing.T) {
+	msg := &Msg{Kind: KindMirrors, Step: core.DistRelays}
+	for i := 0; i < 50; i++ {
+		vs := VertexState{V: graph.VertexID(i)}
+		for j := 0; j < 100; j++ {
+			vs.Data.Sims = append(vs.Data.Sims, core.VertexSim{V: graph.VertexID(j), Sim: 0.5})
+		}
+		msg.States = append(msg.States, vs)
+	}
+	bytesAcross := func(pair func(t *testing.T) (*Conn, *Conn)) int64 {
+		ca, cb := pair(t)
+		errc := make(chan error, 1)
+		go func() { errc <- ca.Send(msg) }()
+		if _, err := cb.Recv(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+		return ca.Counters().BytesOut
+	}
+	plain := bytesAcross(pipePair)
+	zipped := bytesAcross(zipPair)
+	if zipped >= plain/2 {
+		t.Fatalf("compression saved too little: %d plain, %d compressed", plain, zipped)
+	}
+}

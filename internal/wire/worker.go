@@ -6,10 +6,28 @@ import (
 	"io"
 	"net"
 	"runtime"
+	"slices"
+	"sort"
+	"sync/atomic"
 	"time"
 
 	"snaple/internal/core"
+	"snaple/internal/graph"
 )
+
+// streamChunkBytes is the target payload size of one streamed batch chunk:
+// big enough to amortise frame overhead, small enough that routing overlaps
+// compute instead of trailing it.
+const streamChunkBytes = 64 << 10
+
+// ServeOptions configures a worker's listening side.
+type ServeOptions struct {
+	// MaxProto caps the protocol the worker negotiates: 0 (or ProtocolV3)
+	// accepts v3 hellos and falls back to gob for legacy coordinators;
+	// ProtocolV2 serves gob only — a stand-in for an old worker binary in
+	// mixed-version fleet tests.
+	MaxProto int
+}
 
 // Serve accepts coordinator sessions on l until the listener is closed,
 // running them sequentially: a worker owns one partition at a time, so
@@ -17,6 +35,11 @@ import (
 // errors are reported to logf (nil discards them) and do not stop the
 // worker — the next coordinator gets a fresh session.
 func Serve(l net.Listener, logf func(format string, args ...any)) error {
+	return ServeWith(l, logf, ServeOptions{})
+}
+
+// ServeWith is Serve with explicit protocol options.
+func ServeWith(l net.Listener, logf func(format string, args ...any), o ServeOptions) error {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
@@ -29,7 +52,7 @@ func Serve(l net.Listener, logf func(format string, args ...any)) error {
 			return fmt.Errorf("wire: accept: %w", err)
 		}
 		logf("session from %s", c.RemoteAddr())
-		if err := ServeConn(c); err != nil {
+		if err := ServeConnWith(c, o); err != nil {
 			logf("session from %s failed: %v", c.RemoteAddr(), err)
 		} else {
 			logf("session from %s done", c.RemoteAddr())
@@ -41,7 +64,16 @@ func Serve(l net.Listener, logf func(format string, args ...any)) error {
 // session ends. Protocol violations and compute errors are reported to the
 // coordinator (KindError) and returned.
 func ServeConn(rwc io.ReadWriteCloser) error {
-	conn := NewConn(rwc)
+	return ServeConnWith(rwc, ServeOptions{})
+}
+
+// ServeConnWith is ServeConn with explicit protocol options.
+func ServeConnWith(rwc io.ReadWriteCloser, o ServeOptions) error {
+	conn, err := accept(rwc, o)
+	if err != nil {
+		rwc.Close()
+		return err
+	}
 	defer conn.Close()
 	s, err := newSession(conn)
 	if err != nil {
@@ -51,8 +83,14 @@ func ServeConn(rwc io.ReadWriteCloser) error {
 	if err := conn.Send(&Msg{Kind: KindReady}); err != nil {
 		return err
 	}
+	// The measured window opens at the first superstep, not at Ready: the
+	// coordinator barriers on every worker's Ready before the first
+	// KindStepBegin, so by then all sessions (in-process ones included)
+	// have finished building and the window holds only superstep and
+	// collect work — the same boundary the coordinator's own wall-clock
+	// and traffic counters use.
 	var m0 runtime.MemStats
-	runtime.ReadMemStats(&m0)
+	m0set := false
 	for {
 		m, err := conn.Recv()
 		if err != nil {
@@ -61,9 +99,18 @@ func ServeConn(rwc io.ReadWriteCloser) error {
 			}
 			return err
 		}
+		if !m0set {
+			runtime.ReadMemStats(&m0)
+			m0set = true
+		}
 		switch m.Kind {
 		case KindStepBegin:
-			if err := s.runStep(m.Step, m.Final); err != nil {
+			if conn.Proto() == ProtocolV3 {
+				err = s.runStepV3(m.Step, m.Final)
+			} else {
+				err = s.runStepV2(m.Step, m.Final)
+			}
+			if err != nil {
 				conn.SendError(err)
 				return err
 			}
@@ -79,15 +126,46 @@ func ServeConn(rwc io.ReadWriteCloser) error {
 	}
 }
 
+// recRef locates one buffered partial record: a local vertex index plus the
+// record's extent inside a foreign chunk (or, with chunk == selfChunk, the
+// session's own-partials buffer).
+type recRef struct {
+	li       int32
+	chunk    int32
+	off, end int32
+}
+
+const selfChunk = int32(-1)
+
 // session is a worker's state for one job: the compute partition plus the
-// master/mirror roles the coordinator elected.
+// master/mirror roles the coordinator elected, and (on v3) the reusable
+// streaming buffers of the pipelined superstep.
 type session struct {
 	conn      *Conn
 	partIdx   int
 	part      *core.DistPartition
 	isMaster  []bool
 	hasRemote []bool
-	busy      time.Duration
+	busyNS    atomic.Int64 // gather/apply/refresh goroutines all contribute
+
+	// v3 per-step state, reused across supersteps.
+	sendBB BatchBuilder // outgoing chunk under construction (sender goroutine)
+	// regather marks a partition whose masters can recompute their own
+	// partial at apply time (core.DistPartition.GatherVertex) — the normal
+	// case for deployed partitions. Without it, replicated masters' own
+	// partials are kept across the exchange as records in selfBuf.
+	regather  bool
+	selfBuf   []byte  // own partials for replicated masters, as records
+	selfOff   []int64 // per local: offset into selfBuf, -1 = none
+	selfEnd   []int64
+	applied   []bool   // per local: master applied inline during gather
+	chunkBufs [][]byte // received foreign chunk payloads
+	chunkN    int
+	frefs     []recRef // refs into chunkBufs, built by the receive loop
+	applyOne  [1]core.DistPartial
+	applySc   core.DistPartial // merged-partial scratch for apply
+
+	collectPreds []VertexPreds // result storage, presized at ship
 }
 
 // newSession performs the ship handshake.
@@ -96,8 +174,8 @@ func newSession(conn *Conn) (*session, error) {
 	if err != nil {
 		return nil, err
 	}
-	if m.Version != ProtocolVersion {
-		return nil, fmt.Errorf("wire: protocol version %d, worker speaks %d", m.Version, ProtocolVersion)
+	if m.Version != conn.Proto() {
+		return nil, fmt.Errorf("wire: protocol version %d, worker speaks %d", m.Version, conn.Proto())
 	}
 	if err := m.Part.Validate(); err != nil {
 		return nil, err
@@ -113,19 +191,351 @@ func newSession(conn *Conn) (*session, error) {
 	if err := part.SetScope(m.Part.Scope); err != nil {
 		return nil, err
 	}
-	return &session{
+	s := &session{
 		conn:      conn,
 		partIdx:   m.Part.Part,
 		part:      part,
 		isMaster:  m.Part.IsMaster,
 		hasRemote: m.Part.HasRemote,
-	}, nil
+		regather:  part.CanGatherVertex(),
+	}
+	s.prewarm()
+	return s, nil
 }
 
-// runStep executes one superstep: gather, exchange partials through the
+// prewarm pays for the streaming buffers' steady-state capacity during the
+// ship handshake, before the coordinator starts timing the supersteps:
+// the outgoing chunk builder, one foreign ref per replicated master (each
+// remote mirror partition contributes at most one record per step), a pool
+// of foreign chunk buffers, the connection's frame scratch, and the collect
+// round's result storage (its size is bounded by K predictions per master).
+// The pool still grows lazily past the prewarmed count on partitions with
+// heavier exchanges.
+func (s *session) prewarm() {
+	s.sendBB.Reset()
+	s.sendBB.Grow(streamChunkBytes + streamChunkBytes/4)
+	nMasters, nR := 0, 0
+	for li, m := range s.isMaster {
+		if !m {
+			continue
+		}
+		nMasters++
+		if s.hasRemote[li] {
+			nR++
+		}
+	}
+	s.frefs = make([]recRef, 0, 2*nR)
+	const prewarmChunks = 24
+	s.chunkBufs = make([][]byte, 0, prewarmChunks)
+	for range prewarmChunks {
+		s.chunkBufs = append(s.chunkBufs, make([]byte, 0, streamChunkBytes+streamChunkBytes/4))
+	}
+	s.collectPreds = make([]VertexPreds, 0, nMasters)
+	const predictionBytes = 12 // u32 vertex + f64 score
+	resultBound := 64 + nMasters*(8+s.part.Config().K*predictionBytes)
+	s.conn.encBuf = slices.Grow(s.conn.encBuf, resultBound)
+	chunk := streamChunkBytes + streamChunkBytes/4
+	s.conn.rdBuf = slices.Grow(s.conn.rdBuf, chunk)
+	s.conn.rawBuf = slices.Grow(s.conn.rawBuf, chunk)
+	s.conn.zwBuf.Grow(chunk)
+}
+
+func (s *session) addBusy(d time.Duration) { s.busyNS.Add(int64(d)) }
+
+// resetStep readies the reusable v3 buffers for one superstep.
+func (s *session) resetStep() {
+	n := len(s.part.Locals())
+	if len(s.applied) != n {
+		s.applied = make([]bool, n)
+	}
+	clear(s.applied)
+	if !s.regather {
+		if len(s.selfOff) != n {
+			s.selfOff = make([]int64, n)
+			s.selfEnd = make([]int64, n)
+		}
+		for i := range s.selfOff {
+			s.selfOff[i] = -1
+		}
+		s.selfBuf = s.selfBuf[:0]
+	}
+	s.frefs = s.frefs[:0]
+	s.chunkN = 0
+}
+
+// runStepV3 executes one superstep on the pipelined v3 protocol: a sender
+// goroutine streams gather partials up in chunks as the gather loop produces
+// them, while this goroutine concurrently drains the foreign partials the
+// coordinator routes back — communication overlaps compute on both sides of
+// the connection. Masters without remote mirrors apply inline during the
+// gather (no other partition can contribute to them); the rest apply after
+// both streams end. The refresh round pipelines the same way.
+func (s *session) runStepV3(step core.DistStep, final bool) error {
+	s.resetStep()
+	gerr := make(chan error, 1)
+	go func() { gerr <- s.gatherAndSend(step) }()
+	var ferr error
+	for {
+		f, err := s.conn.RecvRaw()
+		if err != nil {
+			ferr = err
+			break
+		}
+		if f.Kind != KindForeign || f.Step != step {
+			ferr = fmt.Errorf("wire: %s for %v during %v partials", f.Kind, f.Step, step)
+			break
+		}
+		if err := s.bufferForeign(f.Payload); err != nil {
+			ferr = err
+			break
+		}
+		if f.Final {
+			break
+		}
+	}
+	// The gather sender always terminates: the coordinator drains partials
+	// until our final chunk regardless of the routing outcome.
+	if err := <-gerr; err != nil {
+		return err
+	}
+	if ferr != nil {
+		return ferr
+	}
+
+	t0 := time.Now()
+	if err := s.applyMasters(step); err != nil {
+		return err
+	}
+	s.addBusy(time.Since(t0))
+	if final {
+		// The last superstep's output is read back through collect; mirrors
+		// never consume it, so the refresh round is skipped entirely.
+		return nil
+	}
+
+	// Refresh round: stream master states up while applying the mirror
+	// refreshes routed back — masters and mirrors are disjoint local
+	// indices, so the two sides never touch the same replica.
+	rerr := make(chan error, 1)
+	go func() { rerr <- s.sendRefresh(step) }()
+	ferr = nil
+	for {
+		f, err := s.conn.RecvRaw()
+		if err != nil {
+			ferr = err
+			break
+		}
+		if f.Kind != KindMirrors || f.Step != step {
+			ferr = fmt.Errorf("wire: %s for %v during %v refresh", f.Kind, f.Step, step)
+			break
+		}
+		t0 := time.Now()
+		err = ForEachStateRecord(f.Payload, func(v graph.VertexID, rec []byte) error {
+			d, ok := s.part.MutableState(v)
+			if !ok {
+				return fmt.Errorf("wire: refresh for vertex %d, which is not local", v)
+			}
+			got, err := DecodeStateRecordInto(rec, d)
+			if err != nil {
+				return err
+			}
+			if got != v {
+				return fmt.Errorf("wire: refresh record for %d keyed as %d", got, v)
+			}
+			return nil
+		})
+		s.addBusy(time.Since(t0))
+		if err != nil {
+			ferr = err
+			break
+		}
+		if f.Final {
+			break
+		}
+	}
+	if err := <-rerr; err != nil {
+		return err
+	}
+	return ferr
+}
+
+// gatherAndSend runs the streaming gather, routing each partial as it is
+// produced: masters without mirrors apply inline, replicated masters buffer
+// their record locally, everything else is chunked up to the coordinator.
+// A final (possibly empty) chunk ends the stream; on a compute error the
+// coordinator is told directly so the whole run unwinds instead of waiting
+// on a final chunk that will never come.
+func (s *session) gatherAndSend(step core.DistStep) error {
+	t0 := time.Now()
+	bb := &s.sendBB
+	bb.Reset()
+	err := s.part.GatherStream(step, func(li int32, dp *core.DistPartial) error {
+		if s.isMaster[li] {
+			if !s.hasRemote[li] {
+				// No other partition replicates this vertex, so no foreign
+				// partial can arrive: fold it down right now, while the
+				// payload is still hot scratch.
+				s.applied[li] = true
+				s.applyOne[0] = *dp
+				return s.part.Apply(step, dp.V, s.applyOne[:1])
+			}
+			if s.regather {
+				// applyMasters recomputes this partial on demand — no copy,
+				// no growing record buffer across the exchange.
+				return nil
+			}
+			s.selfOff[li] = int64(len(s.selfBuf))
+			s.selfBuf = appendPartialRecord(s.selfBuf, dp)
+			s.selfEnd[li] = int64(len(s.selfBuf))
+			return nil
+		}
+		bb.AppendPartial(dp)
+		if bb.Len() >= streamChunkBytes {
+			s.addBusy(time.Since(t0))
+			err := s.conn.SendRaw(KindPartials, step, false, bb.Payload())
+			bb.Reset()
+			t0 = time.Now()
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		s.conn.SendError(err)
+		return err
+	}
+	s.addBusy(time.Since(t0))
+	return s.conn.SendRaw(KindPartials, step, true, bb.Payload())
+}
+
+// bufferForeign copies one routed foreign chunk into the session's reusable
+// chunk buffers and indexes its records by local vertex.
+func (s *session) bufferForeign(payload []byte) error {
+	if len(payload) < 4 {
+		return fmt.Errorf("wire: foreign chunk of %d bytes", len(payload))
+	}
+	if len(payload) == 4 {
+		return nil // empty terminator chunk
+	}
+	var buf []byte
+	if s.chunkN < len(s.chunkBufs) {
+		buf = append(s.chunkBufs[s.chunkN][:0], payload...)
+		s.chunkBufs[s.chunkN] = buf
+	} else {
+		buf = append([]byte(nil), payload...)
+		s.chunkBufs = append(s.chunkBufs, buf)
+	}
+	ci := int32(s.chunkN)
+	s.chunkN++
+	n := int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
+	off := 4
+	for i := 0; i < n; i++ {
+		v, end, err := partialRecordAt(buf, off)
+		if err != nil {
+			return err
+		}
+		li, ok := s.part.LocalIndex(v)
+		if !ok || !s.isMaster[li] {
+			return fmt.Errorf("wire: routed partial for vertex %d, which is not mastered here", v)
+		}
+		s.frefs = append(s.frefs, recRef{li: int32(li), chunk: ci, off: int32(off), end: int32(end)})
+		off = end
+	}
+	if off != len(buf) {
+		return fmt.Errorf("wire: %d trailing bytes after foreign chunk records", len(buf)-off)
+	}
+	return nil
+}
+
+// applyMasters folds each master's own and foreign partials and applies.
+// Every master applies every step — with no contribution anywhere the apply
+// still runs and clears the step's output field, exactly like the serial
+// engine's empty gather.
+func (s *session) applyMasters(step core.DistStep) error {
+	sort.Slice(s.frefs, func(i, j int) bool { return s.frefs[i].li < s.frefs[j].li })
+	fi := 0
+	var rg core.DistPartial
+	for li, v := range s.part.Locals() {
+		start := fi
+		for fi < len(s.frefs) && s.frefs[fi].li == int32(li) {
+			fi++
+		}
+		if !s.isMaster[li] {
+			continue // bufferForeign already rejected refs to non-masters
+		}
+		if s.applied[li] {
+			continue
+		}
+		sc := &s.applySc
+		sc.V = v
+		sc.Nbrs = sc.Nbrs[:0]
+		sc.Sims = sc.Sims[:0]
+		sc.Cands = sc.Cands[:0]
+		n := 0
+		if s.regather {
+			ok, err := s.part.GatherVertex(step, int32(li), &rg)
+			if err != nil {
+				return err
+			}
+			if ok {
+				sc.Nbrs = append(sc.Nbrs, rg.Nbrs...)
+				sc.Sims = append(sc.Sims, rg.Sims...)
+				sc.Cands = append(sc.Cands, rg.Cands...)
+				n++
+			}
+		} else if s.selfOff[li] >= 0 {
+			if err := decodePartialRecordInto(s.selfBuf[s.selfOff[li]:s.selfEnd[li]], sc); err != nil {
+				return err
+			}
+			n++
+		}
+		for _, r := range s.frefs[start:fi] {
+			if err := decodePartialRecordInto(s.chunkBufs[r.chunk][r.off:r.end], sc); err != nil {
+				return err
+			}
+			n++
+		}
+		var parts []core.DistPartial
+		if n > 0 {
+			s.applyOne[0] = *sc
+			parts = s.applyOne[:1]
+		}
+		if err := s.part.Apply(step, v, parts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendRefresh streams the refreshed state of every replicated master up to
+// the coordinator in chunks, ending with a final-flagged chunk.
+func (s *session) sendRefresh(step core.DistStep) error {
+	t0 := time.Now()
+	bb := &s.sendBB
+	bb.Reset()
+	for li, v := range s.part.Locals() {
+		if !s.isMaster[li] || !s.hasRemote[li] {
+			continue
+		}
+		d, _ := s.part.State(v)
+		bb.AppendState(v, &d)
+		if bb.Len() >= streamChunkBytes {
+			s.addBusy(time.Since(t0))
+			if err := s.conn.SendRaw(KindRefresh, step, false, bb.Payload()); err != nil {
+				return err
+			}
+			bb.Reset()
+			t0 = time.Now()
+		}
+	}
+	s.addBusy(time.Since(t0))
+	return s.conn.SendRaw(KindRefresh, step, true, bb.Payload())
+}
+
+// runStepV2 executes one superstep on the legacy gob protocol, barriered
+// exactly as protocol v2 always was: gather, exchange partials through the
 // coordinator, apply at the masters and (unless final) broadcast refreshed
 // state back through the coordinator to the mirrors.
-func (s *session) runStep(step core.DistStep, final bool) error {
+func (s *session) runStepV2(step core.DistStep, final bool) error {
 	t0 := time.Now()
 	partials, err := s.part.Gather(step)
 	if err != nil {
@@ -144,7 +554,7 @@ func (s *session) runStep(step core.DistStep, final bool) error {
 			foreign = append(foreign, dp)
 		}
 	}
-	s.busy += time.Since(t0)
+	s.addBusy(time.Since(t0))
 
 	if err := s.conn.Send(&Msg{Kind: KindPartials, Step: step, Partials: foreign}); err != nil {
 		return err
@@ -176,7 +586,7 @@ func (s *session) runStep(step core.DistStep, final bool) error {
 	if final {
 		// The last superstep's output is read back through collect; mirrors
 		// never consume it, so the refresh round is skipped entirely.
-		s.busy += time.Since(t0)
+		s.addBusy(time.Since(t0))
 		return nil
 	}
 	var states []VertexState
@@ -187,7 +597,7 @@ func (s *session) runStep(step core.DistStep, final bool) error {
 		d, _ := s.part.State(v)
 		states = append(states, VertexState{V: v, Data: d})
 	}
-	s.busy += time.Since(t0)
+	s.addBusy(time.Since(t0))
 
 	if err := s.conn.Send(&Msg{Kind: KindRefresh, Step: step, States: states}); err != nil {
 		return err
@@ -205,7 +615,7 @@ func (s *session) runStep(step core.DistStep, final bool) error {
 			return err
 		}
 	}
-	s.busy += time.Since(t0)
+	s.addBusy(time.Since(t0))
 	return nil
 }
 
@@ -216,7 +626,7 @@ func (s *session) collect(m0 *runtime.MemStats) WorkerResult {
 		Stats: WorkerStats{
 			Verts:       len(s.part.Locals()),
 			Edges:       s.part.NumEdges(),
-			BusySeconds: s.busy.Seconds(),
+			BusySeconds: time.Duration(s.busyNS.Load()).Seconds(),
 		},
 	}
 	for li, v := range s.part.Locals() {
@@ -225,9 +635,10 @@ func (s *session) collect(m0 *runtime.MemStats) WorkerResult {
 		}
 		d, _ := s.part.State(v)
 		if len(d.Pred) > 0 {
-			res.Preds = append(res.Preds, VertexPreds{V: v, Preds: d.Pred})
+			s.collectPreds = append(s.collectPreds, VertexPreds{V: v, Preds: d.Pred})
 		}
 	}
+	res.Preds = s.collectPreds
 	var m1 runtime.MemStats
 	runtime.ReadMemStats(&m1)
 	res.Stats.AllocBytes = int64(m1.TotalAlloc - m0.TotalAlloc)

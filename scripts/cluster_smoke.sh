@@ -59,9 +59,59 @@ SNAPLE_WORKER_ADDRS="$addr_list" \
   ./internal/engine/
 
 echo "==> CLI end-to-end against the running fleet (-addrs)"
-"$workdir/snaple" -dataset gowalla -scale 0.3 -engine dist -addrs "$addr_list" -eval
+plain_out="$("$workdir/snaple" -dataset gowalla -scale 0.3 -engine dist -addrs "$addr_list" -eval)"
+echo "$plain_out"
 
 echo "==> CLI auto-spawn path (-spawn forks its own workers)"
 PATH="$workdir:$PATH" "$workdir/snaple" -dataset gowalla -scale 0.3 -engine dist -spawn 2 -eval
+
+echo "==> mixed-version fleet: a 4th worker that speaks only the legacy gob protocol"
+"$workdir/snaple-worker" -listen 127.0.0.1:0 -max-proto 2 \
+  >"$workdir/worker4.out" 2>"$workdir/worker4.err" &
+pids+=($!)
+legacy_addr=""
+for _ in $(seq 1 100); do
+  line="$(head -n1 "$workdir/worker4.out" 2>/dev/null || true)"
+  case "$line" in
+    "listening "*) legacy_addr="${line#listening }"; break ;;
+  esac
+  sleep 0.1
+done
+if [ -z "$legacy_addr" ]; then
+  echo "legacy worker never announced its address" >&2
+  exit 1
+fi
+"$workdir/snaple" -dataset gowalla -scale 0.3 -engine dist \
+  -addrs "$addr_list,$legacy_addr" -eval
+
+echo "==> pinning -wire-proto 3 against the legacy worker must fail clearly"
+if v3_out="$("$workdir/snaple" -dataset gowalla -scale 0.3 -engine dist \
+    -addrs "$legacy_addr" -wire-proto 3 -eval 2>&1)"; then
+  echo "required-v3 run against a legacy worker unexpectedly succeeded" >&2
+  exit 1
+fi
+case "$v3_out" in
+  *"legacy gob protocol"*) ;;
+  *) echo "required-v3 failure lacks a clear diagnosis: $v3_out" >&2; exit 1 ;;
+esac
+
+echo "==> -wire-compress shrinks the measured cross-node traffic"
+zip_out="$("$workdir/snaple" -dataset gowalla -scale 0.3 -engine dist \
+  -addrs "$addr_list" -wire-compress -eval)"
+echo "$zip_out"
+# The dist stats line carries the raw byte count for exactly this check:
+# "engine: dist wall=...s cross=1.2MiB (1234567 B) msgs=...".
+cross_bytes() { sed -n 's/.*cross=[^(]*(\([0-9][0-9]*\) B).*/\1/p' <<<"$1"; }
+plain_bytes="$(cross_bytes "$plain_out")"
+zip_bytes="$(cross_bytes "$zip_out")"
+if [ -z "$plain_bytes" ] || [ -z "$zip_bytes" ]; then
+  echo "could not parse measured cross_bytes from the CLI output" >&2
+  exit 1
+fi
+if [ "$zip_bytes" -ge "$plain_bytes" ]; then
+  echo "compression did not shrink traffic: $plain_bytes B plain vs $zip_bytes B compressed" >&2
+  exit 1
+fi
+echo "    cross-node traffic: $plain_bytes B plain -> $zip_bytes B compressed"
 
 echo "==> cluster smoke OK"

@@ -226,6 +226,14 @@ type ClusterOptions struct {
 	// WorkerBin locates the worker binary for SpawnWorkers (default
 	// "snaple-worker" resolved through PATH).
 	WorkerBin string
+	// WireProto pins the dist backend's wire protocol: 0 negotiates (v3
+	// with automatic fallback to the legacy gob protocol for old workers),
+	// 2 forces gob, 3 requires v3 and fails clearly against legacy workers.
+	WireProto int
+	// WireCompress enables per-frame flate compression on v3 connections
+	// (trades coordinator/worker CPU for cross-node bytes; ignored on gob
+	// connections).
+	WireCompress bool
 }
 
 // ErrMemoryExhausted is returned (wrapped) when a simulated node exceeds its
@@ -330,6 +338,8 @@ func (c ClusterOptions) toDist() (engine.Dist, error) {
 		InProc:    c.Workers,
 		Strategy:  strat,
 		Seed:      c.Seed,
+		Proto:     c.WireProto,
+		Compress:  c.WireCompress,
 	}, nil
 }
 
