@@ -58,6 +58,14 @@ func main() {
 		engineF = flag.String("engine", "local", "execution backend: "+strings.Join(snaple.EngineNames(), "|"))
 		workers = flag.Int("workers", 0, "worker goroutines for the backend (0 = GOMAXPROCS)")
 
+		addrs        = flag.String("addrs", "", "comma-separated snaple-worker addresses for -engine dist")
+		spawn        = flag.Int("spawn", 0, "auto-spawn this many local snaple-worker processes for -engine dist")
+		workerBin    = flag.String("worker-bin", "", "snaple-worker binary for -spawn (default: found on PATH)")
+		replicas     = flag.Int("replicas", 0, "ship every partition to this many dist workers; worker deaths fail over to survivors (0 or 1 = no replication)")
+		stepTimeout  = flag.Duration("step-timeout", 0, "per-phase deadline on dist superstep exchanges (0 = 10m default, negative = unbounded)")
+		dialAttempts = flag.Int("dial-attempts", 0, "connect/spawn attempts per dist worker, retried with backoff (0 = 3)")
+		runTimeout   = flag.Duration("run-timeout", 0, "deadline on each batch's backend run; on dist a wedged fleet fails the batch instead of the server (0 = unbounded)")
+
 		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch collection window")
 		batchMax    = flag.Int("batch-max", 4096, "max distinct uncached vertices per batch run (also the per-request id limit)")
 		cacheSize   = flag.Int("cache", 65536, "LRU result cache capacity (vertices)")
@@ -68,6 +76,9 @@ func main() {
 		score: *score, alpha: *alpha, kmax: *kmax, klocal: *klocal,
 		thr: *thr, policy: *policy, paths: *paths, seed: *seed,
 		engine: *engineF, workers: *workers,
+		addrs: *addrs, spawn: *spawn, workerBin: *workerBin,
+		replicas: *replicas, stepTimeout: *stepTimeout,
+		dialAttempts: *dialAttempts, runTimeout: *runTimeout,
 		batchWindow: *batchWindow, batchMax: *batchMax, cacheSize: *cacheSize,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "snaple-serve:", err)
@@ -76,22 +87,29 @@ func main() {
 }
 
 type serveArgs struct {
-	in          string
-	symmetric   bool
-	listen      string
-	score       string
-	alpha       float64
-	kmax        int
-	klocal      int
-	thr         int
-	policy      string
-	paths       int
-	seed        uint64
-	engine      string
-	workers     int
-	batchWindow time.Duration
-	batchMax    int
-	cacheSize   int
+	in           string
+	symmetric    bool
+	listen       string
+	score        string
+	alpha        float64
+	kmax         int
+	klocal       int
+	thr          int
+	policy       string
+	paths        int
+	seed         uint64
+	engine       string
+	workers      int
+	addrs        string
+	spawn        int
+	workerBin    string
+	replicas     int
+	stepTimeout  time.Duration
+	dialAttempts int
+	runTimeout   time.Duration
+	batchWindow  time.Duration
+	batchMax     int
+	cacheSize    int
 }
 
 func run(a serveArgs) error {
@@ -113,9 +131,26 @@ func run(a serveArgs) error {
 	if err != nil {
 		return err
 	}
-	be, err := engine.New(a.engine, a.workers, a.seed)
-	if err != nil {
-		return err
+	var be engine.Backend
+	if a.engine == "dist" {
+		// The dist backend gets its deployment described directly: a resident
+		// worker fleet (or spawned one), optionally replicated so worker
+		// deaths between and during batches fail over instead of failing
+		// queries (see /statsz fleet counters and /healthz degradation).
+		d := engine.Dist{
+			Spawn: a.spawn, WorkerBin: a.workerBin, InProc: a.workers,
+			Seed: a.seed, Replicas: a.replicas, StepTimeout: a.stepTimeout,
+			DialAttempts: a.dialAttempts,
+		}
+		if a.addrs != "" {
+			d.Addrs = strings.Split(a.addrs, ",")
+		}
+		be = d
+	} else {
+		be, err = engine.New(a.engine, a.workers, a.seed)
+		if err != nil {
+			return err
+		}
 	}
 	srv, err := serve.New(serve.Options{
 		Graph:   g,
@@ -127,6 +162,7 @@ func run(a serveArgs) error {
 		BatchWindow: a.batchWindow,
 		BatchMax:    a.batchMax,
 		CacheSize:   a.cacheSize,
+		RunTimeout:  a.runTimeout,
 	})
 	if err != nil {
 		return err

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
@@ -76,6 +77,10 @@ func main() {
 		workerBin    = flag.String("worker-bin", "", "snaple-worker binary for -spawn (default: found on PATH)")
 		wireProto    = flag.Int("wire-proto", 0, "pin the dist wire protocol: 0 = negotiate (v3, gob fallback), 2 = force legacy gob, 3 = require v3")
 		wireCompress = flag.Bool("wire-compress", false, "compress dist wire frames (flate; v3 connections only)")
+		replicas     = flag.Int("replicas", 0, "ship every partition to this many dist workers; a worker death then fails over to a survivor with bit-identical results (0 or 1 = no replication)")
+		stepTimeout  = flag.Duration("step-timeout", 0, "per-phase deadline on dist superstep exchanges; a wedged worker is declared dead at the deadline (0 = 10m default, negative = unbounded)")
+		dialAttempts = flag.Int("dial-attempts", 0, "connect/spawn attempts per dist worker, retried with exponential backoff (0 = 3)")
+		dump         = flag.String("dump", "", "write predictions to FILE as 'vertex<TAB>target<TAB>hexfloat' lines (byte-stable across runs; for scripted equivalence checks)")
 
 		sources = flag.String("sources", "", "scope the prediction to these source vertices: comma-separated IDs, or @FILE with whitespace-separated IDs ('#' comments); empty = all vertices")
 
@@ -107,6 +112,8 @@ func main() {
 		nodes: *nodes, nodeType: *nodeType, strategy: *strategy, budget: *budget,
 		addrs: *addrs, spawn: *spawn, workerBin: *workerBin,
 		wireProto: *wireProto, wireCompress: *wireCompress, sources: *sources,
+		replicas: *replicas, stepTimeout: *stepTimeout, dialAttempts: *dialAttempts,
+		dump:  *dump,
 		walks: *walks, depth: *depth, doEval: *doEval, vertex: *vertex,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "snaple:", err)
@@ -140,6 +147,10 @@ type runArgs struct {
 	wireProto    int
 	wireCompress bool
 	sources      string
+	replicas     int
+	stepTimeout  time.Duration
+	dialAttempts int
+	dump         string
 	walks        int
 	depth        int
 	doEval       bool
@@ -243,6 +254,8 @@ func run(a runArgs) error {
 		MemBudgetBytes: a.budget, Seed: a.seed, Workers: a.workers,
 		SpawnWorkers: a.spawn, WorkerBin: a.workerBin,
 		WireProto: a.wireProto, WireCompress: a.wireCompress,
+		Replicas: a.replicas, StepTimeout: a.stepTimeout,
+		DialAttempts: a.dialAttempts,
 	}
 	if a.addrs != "" {
 		cl.WorkerAddrs = strings.Split(a.addrs, ",")
@@ -314,7 +327,36 @@ func run(a runArgs) error {
 	if split != nil {
 		fmt.Printf("recall@%d: %.4f\n", a.k, snaple.Recall(preds, split))
 	}
+	if a.dump != "" {
+		if err := writeDump(a.dump, preds); err != nil {
+			return err
+		}
+		fmt.Printf("dumped %d predictions to %s\n", total, a.dump)
+	}
 	return nil
+}
+
+// writeDump writes predictions as "vertex\ttarget\thexfloat" lines. Scores
+// are printed as exact hexadecimal floats ('x' format), so two runs agree on
+// this file byte-for-byte iff their predictions are bit-identical — the
+// property the chaos smoke leg asserts with a plain cmp(1) after killing a
+// worker mid-run.
+func writeDump(path string, preds snaple.Predictions) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for v, ps := range preds {
+		for _, p := range ps {
+			fmt.Fprintf(w, "%d\t%d\t%x\n", v, p.Vertex, p.Score)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func load(a runArgs) (*snaple.Graph, error) {
@@ -410,6 +452,8 @@ func printStats(r *snaple.Result) {
 		fmt.Printf("engine: dist wall=%.3fs cross=%.1fMiB (%d B) msgs=%d (measured) peak=%.1fMiB/worker rf=%.2f\n",
 			r.WallSeconds, float64(r.CrossBytes)/(1<<20), r.CrossBytes, r.CrossMsgs,
 			float64(r.MemPeakBytes)/(1<<20), r.ReplicationFactor)
+		fmt.Printf("fleet: replicas=%d dead=%d failovers=%d dial-retries=%d\n",
+			r.Replicas, r.WorkersDead, r.Failovers, r.DialRetries)
 		return
 	}
 	fmt.Printf("engine: sim=%.3fs cross=%.1fMiB msgs=%d peak=%.1fMiB/node rf=%.2f\n",

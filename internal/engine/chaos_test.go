@@ -1,0 +1,363 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"snaple/internal/core"
+	"snaple/internal/graph"
+	"snaple/internal/wire"
+)
+
+// This file is the failover equivalence suite: the coordinator-side fault
+// hook (kill worker W at superstep S) and the wire-level chaos transport
+// (internal/wire/chaos.go) drive worker deaths through every phase of a
+// replicated run, and every surviving run must be bit-identical to the
+// healthy one. The CI cluster-smoke job reruns the SIGKILL variant against
+// real worker processes.
+
+// chaosPool serves n in-process loopback workers whose FIRST session runs
+// over a fault-injecting transport scripted by events(worker); later
+// sessions are served clean, so a test can assert that a worker survives
+// its faulted session and serves the next job. Like a real snaple-worker,
+// each listener serves sessions sequentially.
+func chaosPool(t *testing.T, n int, events func(worker int) []wire.ChaosEvent) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		go func(w int, l net.Listener) {
+			first := true
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				var rwc io.ReadWriteCloser = c
+				if first && events != nil {
+					if evs := events(w); len(evs) > 0 {
+						rwc = wire.NewChaosTransport(c, evs)
+					}
+				}
+				first = false
+				_ = wire.ServeConnWith(rwc, wire.ServeOptions{})
+			}
+		}(i, l)
+		addrs[i] = l.Addr().String()
+	}
+	return addrs
+}
+
+// TestDistChaosKillAtEachStep is the acceptance criterion of the failover
+// design: with -replicas 2, killing any single worker at any superstep must
+// yield results bit-identical to the healthy run. The kill hook closes the
+// connection without telling the liveness tracker, so the death is
+// discovered exactly the way a real crash is — by the step's exchange
+// failing — and the coordinator must fail over and re-run the step on the
+// survivor. Both a serving replica and a standby die here, across a 3-step
+// (Paths=2) and a 4-step (Paths=3) schedule.
+func TestDistChaosKillAtEachStep(t *testing.T) {
+	g := testGraph(t, 200, 7)
+	cases := []struct {
+		score string
+		pol   core.SelectionPolicy
+		paths int
+		steps int
+	}{
+		{"linearSum", core.SelectMax, 2, 3},
+		{"PPR", core.SelectRnd, 3, 4},
+	}
+	const workers, replicas = 4, 2
+	for _, c := range cases {
+		cfg := core.Config{
+			Score: mustScore(t, c.score), K: 5, KLocal: 4, ThrGamma: 10,
+			Policy: c.pol, Paths: c.paths, Seed: 42,
+		}
+		want, err := core.ReferenceSnaple(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for kill := 0; kill < workers; kill++ {
+			for at := 0; at < c.steps; at++ {
+				name := fmt.Sprintf("%s/paths=%d/kill=%d/step=%d", c.score, c.paths, kill, at)
+				t.Run(name, func(t *testing.T) {
+					addrs := workerPool(t, workers)
+					d := Dist{
+						Addrs: addrs, Seed: cfg.Seed, Replicas: replicas,
+						StepTimeout: 30 * time.Second,
+						hookStep: func(si int, r *distRun) {
+							if si == at {
+								r.killWorker(kill)
+							}
+						},
+					}
+					got, st, err := d.Predict(g, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(want, got) {
+						diffPredictions(t, want, got)
+					}
+					if st.Replicas != replicas || st.Workers != workers {
+						t.Errorf("stats = %+v, want %d workers at %d replicas", st, workers, replicas)
+					}
+					if st.WorkersDead != 1 {
+						t.Errorf("WorkersDead = %d, want 1", st.WorkersDead)
+					}
+					// Killing a serving replica forces a promotion; killing a
+					// standby only sheds redundancy.
+					if st.Failovers > 1 {
+						t.Errorf("Failovers = %d, want 0 or 1", st.Failovers)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDistChaosCorruptFrame flips one bit inside a worker's partial stream:
+// the frame CRC turns it into a connection-level error, the worker is
+// declared dead, and the replicated run still matches the healthy one.
+func TestDistChaosCorruptFrame(t *testing.T) {
+	g := testGraph(t, 200, 7)
+	cfg := core.Config{Score: mustScore(t, "linearSum"), K: 5, KLocal: 4, ThrGamma: 10, Seed: 42}
+	want, err := core.ReferenceSnaple(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset 4096 of worker 1's write stream is well past its hello reply
+	// and Ready (tens of bytes) — inside the first superstep's partials.
+	addrs := chaosPool(t, 4, func(w int) []wire.ChaosEvent {
+		if w != 1 {
+			return nil
+		}
+		return []wire.ChaosEvent{{Dir: wire.ChaosWrites, Op: wire.ChaosCorrupt, At: 4096}}
+	})
+	got, st, err := Dist{Addrs: addrs, Seed: 42, Replicas: 2, StepTimeout: 5 * time.Second}.Predict(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		diffPredictions(t, want, got)
+	}
+	if st.WorkersDead != 1 {
+		t.Errorf("WorkersDead = %d, want 1", st.WorkersDead)
+	}
+}
+
+// TestDistChaosBlackhole blackholes a worker's upstream mid-step: nothing
+// errors, nothing closes — only the phase deadline can notice. The run must
+// declare the worker dead at the deadline, fail over and finish with
+// bit-identical results, promptly.
+func TestDistChaosBlackhole(t *testing.T) {
+	g := testGraph(t, 200, 7)
+	cfg := core.Config{Score: mustScore(t, "linearSum"), K: 5, KLocal: 4, ThrGamma: 10, Seed: 42}
+	want, err := core.ReferenceSnaple(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := chaosPool(t, 4, func(w int) []wire.ChaosEvent {
+		if w != 0 {
+			return nil
+		}
+		return []wire.ChaosEvent{{Dir: wire.ChaosWrites, Op: wire.ChaosDrop, At: 1024}}
+	})
+	const deadline = 1 * time.Second
+	start := time.Now()
+	got, st, err := Dist{Addrs: addrs, Seed: 42, Replicas: 2, StepTimeout: deadline}.Predict(g, cfg)
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		diffPredictions(t, want, got)
+	}
+	if st.WorkersDead != 1 {
+		t.Errorf("WorkersDead = %d, want 1", st.WorkersDead)
+	}
+	// One eaten deadline plus the re-run and slack; far below a hang.
+	if wall > 6*deadline {
+		t.Errorf("run took %v with a %v phase deadline", wall, deadline)
+	}
+}
+
+// TestDistChaosDelayIsNotDeath pins the false-positive side of failure
+// detection: a stall well under the phase deadline is jitter, not a death —
+// no worker may be declared dead and the results must match.
+func TestDistChaosDelayIsNotDeath(t *testing.T) {
+	g := testGraph(t, 200, 7)
+	cfg := core.Config{Score: mustScore(t, "linearSum"), K: 5, KLocal: 4, ThrGamma: 10, Seed: 42}
+	want, err := core.ReferenceSnaple(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := chaosPool(t, 4, func(w int) []wire.ChaosEvent {
+		if w != 2 {
+			return nil
+		}
+		return []wire.ChaosEvent{{Dir: wire.ChaosWrites, Op: wire.ChaosDelay, At: 2048, Delay: 300 * time.Millisecond}}
+	})
+	got, st, err := Dist{Addrs: addrs, Seed: 42, Replicas: 2, StepTimeout: 30 * time.Second}.Predict(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		diffPredictions(t, want, got)
+	}
+	if st.WorkersDead != 0 || st.Failovers != 0 {
+		t.Errorf("stats = %+v, want no deaths", st)
+	}
+}
+
+// TestDistPartitionLost pins the give-up path: when every replica of a
+// partition is gone the run must fail with ErrPartitionLost within the
+// phase deadline — never hang, never fabricate a result.
+func TestDistPartitionLost(t *testing.T) {
+	g := testGraph(t, 200, 7)
+	cfg := core.Config{Score: mustScore(t, "linearSum"), K: 5, KLocal: 4, ThrGamma: 10, Seed: 42}
+	cases := []struct {
+		name     string
+		workers  int
+		replicas int
+		kills    []int
+	}{
+		{"unreplicated", 2, 1, []int{0}},
+		{"whole-group", 4, 2, []int{2, 3}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			addrs := workerPool(t, c.workers)
+			const deadline = 2 * time.Second
+			d := Dist{
+				Addrs: addrs, Seed: 42, Replicas: c.replicas, StepTimeout: deadline,
+				hookStep: func(si int, r *distRun) {
+					if si == 1 {
+						for _, w := range c.kills {
+							r.killWorker(w)
+						}
+					}
+				},
+			}
+			start := time.Now()
+			_, st, err := d.Predict(g, cfg)
+			wall := time.Since(start)
+			if !errors.Is(err, ErrPartitionLost) {
+				t.Fatalf("err = %v, want ErrPartitionLost", err)
+			}
+			if wall > 2*deadline {
+				t.Errorf("failed after %v, want within the %v phase deadline", wall, deadline)
+			}
+			if st.WorkersDead != len(c.kills) {
+				t.Errorf("WorkersDead = %d, want %d", st.WorkersDead, len(c.kills))
+			}
+		})
+	}
+}
+
+// TestDistCancelMidSuperstep pins the cancellation satellite: a context
+// cancelled while a superstep is stalled must return promptly (well under
+// 2× the phase deadline) with ctx's error, close every worker connection,
+// and leave the resident workers reusable for the next job.
+func TestDistCancelMidSuperstep(t *testing.T) {
+	g := testGraph(t, 200, 7)
+	cfg := core.Config{Score: mustScore(t, "linearSum"), K: 5, KLocal: 4, ThrGamma: 10, Seed: 42}
+	// Worker 0 stalls for 1s inside its first partial stream — long enough
+	// that the cancel always lands mid-superstep.
+	addrs := chaosPool(t, 2, func(w int) []wire.ChaosEvent {
+		if w != 0 {
+			return nil
+		}
+		return []wire.ChaosEvent{{Dir: wire.ChaosWrites, Op: wire.ChaosDelay, At: 1024, Delay: time.Second}}
+	})
+	const deadline = 5 * time.Second
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := Dist{Addrs: addrs, Seed: 42, StepTimeout: deadline}.PredictCtx(ctx, g, cfg)
+	wall := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if wall >= 2*deadline {
+		t.Errorf("cancel returned after %v, want < %v", wall, 2*deadline)
+	}
+
+	// The workers saw their sessions die, not their processes: the same
+	// fleet must serve the next (healthy) job. The pool serves sessions
+	// sequentially like a real worker, so this also waits out worker 0's
+	// stalled first session ending.
+	want, err := core.ReferenceSnaple(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Dist{Addrs: addrs, Seed: 42, StepTimeout: deadline}.Predict(g, cfg)
+	if err != nil {
+		t.Fatalf("rerun on the same workers: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		diffPredictions(t, want, got)
+	}
+}
+
+// TestDistReplicasEquivalence pins the healthy replicated paths: any
+// replica factor (including a clamped one and a query-scoped run) must be
+// invisible in the results and visible in the stats.
+func TestDistReplicasEquivalence(t *testing.T) {
+	g := testGraph(t, 200, 7)
+	cfg := core.Config{Score: mustScore(t, "linearSum"), K: 5, KLocal: 4, ThrGamma: 10, Seed: 42}
+	full, err := core.ReferenceSnaple(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("factors", func(t *testing.T) {
+		for _, c := range []struct{ workers, replicas, wantReps, wantWorkers int }{
+			{4, 2, 2, 4},
+			{6, 3, 3, 6},
+			{4, 3, 3, 3}, // 4/3 = one partition group of 3; the 4th worker is unused
+			{2, 5, 2, 2}, // clamped to the fleet size
+		} {
+			addrs := workerPool(t, c.workers)
+			got, st, err := Dist{Addrs: addrs, Seed: 42, Replicas: c.replicas}.Predict(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(full, got) {
+				diffPredictions(t, full, got)
+			}
+			if st.Replicas != c.wantReps || st.Workers != c.wantWorkers {
+				t.Errorf("workers=%d replicas=%d: stats Workers=%d Replicas=%d, want %d/%d",
+					c.workers, c.replicas, st.Workers, st.Replicas, c.wantWorkers, c.wantReps)
+			}
+		}
+	})
+	t.Run("scoped", func(t *testing.T) {
+		sources := []graph.VertexID{3, 50, 101}
+		scfg := cfg
+		scfg.Sources = sources
+		want := filterToSources(full, sources)
+		addrs := workerPool(t, 4)
+		got, st, err := Dist{Addrs: addrs, Seed: 42, Replicas: 2}.Predict(g, scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			diffPredictions(t, want, got)
+		}
+		if st.Replicas != 2 {
+			t.Errorf("Replicas = %d, want 2", st.Replicas)
+		}
+	})
+}

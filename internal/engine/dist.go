@@ -2,13 +2,16 @@ package engine
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
+	"io"
+	"math/rand/v2"
 	"net"
 	"os"
 	"os/exec"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"snaple/internal/core"
@@ -59,16 +62,32 @@ type Dist struct {
 	// InProc serves this many in-process loopback workers when neither Addrs
 	// nor Spawn is given (0 = 2).
 	InProc int
-	// Strategy selects the vertex-cut, one partition per worker
+	// Strategy selects the vertex-cut, one partition per worker group
 	// (nil = partition.HashEdge{Seed}).
 	Strategy partition.Strategy
 	// Seed drives partitioning and master election.
 	Seed uint64
+	// Replicas ships each partition to this many workers (0 or 1 = no
+	// replication). With R > 1 the available workers divide into
+	// avail/R groups of R replicas each; every replica receives identical
+	// traffic and computes identically, so when a worker dies the run fails
+	// over to a surviving replica and completes with bit-identical results.
+	// Only when all R replicas of a partition are gone does the run fail,
+	// with ErrPartitionLost. Values above the worker count are clamped.
+	Replicas int
 	// StepTimeout bounds each superstep (and the final collect) per run: a
-	// wedged worker or a blackholed connection then fails the Predict call
-	// instead of hanging it forever. 0 means the 10-minute default; negative
-	// disables the bound (for legitimately enormous supersteps).
+	// wedged worker or a blackholed connection is then declared dead at the
+	// deadline — a failover (or, with no replicas left, ErrPartitionLost)
+	// instead of a hang. 0 means the 10-minute default; negative disables
+	// the bound (for legitimately enormous supersteps).
 	StepTimeout time.Duration
+	// DialAttempts bounds connection attempts per worker during setup:
+	// transient dial and spawn-handshake failures are retried with
+	// exponential backoff and jitter up to this many tries (0 = 3).
+	DialAttempts int
+	// DialBackoff is the initial retry backoff, doubled after each failed
+	// attempt with jitter (0 = 150ms).
+	DialBackoff time.Duration
 	// Proto pins the wire protocol: 0 negotiates (v3 preferred, per-worker
 	// gob fallback for legacy binaries), wire.ProtocolV2 forces gob,
 	// wire.ProtocolV3 requires v3 and fails on a legacy worker.
@@ -76,6 +95,11 @@ type Dist struct {
 	// Compress requests per-frame flate compression on v3 connections
 	// (subject to each worker granting it) — a cross-rack bandwidth trade.
 	Compress bool
+
+	// hookStep, when set (chaos tests only), runs before each superstep
+	// attempt with the step's index and the live run state — the
+	// coordinator-side fault hook that kills worker W at superstep S.
+	hookStep func(si int, r *distRun)
 }
 
 // routeChunkBytes is the coordinator's flush threshold while routing v3
@@ -136,22 +160,34 @@ func (d Dist) stepTimeout() time.Duration {
 	}
 }
 
-// armDeadline bounds every exchange of the upcoming phase on all
-// connections; the next phase re-arms, so a healthy long run never trips it.
-func (d Dist) armDeadline(conns []*wire.Conn) {
-	t := d.stepTimeout()
-	for _, c := range conns {
-		if t > 0 {
-			_ = c.SetDeadline(time.Now().Add(t))
-		} else {
-			_ = c.SetDeadline(time.Time{})
-		}
+// replicaCount resolves the replica factor against the available workers.
+func (d Dist) replicaCount(avail int) int {
+	r := d.Replicas
+	if r <= 0 {
+		r = 1
 	}
+	if r > avail {
+		r = avail
+	}
+	return r
 }
 
 // Predict implements Backend.
 func (d Dist) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error) {
-	st := Stats{Engine: "dist", Workers: d.workerCount()}
+	return d.PredictCtx(context.Background(), g, cfg)
+}
+
+// PredictCtx implements ContextBackend: Predict under a context. Cancelling
+// ctx closes every worker connection, so whatever exchange is in flight
+// fails promptly and the call returns ctx.Err() — the resident workers see
+// their session end and stay reusable for the next job.
+func (d Dist) PredictCtx(ctx context.Context, g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	avail := d.workerCount()
+	reps := d.replicaCount(avail)
+	st := Stats{Engine: "dist", Workers: avail, Replicas: reps}
 	cfg, err := cfg.Normalized()
 	if err != nil {
 		return nil, st, err
@@ -175,7 +211,9 @@ func (d Dist) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stat
 		st.ScoredVertices = frontier.Pred.Len()
 	}
 
-	dep, err := d.deploy(g, d.workerCount(), frontier)
+	// R replicas per partition means avail/R partitions: capacity pays for
+	// availability, the trade named in the paper's scale-out story.
+	dep, err := d.deploy(g, avail/reps, frontier)
 	if err != nil {
 		return nil, st, err
 	}
@@ -185,41 +223,76 @@ func (d Dist) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stat
 		// sources): nothing to ship and nothing to compute.
 		return make(core.Predictions, g.NumVertices()), st, nil
 	}
-	st.Workers = len(dep.parts)
+	need := len(dep.parts) * reps
+	st.Workers = need
 
-	conns, inproc, cleanup, err := d.connect(len(dep.parts))
+	// With replication a worker that never connects is a degraded start,
+	// not a failed run: it is recorded dead and its group's survivors carry
+	// the partition.
+	conns, dialErrs, inproc, cleanup, retries, err := d.connect(need, reps > 1)
+	st.DialRetries = retries
 	if err != nil {
 		return nil, st, fmt.Errorf("engine: dist: %w", err)
 	}
 	defer cleanup()
 
-	// The router exists before the ship so its chunk buffers are paid for
-	// during setup, not inside the measured supersteps.
-	rt := newRouter(conns, dep)
+	// The run state (and its router) exists before the ship so the routing
+	// chunk buffers are paid for during setup, not inside the measured
+	// supersteps.
+	run := newDistRun(dep, conns, reps, d.stepTimeout())
+	for i, derr := range dialErrs {
+		if derr != nil {
+			run.markDead(i, derr)
+		}
+	}
+	fail := func(err error) (core.Predictions, Stats, error) {
+		st.WorkersDead = run.deadCount()
+		st.Failovers = run.failoverCount()
+		if ce := ctx.Err(); ce != nil {
+			// The deaths were self-inflicted: cancellation closed the
+			// connections. The caller asked for this outcome — report it as
+			// theirs, not as a fleet failure.
+			err = ce
+		}
+		return nil, st, err
+	}
+
+	// Cancellation watcher: closing every connection makes whatever
+	// exchange is in flight fail within one read/write, which drains the
+	// run through its normal failure paths.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			run.closeAll()
+		case <-watchDone:
+		}
+	}()
 
 	// Ship the partitions (the distributed graph load, untimed like every
-	// other backend's setup) and wait for every worker to acknowledge. The
+	// other backend's setup) and wait for the acknowledgements. The
 	// handshake runs under a deadline: a worker busy with another session
-	// never reads the ship, and without the bound that is a silent hang, not
-	// an error (workers serve one session at a time).
-	err = eachConn(conns, func(i int, c *wire.Conn) error {
-		_ = c.SetDeadline(time.Now().Add(shipTimeout))
-		defer func() { _ = c.SetDeadline(time.Time{}) }()
-		if err := c.Send(&wire.Msg{Kind: wire.KindShip, Version: c.Proto(), Job: job, Part: dep.parts[i]}); err != nil {
-			return err
-		}
-		_, err := c.Expect(wire.KindReady)
-		return err
-	})
-	if err != nil {
-		return nil, st, fmt.Errorf("engine: dist ship: %w", err)
+	// never reads the ship, and without the bound that is a silent hang,
+	// not an error (workers serve one session at a time).
+	run.beginAttempt()
+	if err := run.lostErr("connect"); err != nil {
+		return fail(err)
+	}
+	if err := run.ship(job); err != nil {
+		return fail(fmt.Errorf("engine: dist ship: %w", err))
+	}
+	if err := run.lostErr("ship"); err != nil {
+		return fail(err)
 	}
 
 	// Everything from here on is the prediction itself: timed, and its
 	// traffic is the measured cross-worker cost.
 	base := make([]wire.Counters, len(conns))
 	for i, c := range conns {
-		base[i] = c.Counters()
+		if c != nil {
+			base[i] = c.Counters()
+		}
 	}
 	start := time.Now()
 
@@ -233,34 +306,38 @@ func (d Dist) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stat
 			steps = append(steps, step)
 		}
 	}
-	for si, step := range steps {
+	// Each iteration is one attempt at one superstep. A death mid-attempt
+	// aborts nothing visible: the attempt still completes its full exchange
+	// with the survivors, then the same step is re-issued to them from the
+	// top (see distRun.runStep for why the re-run is bit-identical). Every
+	// restart consumes a death, so the loop is bounded by the worker count.
+	for si := 0; si < len(steps); {
+		step := steps[si]
 		final := si == len(steps)-1
-		d.armDeadline(conns)
-		if err := d.runStep(conns, rt, step, final); err != nil {
-			return nil, st, fmt.Errorf("engine: dist %v: %w", step, err)
+		if d.hookStep != nil {
+			d.hookStep(si, run)
 		}
+		run.beginAttempt()
+		run.runStep(step, final)
+		if run.sawDeath() {
+			if err := run.lostErr(fmt.Sprintf("%v", step)); err != nil {
+				return fail(err)
+			}
+			continue
+		}
+		si++
 	}
 
-	// Collect: each master's top-k drops into its vertex's slot — the merge
-	// needs no further folding because masters are disjoint.
-	d.armDeadline(conns)
-	results := make([]wire.WorkerResult, len(conns))
-	err = eachConn(conns, func(i int, c *wire.Conn) error {
-		if err := c.Send(&wire.Msg{Kind: wire.KindCollect}); err != nil {
-			return err
-		}
-		m, err := c.Expect(wire.KindResult)
-		if err != nil {
-			return err
-		}
-		results[i] = m.Result
-		return nil
-	})
+	// Collect: each partition's serving replica reports its masters' top-k,
+	// failing over to standbys — the merge needs no further folding because
+	// masters are disjoint across partitions.
+	results, err := run.collect()
 	if err != nil {
-		return nil, st, fmt.Errorf("engine: dist collect: %w", err)
+		return fail(err)
 	}
 	pred := make(core.Predictions, g.NumVertices())
-	for _, res := range results {
+	for p := range results {
+		res := &results[p]
 		for _, vp := range res.Preds {
 			pred[vp.V] = vp.Preds
 		}
@@ -285,266 +362,16 @@ func (d Dist) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stat
 		st.EdgesPerSec = float64(g.NumEdges()) / st.WallSeconds
 	}
 	for i, c := range conns {
+		if c == nil {
+			continue
+		}
 		delta := c.Counters().Sub(base[i])
 		st.CrossBytes += delta.BytesIn + delta.BytesOut
 		st.CrossMsgs += delta.MsgsIn + delta.MsgsOut
 	}
+	st.WorkersDead = run.deadCount()
+	st.Failovers = run.failoverCount()
 	return pred, st, nil
-}
-
-// router is the coordinator's streaming exchange state: one destination per
-// worker, each holding the outgoing chunk under construction. v3 records are
-// routed raw — appended verbatim to the destination's batch and flushed in
-// fixed-size chunks as they arrive, so the coordinator never decodes what it
-// only forwards. v2 (gob) destinations buffer decoded values and get their
-// single legacy message after the barrier, bridging mixed fleets. The
-// per-destination mutex serialises the source-drain goroutines; destinations
-// never block each other.
-type router struct {
-	step  core.DistStep
-	dests []routeDest
-	dep   *deployment
-}
-
-type routeDest struct {
-	mu     sync.Mutex
-	c      *wire.Conn
-	bb     wire.BatchBuilder
-	parts  []core.DistPartial // v2 bridge: decoded partials
-	states []wire.VertexState // v2 bridge: decoded states
-}
-
-func newRouter(conns []*wire.Conn, dep *deployment) *router {
-	rt := &router{dests: make([]routeDest, len(conns)), dep: dep}
-	for i := range rt.dests {
-		rt.dests[i].c = conns[i]
-		// Chunks flush at routeChunkBytes, but the record that crosses the
-		// threshold still has to fit; the slop covers typical record sizes so
-		// steady-state routing never grows the builder.
-		rt.dests[i].bb.Reset()
-		rt.dests[i].bb.Grow(routeChunkBytes + routeChunkBytes/4)
-	}
-	return rt
-}
-
-// reset readies the router for one routing phase of step, keeping buffers.
-func (rt *router) reset(step core.DistStep) {
-	rt.step = step
-	for i := range rt.dests {
-		d := &rt.dests[i]
-		d.bb.Reset()
-		d.parts = d.parts[:0]
-		d.states = d.states[:0]
-	}
-}
-
-// flushLocked sends the destination's chunk when it reached the threshold.
-// Caller holds d.mu.
-func (rt *router) flushLocked(d *routeDest, kind wire.Kind) error {
-	if d.bb.Len() < routeChunkBytes {
-		return nil
-	}
-	err := d.c.SendRaw(kind, rt.step, false, d.bb.Payload())
-	d.bb.Reset()
-	return err
-}
-
-// routePartialRaw routes one encoded partial record (from a v3 worker's
-// stream) to its vertex's master partition.
-func (rt *router) routePartialRaw(v graph.VertexID, rec []byte) error {
-	mp := rt.dep.masterPart[v]
-	if mp < 0 {
-		return fmt.Errorf("partial for vertex %d, which no partition hosts", v)
-	}
-	d := &rt.dests[mp]
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.c.Proto() == wire.ProtocolV3 {
-		d.bb.AppendRaw(rec)
-		return rt.flushLocked(d, wire.KindForeign)
-	}
-	dp, err := wire.DecodePartialRecord(rec)
-	if err != nil {
-		return err
-	}
-	d.parts = append(d.parts, dp)
-	return nil
-}
-
-// routePartialDec routes one decoded partial (from a v2 worker's message).
-func (rt *router) routePartialDec(dp core.DistPartial) error {
-	mp := rt.dep.masterPart[dp.V]
-	if mp < 0 {
-		return fmt.Errorf("partial for vertex %d, which no partition hosts", dp.V)
-	}
-	d := &rt.dests[mp]
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.c.Proto() == wire.ProtocolV3 {
-		d.bb.AppendPartial(&dp)
-		return rt.flushLocked(d, wire.KindForeign)
-	}
-	d.parts = append(d.parts, dp)
-	return nil
-}
-
-// routeStateRaw fans one encoded state record out to the partitions holding
-// the vertex's mirrors.
-func (rt *router) routeStateRaw(v graph.VertexID, rec []byte) error {
-	for _, mp := range rt.dep.mirrors[v] {
-		d := &rt.dests[mp]
-		d.mu.Lock()
-		if d.c.Proto() == wire.ProtocolV3 {
-			d.bb.AppendRaw(rec)
-			if err := rt.flushLocked(d, wire.KindMirrors); err != nil {
-				d.mu.Unlock()
-				return err
-			}
-		} else {
-			vs, err := wire.DecodeStateRecord(rec)
-			if err != nil {
-				d.mu.Unlock()
-				return err
-			}
-			d.states = append(d.states, vs)
-		}
-		d.mu.Unlock()
-	}
-	return nil
-}
-
-// routeStateDec fans one decoded state out to the vertex's mirror partitions.
-func (rt *router) routeStateDec(vs wire.VertexState) error {
-	for _, mp := range rt.dep.mirrors[vs.V] {
-		d := &rt.dests[mp]
-		d.mu.Lock()
-		if d.c.Proto() == wire.ProtocolV3 {
-			d.bb.AppendState(vs.V, &vs.Data)
-			if err := rt.flushLocked(d, wire.KindMirrors); err != nil {
-				d.mu.Unlock()
-				return err
-			}
-		} else {
-			d.states = append(d.states, vs)
-		}
-		d.mu.Unlock()
-	}
-	return nil
-}
-
-// runStep drives one superstep across the workers. v3 workers stream their
-// gather partials in chunks that are routed to masters as they arrive —
-// communication overlaps compute on both sides instead of barriering each
-// half — and likewise for the refresh/mirror round. v2 workers keep the
-// legacy one-message-per-phase exchange; mixed fleets bridge through the
-// router's per-destination buffers. The drain barrier before each final
-// flush is inherent: a destination's batch is complete only when every
-// source has been drained.
-func (d Dist) runStep(conns []*wire.Conn, rt *router, step core.DistStep, final bool) error {
-	rt.reset(step)
-	err := eachConn(conns, func(_ int, c *wire.Conn) error {
-		return c.Send(&wire.Msg{Kind: wire.KindStepBegin, Step: step, Final: final})
-	})
-	if err != nil {
-		return err
-	}
-	// Drain every worker's partial stream, routing as records arrive. Order
-	// across sources is irrelevant: all folds canonicalise before reducing.
-	err = eachConn(conns, func(i int, c *wire.Conn) error {
-		if c.Proto() == wire.ProtocolV3 {
-			for {
-				f, err := c.RecvRaw()
-				if err != nil {
-					return err
-				}
-				if f.Kind != wire.KindPartials || f.Step != step {
-					return fmt.Errorf("%s for %v during %v partials", f.Kind, f.Step, step)
-				}
-				err = wire.ForEachPartialRecord(f.Payload, rt.routePartialRaw)
-				if err != nil {
-					return err
-				}
-				if f.Final {
-					return nil
-				}
-			}
-		}
-		m, err := c.Expect(wire.KindPartials)
-		if err != nil {
-			return err
-		}
-		if m.Step != step {
-			return fmt.Errorf("partials for %v during %v", m.Step, step)
-		}
-		for _, dp := range m.Partials {
-			if err := rt.routePartialDec(dp); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	// Every v3 destination gets a final-flagged chunk — possibly empty, the
-	// stream terminator its apply phase waits for; v2 destinations get their
-	// single legacy message.
-	err = eachConn(conns, func(i int, c *wire.Conn) error {
-		dst := &rt.dests[i]
-		if c.Proto() == wire.ProtocolV3 {
-			return c.SendRaw(wire.KindForeign, step, true, dst.bb.Payload())
-		}
-		return c.Send(&wire.Msg{Kind: wire.KindForeign, Step: step, Partials: dst.parts})
-	})
-	if err != nil || final {
-		return err
-	}
-	// Refresh round: masters push fresh state up, the coordinator fans each
-	// vertex's state out to the partitions holding its mirrors.
-	rt.reset(step)
-	err = eachConn(conns, func(i int, c *wire.Conn) error {
-		if c.Proto() == wire.ProtocolV3 {
-			for {
-				f, err := c.RecvRaw()
-				if err != nil {
-					return err
-				}
-				if f.Kind != wire.KindRefresh || f.Step != step {
-					return fmt.Errorf("%s for %v during %v refresh", f.Kind, f.Step, step)
-				}
-				err = wire.ForEachStateRecord(f.Payload, rt.routeStateRaw)
-				if err != nil {
-					return err
-				}
-				if f.Final {
-					return nil
-				}
-			}
-		}
-		m, err := c.Expect(wire.KindRefresh)
-		if err != nil {
-			return err
-		}
-		if m.Step != step {
-			return fmt.Errorf("refresh for %v during %v", m.Step, step)
-		}
-		for _, vs := range m.States {
-			if err := rt.routeStateDec(vs); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	return eachConn(conns, func(i int, c *wire.Conn) error {
-		dst := &rt.dests[i]
-		if c.Proto() == wire.ProtocolV3 {
-			return c.SendRaw(wire.KindMirrors, step, true, dst.bb.Payload())
-		}
-		return c.Send(&wire.Msg{Kind: wire.KindMirrors, Step: step, States: dst.states})
-	})
 }
 
 // deployment is the coordinator's routing state: the shippable partition
@@ -730,31 +557,99 @@ func (d Dist) deploy(g *graph.Digraph, nw int, frontier *core.Frontier) (*deploy
 	return dep, nil
 }
 
+// dialAttempts resolves the per-worker connection attempt bound.
+func (d Dist) dialAttempts() int {
+	if d.DialAttempts > 0 {
+		return d.DialAttempts
+	}
+	return 3
+}
+
+// dialBackoffBase resolves the initial retry backoff.
+func (d Dist) dialBackoffBase() time.Duration {
+	if d.DialBackoff > 0 {
+		return d.DialBackoff
+	}
+	return 150 * time.Millisecond
+}
+
+// retryableDial reports whether a connect failure is worth another attempt:
+// network-layer trouble (timeouts, refusals, resets) and torn connections
+// are transient; a peer's deliberate rejection — a typed error frame, a
+// protocol pin against a legacy worker — is deterministic and never is.
+func retryableDial(err error) bool {
+	if wire.IsRemoteError(err) {
+		return false
+	}
+	var ne net.Error
+	return errors.As(err, &ne) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// withRetry runs attempt up to dialAttempts times with exponential backoff
+// and jitter between tries (the jitter keeps a fleet-wide reconnect from
+// stampeding one worker). always retries every failure — for spawn, where
+// each attempt forks a fresh process and any failure is worth a retry;
+// otherwise only retryableDial failures are retried. Returns how many
+// retries ran and the final error.
+func (d Dist) withRetry(always bool, attempt func() error) (retries int, err error) {
+	backoff := d.dialBackoffBase()
+	attempts := d.dialAttempts()
+	for i := 0; ; i++ {
+		err = attempt()
+		if err == nil || i+1 >= attempts || (!always && !retryableDial(err)) {
+			return retries, err
+		}
+		retries++
+		sleep := backoff
+		if j := backoff / 2; j > 0 {
+			sleep += rand.N(j)
+		}
+		time.Sleep(sleep)
+		backoff *= 2
+	}
+}
+
 // connect establishes connections to n workers according to the configured
 // mode, returning a cleanup that closes connections and reclaims whatever
 // was started. n is at most the mode's worker count — a query-scoped run
 // that dropped partitions needs fewer workers (the first n addresses, or n
-// spawned/loopback workers). inproc reports that the workers share this
-// process (the loopback default), which changes how worker memory reports
-// aggregate. cleanup is non-nil even on error.
-func (d Dist) connect(n int) (conns []*wire.Conn, inproc bool, cleanup func(), err error) {
+// spawned/loopback workers). Transient failures are retried with backoff;
+// with tolerate set (replicated runs) a worker that stays unreachable comes
+// back as a nil connection with its error in dialErrs, for the caller to
+// record as dead — without it (no replicas to absorb the loss) any failure
+// is fatal. inproc reports that the workers share this process (the
+// loopback default), which changes how worker memory reports aggregate.
+// cleanup is non-nil even on error.
+func (d Dist) connect(n int, tolerate bool) (conns []*wire.Conn, dialErrs []error, inproc bool, cleanup func(), retries int, err error) {
 	var closers []func()
 	cleanup = func() {
 		for i := len(closers) - 1; i >= 0; i-- {
 			closers[i]()
 		}
 	}
-	fail := func(err error) ([]*wire.Conn, bool, func(), error) {
+	fail := func(err error) ([]*wire.Conn, []error, bool, func(), int, error) {
 		cleanup()
-		return nil, false, func() {}, err
+		return nil, nil, false, func() {}, retries, err
 	}
 	addConn := func(addr string) error {
-		c, err := wire.DialWith(addr, wire.DialOptions{Proto: d.Proto, Compress: d.Compress})
+		var c *wire.Conn
+		r, err := d.withRetry(false, func() error {
+			var derr error
+			c, derr = wire.DialWith(addr, wire.DialOptions{Proto: d.Proto, Compress: d.Compress})
+			return derr
+		})
+		retries += r
 		if err != nil {
+			if tolerate {
+				conns = append(conns, nil)
+				dialErrs = append(dialErrs, fmt.Errorf("engine: dist dial %s: %w", addr, err))
+				return nil
+			}
 			return err
 		}
 		closers = append(closers, func() { c.Close() })
 		conns = append(conns, c)
+		dialErrs = append(dialErrs, nil)
 		return nil
 	}
 
@@ -787,14 +682,36 @@ func (d Dist) connect(n int) (conns []*wire.Conn, inproc bool, cleanup func(), e
 			return fail(fmt.Errorf("worker binary %q not found (build cmd/snaple-worker or set WorkerBin): %w", bin, err))
 		}
 		for i := 0; i < n; i++ {
-			addr, stop, err := spawnWorker(path)
+			// One attempt = one fresh process plus its handshake; a failed
+			// attempt reaps its process before the retry, so a flaky worker
+			// start never leaks an orphan.
+			var c *wire.Conn
+			var stop func()
+			r, err := d.withRetry(true, func() error {
+				addr, s, serr := spawnWorker(path)
+				if serr != nil {
+					return serr
+				}
+				cc, derr := wire.DialWith(addr, wire.DialOptions{Proto: d.Proto, Compress: d.Compress})
+				if derr != nil {
+					s()
+					return derr
+				}
+				c, stop = cc, s
+				return nil
+			})
+			retries += r
 			if err != nil {
+				if tolerate {
+					conns = append(conns, nil)
+					dialErrs = append(dialErrs, fmt.Errorf("engine: dist spawn: %w", err))
+					continue
+				}
 				return fail(err)
 			}
-			closers = append(closers, stop)
-			if err := addConn(addr); err != nil {
-				return fail(err)
-			}
+			closers = append(closers, stop, func() { c.Close() })
+			conns = append(conns, c)
+			dialErrs = append(dialErrs, nil)
 		}
 	default:
 		inproc = true
@@ -810,7 +727,7 @@ func (d Dist) connect(n int) (conns []*wire.Conn, inproc bool, cleanup func(), e
 			}
 		}
 	}
-	return conns, inproc, cleanup, nil
+	return conns, dialErrs, inproc, cleanup, retries, nil
 }
 
 // spawnWorker forks one snaple-worker on an ephemeral loopback port and
@@ -853,27 +770,4 @@ func spawnWorker(bin string) (addr string, stop func(), err error) {
 		stop()
 		return "", nil, fmt.Errorf("spawn %s: worker never announced its address", bin)
 	}
-}
-
-// eachConn runs fn once per connection on its own goroutine and returns the
-// first error. Each connection is touched by exactly one goroutine per
-// direction, so the per-conn streams never interleave (the router's sends to
-// other destinations are serialised separately, by routeDest.mu).
-func eachConn(conns []*wire.Conn, fn func(i int, c *wire.Conn) error) error {
-	errs := make([]error, len(conns))
-	var wg sync.WaitGroup
-	for i, c := range conns {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			errs[i] = fn(i, c)
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }

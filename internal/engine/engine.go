@@ -25,6 +25,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -77,6 +78,20 @@ type Stats struct {
 	// lets callers assert a scoped query did less than a full pass without
 	// relying on wall-clock noise.
 	ScoredVertices int
+	// Replicas is the dist backend's replica factor: how many workers each
+	// partition was shipped to (1 = no replication). 0 for other backends.
+	Replicas int
+	// WorkersDead counts the workers the dist coordinator declared dead
+	// during the run — a connection error or a missed phase deadline, each
+	// followed by a failover to a surviving replica (or, when a partition
+	// has none left, by ErrPartitionLost).
+	WorkersDead int
+	// Failovers counts mid-run primary promotions: a partition whose
+	// serving replica died and a survivor took over.
+	Failovers int
+	// DialRetries counts redialed connect/spawn attempts during fleet
+	// setup (bounded retry with backoff; see Dist.DialAttempts).
+	DialRetries int
 }
 
 // Backend executes SNAPLE's Algorithm 2 on some substrate. Implementations
@@ -93,6 +108,28 @@ type Backend interface {
 	// backend restricts its work to the frontier closure. On error the
 	// predictions may be partial or nil.
 	Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error)
+}
+
+// ContextBackend is a Backend whose runs can be abandoned mid-flight. The
+// dist backend implements it: cancelling the context closes every worker
+// connection, so a blocked superstep exchange fails promptly and the
+// resident workers are left reusable for the next job.
+type ContextBackend interface {
+	Backend
+	// PredictCtx is Predict under a context. When ctx is cancelled the run
+	// returns ctx.Err() as soon as the in-flight exchange unblocks.
+	PredictCtx(ctx context.Context, g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error)
+}
+
+// PredictWithContext runs be.PredictCtx when the backend supports
+// cancellation and falls back to a plain Predict otherwise — the in-memory
+// backends have no remote side to abandon, so a context could only be
+// checked between steps they finish in microseconds anyway.
+func PredictWithContext(ctx context.Context, be Backend, g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error) {
+	if cb, ok := be.(ContextBackend); ok {
+		return cb.PredictCtx(ctx, g, cfg)
+	}
+	return be.Predict(g, cfg)
 }
 
 // Names lists the built-in backend names accepted by New. It is the single

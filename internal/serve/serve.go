@@ -23,6 +23,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -53,6 +54,11 @@ type Options struct {
 	BatchMax int
 	// CacheSize is the LRU capacity in vertices (default 65536).
 	CacheSize int
+	// RunTimeout bounds each backend run (0 = unbounded). On a
+	// cancellation-aware backend (dist) the deadline closes the worker
+	// connections, so a wedged fleet costs the batch an error instead of
+	// wedging the server; in-memory backends ignore it.
+	RunTimeout time.Duration
 }
 
 // Server answers online prediction queries over one loaded graph. Create
@@ -64,6 +70,7 @@ type Server struct {
 	cfgKey  uint64
 	window  time.Duration
 	maxIDs  int
+	runTO   time.Duration
 	cache   *lruCache
 	queue   chan *batchReq
 	stop    chan struct{}
@@ -119,6 +126,7 @@ func New(opts Options) (*Server, error) {
 		cfgKey:  configFingerprint(cfg),
 		window:  opts.BatchWindow,
 		maxIDs:  opts.BatchMax,
+		runTO:   opts.RunTimeout,
 		cache:   newLRU(opts.CacheSize),
 		queue:   make(chan *batchReq),
 		stop:    make(chan struct{}),
@@ -261,7 +269,14 @@ func (s *Server) runBatch(batch []*batchReq, uncached map[graph.VertexID]bool) {
 		}
 		cfg := s.cfg
 		cfg.Sources = sources
-		preds, _, err := s.be.Predict(s.g, cfg)
+		ctx := context.Background()
+		if s.runTO > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.runTO)
+			defer cancel()
+		}
+		preds, rst, err := engine.PredictWithContext(ctx, s.be, s.g, cfg)
+		s.stats.observeRun(rst, err)
 		if err != nil {
 			for _, r := range batch {
 				r.resp <- batchResp{err: err}
@@ -434,8 +449,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:    "ok",
+	// A partition with zero live replicas means queries routed to it cannot
+	// be answered: report 503 so load balancers drain this instance until a
+	// run completes against a recovered fleet.
+	status, code := "ok", http.StatusOK
+	if s.stats.isDegraded() {
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, HealthResponse{
+		Status:    status,
 		Engine:    s.be.Name(),
 		Vertices:  s.g.NumVertices(),
 		Edges:     s.g.NumEdges(),

@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"time"
+
+	"snaple/internal/engine"
 )
 
 // latencyRingSize bounds the latency samples kept for the percentile
@@ -26,6 +29,18 @@ type serverStats struct {
 	batches     int64 // micro-batches assembled
 	runs        int64 // backend Predict calls (batches with ≥1 uncached id)
 	errors      int64 // requests that failed
+
+	// Fleet health (dist backend only; zero elsewhere). The worker gauges
+	// reflect the most recent run — the server's current view of the fleet —
+	// while failovers/dialRetries/partitionsLost accumulate across runs.
+	distRuns       int64 // runs that reported dist fleet stats
+	replicas       int   // replica factor of the last dist run
+	workersTotal   int   // fleet size of the last dist run
+	workersDead    int   // workers declared dead during the last dist run
+	failovers      int64 // cumulative mid-run primary promotions
+	dialRetries    int64 // cumulative redialed connect/spawn attempts
+	partitionsLost int64 // runs that failed with ErrPartitionLost
+	degraded       bool  // last dist run lost a partition; cleared by a success
 
 	ring  [latencyRingSize]sample
 	ringN int64 // total samples ever recorded; ring index = ringN % size
@@ -62,6 +77,38 @@ func (s *serverStats) observeBatch(ran bool) {
 	}
 }
 
+// observeRun records one backend run's fleet health. Only dist runs carry
+// fleet stats (st.Replicas > 0); a partition-lost failure flips the server
+// degraded — some partition has zero live replicas, so /healthz reports 503
+// until a later run completes against a recovered fleet.
+func (s *serverStats) observeRun(st engine.Stats, runErr error) {
+	if st.Replicas == 0 && !errors.Is(runErr, engine.ErrPartitionLost) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.distRuns++
+	s.replicas = st.Replicas
+	s.workersTotal = st.Workers
+	s.workersDead = st.WorkersDead
+	s.failovers += int64(st.Failovers)
+	s.dialRetries += int64(st.DialRetries)
+	switch {
+	case errors.Is(runErr, engine.ErrPartitionLost):
+		s.partitionsLost++
+		s.degraded = true
+	case runErr == nil:
+		s.degraded = false
+	}
+}
+
+// isDegraded reports whether the last dist run lost a partition outright.
+func (s *serverStats) isDegraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
 // Snapshot is the /statsz payload.
 type Snapshot struct {
 	Requests     int64   `json:"requests"`
@@ -78,6 +125,17 @@ type Snapshot struct {
 	CacheSize    int     `json:"cache_size"`
 	CacheCap     int     `json:"cache_capacity"`
 	UptimeSec    float64 `json:"uptime_sec"`
+
+	// Fleet health (all zero unless the backend is dist).
+	DistRuns       int64 `json:"dist_runs,omitempty"`
+	Replicas       int   `json:"replicas,omitempty"`
+	WorkersTotal   int   `json:"workers_total,omitempty"`
+	WorkersLive    int   `json:"workers_live,omitempty"`
+	WorkersDead    int   `json:"workers_dead,omitempty"`
+	Failovers      int64 `json:"failovers,omitempty"`
+	DialRetries    int64 `json:"dial_retries,omitempty"`
+	PartitionsLost int64 `json:"partitions_lost,omitempty"`
+	Degraded       bool  `json:"degraded,omitempty"`
 }
 
 // snapshot computes the report. Percentiles cover the ring's samples (the
@@ -91,6 +149,11 @@ func (s *serverStats) snapshot() Snapshot {
 		Requests: s.requests, IDs: s.ids, Errors: s.errors,
 		Batches: s.batches, PredictRuns: s.runs,
 		CacheHits: s.cacheHits, CacheMisses: s.cacheMisses,
+		DistRuns: s.distRuns, Replicas: s.replicas,
+		WorkersTotal: s.workersTotal, WorkersDead: s.workersDead,
+		WorkersLive: s.workersTotal - s.workersDead,
+		Failovers:   s.failovers, DialRetries: s.dialRetries,
+		PartitionsLost: s.partitionsLost, Degraded: s.degraded,
 	}
 	if total := s.cacheHits + s.cacheMisses; total > 0 {
 		snap.CacheHitRate = float64(s.cacheHits) / float64(total)

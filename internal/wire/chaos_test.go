@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestChaosTransportScript pins the fault injector itself: offsets are
+// exact, faults fire once, and the stream around them is untouched.
+func TestChaosTransportScript(t *testing.T) {
+	t.Run("corrupt-one-byte", func(t *testing.T) {
+		a, b := net.Pipe()
+		defer a.Close()
+		ct := NewChaosTransport(b, []ChaosEvent{{Dir: ChaosWrites, Op: ChaosCorrupt, At: 3}})
+		go func() {
+			_, _ = ct.Write([]byte("abcdefgh"))
+			ct.Close()
+		}()
+		got, err := io.ReadAll(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []byte("abcDefgh") // 'd' ^ 0x20
+		if !bytes.Equal(got, want) {
+			t.Fatalf("read %q, want %q", got, want)
+		}
+	})
+	t.Run("cut-at-offset", func(t *testing.T) {
+		a, b := net.Pipe()
+		defer a.Close()
+		ct := NewChaosTransport(b, []ChaosEvent{{Dir: ChaosWrites, Op: ChaosCut, At: 4}})
+		res := make(chan error, 1)
+		go func() {
+			_, err := ct.Write([]byte("abcdefgh"))
+			res <- err
+		}()
+		got, _ := io.ReadAll(a)
+		if !bytes.Equal(got, []byte("abcd")) {
+			t.Fatalf("read %q before the cut, want %q", got, "abcd")
+		}
+		if err := <-res; err == nil {
+			t.Fatal("cut write reported success")
+		}
+	})
+	t.Run("drop-blackholes-writes", func(t *testing.T) {
+		a, b := net.Pipe()
+		defer a.Close()
+		ct := NewChaosTransport(b, []ChaosEvent{{Dir: ChaosWrites, Op: ChaosDrop, At: 2}})
+		go func() {
+			if n, err := ct.Write([]byte("abcdefgh")); n != 8 || err != nil {
+				t.Errorf("blackholed write: n=%d err=%v, want full success", n, err)
+			}
+			ct.Close()
+		}()
+		got, _ := io.ReadAll(a)
+		if !bytes.Equal(got, []byte("ab")) {
+			t.Fatalf("read %q, want only the pre-drop %q", got, "ab")
+		}
+	})
+	t.Run("delay-then-continue", func(t *testing.T) {
+		a, b := net.Pipe()
+		defer a.Close()
+		const pause = 50 * time.Millisecond
+		ct := NewChaosTransport(b, []ChaosEvent{{Dir: ChaosWrites, Op: ChaosDelay, At: 4, Delay: pause}})
+		start := time.Now()
+		go func() {
+			_, _ = ct.Write([]byte("abcdefgh"))
+			ct.Close()
+		}()
+		got, _ := io.ReadAll(a)
+		if !bytes.Equal(got, []byte("abcdefgh")) {
+			t.Fatalf("read %q, want the full untouched stream", got)
+		}
+		if d := time.Since(start); d < pause {
+			t.Fatalf("stream finished in %v, want a %v stall", d, pause)
+		}
+	})
+}
+
+// TestWorkerSurvivesHostileSessions is the resident-worker hardening
+// satellite: garbage before the handshake, a corrupt hello, and a corrupt
+// frame mid-session must each cost exactly one session — a typed error
+// frame where the transport still works, then a close — and the worker must
+// serve the next coordinator normally. The healthy mini-session after every
+// hostile one is the survival assertion.
+func TestWorkerSurvivesHostileSessions(t *testing.T) {
+	addr := serveWorkers(t, ServeOptions{})
+	healthy := func(t *testing.T) {
+		t.Helper()
+		c, err := DialWith(addr, DialOptions{})
+		if err != nil {
+			t.Fatalf("dial after hostile session: %v", err)
+		}
+		defer c.Close()
+		runMiniSession(t, c)
+	}
+
+	t.Run("garbage-before-handshake", func(t *testing.T) {
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// No v3 magic, not valid gob either: the downgrade path's decoder
+		// must fail the session, not the process.
+		_, _ = raw.Write(bytes.Repeat([]byte{'X'}, 64))
+		raw.Close()
+		healthy(t)
+	})
+
+	t.Run("corrupt-hello", func(t *testing.T) {
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// v3 magic so the worker commits to the framed protocol, then junk
+		// where the hello frame should be.
+		_, _ = raw.Write(append([]byte(frameMagic), bytes.Repeat([]byte{0xFF}, 40)...))
+		// The worker reports the handshake failure before closing; drain
+		// until its close so the write above is known delivered.
+		_ = raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+		_, _ = io.Copy(io.Discard, raw)
+		raw.Close()
+		healthy(t)
+	})
+
+	t.Run("corrupt-frame-mid-session", func(t *testing.T) {
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewConn(raw)
+		defer c.Close()
+		if err := c.Send(&Msg{Kind: KindHello, Version: ProtocolV3}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Expect(KindHello); err != nil {
+			t.Fatal(err)
+		}
+		job := JobSpec{Score: "linearSum", Alpha: 0.9, K: 5, KLocal: 20, ThrGamma: 200, Paths: 2, Seed: 42}
+		if err := c.Send(&Msg{Kind: KindShip, Version: ProtocolV3, Job: job, Part: Partition{Part: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Expect(KindReady); err != nil {
+			t.Fatal(err)
+		}
+		// Mid-session garbage where a frame header belongs. The worker must
+		// answer with a typed error frame, not die silently (and certainly
+		// not crash the serve loop).
+		if _, err := raw.Write(bytes.Repeat([]byte{0xAB}, 32)); err != nil {
+			t.Fatal(err)
+		}
+		_, err = c.Expect(KindStepBegin)
+		if err == nil {
+			t.Fatal("worker accepted a garbage frame")
+		}
+		if !IsRemoteError(err) {
+			t.Fatalf("err = %v, want the worker's typed error frame", err)
+		}
+		healthy(t)
+	})
+}

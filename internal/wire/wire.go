@@ -325,6 +325,14 @@ func (c Counters) Sub(base Counters) Counters {
 // can tell a deliberate rejection from line noise.
 var errRemote = errors.New("remote error")
 
+// IsRemoteError reports whether err stems from a KindError frame the peer
+// sent — a deliberate, well-formed rejection (bad config, version skew,
+// compute failure) rather than transport noise. Coordinators use the
+// distinction to classify failures: a remote rejection of the ship is
+// deterministic and would repeat on every replica, while line noise just
+// means the worker is dead.
+func IsRemoteError(err error) bool { return errors.Is(err, errRemote) }
+
 // Conn is a message stream over a transport, speaking either the v3 frame
 // protocol or the legacy gob protocol, with traffic counting. It is not safe
 // for concurrent Sends or concurrent Recvs, but one sender and one receiver
@@ -494,6 +502,8 @@ func (c *Conn) hello(o DialOptions) error {
 // accept runs the listener's half of the negotiation: peek the first bytes,
 // answer a v3 hello with the granted features, or fall back to gob for a
 // legacy coordinator (the peeked bytes stay buffered for its decoder).
+// On error the partially-negotiated conn is returned alongside it when one
+// exists, so the caller can report the failure to the peer before closing.
 func accept(rwc io.ReadWriteCloser, o ServeOptions) (*Conn, error) {
 	if o.MaxProto == ProtocolV2 {
 		return NewGobConn(rwc), nil
@@ -501,23 +511,21 @@ func accept(rwc io.ReadWriteCloser, o ServeOptions) (*Conn, error) {
 	c := NewConn(rwc)
 	magic, err := c.br.Peek(len(frameMagic))
 	if err != nil {
-		return nil, fmt.Errorf("wire: handshake peek: %w", err)
+		return c, fmt.Errorf("wire: handshake peek: %w", err)
 	}
 	if string(magic) != frameMagic {
 		return c.downgradeGob(), nil
 	}
 	m, err := c.Expect(KindHello)
 	if err != nil {
-		return nil, err
+		return c, err
 	}
 	if m.Version != ProtocolV3 {
-		err := fmt.Errorf("wire: peer requested protocol %d, worker speaks %d", m.Version, ProtocolV3)
-		c.SendError(err)
-		return nil, err
+		return c, fmt.Errorf("wire: peer requested protocol %d, worker speaks %d", m.Version, ProtocolV3)
 	}
 	grant := m.Features & featCompress
 	if err := c.Send(&Msg{Kind: KindHello, Version: ProtocolV3, Features: grant}); err != nil {
-		return nil, err
+		return c, err
 	}
 	if grant&featCompress != 0 {
 		c.compress = true

@@ -68,13 +68,32 @@ func ServeConn(rwc io.ReadWriteCloser) error {
 }
 
 // ServeConnWith is ServeConn with explicit protocol options.
-func ServeConnWith(rwc io.ReadWriteCloser, o ServeOptions) error {
+//
+// A resident worker serves hostile input: a coordinator may die mid-frame, a
+// chaos test may flip bits, a stray client may speak garbage. Every such
+// failure must cost exactly one session — the error is reported to the peer
+// as a typed KindError frame when the transport still works, the connection
+// is closed, and the process stays up for the next coordinator. A panic in
+// the session (a decode bug reached by malformed input) is converted to the
+// same shape instead of taking the process down.
+func ServeConnWith(rwc io.ReadWriteCloser, o ServeOptions) (err error) {
 	conn, err := accept(rwc, o)
 	if err != nil {
-		rwc.Close()
+		if conn != nil {
+			conn.SendError(err)
+			conn.Close()
+		} else {
+			rwc.Close()
+		}
 		return err
 	}
 	defer conn.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("wire: session panic: %v", r)
+			conn.SendError(err)
+		}
+	}()
 	s, err := newSession(conn)
 	if err != nil {
 		conn.SendError(err)
@@ -96,6 +115,13 @@ func ServeConnWith(rwc io.ReadWriteCloser, o ServeOptions) error {
 		if err != nil {
 			if err == io.EOF {
 				return nil // coordinator done with us
+			}
+			// A corrupt or malformed frame (CRC failure, truncated header,
+			// bad payload) ends this session, not the process. Tell the peer
+			// why if the transport still works; echoing a KindError the peer
+			// itself sent would be noise.
+			if !IsRemoteError(err) {
+				conn.SendError(err)
 			}
 			return err
 		}

@@ -5,8 +5,11 @@
 # runs the dist-vs-serial equivalence tests under the race detector against
 # that fleet (SNAPLE_WORKER_ADDRS points the tests at it), then exercises
 # both CLI paths: -addrs against the running fleet and -spawn, where the CLI
-# forks its own workers. The trap tears every worker down even when a step
-# fails.
+# forks its own workers. The chaos legs at the end run the in-process fault
+# suite under -race and SIGKILL a replicated worker mid-run, asserting the
+# failover output is byte-identical to the healthy run's. The trap tears
+# every worker down even when a step fails, and asserts no stragglers
+# survived the sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +21,15 @@ cleanup() {
     kill "$pid" 2>/dev/null || true
   done
   wait 2>/dev/null || true
+  # Leak sweep: every worker this script started — directly or via a -spawn
+  # run that resolved the binary from $workdir — must be gone by now. A
+  # straggler means some teardown path (coordinator reap, trap kill) broke.
+  if pgrep -f "$workdir/snaple-worker" >/dev/null 2>&1; then
+    echo "straggler snaple-worker processes survived teardown:" >&2
+    pgrep -af "$workdir/snaple-worker" >&2 || true
+    pkill -9 -f "$workdir/snaple-worker" 2>/dev/null || true
+    [ $status -eq 0 ] && status=1
+  fi
   if [ $status -ne 0 ]; then
     echo "--- worker logs ---" >&2
     cat "$workdir"/worker*.err 2>/dev/null >&2 || true
@@ -113,5 +125,46 @@ if [ "$zip_bytes" -ge "$plain_bytes" ]; then
   exit 1
 fi
 echo "    cross-node traffic: $plain_bytes B plain -> $zip_bytes B compressed"
+
+echo "==> in-process chaos suite under -race (failover equivalence, partition loss, cancellation)"
+go test -race -count=1 \
+  -run 'TestDistChaos|TestDistPartitionLost|TestDistCancel|TestDistReplicas' \
+  ./internal/engine/
+
+echo "==> chaos: SIGKILL a replicated worker mid-run, output must be byte-identical"
+"$workdir/snaple-worker" -listen 127.0.0.1:0 \
+  >"$workdir/worker5.out" 2>"$workdir/worker5.err" &
+pids+=($!)
+extra_addr=""
+for _ in $(seq 1 100); do
+  line="$(head -n1 "$workdir/worker5.out" 2>/dev/null || true)"
+  case "$line" in
+    "listening "*) extra_addr="${line#listening }"; break ;;
+  esac
+  sleep 0.1
+done
+if [ -z "$extra_addr" ]; then
+  echo "4th v3 worker never announced its address" >&2
+  exit 1
+fi
+fleet4="$addr_list,$extra_addr"
+# With -replicas 2 the 4 workers form 2 replica groups; -dump writes every
+# prediction as an exact hex float, so cmp(1) is a bit-identity check.
+"$workdir/snaple" -dataset gowalla -scale 0.3 -engine dist -addrs "$fleet4" \
+  -replicas 2 -step-timeout 30s -dump "$workdir/healthy.tsv" >/dev/null
+# Kill worker 1 the instant the chaos run launches: the SIGKILL lands while
+# the coordinator is still generating, dialing, shipping or stepping — every
+# landing point must end the same way, with the death recorded (dead=1) and
+# the surviving replica producing byte-identical output.
+"$workdir/snaple" -dataset gowalla -scale 0.3 -engine dist -addrs "$fleet4" \
+  -replicas 2 -step-timeout 30s -dump "$workdir/chaos.tsv" \
+  >"$workdir/chaos.out" &
+run_pid=$!
+kill -9 "${pids[0]}" 2>/dev/null || true
+wait "$run_pid"
+cat "$workdir/chaos.out"
+grep -q "fleet: replicas=2 dead=1" "$workdir/chaos.out"
+cmp "$workdir/healthy.tsv" "$workdir/chaos.tsv"
+echo "    failover output byte-identical ($(wc -l <"$workdir/healthy.tsv") prediction lines)"
 
 echo "==> cluster smoke OK"

@@ -44,9 +44,11 @@
 package snaple
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"snaple/internal/cluster"
 	"snaple/internal/core"
@@ -169,6 +171,25 @@ func PredictFor(g *Graph, sources []VertexID, opts Options) (Predictions, error)
 	return Predict(g, opts)
 }
 
+// PredictForContext is PredictFor under a context deadline or cancellation.
+// On the dist backend a cancelled context closes every worker connection, so
+// a blocked superstep exchange fails promptly with ctx.Err() and the
+// resident workers stay reusable; the in-memory backends finish their steps
+// in microseconds and simply ignore ctx.
+func PredictForContext(ctx context.Context, g *Graph, sources []VertexID, opts Options) (Predictions, error) {
+	opts.Sources = sources
+	cfg, err := opts.toCore()
+	if err != nil {
+		return nil, err
+	}
+	be, err := engine.New(opts.Engine, opts.Workers, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	preds, _, err := engine.PredictWithContext(ctx, be, g, cfg)
+	return preds, err
+}
+
 // EngineStats reports what a prediction run cost: wall-clock time, ingest
 // throughput (EdgesPerSec), heap churn (AllocBytes/AllocObjects, local and
 // serial backends) and the simulated-cluster costs (sim backend only).
@@ -234,11 +255,36 @@ type ClusterOptions struct {
 	// (trades coordinator/worker CPU for cross-node bytes; ignored on gob
 	// connections).
 	WireCompress bool
+	// Replicas ships every partition to this many dist workers (0 or 1 = no
+	// replication). With R > 1 the fleet divides into groups of R replicas
+	// computing identically, so a worker death mid-run fails over to a
+	// survivor and the run completes with bit-identical predictions; only
+	// when all R replicas of a partition die does the run fail, with
+	// ErrPartitionLost (dist only).
+	Replicas int
+	// StepTimeout bounds each dist superstep exchange phase (and the final
+	// collect): a wedged or blackholed worker is declared dead at the
+	// deadline instead of hanging the run. 0 = the 10-minute default;
+	// negative disables the bound (dist only).
+	StepTimeout time.Duration
+	// DialAttempts bounds connect/spawn attempts per dist worker during
+	// fleet setup; transient failures are retried with exponential backoff
+	// and jitter (0 = 3 attempts).
+	DialAttempts int
+	// DialBackoff is the initial retry backoff for DialAttempts, doubled
+	// after each failed attempt with jitter (0 = 150ms; dist only).
+	DialBackoff time.Duration
 }
 
 // ErrMemoryExhausted is returned (wrapped) when a simulated node exceeds its
 // memory budget.
 var ErrMemoryExhausted = cluster.ErrMemoryExhausted
+
+// ErrPartitionLost is returned (wrapped) by dist runs when every replica of
+// some partition has died — the one fleet state failover cannot mask. With
+// ClusterOptions.Replicas = 1 any single worker death reports it; with
+// R > 1 it takes R deaths in the same replica group.
+var ErrPartitionLost = engine.ErrPartitionLost
 
 // Result reports a distributed run: the predictions plus the engine costs.
 type Result struct {
@@ -266,6 +312,18 @@ type Result struct {
 	// ScoredVertices is how many vertices the final combine step visited:
 	// the source count on a scoped run, NumVertices on a full run.
 	ScoredVertices int
+	// Replicas is the dist replica factor the run used (1 = no
+	// replication; 0 on sim).
+	Replicas int
+	// WorkersDead counts dist workers declared dead during the run (conn
+	// errors and missed phase deadlines), each masked by a failover.
+	WorkersDead int
+	// Failovers counts mid-run primary promotions: a partition whose
+	// serving replica died and a survivor took over (dist only).
+	Failovers int
+	// DialRetries counts redialed connect/spawn attempts during dist fleet
+	// setup (see ClusterOptions.DialAttempts).
+	DialRetries int
 }
 
 // strategy maps the string-typed vertex-cut selection onto internal/partition.
@@ -321,6 +379,10 @@ func toResult(preds Predictions, st engine.Stats) *Result {
 		ReplicationFactor: st.ReplicationFactor,
 		FrontierVertices:  st.FrontierVertices,
 		ScoredVertices:    st.ScoredVertices,
+		Replicas:          st.Replicas,
+		WorkersDead:       st.WorkersDead,
+		Failovers:         st.Failovers,
+		DialRetries:       st.DialRetries,
 	}
 }
 
@@ -332,14 +394,18 @@ func (c ClusterOptions) toDist() (engine.Dist, error) {
 		return engine.Dist{}, err
 	}
 	return engine.Dist{
-		Addrs:     c.WorkerAddrs,
-		Spawn:     c.SpawnWorkers,
-		WorkerBin: c.WorkerBin,
-		InProc:    c.Workers,
-		Strategy:  strat,
-		Seed:      c.Seed,
-		Proto:     c.WireProto,
-		Compress:  c.WireCompress,
+		Addrs:        c.WorkerAddrs,
+		Spawn:        c.SpawnWorkers,
+		WorkerBin:    c.WorkerBin,
+		InProc:       c.Workers,
+		Strategy:     strat,
+		Seed:         c.Seed,
+		Proto:        c.WireProto,
+		Compress:     c.WireCompress,
+		Replicas:     c.Replicas,
+		StepTimeout:  c.StepTimeout,
+		DialAttempts: c.DialAttempts,
+		DialBackoff:  c.DialBackoff,
 	}, nil
 }
 
