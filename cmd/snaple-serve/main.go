@@ -14,7 +14,17 @@
 //	snaple-serve -in graph.sgr -listen :8080 -kmax 20 -klocal 20
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/predict -d '{"ids":[1,2,3],"k":5}'
+//	curl -s localhost:8080/v1/info
 //	curl -s localhost:8080/statsz
+//
+// With -manifest the server fronts a standing resident fleet instead of
+// computing locally: `snaple pack -shards N` packs the partitions once,
+// `snaple-worker -shard graph.sgr.i` pins them, and any number of serve
+// front-ends attach to the same workers by fingerprint handshake:
+//
+//	snaple pack -in graph.txt -out graph.sgr -shards 3
+//	snaple-worker -shard graph.sgr.0 & snaple-worker -shard graph.sgr.1 & ...
+//	snaple-serve -in graph.sgr -manifest graph.sgr.manifest -addrs h0:7777,h1:7777,h2:7777
 //
 // On startup the server prints "serving <addr>" to stdout once the listener
 // is bound (with -listen :0 the kernel picks the port), which is the
@@ -37,6 +47,7 @@ import (
 	"snaple"
 	"snaple/internal/core"
 	"snaple/internal/engine"
+	"snaple/internal/graph"
 	"snaple/internal/serve"
 )
 
@@ -58,6 +69,7 @@ func main() {
 		engineF = flag.String("engine", "local", "execution backend: "+strings.Join(snaple.EngineNames(), "|"))
 		workers = flag.Int("workers", 0, "worker goroutines for the backend (0 = GOMAXPROCS)")
 
+		manifest     = flag.String("manifest", "", "fleet manifest written by `snaple pack -shards`: attach to the resident workers at -addrs (shard-major when -replicas > 1) by fingerprint handshake instead of shipping partitions; implies -engine dist")
 		addrs        = flag.String("addrs", "", "comma-separated snaple-worker addresses for -engine dist")
 		spawn        = flag.Int("spawn", 0, "auto-spawn this many local snaple-worker processes for -engine dist")
 		workerBin    = flag.String("worker-bin", "", "snaple-worker binary for -spawn (default: found on PATH)")
@@ -76,7 +88,7 @@ func main() {
 		score: *score, alpha: *alpha, kmax: *kmax, klocal: *klocal,
 		thr: *thr, policy: *policy, paths: *paths, seed: *seed,
 		engine: *engineF, workers: *workers,
-		addrs: *addrs, spawn: *spawn, workerBin: *workerBin,
+		manifest: *manifest, addrs: *addrs, spawn: *spawn, workerBin: *workerBin,
 		replicas: *replicas, stepTimeout: *stepTimeout,
 		dialAttempts: *dialAttempts, runTimeout: *runTimeout,
 		batchWindow: *batchWindow, batchMax: *batchMax, cacheSize: *cacheSize,
@@ -100,6 +112,7 @@ type serveArgs struct {
 	seed         uint64
 	engine       string
 	workers      int
+	manifest     string
 	addrs        string
 	spawn        int
 	workerBin    string
@@ -132,7 +145,40 @@ func run(a serveArgs) error {
 		return err
 	}
 	var be engine.Backend
-	if a.engine == "dist" {
+	if a.manifest != "" {
+		// Resident fleet: the workers already hold the packed partitions, so
+		// bring-up is a fingerprint handshake per connection and the fleet
+		// stays attached for the server's lifetime. Several serve front-ends
+		// can share the same standing fleet.
+		if a.engine != "dist" && a.engine != "" && a.engine != "local" {
+			return fmt.Errorf("-manifest requires -engine dist (got %q)", a.engine)
+		}
+		mf, err := os.Open(a.manifest)
+		if err != nil {
+			return err
+		}
+		man, err := graph.ReadManifest(mf)
+		mf.Close()
+		if err != nil {
+			return err
+		}
+		var fleetAddrs []string
+		if a.addrs != "" {
+			fleetAddrs = strings.Split(a.addrs, ",")
+		}
+		fleet, err := engine.OpenFleet(g, engine.FleetOptions{
+			Addrs: fleetAddrs, Manifest: man, Replicas: a.replicas,
+			StepTimeout: a.stepTimeout, DialAttempts: a.dialAttempts,
+		})
+		if err != nil {
+			return err
+		}
+		defer fleet.Close()
+		fi := fleet.FleetInfo()
+		fmt.Fprintf(os.Stderr, "attached resident fleet: %d shards x %d replicas (fingerprint %016x)\n",
+			fi.Shards, fi.Replicas, fi.Fingerprint)
+		be = fleet
+	} else if a.engine == "dist" {
 		// The dist backend gets its deployment described directly: a resident
 		// worker fleet (or spawned one), optionally replicated so worker
 		// deaths between and during batches fail over instead of failing

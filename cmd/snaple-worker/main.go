@@ -9,11 +9,17 @@
 //
 //	snaple-worker                          # ephemeral loopback port
 //	snaple-worker -listen 0.0.0.0:7777     # fixed port, reachable remotely
+//	snaple-worker -shard graph.sgr.2       # resident: pin one packed shard
 //
 // The first stdout line announces the bound address as "listening <addr>",
 // which is how spawning coordinators and the CI cluster-smoke script learn
-// ephemeral ports. Jobs are served sequentially, one TCP connection each;
-// the worker keeps serving until killed (SIGINT/SIGTERM exit cleanly).
+// ephemeral ports. Without -shard, jobs are served sequentially, one TCP
+// connection each, and every job ships its partition. With -shard the worker
+// loads one partition packed by `snaple pack -shards` at startup and stays
+// resident: coordinators attach with a fingerprint handshake instead of
+// shipping, connections are served concurrently so several front-ends can
+// share the worker, and an attach for a different pack is refused. Either
+// way the worker keeps serving until killed (SIGINT/SIGTERM exit cleanly).
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"snaple/internal/graph"
 	"snaple/internal/wire"
 )
 
@@ -33,6 +40,7 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:0", "address to listen on ('host:0' picks an ephemeral port)")
 		quiet    = flag.Bool("quiet", false, "suppress per-session logging on stderr")
 		maxProto = flag.Int("max-proto", wire.ProtocolV3, "highest wire protocol to accept: 3 (binary frames, default) or 2 (legacy gob only — emulates an old worker)")
+		shard    = flag.String("shard", "", "stay resident for this packed shard file (written by `snaple pack -shards`); coordinators attach by fingerprint instead of shipping partitions")
 	)
 	flag.Parse()
 
@@ -40,13 +48,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "snaple-worker: -max-proto must be %d or %d\n", wire.ProtocolV2, wire.ProtocolV3)
 		os.Exit(1)
 	}
-	if err := run(*listen, *quiet, *maxProto); err != nil {
+	if err := run(*listen, *quiet, *maxProto, *shard); err != nil {
 		fmt.Fprintln(os.Stderr, "snaple-worker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, quiet bool, maxProto int) error {
+func loadShard(path string) (*wire.ResidentShard, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sf, err := graph.ReadShard(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return wire.ResidentFromShard(sf), nil
+}
+
+func run(listen string, quiet bool, maxProto int, shard string) error {
+	var resident *wire.ResidentShard
+	if shard != "" {
+		var err error
+		if resident, err = loadShard(shard); err != nil {
+			return err
+		}
+	}
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -60,6 +88,10 @@ func run(listen string, quiet bool, maxProto int) error {
 	if !quiet {
 		logger := log.New(os.Stderr, "snaple-worker: ", log.LstdFlags)
 		logf = logger.Printf
+		if resident != nil {
+			logf("resident for shard %d of %d (fingerprint %016x)",
+				resident.Part.Part, resident.Shards, resident.Fingerprint)
+		}
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -68,5 +100,5 @@ func run(listen string, quiet bool, maxProto int) error {
 		<-sig
 		l.Close() // Serve returns nil on a closed listener
 	}()
-	return wire.ServeWith(l, logf, wire.ServeOptions{MaxProto: maxProto})
+	return wire.ServeWith(l, logf, wire.ServeOptions{MaxProto: maxProto, Resident: resident})
 }

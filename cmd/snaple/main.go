@@ -36,6 +36,9 @@ import (
 	"time"
 
 	"snaple"
+	"snaple/internal/engine"
+	"snaple/internal/graph"
+	"snaple/internal/partition"
 )
 
 func main() {
@@ -377,7 +380,12 @@ func load(a runArgs) (*snaple.Graph, error) {
 // runPack implements `snaple pack`: one-time conversion of a graph file
 // into a binary CSR snapshot, after which loads skip parsing, remapping
 // and sorting entirely. Re-packing a snapshot works too (e.g. to add the
-// reverse adjacency).
+// reverse adjacency). With -shards N it additionally computes the vertex
+// cut once and writes each partition as its own resident shard file
+// (<out>.0 .. <out>.N-1) plus a fleet manifest (<out>.manifest): workers
+// started with `snaple-worker -shard <out>.i` then pin their partition
+// across sessions, and coordinators pointed at the manifest attach with a
+// fingerprint handshake instead of shipping partitions per run.
 func runPack(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("snaple pack", flag.ContinueOnError)
 	var (
@@ -387,12 +395,18 @@ func runPack(args []string, w io.Writer) error {
 		preserve  = fs.Bool("preserve-ids", false, "keep raw vertex IDs (honors the '# vertices:' header) instead of remapping densely")
 		inEdges   = fs.Bool("in-edges", false, "also pack the reverse adjacency")
 		workers   = fs.Int("workers", 0, "parser shard fan-out (0 = GOMAXPROCS)")
+		shards    = fs.Int("shards", 0, "also write a resident shard set for a standing worker fleet: <out>.0..N-1 plus <out>.manifest (0 = snapshot only)")
+		strategy  = fs.String("strategy", "hash-edge", "vertex-cut strategy for -shards: hash-edge|hash-source|greedy")
+		seed      = fs.Uint64("seed", 42, "vertex-cut seed for -shards")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("need -in FILE")
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d: need >= 0", *shards)
 	}
 	outPath := *out
 	if outPath == "" {
@@ -410,6 +424,20 @@ func runPack(args []string, w io.Writer) error {
 			return fmt.Errorf("output %s is the input file; pass a different -out", outPath)
 		}
 	}
+	// Check every output path up front, so a refusal can never leave a
+	// half-written shard set behind.
+	outputs := []string{outPath}
+	for i := 0; i < *shards; i++ {
+		outputs = append(outputs, fmt.Sprintf("%s.%d", outPath, i))
+	}
+	if *shards > 0 {
+		outputs = append(outputs, outPath+".manifest")
+	}
+	for _, p := range outputs {
+		if err := refuseForeignOverwrite(p); err != nil {
+			return err
+		}
+	}
 	start := time.Now()
 	g, err := snaple.ReadGraphFile(*in, snaple.GraphReadOptions{
 		Symmetrize: *symmetric, PreserveIDs: *preserve,
@@ -419,16 +447,7 @@ func runPack(args []string, w io.Writer) error {
 		return err
 	}
 	loaded := time.Since(start)
-	f, err := os.Create(outPath)
-	if err != nil {
-		return err
-	}
-	if err := snaple.WriteSnapshot(f, g); err != nil {
-		f.Close()
-		os.Remove(outPath)
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeOutput(outPath, func(f io.Writer) error { return snaple.WriteSnapshot(f, g) }); err != nil {
 		return err
 	}
 	fi, err := os.Stat(outPath)
@@ -438,6 +457,85 @@ func runPack(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "packed %s -> %s: %s, %.1f MiB (read %.2fs, wrote %.2fs)\n",
 		*in, outPath, g, float64(fi.Size())/(1<<20),
 		loaded.Seconds(), time.Since(start).Seconds()-loaded.Seconds())
+	if *shards > 0 {
+		if err := packShards(g, outPath, *shards, *strategy, *seed, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// packShards computes the vertex cut once and writes the resident shard set
+// next to the snapshot.
+func packShards(g *snaple.Graph, outPath string, shards int, strategy string, seed uint64, w io.Writer) error {
+	strat, err := partition.ByName(strategy, seed)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	files, man, err := engine.PackShards(g, strat, seed, shards)
+	if err != nil {
+		return err
+	}
+	var total int64
+	for i, sf := range files {
+		p := fmt.Sprintf("%s.%d", outPath, i)
+		if err := writeOutput(p, func(f io.Writer) error { return graph.WriteShard(f, sf) }); err != nil {
+			return err
+		}
+		// Manifest paths are relative to the manifest's own directory, so a
+		// packed set can be moved or mounted wholesale.
+		man.Files[i] = filepath.Base(p)
+		if fi, err := os.Stat(p); err == nil {
+			total += fi.Size()
+		}
+	}
+	manPath := outPath + ".manifest"
+	if err := writeOutput(manPath, func(f io.Writer) error { return graph.WriteManifest(f, man) }); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "packed %d resident shards (%s, seed %d) -> %s.{0..%d} + %s: %.1f MiB, fingerprint %016x (%.2fs)\n",
+		shards, man.Strategy, seed, outPath, shards-1, filepath.Base(manPath),
+		float64(total)/(1<<20), man.Fingerprint, time.Since(start).Seconds())
+	return nil
+}
+
+// refuseForeignOverwrite refuses to clobber an existing file this tool did
+// not write: re-packing over a previous snapshot, shard or manifest is fine,
+// but a typo'd -out must not destroy unrelated data.
+func refuseForeignOverwrite(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	var magic [8]byte
+	n, _ := io.ReadFull(f, magic[:])
+	if n > 0 && !graph.KnownMagic(magic[:n]) {
+		return fmt.Errorf("%s exists and is not a snaple snapshot, shard or manifest; refusing to overwrite it (pass a different -out or remove it first)", path)
+	}
+	return nil
+}
+
+// writeOutput creates path, streams the payload and removes the file again
+// on a failed write, so an error never leaves a truncated output behind.
+func writeOutput(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
 	return nil
 }
 
@@ -445,12 +543,12 @@ func printStats(r *snaple.Result) {
 	if r.FrontierVertices > 0 {
 		fmt.Printf("frontier: %d sources -> %d-vertex closure\n", r.ScoredVertices, r.FrontierVertices)
 	}
-	if r.Engine == "dist" {
+	if r.Engine == "dist" || r.Engine == "fleet" {
 		// Everything here is measured, not simulated: real sockets, real
 		// heap. The raw byte count rides along so scripts (cluster_smoke.sh's
 		// compression check) can compare runs without MiB rounding.
-		fmt.Printf("engine: dist wall=%.3fs cross=%.1fMiB (%d B) msgs=%d (measured) peak=%.1fMiB/worker rf=%.2f\n",
-			r.WallSeconds, float64(r.CrossBytes)/(1<<20), r.CrossBytes, r.CrossMsgs,
+		fmt.Printf("engine: %s wall=%.3fs cross=%.1fMiB (%d B) msgs=%d (measured) peak=%.1fMiB/worker rf=%.2f\n",
+			r.Engine, r.WallSeconds, float64(r.CrossBytes)/(1<<20), r.CrossBytes, r.CrossMsgs,
 			float64(r.MemPeakBytes)/(1<<20), r.ReplicationFactor)
 		fmt.Printf("fleet: replicas=%d dead=%d failovers=%d dial-retries=%d\n",
 			r.Replicas, r.WorkersDead, r.Failovers, r.DialRetries)

@@ -62,6 +62,12 @@ type Stats struct {
 	// paper's cost model for sim, measured on the wire for dist (all
 	// coordinator↔worker traffic after the initial partition shipping).
 	CrossBytes, CrossMsgs int64
+	// ShipBytes is the wire traffic of the setup phase that precedes the
+	// supersteps: for a resident fleet, the attach handshake (fingerprint
+	// plus, on scoped queries, the sparse closure roles) — never partition
+	// columns, which is the measurable point of residency. 0 for backends
+	// that fold setup into untimed per-run shipping.
+	ShipBytes int64
 	// MemPeakBytes is the highest per-node memory footprint: simulated for
 	// sim, the largest worker-reported live heap for dist.
 	MemPeakBytes int64

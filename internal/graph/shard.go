@@ -1,0 +1,468 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"strings"
+)
+
+// Resident shard snapshots (.sgr.N) and fleet manifests (.sgr.manifest).
+//
+// `snaple pack -shards N` splits a graph along a vertex cut once, at pack
+// time, and writes each partition as its own checksummed file. A resident
+// snaple-worker loads exactly one of these at startup and keeps it pinned
+// across sessions, so a coordinator attaches to a standing fleet with a
+// fingerprint handshake instead of shipping the partition on every run —
+// the shape DSSLP and GiGL use for production serving, where graph storage
+// is a durable tier and queries only route to it.
+//
+// Both formats reuse the .sgr section discipline (u64 length prefix,
+// streamed CRC-32C payload, u32 trailer) so corruption is caught at load,
+// never mid-superstep.
+//
+// Shard layout (all integers little-endian):
+//
+//	magic       [8]byte "SNAPLSHD"
+//	version     uint32 (currently 1)
+//	shard       uint32 — this file's partition index
+//	shards      uint32 — fleet width the cut was computed for
+//	fingerprint uint64 — fleet fingerprint (graph + cut parameters)
+//	vertices    uint64 — the GLOBAL vertex count
+//	locals      uint64 — entries in the local vertex table
+//	edges       uint64 — edges assigned to this partition
+//	headerCRC   uint32 — CRC-32C of the 52 bytes above
+//
+// followed by sections: Locals (uint32 each), Deg (int32), EdgeSrc (int32),
+// EdgeDst (int32), IsMaster (1 byte each), HasRemote (1 byte each).
+//
+// Manifest layout:
+//
+//	magic       [8]byte "SNAPLMAN"
+//	version     uint32 (currently 1)
+//	shards      uint32
+//	fingerprint uint64
+//	vertices    uint64
+//	edges       uint64
+//	seed        uint64
+//	headerCRC   uint32 — CRC-32C of the 48 bytes above
+//
+// followed by sections: the strategy name (bytes), the shard file names
+// ('\n'-joined, relative to the manifest), then per-shard local, master and
+// edge counts (int64 each).
+const (
+	shardMagic        = "SNAPLSHD"
+	shardVersion      = 1
+	shardHeaderLen    = 56
+	manifestMagic     = "SNAPLMAN"
+	manifestVersion   = 1
+	manifestHeaderLen = 52
+)
+
+// KnownMagic reports whether b begins with one of the package's on-disk
+// magics (graph snapshot, resident shard or fleet manifest). `snaple pack`
+// uses it as its overwrite guard: clobbering a file this package wrote is a
+// re-pack, clobbering anything else is a typo'd -out.
+func KnownMagic(b []byte) bool {
+	if len(b) < 8 {
+		return false
+	}
+	switch string(b[:8]) {
+	case snapshotMagic, shardMagic, manifestMagic:
+		return true
+	}
+	return false
+}
+
+// ShardFile is one resident partition: the vertex-cut share a worker pins at
+// startup. The columns are exactly what the wire ship payload would carry —
+// local vertex table, aligned degree/role columns, edges as local indices —
+// plus the fleet identity (fingerprint, shard index, fleet width) that the
+// attach handshake verifies in place of the transfer.
+type ShardFile struct {
+	// Fingerprint identifies the (graph, cut) this shard was packed from; a
+	// coordinator attaching with a different fingerprint is rejected.
+	Fingerprint uint64
+	// Shard is this partition's index in [0, Shards).
+	Shard int
+	// Shards is the fleet width the vertex cut was computed for.
+	Shards int
+	// NumVertices is the global vertex count.
+	NumVertices int
+	// Locals holds the sorted global IDs of the vertices replicated here.
+	Locals []VertexID
+	// Deg holds the full out-degree of each local vertex, aligned with Locals.
+	Deg []int32
+	// EdgeSrc/EdgeDst are the partition's edges as indices into Locals.
+	EdgeSrc, EdgeDst []int32
+	// IsMaster/HasRemote are the full-run roles baked at pack time (scoped
+	// attaches override them per query).
+	IsMaster, HasRemote []bool
+}
+
+// Validate checks the shard's internal consistency — the same invariants a
+// worker would otherwise trip over mid-superstep.
+func (s *ShardFile) Validate() error {
+	switch {
+	case s.Shards <= 0 || s.Shard < 0 || s.Shard >= s.Shards:
+		return fmt.Errorf("graph: shard: index %d outside fleet of %d", s.Shard, s.Shards)
+	case len(s.Deg) != len(s.Locals):
+		return fmt.Errorf("graph: shard: %d degrees for %d locals", len(s.Deg), len(s.Locals))
+	case len(s.IsMaster) != len(s.Locals):
+		return fmt.Errorf("graph: shard: %d master flags for %d locals", len(s.IsMaster), len(s.Locals))
+	case len(s.HasRemote) != len(s.Locals):
+		return fmt.Errorf("graph: shard: %d remote flags for %d locals", len(s.HasRemote), len(s.Locals))
+	case len(s.EdgeSrc) != len(s.EdgeDst):
+		return fmt.Errorf("graph: shard: %d edge sources, %d edge targets", len(s.EdgeSrc), len(s.EdgeDst))
+	}
+	for i, v := range s.Locals {
+		if int(v) >= s.NumVertices || (i > 0 && v <= s.Locals[i-1]) {
+			return fmt.Errorf("graph: shard: local table not strictly increasing in [0,%d) at row %d", s.NumVertices, i)
+		}
+	}
+	for i := range s.EdgeSrc {
+		if s.EdgeSrc[i] < 0 || int(s.EdgeSrc[i]) >= len(s.Locals) ||
+			s.EdgeDst[i] < 0 || int(s.EdgeDst[i]) >= len(s.Locals) {
+			return fmt.Errorf("graph: shard: edge %d outside the local table", i)
+		}
+	}
+	return nil
+}
+
+// WriteShard writes one resident partition as a checksummed shard snapshot.
+func WriteShard(w io.Writer, s *ShardFile) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [shardHeaderLen]byte
+	copy(hdr[:8], shardMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], shardVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(s.Shard))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(s.Shards))
+	binary.LittleEndian.PutUint64(hdr[20:], s.Fingerprint)
+	binary.LittleEndian.PutUint64(hdr[28:], uint64(s.NumVertices))
+	binary.LittleEndian.PutUint64(hdr[36:], uint64(len(s.Locals)))
+	binary.LittleEndian.PutUint64(hdr[44:], uint64(len(s.EdgeSrc)))
+	binary.LittleEndian.PutUint32(hdr[52:], crc32.Checksum(hdr[:52], snapshotCRC))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("graph: shard: write header: %w", err)
+	}
+	buf := make([]byte, snapshotChunk)
+	if err := writeAdjSection(bw, s.Locals, buf); err != nil {
+		return err
+	}
+	for _, col := range [][]int32{s.Deg, s.EdgeSrc, s.EdgeDst} {
+		if err := writeInt32Section(bw, col, buf); err != nil {
+			return err
+		}
+	}
+	for _, col := range [][]bool{s.IsMaster, s.HasRemote} {
+		if err := writeBoolSection(bw, col, buf); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: shard: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadShard loads a resident partition written by WriteShard, verifying its
+// checksums and structural invariants.
+func ReadShard(r io.Reader) (*ShardFile, error) {
+	sr := &sectionReader{r: bufio.NewReaderSize(r, 1<<20), buf: make([]byte, snapshotChunk), limit: sourceLimit(r)}
+	var hdr [shardHeaderLen]byte
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: shard: read header: %w", err)
+	}
+	if sr.limit >= 0 {
+		sr.limit -= shardHeaderLen
+	}
+	if string(hdr[:8]) != shardMagic {
+		return nil, fmt.Errorf("graph: shard: bad magic %q", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != shardVersion {
+		return nil, fmt.Errorf("graph: shard: unsupported version %d (want %d)", v, shardVersion)
+	}
+	if want, got := crc32.Checksum(hdr[:52], snapshotCRC), binary.LittleEndian.Uint32(hdr[52:]); want != got {
+		return nil, fmt.Errorf("graph: shard: header checksum mismatch")
+	}
+	v64 := binary.LittleEndian.Uint64(hdr[28:])
+	l64 := binary.LittleEndian.Uint64(hdr[36:])
+	e64 := binary.LittleEndian.Uint64(hdr[44:])
+	if v64 > 1<<32 || l64 > v64 {
+		return nil, fmt.Errorf("graph: shard: implausible vertex counts (%d locals of %d)", l64, v64)
+	}
+	if e64 > math.MaxInt64/8 {
+		return nil, fmt.Errorf("graph: shard: implausible edge count %d", e64)
+	}
+	s := &ShardFile{
+		Fingerprint: binary.LittleEndian.Uint64(hdr[20:]),
+		Shard:       int(binary.LittleEndian.Uint32(hdr[12:])),
+		Shards:      int(binary.LittleEndian.Uint32(hdr[16:])),
+		NumVertices: int(v64),
+	}
+	var err error
+	if s.Locals, err = sr.vertexIDs(int64(l64)); err != nil {
+		return nil, err
+	}
+	cols := []*[]int32{&s.Deg, &s.EdgeSrc, &s.EdgeDst}
+	for i, elems := range []int64{int64(l64), int64(e64), int64(e64)} {
+		if *cols[i], err = sr.int32s(elems); err != nil {
+			return nil, err
+		}
+	}
+	for _, col := range []*[]bool{&s.IsMaster, &s.HasRemote} {
+		if *col, err = sr.bools(int64(l64)); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Manifest describes a packed shard set: the fleet identity every worker and
+// coordinator must agree on, plus per-shard bookkeeping for operators.
+type Manifest struct {
+	// Fingerprint identifies the (graph, cut); it must match every shard's.
+	Fingerprint uint64
+	// Shards is the fleet width.
+	Shards int
+	// NumVertices/NumEdges describe the packed graph.
+	NumVertices int
+	NumEdges    int64
+	// Seed and Strategy are the vertex-cut parameters the shards were packed
+	// with (the coordinator re-derives routing from them).
+	Seed     uint64
+	Strategy string
+	// Files names the shard files, relative to the manifest's directory.
+	Files []string
+	// Locals/Masters/Edges are per-shard counts, aligned with Files.
+	Locals, Masters, Edges []int64
+}
+
+// Validate checks the manifest's internal consistency.
+func (m *Manifest) Validate() error {
+	switch {
+	case m.Shards <= 0:
+		return fmt.Errorf("graph: manifest: non-positive shard count %d", m.Shards)
+	case len(m.Files) != m.Shards || len(m.Locals) != m.Shards ||
+		len(m.Masters) != m.Shards || len(m.Edges) != m.Shards:
+		return fmt.Errorf("graph: manifest: per-shard tables do not all have %d rows", m.Shards)
+	case m.Strategy == "":
+		return fmt.Errorf("graph: manifest: empty strategy name")
+	}
+	for i, f := range m.Files {
+		if f == "" || strings.ContainsRune(f, '\n') {
+			return fmt.Errorf("graph: manifest: bad shard file name %q (row %d)", f, i)
+		}
+	}
+	return nil
+}
+
+// WriteManifest writes a fleet manifest.
+func WriteManifest(w io.Writer, m *Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 64<<10)
+	var hdr [manifestHeaderLen]byte
+	copy(hdr[:8], manifestMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], manifestVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(m.Shards))
+	binary.LittleEndian.PutUint64(hdr[16:], m.Fingerprint)
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(m.NumVertices))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(m.NumEdges))
+	binary.LittleEndian.PutUint64(hdr[40:], m.Seed)
+	binary.LittleEndian.PutUint32(hdr[48:], crc32.Checksum(hdr[:48], snapshotCRC))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("graph: manifest: write header: %w", err)
+	}
+	buf := make([]byte, snapshotChunk)
+	if err := writeBytesSection(bw, []byte(m.Strategy), buf); err != nil {
+		return err
+	}
+	if err := writeBytesSection(bw, []byte(strings.Join(m.Files, "\n")), buf); err != nil {
+		return err
+	}
+	for _, col := range [][]int64{m.Locals, m.Masters, m.Edges} {
+		if err := writeOffsetSection(bw, col, buf); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: manifest: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads a fleet manifest written by WriteManifest.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	sr := &sectionReader{r: bufio.NewReaderSize(r, 64<<10), buf: make([]byte, snapshotChunk), limit: sourceLimit(r)}
+	var hdr [manifestHeaderLen]byte
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: manifest: read header: %w", err)
+	}
+	if sr.limit >= 0 {
+		sr.limit -= manifestHeaderLen
+	}
+	if string(hdr[:8]) != manifestMagic {
+		return nil, fmt.Errorf("graph: manifest: bad magic %q", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != manifestVersion {
+		return nil, fmt.Errorf("graph: manifest: unsupported version %d (want %d)", v, manifestVersion)
+	}
+	if want, got := crc32.Checksum(hdr[:48], snapshotCRC), binary.LittleEndian.Uint32(hdr[48:]); want != got {
+		return nil, fmt.Errorf("graph: manifest: header checksum mismatch")
+	}
+	m := &Manifest{
+		Fingerprint: binary.LittleEndian.Uint64(hdr[16:]),
+		Shards:      int(binary.LittleEndian.Uint32(hdr[12:])),
+		NumVertices: int(binary.LittleEndian.Uint64(hdr[24:])),
+		NumEdges:    int64(binary.LittleEndian.Uint64(hdr[32:])),
+		Seed:        binary.LittleEndian.Uint64(hdr[40:]),
+	}
+	if m.Shards <= 0 || m.Shards > 1<<20 {
+		return nil, fmt.Errorf("graph: manifest: implausible shard count %d", m.Shards)
+	}
+	strat, err := sr.freeBytes(1 << 10)
+	if err != nil {
+		return nil, err
+	}
+	m.Strategy = string(strat)
+	files, err := sr.freeBytes(64 << 20)
+	if err != nil {
+		return nil, err
+	}
+	m.Files = strings.Split(string(files), "\n")
+	cols := []*[]int64{&m.Locals, &m.Masters, &m.Edges}
+	for _, col := range cols {
+		if *col, err = sr.int64s(int64(m.Shards)); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ---- section helpers beyond snapshot.go's ----
+
+func writeInt32Section(w io.Writer, col []int32, buf []byte) error {
+	return writeSection(w, int64(len(col))*4, func(yield func([]byte) error) error {
+		i := 0
+		for i < len(col) {
+			k := 0
+			for i < len(col) && k+4 <= len(buf) {
+				binary.LittleEndian.PutUint32(buf[k:], uint32(col[i]))
+				k += 4
+				i++
+			}
+			if err := yield(buf[:k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func writeBoolSection(w io.Writer, col []bool, buf []byte) error {
+	return writeSection(w, int64(len(col)), func(yield func([]byte) error) error {
+		i := 0
+		for i < len(col) {
+			k := 0
+			for i < len(col) && k < len(buf) {
+				if col[i] {
+					buf[k] = 1
+				} else {
+					buf[k] = 0
+				}
+				k++
+				i++
+			}
+			if err := yield(buf[:k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func writeBytesSection(w io.Writer, b, buf []byte) error {
+	return writeSection(w, int64(len(b)), func(yield func([]byte) error) error {
+		for len(b) > 0 {
+			k := min(len(b), len(buf))
+			copy(buf, b[:k])
+			if err := yield(buf[:k]); err != nil {
+				return err
+			}
+			b = b[k:]
+		}
+		return nil
+	})
+}
+
+func (s *sectionReader) int32s(elems int64) ([]int32, error) {
+	if err := s.begin(elems * 4); err != nil {
+		return nil, err
+	}
+	out := make([]int32, 0, s.startCap(elems, 4))
+	err := s.consume(elems*4, func(chunk []byte) {
+		for i := 0; i < len(chunk); i += 4 {
+			out = append(out, int32(binary.LittleEndian.Uint32(chunk[i:])))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (s *sectionReader) bools(elems int64) ([]bool, error) {
+	if err := s.begin(elems); err != nil {
+		return nil, err
+	}
+	out := make([]bool, 0, s.startCap(elems, 1))
+	err := s.consume(elems, func(chunk []byte) {
+		for _, b := range chunk {
+			out = append(out, b != 0)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// freeBytes reads a variable-length byte section whose length comes from the
+// section's own prefix (unlike begin, which validates against header counts),
+// bounded by maxLen against a lying prefix.
+func (s *sectionReader) freeBytes(maxLen int64) ([]byte, error) {
+	var lenBuf [8]byte
+	if _, err := io.ReadFull(s.r, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("graph: manifest: truncated section header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(lenBuf[:])
+	if int64(n) < 0 || int64(n) > maxLen {
+		return nil, fmt.Errorf("graph: manifest: section of %d bytes exceeds the %d-byte bound", n, maxLen)
+	}
+	if s.limit >= 0 {
+		if int64(n)+12 > s.limit {
+			return nil, fmt.Errorf("graph: manifest: truncated: section of %d bytes exceeds remaining input", n)
+		}
+		s.limit -= int64(n) + 12
+	}
+	out := make([]byte, 0, n)
+	err := s.consume(int64(n), func(chunk []byte) { out = append(out, chunk...) })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -32,6 +32,22 @@ type Strategy interface {
 	Partition(g *graph.Digraph, parts int) (Assignment, error)
 }
 
+// ByName returns the strategy a name from Name() denotes, seeding the
+// hash-based ones — the inverse mapping a fleet manifest (which records the
+// cut by name and seed) is decoded with. "" means the default, hash-edge.
+func ByName(name string, seed uint64) (Strategy, error) {
+	switch name {
+	case "", "hash-edge":
+		return HashEdge{Seed: seed}, nil
+	case "hash-source":
+		return HashSource{Seed: seed}, nil
+	case "greedy":
+		return Greedy{}, nil
+	default:
+		return nil, fmt.Errorf("partition: unknown strategy %q (hash-edge|hash-source|greedy)", name)
+	}
+}
+
 func validate(g *graph.Digraph, parts int) error {
 	if g == nil {
 		return fmt.Errorf("partition: nil graph")

@@ -369,13 +369,47 @@ type HealthResponse struct {
 	UptimeSec float64 `json:"uptime_sec"`
 }
 
-// Handler returns the server's HTTP mux: POST /v1/predict, GET /healthz,
-// GET /statsz.
+// InfoResponse is the /v1/info reply: what exactly this instance serves —
+// the graph's shape, the backend, the fingerprint of the prediction config
+// (the cache key component; two front-ends answering interchangeably must
+// agree on it) and, when the backend is a resident fleet, the fleet
+// topology and pack fingerprint.
+type InfoResponse struct {
+	Engine   string `json:"engine"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	MaxK     int    `json:"max_k"`
+	Score    string `json:"score"`
+	// ConfigFingerprint is the hex form of the config hash keying the result
+	// cache.
+	ConfigFingerprint string `json:"config_fingerprint"`
+	// Fleet is present only when the backend is a resident fleet.
+	Fleet     *FleetInfoJSON `json:"fleet,omitempty"`
+	UptimeSec float64        `json:"uptime_sec"`
+}
+
+// FleetInfoJSON is the resident fleet's topology as served by /v1/info.
+type FleetInfoJSON struct {
+	Shards   int    `json:"shards"`
+	Replicas int    `json:"replicas"`
+	Workers  int    `json:"workers"`
+	// Fingerprint is the hex fleet fingerprint (graph + cut parameters) the
+	// attach handshake verifies.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Handler returns the server's HTTP mux: POST /v1/predict, GET /v1/info,
+// GET /healthz, GET /statsz. Every error — any endpoint, any status — is a
+// JSON body of the shape {"error":{"code":"...","message":"..."}}.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/info", s.handleInfo)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
+	})
 	return mux
 }
 
@@ -448,7 +482,37 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	info := InfoResponse{
+		Engine:            s.be.Name(),
+		Vertices:          s.g.NumVertices(),
+		Edges:             s.g.NumEdges(),
+		MaxK:              s.cfg.K,
+		Score:             s.cfg.Score.Name,
+		ConfigFingerprint: fmt.Sprintf("%016x", s.cfgKey),
+		UptimeSec:         time.Since(s.started).Seconds(),
+	}
+	if fb, ok := s.be.(interface{ FleetInfo() engine.FleetInfo }); ok {
+		fi := fb.FleetInfo()
+		info.Fleet = &FleetInfoJSON{
+			Shards:      fi.Shards,
+			Replicas:    fi.Replicas,
+			Workers:     fi.Workers,
+			Fingerprint: fmt.Sprintf("%016x", fi.Fingerprint),
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
 	// A partition with zero live replicas means queries routed to it cannot
 	// be answered: report 503 so load balancers drain this instance until a
 	// run completes against a recovered fleet.
@@ -467,6 +531,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
 	snap := s.stats.snapshot()
 	snap.CacheSize = s.cache.len()
 	snap.CacheCap = s.cache.cap
@@ -474,12 +542,39 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snap)
 }
 
+// errorResponse is the uniform error shape of every endpoint:
+// {"error":{"code":"...","message":"..."}}. The code is a small stable
+// vocabulary derived from the status, so clients can switch on it without
+// parsing messages.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, errorResponse{Error: errorBody{
+		Code:    errorCode(status),
+		Message: fmt.Sprintf(format, args...),
+	}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -693,6 +693,8 @@ func appendMsgPayload(b []byte, m *Msg) ([]byte, byte, error) {
 		}
 	case KindShip:
 		b = appendShip(b, m)
+	case KindAttach:
+		b = appendAttach(b, m)
 	case KindReady, KindStepBegin, KindCollect:
 		// header-only
 	case KindPartials, KindForeign:
@@ -736,6 +738,10 @@ func decodeMsgPayload(kind Kind, flags byte, step core.DistStep, payload []byte)
 		if err := decodeShip(payload, m); err != nil {
 			return nil, err
 		}
+	case KindAttach:
+		if err := decodeAttach(payload, m); err != nil {
+			return nil, err
+		}
 	case KindReady, KindStepBegin, KindCollect:
 		if len(payload) != 0 {
 			return nil, fmt.Errorf("wire: %s frame with %d payload bytes", kind, len(payload))
@@ -764,10 +770,8 @@ func decodeMsgPayload(kind Kind, flags byte, step core.DistStep, payload []byte)
 	return m, nil
 }
 
-// appendShip encodes the job spec and partition payload.
-func appendShip(b []byte, m *Msg) []byte {
-	b = appendU32(b, uint32(m.Version))
-	j := &m.Job
+// appendJob encodes a JobSpec (shared by the ship and attach payloads).
+func appendJob(b []byte, j *JobSpec) []byte {
 	b = appendU32(b, uint32(len(j.Score)))
 	b = append(b, j.Score...)
 	b = appendF64(b, j.Alpha)
@@ -777,6 +781,85 @@ func appendShip(b []byte, m *Msg) []byte {
 	b = appendU32(b, uint32(j.Policy))
 	b = appendU32(b, uint32(j.Paths))
 	b = appendU64(b, j.Seed)
+	return b
+}
+
+func decodeJob(r *byteReader, j *JobSpec) {
+	j.Score = string(r.bytes(r.count(r.u32(), 1)))
+	j.Alpha = r.f64()
+	j.K = int(r.u32())
+	j.KLocal = int(r.u32())
+	j.ThrGamma = int(r.u32())
+	j.Policy = core.SelectionPolicy(r.u32())
+	j.Paths = int(r.u32())
+	j.Seed = r.u64()
+}
+
+// appendAttach encodes the attach handshake: version, job spec, fleet
+// identity and the sparse scoped entries — never the partition itself.
+func appendAttach(b []byte, m *Msg) []byte {
+	b = appendU32(b, uint32(m.Version))
+	b = appendJob(b, &m.Job)
+	a := &m.Attach
+	b = appendU64(b, a.Fingerprint)
+	b = appendU32(b, uint32(a.Shard))
+	b = appendU32(b, uint32(a.Shards))
+	if a.Scoped {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendU32(b, uint32(len(a.Entries)))
+	for i := range a.Entries {
+		b = appendU32(b, uint32(a.Entries[i].V))
+	}
+	for i := range a.Entries {
+		b = append(b, a.Entries[i].Mask)
+	}
+	for i := range a.Entries {
+		b = append(b, a.Entries[i].Role)
+	}
+	return b
+}
+
+func decodeAttach(payload []byte, m *Msg) error {
+	r := &byteReader{b: payload}
+	m.Version = int(r.u32())
+	decodeJob(r, &m.Job)
+	a := &m.Attach
+	a.Fingerprint = r.u64()
+	a.Shard = int32(r.u32())
+	a.Shards = int32(r.u32())
+	switch scoped := r.u8(); scoped {
+	case 0:
+	case 1:
+		a.Scoped = true
+	default:
+		r.fail("scoped flag byte %d", scoped)
+	}
+	n := r.count(r.u32(), 6) // 4 (ID) + 1 (mask) + 1 (role) bytes per entry
+	if n > 0 {
+		a.Entries = make([]ScopeEntry, n)
+	}
+	ids := r.bytes(n * 4)
+	if ids != nil {
+		for i := range a.Entries {
+			a.Entries[i].V = graph.VertexID(binary.LittleEndian.Uint32(ids[4*i:]))
+		}
+	}
+	for i, x := range r.bytes(n) {
+		a.Entries[i].Mask = x
+	}
+	for i, x := range r.bytes(n) {
+		a.Entries[i].Role = x
+	}
+	return r.done()
+}
+
+// appendShip encodes the job spec and partition payload.
+func appendShip(b []byte, m *Msg) []byte {
+	b = appendU32(b, uint32(m.Version))
+	b = appendJob(b, &m.Job)
 	p := &m.Part
 	b = appendU32(b, uint32(p.Part))
 	b = appendU32(b, uint32(p.NumVertices))
@@ -800,15 +883,7 @@ func appendShip(b []byte, m *Msg) []byte {
 func decodeShip(payload []byte, m *Msg) error {
 	r := &byteReader{b: payload}
 	m.Version = int(r.u32())
-	j := &m.Job
-	j.Score = string(r.bytes(r.count(r.u32(), 1)))
-	j.Alpha = r.f64()
-	j.K = int(r.u32())
-	j.KLocal = int(r.u32())
-	j.ThrGamma = int(r.u32())
-	j.Policy = core.SelectionPolicy(r.u32())
-	j.Paths = int(r.u32())
-	j.Seed = r.u64()
+	decodeJob(r, &m.Job)
 	p := &m.Part
 	p.Part = int(r.u32())
 	p.NumVertices = int(r.u32())

@@ -52,6 +52,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -102,6 +103,11 @@ const (
 	// KindHello opens a v3 connection in both directions: the dialer's
 	// requested version and feature bits, answered with the granted ones.
 	KindHello
+	// KindAttach starts a job on a resident worker — one that pinned its
+	// partition at startup from a packed shard file. It carries the job spec
+	// plus the fleet fingerprint and (for scoped runs) the sparse per-vertex
+	// scope/role entries, in place of KindShip's full partition payload.
+	KindAttach
 )
 
 // String implements fmt.Stringer.
@@ -110,7 +116,7 @@ func (k Kind) String() string {
 		KindShip: "ship", KindReady: "ready", KindStepBegin: "step-begin",
 		KindPartials: "partials", KindForeign: "foreign", KindRefresh: "refresh",
 		KindMirrors: "mirrors", KindCollect: "collect", KindResult: "result",
-		KindError: "error", KindHello: "hello",
+		KindError: "error", KindHello: "hello", KindAttach: "attach",
 	}
 	if n, ok := names[k]; ok {
 		return n
@@ -220,6 +226,93 @@ func (p *Partition) Validate() error {
 	return nil
 }
 
+// Role bits of a ScopeEntry.
+const (
+	// RoleMaster marks the vertex's master copy for this query.
+	RoleMaster uint8 = 1 << 0
+	// RoleRemote marks a master whose state is replicated on other touched
+	// partitions and must broadcast refreshes after each apply.
+	RoleRemote uint8 = 1 << 1
+)
+
+// ScopeEntry assigns one local vertex its frontier scope mask and routing
+// role for a scoped job on a resident worker. Locals without an entry are
+// outside the closure: mask zero, no role.
+type ScopeEntry struct {
+	V    graph.VertexID
+	Mask uint8 // core.Scope* bits
+	Role uint8 // Role* bits
+}
+
+// AttachSpec is KindAttach's payload: everything a resident worker needs to
+// start a job against its pinned partition. The fingerprint stands in for the
+// partition bytes — if it matches, coordinator and worker provably hold the
+// same (graph, cut), so nothing else needs to cross the wire.
+type AttachSpec struct {
+	// Fingerprint is the fleet fingerprint the coordinator derived from its
+	// graph and cut parameters; it must equal the worker's pinned one.
+	Fingerprint uint64
+	// Shard/Shards name the partition the coordinator believes this worker
+	// pinned; a mismatch means the fleet is mis-wired.
+	Shard, Shards int32
+	// Scoped selects a query-scoped job: Entries override the shard's baked
+	// full-run roles. When false the baked roles apply and Entries is empty.
+	Scoped bool
+	// Entries are the closure's local vertices (scoped jobs only).
+	Entries []ScopeEntry
+}
+
+// manifestMismatchText is the wire marker for a fingerprint rejection: it
+// crosses the boundary inside a KindError string, and IsManifestMismatch
+// recovers the type on the coordinator side.
+const manifestMismatchText = "manifest fingerprint mismatch"
+
+// ErrManifestMismatch marks an attach rejected because the worker's pinned
+// shard was packed from a different (graph, cut) than the coordinator's.
+var ErrManifestMismatch = errors.New("wire: " + manifestMismatchText)
+
+// IsManifestMismatch reports whether err is a fingerprint rejection — local,
+// or remote (carried through a KindError frame).
+func IsManifestMismatch(err error) bool {
+	if errors.Is(err, ErrManifestMismatch) {
+		return true
+	}
+	return err != nil && IsRemoteError(err) && strings.Contains(err.Error(), manifestMismatchText)
+}
+
+// ResidentShard is the partition a resident worker pins at startup: the
+// payload a KindShip would carry, loaded once from a packed shard file, plus
+// the fleet identity the attach handshake verifies.
+type ResidentShard struct {
+	// Fingerprint identifies the (graph, cut) the shard was packed from.
+	Fingerprint uint64
+	// Shards is the fleet width of the cut.
+	Shards int
+	// Part is the pinned partition with its baked full-run roles; Part.Part
+	// is this worker's shard index.
+	Part Partition
+}
+
+// ResidentFromShard adapts a loaded shard snapshot into the worker's pinned
+// partition. The columns are shared, not copied: sessions treat them as
+// read-only (attach copies the role columns before any per-query override).
+func ResidentFromShard(s *graph.ShardFile) *ResidentShard {
+	return &ResidentShard{
+		Fingerprint: s.Fingerprint,
+		Shards:      s.Shards,
+		Part: Partition{
+			Part:        s.Shard,
+			NumVertices: s.NumVertices,
+			Locals:      s.Locals,
+			Deg:         s.Deg,
+			EdgeSrc:     s.EdgeSrc,
+			EdgeDst:     s.EdgeDst,
+			IsMaster:    s.IsMaster,
+			HasRemote:   s.HasRemote,
+		},
+	}
+}
+
 // VertexState pairs a vertex with its full replica state, for master→mirror
 // refreshes.
 type VertexState struct {
@@ -261,10 +354,11 @@ type WorkerResult struct {
 // wire (v3 encodes only the kind's payload; gob omits zero-valued fields).
 type Msg struct {
 	Kind     Kind
-	Version  int    // KindShip, KindHello
+	Version  int    // KindShip, KindAttach, KindHello
 	Features uint32 // KindHello: requested/granted feature bits
 	Job      JobSpec
-	Part     Partition // KindShip
+	Part     Partition  // KindShip
+	Attach   AttachSpec // KindAttach
 	Step     core.DistStep
 	// Final marks the last superstep on KindStepBegin (no refresh/mirror
 	// round follows) and the last chunk of a v3 streaming phase on

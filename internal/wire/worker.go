@@ -27,6 +27,13 @@ type ServeOptions struct {
 	// ProtocolV2 serves gob only — a stand-in for an old worker binary in
 	// mixed-version fleet tests.
 	MaxProto int
+	// Resident pins a packed partition for the worker's lifetime. A resident
+	// worker accepts KindAttach jobs (a fingerprint handshake instead of a
+	// partition transfer) and serves connections concurrently, so several
+	// coordinators — e.g. multiple serve front-ends — can share one standing
+	// fleet. Each session builds its own compute state over the shared
+	// read-only shard columns.
+	Resident *ResidentShard
 }
 
 // Serve accepts coordinator sessions on l until the listener is closed,
@@ -52,6 +59,20 @@ func ServeWith(l net.Listener, logf func(format string, args ...any), o ServeOpt
 			return fmt.Errorf("wire: accept: %w", err)
 		}
 		logf("session from %s", c.RemoteAddr())
+		if o.Resident != nil {
+			// A resident worker is shared infrastructure: several coordinators
+			// hold standing connections at once, so sessions run concurrently.
+			// Each attach builds its own compute state over the shared
+			// read-only shard columns, so sessions never alias mutable state.
+			go func(c net.Conn) {
+				if err := ServeConnWith(c, o); err != nil {
+					logf("session from %s failed: %v", c.RemoteAddr(), err)
+				} else {
+					logf("session from %s done", c.RemoteAddr())
+				}
+			}(c)
+			continue
+		}
 		if err := ServeConnWith(c, o); err != nil {
 			logf("session from %s failed: %v", c.RemoteAddr(), err)
 		} else {
@@ -94,20 +115,16 @@ func ServeConnWith(rwc io.ReadWriteCloser, o ServeOptions) (err error) {
 			conn.SendError(err)
 		}
 	}()
-	s, err := newSession(conn)
-	if err != nil {
-		conn.SendError(err)
-		return err
-	}
-	if err := conn.Send(&Msg{Kind: KindReady}); err != nil {
-		return err
-	}
-	// The measured window opens at the first superstep, not at Ready: the
-	// coordinator barriers on every worker's Ready before the first
-	// KindStepBegin, so by then all sessions (in-process ones included)
-	// have finished building and the window holds only superstep and
-	// collect work — the same boundary the coordinator's own wall-clock
-	// and traffic counters use.
+	// One connection carries a sequence of jobs: each KindShip or KindAttach
+	// replaces the current session, and collect leaves the connection open for
+	// the next job — a resident worker's coordinators re-attach per query on
+	// their standing connections. The measured window (m0) opens at the first
+	// post-Ready message of each job, not at Ready: the coordinator barriers
+	// on every worker's Ready before the first KindStepBegin, so by then all
+	// sessions (in-process ones included) have finished building and the
+	// window holds only superstep and collect work — the same boundary the
+	// coordinator's own wall-clock and traffic counters use.
+	var s *session
 	var m0 runtime.MemStats
 	m0set := false
 	for {
@@ -123,6 +140,23 @@ func ServeConnWith(rwc io.ReadWriteCloser, o ServeOptions) (err error) {
 			if !IsRemoteError(err) {
 				conn.SendError(err)
 			}
+			return err
+		}
+		if m.Kind == KindShip || m.Kind == KindAttach {
+			s, err = startSession(conn, m, o.Resident)
+			if err != nil {
+				conn.SendError(err)
+				return err
+			}
+			if err := conn.Send(&Msg{Kind: KindReady}); err != nil {
+				return err
+			}
+			m0set = false
+			continue
+		}
+		if s == nil {
+			err := fmt.Errorf("wire: expected ship, got %s", m.Kind)
+			conn.SendError(err)
 			return err
 		}
 		if !m0set {
@@ -194,20 +228,22 @@ type session struct {
 	collectPreds []VertexPreds // result storage, presized at ship
 }
 
-// newSession performs the ship handshake.
-func newSession(conn *Conn) (*session, error) {
-	m, err := conn.Expect(KindShip)
-	if err != nil {
-		return nil, err
-	}
+// startSession builds the worker's state for one job. A KindShip message
+// carries the whole partition over the wire; a KindAttach references the
+// worker's resident shard by fingerprint, carrying only the job config and
+// (for scoped queries) the sparse per-vertex roles the coordinator elected.
+func startSession(conn *Conn, m *Msg, resident *ResidentShard) (*session, error) {
 	if m.Version != conn.Proto() {
 		return nil, fmt.Errorf("wire: protocol version %d, worker speaks %d", m.Version, conn.Proto())
 	}
-	if err := m.Part.Validate(); err != nil {
-		return nil, err
-	}
 	cfg, err := m.Job.Config()
 	if err != nil {
+		return nil, err
+	}
+	if m.Kind == KindAttach {
+		return attachSession(conn, m, cfg, resident)
+	}
+	if err := m.Part.Validate(); err != nil {
 		return nil, err
 	}
 	part, err := core.NewDistPartition(cfg, m.Part.NumVertices, m.Part.Locals, m.Part.Deg, m.Part.EdgeSrc, m.Part.EdgeDst)
@@ -223,6 +259,65 @@ func newSession(conn *Conn) (*session, error) {
 		part:      part,
 		isMaster:  m.Part.IsMaster,
 		hasRemote: m.Part.HasRemote,
+		regather:  part.CanGatherVertex(),
+	}
+	s.prewarm()
+	return s, nil
+}
+
+// attachSession builds a job session over the resident shard. The fingerprint
+// must match the coordinator's manifest exactly — a mismatched worker would
+// compute over a different graph and silently corrupt the fold, so the
+// handshake fails with a typed error instead. Scoped attaches carry the
+// coordinator's per-query roles for just the closure vertices: everything
+// outside the entries keeps a zero scope mask, which the partition's scope
+// machinery skips entirely. Unscoped attaches reuse the roles baked at pack
+// time (copied, so a session can never mutate the shared resident columns).
+func attachSession(conn *Conn, m *Msg, cfg core.Config, resident *ResidentShard) (*session, error) {
+	if resident == nil {
+		return nil, errors.New("wire: attach to a non-resident worker")
+	}
+	a := &m.Attach
+	if a.Fingerprint != resident.Fingerprint {
+		return nil, fmt.Errorf("wire: %s: coordinator has %016x, resident shard has %016x",
+			manifestMismatchText, a.Fingerprint, resident.Fingerprint)
+	}
+	p := &resident.Part
+	if int(a.Shard) != p.Part || int(a.Shards) != resident.Shards {
+		return nil, fmt.Errorf("wire: attach for shard %d of %d, worker is resident for shard %d of %d",
+			a.Shard, a.Shards, p.Part, resident.Shards)
+	}
+	part, err := core.NewDistPartition(cfg, p.NumVertices, p.Locals, p.Deg, p.EdgeSrc, p.EdgeDst)
+	if err != nil {
+		return nil, err
+	}
+	n := len(p.Locals)
+	isMaster := make([]bool, n)
+	hasRemote := make([]bool, n)
+	if a.Scoped {
+		scope := make([]uint8, n)
+		for _, e := range a.Entries {
+			li, ok := part.LocalIndex(e.V)
+			if !ok {
+				return nil, fmt.Errorf("wire: attach scope entry for vertex %d, which is not local to shard %d", e.V, p.Part)
+			}
+			scope[li] = e.Mask
+			isMaster[li] = e.Role&RoleMaster != 0
+			hasRemote[li] = e.Role&RoleRemote != 0
+		}
+		if err := part.SetScope(scope); err != nil {
+			return nil, err
+		}
+	} else {
+		copy(isMaster, p.IsMaster)
+		copy(hasRemote, p.HasRemote)
+	}
+	s := &session{
+		conn:      conn,
+		partIdx:   p.Part,
+		part:      part,
+		isMaster:  isMaster,
+		hasRemote: hasRemote,
 		regather:  part.CanGatherVertex(),
 	}
 	s.prewarm()

@@ -5,11 +5,14 @@
 # runs the dist-vs-serial equivalence tests under the race detector against
 # that fleet (SNAPLE_WORKER_ADDRS points the tests at it), then exercises
 # both CLI paths: -addrs against the running fleet and -spawn, where the CLI
-# forks its own workers. The chaos legs at the end run the in-process fault
-# suite under -race and SIGKILL a replicated worker mid-run, asserting the
-# failover output is byte-identical to the healthy run's. The trap tears
-# every worker down even when a step fails, and asserts no stragglers
-# survived the sweep.
+# forks its own workers. The chaos legs run the in-process fault suite under
+# -race and SIGKILL a replicated worker mid-run, asserting the failover
+# output is byte-identical to the healthy run's. The final resident leg
+# packs a 3-shard set, pins it on a 2x-replicated standing fleet, fronts it
+# with two snaple-serve processes sharing the same workers, and SIGKILLs a
+# resident worker mid-traffic: requests must keep answering 200 and /statsz
+# must record the death. The trap tears every worker down even when a step
+# fails, and asserts no stragglers survived the sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -166,5 +169,108 @@ cat "$workdir/chaos.out"
 grep -q "fleet: replicas=2 dead=1" "$workdir/chaos.out"
 cmp "$workdir/healthy.tsv" "$workdir/chaos.tsv"
 echo "    failover output byte-identical ($(wc -l <"$workdir/healthy.tsv") prediction lines)"
+
+echo "==> resident fleet: pack 3 shards, pin them on 6 workers (2 replicas each)"
+go build -o "$workdir/graphgen" ./cmd/graphgen
+go build -o "$workdir/snaple-serve" ./cmd/snaple-serve
+"$workdir/graphgen" -dataset gowalla -scale 0.3 -seed 7 -o "$workdir/g0.sgr"
+"$workdir/snaple" pack -in "$workdir/g0.sgr" -out "$workdir/g.sgr" -shards 3 -seed 7
+res_pids=()
+res_addrs=()
+n=0
+for s in 0 1 2; do
+  for _ in 1 2; do
+    n=$((n + 1))
+    "$workdir/snaple-worker" -shard "$workdir/g.sgr.$s" -listen 127.0.0.1:0 \
+      >"$workdir/resident$n.out" 2>"$workdir/resident$n.err" &
+    pids+=($!)
+    res_pids+=($!)
+  done
+done
+for i in $(seq 1 $n); do
+  line=""
+  for _ in $(seq 1 100); do
+    line="$(head -n1 "$workdir/resident$i.out" 2>/dev/null || true)"
+    [ -n "$line" ] && break
+    sleep 0.1
+  done
+  case "$line" in
+    "listening "*) res_addrs+=("${line#listening }") ;;
+    *) echo "resident worker $i never announced its address (got: '$line')" >&2; exit 1 ;;
+  esac
+done
+# Shard-major ordering: addrs[s*replicas + r] are the replicas of shard s.
+res_list="$(IFS=,; echo "${res_addrs[*]}")"
+echo "    resident fleet: $res_list"
+
+echo "==> two serve front-ends attach to the same standing fleet"
+serve_addrs=()
+for s in 1 2; do
+  "$workdir/snaple-serve" -in "$workdir/g0.sgr" -manifest "$workdir/g.sgr.manifest" \
+    -addrs "$res_list" -replicas 2 -step-timeout 30s -listen 127.0.0.1:0 \
+    >"$workdir/resserve$s.out" 2>"$workdir/resserve$s.err" &
+  pids+=($!)
+done
+for s in 1 2; do
+  line=""
+  for _ in $(seq 1 100); do
+    line="$(head -n1 "$workdir/resserve$s.out" 2>/dev/null || true)"
+    [ -n "$line" ] && break
+    sleep 0.1
+  done
+  case "$line" in
+    "serving "*) serve_addrs+=("${line#serving }") ;;
+    *) echo "serve front-end $s never announced its address (got: '$line')" >&2
+       cat "$workdir/resserve$s.err" >&2 || true
+       exit 1 ;;
+  esac
+done
+
+echo "==> both front-ends report the same fleet topology in /v1/info"
+info1="$(curl -sf "http://${serve_addrs[0]}/v1/info")"
+info2="$(curl -sf "http://${serve_addrs[1]}/v1/info")"
+echo "    $info1"
+echo "$info1" | grep -q '"shards":3'
+echo "$info1" | grep -q '"replicas":2'
+echo "$info1" | grep -q '"workers":6'
+fleet_fp() { sed -n 's/.*"fleet":{[^}]*"fingerprint":"\([0-9a-f]*\)".*/\1/p' <<<"$1"; }
+fp1="$(fleet_fp "$info1")"
+fp2="$(fleet_fp "$info2")"
+if [ -z "$fp1" ] || [ "$fp1" != "$fp2" ]; then
+  echo "front-ends disagree on the fleet fingerprint: '$fp1' vs '$fp2'" >&2
+  exit 1
+fi
+
+echo "==> scoped queries through both front-ends"
+curl -sf -X POST "http://${serve_addrs[0]}/v1/predict" -d '{"ids":[1,2,3],"k":5}' \
+  | grep -q '"predictions":'
+curl -sf -X POST "http://${serve_addrs[1]}/v1/predict" -d '{"ids":[4,5],"k":5}' \
+  | grep -q '"predictions":'
+
+echo "==> SIGKILL one resident worker mid-traffic; 200s must continue"
+kill -9 "${res_pids[0]}" 2>/dev/null || true
+# Distinct uncached ids so every request after the kill is a real fleet run,
+# not an LRU hit.
+for id in 10 11 12 13; do
+  code="$(curl -s -o /dev/null -w '%{http_code}' \
+    -X POST "http://${serve_addrs[0]}/v1/predict" -d "{\"ids\":[$id],\"k\":5}")"
+  if [ "$code" != "200" ]; then
+    echo "front-end 1 returned $code after the worker death" >&2
+    cat "$workdir/resserve1.err" >&2 || true
+    exit 1
+  fi
+done
+curl -sf -X POST "http://${serve_addrs[1]}/v1/predict" -d '{"ids":[20,21],"k":5}' >/dev/null
+
+echo "==> /statsz on both front-ends records the dead worker"
+for s in 1 2; do
+  res_stats="$(curl -sf "http://${serve_addrs[$((s - 1))]}/statsz")"
+  echo "    front-end $s: $res_stats"
+  grep -Eq '"workers_dead":[1-9]' <<<"$res_stats" || {
+    echo "front-end $s /statsz shows no dead worker after the SIGKILL" >&2
+    exit 1
+  }
+  grep -q '"workers_total":6' <<<"$res_stats"
+done
 
 echo "==> cluster smoke OK"

@@ -48,6 +48,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"snaple/internal/cluster"
@@ -214,6 +215,20 @@ func PredictStats(g *Graph, opts Options) (Predictions, EngineStats, error) {
 // MemBudgetBytes) or the real worker fleet of the "dist" backend
 // (WorkerAddrs/SpawnWorkers/Workers). Strategy and Seed apply to both.
 type ClusterOptions struct {
+	// Graph is the graph the cluster serves. Required for OpenCluster;
+	// PredictDistributed fills it from its own argument.
+	Graph *Graph
+	// Options is the base prediction configuration every query of an open
+	// cluster runs under; Cluster.PredictFor overrides only the sources.
+	Options Options
+	// Manifest is the path of a fleet manifest written by `snaple pack
+	// -shards`. When set (with Options.Engine "dist"), OpenCluster attaches
+	// to resident snaple-worker processes — started with -shard, each
+	// holding one packed partition — at WorkerAddrs (shard-major when
+	// Replicas > 1) instead of shipping partitions: attaching is a
+	// fingerprint handshake, and a worker resident for a different pack is
+	// refused with ErrManifestMismatch.
+	Manifest string
 	// Nodes is the number of simulated cluster nodes (default 1; sim only).
 	Nodes int
 	// NodeType is "type-I" (8 cores, 32 GB, GbE) or "type-II" (20 cores,
@@ -289,7 +304,9 @@ var ErrPartitionLost = engine.ErrPartitionLost
 // Result reports a distributed run: the predictions plus the engine costs.
 type Result struct {
 	Predictions Predictions
-	// Engine is the backend that produced the result ("sim" or "dist").
+	// Engine is the backend that produced the result: "sim", "dist", or
+	// "fleet" for a resident-fleet run (a Cluster, or bare-dist
+	// PredictDistributed, which serves in-process resident workers).
 	Engine string
 	// WallSeconds is host wall-clock time of the supersteps.
 	WallSeconds float64
@@ -409,37 +426,230 @@ func (c ClusterOptions) toDist() (engine.Dist, error) {
 	}, nil
 }
 
-// PredictDistributed runs SNAPLE's Algorithm 2 on a configured deployment:
-// by default the GAS engine over a simulated cluster (the engine layer's
-// "sim" backend, with the paper's cost model), or — when opts.Engine is
-// "dist" — across real snaple-worker processes over TCP, with the traffic
-// fields measured on the wire. Results are bit-identical to Predict for the
-// same Options, independent of the deployment.
-func PredictDistributed(g *Graph, opts Options, cl ClusterOptions) (*Result, error) {
+// ErrManifestMismatch is returned (wrapped) when a fleet manifest does not
+// describe the graph being served, or when a resident snaple-worker turns
+// out to hold a partition packed from a different (graph, cut) than the
+// coordinator's — the fingerprint handshake that replaces partition shipping
+// caught the disagreement before any superstep ran.
+var ErrManifestMismatch = engine.ErrManifestMismatch
+
+// Cluster is a standing deployment opened once and queried many times: the
+// persistent form of PredictDistributed. For the "dist" engine the expensive
+// setup — vertex-cut partitioning, connecting the worker fleet and (for
+// non-resident workers) shipping partitions — happens at OpenCluster, and
+// every PredictFor afterwards only routes its query: against resident
+// workers a scoped query ships nothing but a fingerprint handshake and the
+// sparse closure roles, and only contacts the replica groups whose
+// partitions intersect the query's closure. Multiple servers (or
+// snaple-serve front-ends) can share one standing worker fleet.
+//
+// A Cluster is safe for concurrent use; queries are serialized over the
+// standing connections. Close releases the connections (and any in-process
+// workers); the resident worker processes themselves keep running for the
+// next coordinator.
+type Cluster struct {
+	g    *Graph
+	opts Options
+
+	fleet *engine.Fleet  // resident mode ("dist" with a manifest, or in-process)
+	dist  *engine.Dist   // per-call mode ("dist" with non-resident workers)
+	sim   *engine.Sim    // per-call mode ("" / "sim")
+	simW  int            // host worker bound for the sim backend
+
+	mu     sync.Mutex
+	last   EngineStats
+	closed bool
+}
+
+// OpenCluster validates o eagerly — a bogus score, policy, node type,
+// strategy or a manifest that does not match the graph all fail here, never
+// on the first query — and brings the deployment up:
+//
+//   - Options.Engine "" or "sim": the simulated cluster; each query runs the
+//     paper's cost model (nothing stays resident, so Open only validates).
+//   - "dist" with Manifest: attach to resident workers at WorkerAddrs.
+//   - "dist" with WorkerAddrs or SpawnWorkers (no manifest): classic
+//     non-resident workers; each query ships partitions.
+//   - "dist" bare: an in-process resident fleet of Workers loopback workers
+//     (default 2), pinned once and reused by every query.
+func OpenCluster(o ClusterOptions) (*Cluster, error) {
+	if o.Graph == nil {
+		return nil, fmt.Errorf("snaple: OpenCluster: nil graph")
+	}
+	if _, err := o.Options.toCore(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{g: o.Graph, opts: o.Options}
+	switch eng := o.Options.Engine; eng {
+	case "", "sim":
+		sim, err := o.toSim()
+		if err != nil {
+			return nil, err
+		}
+		c.sim, c.simW = &sim, o.Workers
+	case "dist":
+		strat, err := o.strategy()
+		if err != nil {
+			return nil, err
+		}
+		fo := engine.FleetOptions{
+			Addrs: o.WorkerAddrs, Replicas: o.Replicas, Strategy: strat,
+			Seed: o.Seed, StepTimeout: o.StepTimeout,
+			DialAttempts: o.DialAttempts, DialBackoff: o.DialBackoff,
+			Proto: o.WireProto, Compress: o.WireCompress,
+		}
+		switch {
+		case o.Manifest != "":
+			f, err := os.Open(o.Manifest)
+			if err != nil {
+				return nil, fmt.Errorf("snaple: OpenCluster: %w", err)
+			}
+			fo.Manifest, err = graph.ReadManifest(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			c.fleet, err = engine.OpenFleet(o.Graph, fo)
+			if err != nil {
+				return nil, err
+			}
+		case len(o.WorkerAddrs) > 0 || o.SpawnWorkers > 0:
+			d, err := o.toDist()
+			if err != nil {
+				return nil, err
+			}
+			c.dist = &d
+		default:
+			fo.Addrs, fo.InProc = nil, o.Workers
+			if fo.InProc == 0 {
+				fo.InProc = 2 // the dist backend's loopback default
+			}
+			var err error
+			c.fleet, err = engine.OpenFleet(o.Graph, fo)
+			if err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("snaple: OpenCluster: engine %q has no cluster deployment (sim|dist)", eng)
+	}
+	return c, nil
+}
+
+// PredictFor answers "top-k for these vertices" against the standing
+// deployment: a query-scoped run whose results are bit-identical to the full
+// run's rows for the sources. On a resident fleet only the replica groups
+// whose partitions intersect the sources' closure are contacted at all.
+// Passing nil sources runs the full graph.
+func (c *Cluster) PredictFor(sources []VertexID) (*Result, error) {
+	return c.PredictForContext(context.Background(), sources)
+}
+
+// PredictForContext is PredictFor under a context: cancelling it closes the
+// query's worker connections so a blocked superstep fails promptly — the
+// resident workers stay up, and the cluster redials on the next query.
+func (c *Cluster) PredictForContext(ctx context.Context, sources []VertexID) (*Result, error) {
+	opts := c.opts
+	opts.Sources = sources
+	return c.predict(ctx, opts)
+}
+
+// Predict runs the cluster's base Options as-is (a full-graph pass unless
+// Options.Sources scopes it).
+func (c *Cluster) Predict() (*Result, error) {
+	return c.predict(context.Background(), c.opts)
+}
+
+func (c *Cluster) predict(ctx context.Context, opts Options) (*Result, error) {
 	cfg, err := opts.toCore()
 	if err != nil {
 		return nil, err
 	}
-	if opts.Engine == "dist" {
-		d, err := cl.toDist()
-		if err != nil {
-			return nil, err
-		}
-		preds, st, err := d.Predict(g, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return toResult(preds, st), nil
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("snaple: cluster is closed")
 	}
-	sim, err := cl.toSim()
+	switch {
+	case c.fleet != nil:
+		preds, st, err := c.fleet.PredictCtx(ctx, c.g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.setLast(st)
+		return toResult(preds, st), nil
+	case c.dist != nil:
+		preds, st, err := c.dist.PredictCtx(ctx, c.g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.setLast(st)
+		return toResult(preds, st), nil
+	default:
+		res, err := c.sim.PredictResult(c.g, cfg)
+		if res == nil {
+			return nil, err // failed before any superstep ran: nothing to report
+		}
+		st := engine.StatsFromResult(res, c.simW)
+		c.setLast(st)
+		return toResult(res.Pred, st), err
+	}
+}
+
+func (c *Cluster) setLast(st EngineStats) {
+	c.mu.Lock()
+	c.last = st
+	c.mu.Unlock()
+}
+
+// Stats reports the deployment's cost counters: cumulative over the
+// cluster's lifetime for a resident fleet (worker deaths, failovers, dial
+// retries survive across queries), the last query's report otherwise.
+func (c *Cluster) Stats() EngineStats {
+	if c.fleet != nil {
+		return c.fleet.Stats()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+// Close releases the cluster's standing connections and in-process workers.
+// Resident worker processes keep running for the next coordinator. Close is
+// idempotent.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	if c.fleet != nil {
+		return c.fleet.Close()
+	}
+	return nil
+}
+
+// PredictDistributed runs SNAPLE's Algorithm 2 on a configured deployment:
+// by default the GAS engine over a simulated cluster (the engine layer's
+// "sim" backend, with the paper's cost model), or — when opts.Engine is
+// "dist" — across real worker processes over TCP, with the traffic fields
+// measured on the wire. Results are bit-identical to Predict for the same
+// Options, independent of the deployment.
+//
+// It is the one-shot convenience path: OpenCluster, one prediction, Close.
+// Callers issuing more than one query should hold the *Cluster open instead,
+// so the fleet setup (partitioning, connecting, any shipping) is paid once.
+func PredictDistributed(g *Graph, opts Options, cl ClusterOptions) (*Result, error) {
+	cl.Graph, cl.Options = g, opts
+	c, err := OpenCluster(cl)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.PredictResult(g, cfg)
-	if res == nil {
-		return nil, err // failed before any superstep ran: nothing to report
-	}
-	return toResult(res.Pred, engine.StatsFromResult(res, cl.Workers)), err
+	defer c.Close()
+	return c.Predict()
 }
 
 // PredictBaseline runs the paper's BASELINE (a direct 2-hop Jaccard

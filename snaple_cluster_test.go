@@ -1,0 +1,179 @@
+package snaple
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"snaple/internal/engine"
+	"snaple/internal/graph"
+	"snaple/internal/wire"
+)
+
+// TestClusterResident drives the persistent API end to end on an in-process
+// resident fleet: open once, answer many scoped queries bit-identically to
+// the one-shot facade, accumulate stats, close idempotently.
+func TestClusterResident(t *testing.T) {
+	g := facadeGraph(t)
+	opts := Options{Score: "linearSum", KLocal: 10, Seed: 1, Engine: "dist"}
+	full, err := Predict(g, Options{Score: "linearSum", KLocal: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := OpenCluster(ClusterOptions{Graph: g, Options: opts, Workers: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := c.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Predictions, full) {
+		t.Fatal("resident full run differs from the local backend")
+	}
+	if res.Engine != "fleet" {
+		t.Errorf("engine = %q", res.Engine)
+	}
+
+	for _, sources := range [][]VertexID{{3}, {77, 201}, {399, 399, 0}} {
+		res, err := c.PredictFor(sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, row := range res.Predictions {
+			isSource := false
+			for _, s := range sources {
+				if int(s) == v {
+					isSource = true
+				}
+			}
+			if isSource && !reflect.DeepEqual(row, full[v]) {
+				t.Fatalf("source %d differs from the full run", v)
+			}
+			if !isSource && row != nil {
+				t.Fatalf("non-source %d has predictions", v)
+			}
+		}
+	}
+
+	if st := c.Stats(); st.Engine != "fleet" || st.Workers != 3 {
+		t.Errorf("cluster stats = %+v", st)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if _, err := c.Predict(); err == nil {
+		t.Error("predict on a closed cluster succeeded")
+	}
+}
+
+// TestClusterManifest exercises the packed-fleet path through the facade:
+// shards packed to disk, resident workers pinning them, a Cluster opened
+// with the manifest path — and the typed mismatch when the graph disagrees.
+func TestClusterManifest(t *testing.T) {
+	g := facadeGraph(t)
+	strat, err := ClusterOptions{Seed: 11}.strategy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, man, err := engine.PackShards(g, strat, 11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var addrs []string
+	for i, sf := range files {
+		p := filepath.Join(dir, "g.sgr."+string(rune('0'+i)))
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.WriteShard(f, sf); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		man.Files[i] = filepath.Base(p)
+
+		// A resident worker per shard, as snaple-worker -shard would serve it.
+		rf, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := graph.ReadShard(rf)
+		rf.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		go func() { _ = wire.ServeWith(l, nil, wire.ServeOptions{Resident: wire.ResidentFromShard(loaded)}) }()
+		addrs = append(addrs, l.Addr().String())
+	}
+	manPath := filepath.Join(dir, "g.sgr.manifest")
+	mf, err := os.Create(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteManifest(mf, man); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	opts := Options{Score: "linearSum", KLocal: 10, Seed: 1, Engine: "dist"}
+	c, err := OpenCluster(ClusterOptions{Graph: g, Options: opts, Manifest: manPath, WorkerAddrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	full, err := Predict(g, Options{Score: "linearSum", KLocal: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.PredictFor([]VertexID{3, 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Predictions[3], full[3]) || !reflect.DeepEqual(res.Predictions[77], full[77]) {
+		t.Fatal("manifest fleet differs from the local backend")
+	}
+
+	// The same manifest against a different graph must be refused with the
+	// typed error before any superstep runs.
+	g2, err := GenerateCommunity(CommunityGraph{N: 400, Communities: 8}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenCluster(ClusterOptions{Graph: g2, Options: opts, Manifest: manPath, WorkerAddrs: addrs})
+	if !errors.Is(err, ErrManifestMismatch) {
+		t.Fatalf("err = %v, want ErrManifestMismatch", err)
+	}
+}
+
+func TestOpenClusterErrors(t *testing.T) {
+	g := facadeGraph(t)
+	cases := map[string]ClusterOptions{
+		"nil-graph":      {Options: Options{Engine: "dist"}},
+		"bogus-engine":   {Graph: g, Options: Options{Engine: "serial"}},
+		"bogus-score":    {Graph: g, Options: Options{Score: "bogus"}},
+		"bogus-nodetype": {Graph: g, NodeType: "bogus"},
+		"bogus-strategy": {Graph: g, Options: Options{Engine: "dist"}, Strategy: "bogus"},
+		"bad-manifest":   {Graph: g, Options: Options{Engine: "dist"}, Manifest: "/nonexistent/path.manifest"},
+	}
+	for name, cl := range cases {
+		if _, err := OpenCluster(cl); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
