@@ -12,9 +12,11 @@
 // The perf experiment additionally writes a machine-readable report
 // (default BENCH.json, see -perf-out) with one row per perf-tracked backend
 // — the local hot path and the dist TCP engine — covering wall seconds,
-// edges/sec, allocation counts and (for dist) measured wire traffic, so the
-// performance trajectory can be compared across commits; CI's
-// benchmark-regression gate diffs it against the committed
+// edges/sec, allocation counts and (for dist) measured wire traffic, plus
+// rows for the two graph-ingestion paths, the serving query shape, the wire
+// codec, and the live-graph mutation path (Live.Apply throughput and the
+// compaction fold), so the performance trajectory can be compared across
+// commits; CI's benchmark-regression gate diffs it against the committed
 // BENCH_baseline.json with cmd/benchcheck. Because of that file side effect
 // it only runs when requested explicitly — "all" skips it.
 package main
@@ -245,6 +247,11 @@ func runPerf(o eval.Options, w io.Writer) error {
 		return fmt.Errorf("wire-codec: %w", err)
 	}
 	rep.Rows = append(rep.Rows, codecRow)
+	mutRows, err := mutatePerf(g, o.Seed, w)
+	if err != nil {
+		return fmt.Errorf("mutate: %w", err)
+	}
+	rep.Rows = append(rep.Rows, mutRows...)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -584,6 +591,117 @@ func codecPerf(w io.Writer) (eval.PerfRow, error) {
 		row.MBPerSec, float64(bytesPerIter)/(1<<10),
 		float64(row.AllocBytes)/(1<<10), row.AllocObjects)
 	return row, nil
+}
+
+// mutatePerf measures the live-graph serving path on the perf graph. The
+// "mutate" row is Live.Apply throughput over a deterministic stream of edge
+// batches — the POST /v1/edges shape: copy-on-write overlay updates with the
+// reverse-adjacency mirror maintained, since mutable serving requires it —
+// and the "compact" row is the fold of the accumulated overlay back into a
+// fresh CSR (Delta.Materialize, the POST /v1/compact shape). EdgesPerSec is
+// mutation edges applied (resp. edges folded) per second; the allocation
+// columns are one full apply stream's (resp. one fold's) deltas — where a
+// dropped row-sharing optimisation or an O(V) copy per batch would show
+// first. Runs last: EnsureInEdges grows the base in place.
+func mutatePerf(g *snaple.Graph, seed uint64, w io.Writer) ([]eval.PerfRow, error) {
+	const (
+		batches         = 32
+		addsPerBatch    = 192
+		removesPerBatch = 64
+	)
+	g.EnsureInEdges()
+	n := uint64(g.NumVertices())
+	adds := make([][]graph.Edge, batches)
+	removes := make([][]graph.Edge, batches)
+	mutEdges := 0
+	for b := 0; b < batches; b++ {
+		for i := 0; i < addsPerBatch; i++ {
+			// Deterministic per (seed, batch, slot): every run applies the
+			// same mutation stream, so rows are comparable across commits.
+			adds[b] = append(adds[b], graph.Edge{
+				Src: graph.VertexID(randx.Uint64n(n, seed, uint64(b), uint64(i), 0)),
+				Dst: graph.VertexID(randx.Uint64n(n, seed, uint64(b), uint64(i), 1)),
+			})
+		}
+		if b > 0 {
+			// Removals target edges the previous batch added, so they always
+			// hit a live overlay row rather than no-oping on absent edges.
+			removes[b] = adds[b-1][:removesPerBatch]
+		}
+		mutEdges += len(adds[b]) + len(removes[b])
+	}
+	stream := func() (*snaple.Delta, error) {
+		l := snaple.NewLive(g)
+		for b := range adds {
+			if _, err := l.Apply(adds[b], removes[b]); err != nil {
+				return nil, err
+			}
+		}
+		return l.View(), nil
+	}
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	d, err := stream()
+	if err != nil {
+		return nil, err
+	}
+	runtime.ReadMemStats(&m1)
+
+	const (
+		minIters = 3
+		minTotal = 100 * time.Millisecond
+	)
+	best := time.Duration(1<<62 - 1)
+	var total time.Duration
+	for iters := 0; iters < minIters || total < minTotal; iters++ {
+		start := time.Now()
+		if _, err := stream(); err != nil {
+			return nil, err
+		}
+		dur := time.Since(start)
+		best = min(best, dur)
+		total += dur
+	}
+	wall := best.Seconds()
+	mutateRow := eval.PerfRow{
+		Engine: "mutate", Workers: 1, WallSeconds: wall,
+		EdgesPerSec:  float64(mutEdges) / wall,
+		AllocBytes:   int64(m1.TotalAlloc - m0.TotalAlloc),
+		AllocObjects: int64(m1.Mallocs - m0.Mallocs),
+	}
+	fmt.Fprintf(w, "mutate: %d batches / %d edge mutations per stream, %.0f edges/s applied, %.1f MiB / %d objects allocated\n",
+		batches, mutEdges, mutateRow.EdgesPerSec,
+		float64(mutateRow.AllocBytes)/(1<<20), mutateRow.AllocObjects)
+
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	csr := d.Materialize()
+	runtime.ReadMemStats(&m1)
+	if csr.NumEdges() != d.NumEdges() {
+		return nil, fmt.Errorf("compaction folded %d edges, overlay has %d", csr.NumEdges(), d.NumEdges())
+	}
+	best = time.Duration(1<<62 - 1)
+	total = 0
+	for iters := 0; iters < minIters || total < minTotal; iters++ {
+		start := time.Now()
+		d.Materialize()
+		dur := time.Since(start)
+		best = min(best, dur)
+		total += dur
+	}
+	wall = best.Seconds()
+	compactRow := eval.PerfRow{
+		Engine: "compact", Workers: 1, WallSeconds: wall,
+		EdgesPerSec:  float64(csr.NumEdges()) / wall,
+		AllocBytes:   int64(m1.TotalAlloc - m0.TotalAlloc),
+		AllocObjects: int64(m1.Mallocs - m0.Mallocs),
+	}
+	fmt.Fprintf(w, "compact: %d overlay rows folded into %d edges, %.0f edges/s, %.1f MiB / %d objects allocated\n",
+		d.OverlayRows(), csr.NumEdges(), compactRow.EdgesPerSec,
+		float64(compactRow.AllocBytes)/(1<<20), compactRow.AllocObjects)
+	return []eval.PerfRow{mutateRow, compactRow}, nil
 }
 
 func run(id string, opts eval.Options, w io.Writer) error {

@@ -86,7 +86,7 @@ func TestRunPerfWritesReport(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON report: %v\n%s", err, data)
 	}
-	wantRows := append(append([]string{}, perfEngines...), "ingest-text", "ingest-sgr", "query-latency", "wire-codec")
+	wantRows := append(append([]string{}, perfEngines...), "ingest-text", "ingest-sgr", "query-latency", "wire-codec", "mutate", "compact")
 	if rep.Edges <= 0 || len(rep.Rows) != len(wantRows) {
 		t.Fatalf("implausible report: %+v", rep)
 	}

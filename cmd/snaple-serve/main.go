@@ -17,6 +17,17 @@
 //	curl -s localhost:8080/v1/info
 //	curl -s localhost:8080/statsz
 //
+// With -mutable the served graph is live: POST /v1/edges applies an edge
+// batch as a delta overlay (no CSR rebuild; cached rows inside the mutated
+// frontier are invalidated, everything else keeps serving from cache), and
+// the overlay is folded back into a fresh CSR on POST /v1/compact or
+// automatically at -compact-at dirty rows, optionally persisting the
+// compacted snapshot with -compact-out:
+//
+//	snaple-serve -in graph.sgr -mutable -compact-at 10000 -compact-out graph.sgr
+//	curl -s -X POST localhost:8080/v1/edges -d '{"add":[[1,2],[3,4]],"remove":[[5,6]]}'
+//	curl -s -X POST localhost:8080/v1/compact
+//
 // With -manifest the server fronts a standing resident fleet instead of
 // computing locally: `snaple pack -shards N` packs the partitions once,
 // `snaple-worker -shard graph.sgr.i` pins them, and any number of serve
@@ -81,6 +92,10 @@ func main() {
 		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch collection window")
 		batchMax    = flag.Int("batch-max", 4096, "max distinct uncached vertices per batch run (also the per-request id limit)")
 		cacheSize   = flag.Int("cache", 65536, "LRU result cache capacity (vertices)")
+
+		mutable    = flag.Bool("mutable", false, "serve a live graph: accept POST /v1/edges mutation batches (incompatible with -manifest)")
+		compactAt  = flag.Int("compact-at", 0, "auto-compact the mutation overlay once this many vertices have pending edits (0 = only on POST /v1/compact)")
+		compactOut = flag.String("compact-out", "", "persist each compaction as a fresh .sgr snapshot at this path (atomic rename)")
 	)
 	flag.Parse()
 	if err := run(serveArgs{
@@ -92,6 +107,7 @@ func main() {
 		replicas: *replicas, stepTimeout: *stepTimeout,
 		dialAttempts: *dialAttempts, runTimeout: *runTimeout,
 		batchWindow: *batchWindow, batchMax: *batchMax, cacheSize: *cacheSize,
+		mutable: *mutable, compactAt: *compactAt, compactOut: *compactOut,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "snaple-serve:", err)
 		os.Exit(1)
@@ -123,6 +139,9 @@ type serveArgs struct {
 	batchWindow  time.Duration
 	batchMax     int
 	cacheSize    int
+	mutable      bool
+	compactAt    int
+	compactOut   string
 }
 
 func run(a serveArgs) error {
@@ -209,6 +228,9 @@ func run(a serveArgs) error {
 		BatchMax:    a.batchMax,
 		CacheSize:   a.cacheSize,
 		RunTimeout:  a.runTimeout,
+		Mutable:     a.mutable,
+		CompactAt:   a.compactAt,
+		CompactPath: a.compactOut,
 	})
 	if err != nil {
 		return err

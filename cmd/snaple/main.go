@@ -207,6 +207,9 @@ func run(a runArgs) error {
 	}
 	fmt.Printf("graph: %s\n", g)
 
+	// gv is the view predictions run over: the loaded CSR, or the split's
+	// remove-only overlay when evaluating.
+	var gv snaple.GraphView = g
 	var split *snaple.Split
 	if a.doEval {
 		split, err = snaple.NewSplit(g, 1, a.seed)
@@ -214,7 +217,7 @@ func run(a runArgs) error {
 			return err
 		}
 		fmt.Printf("protocol: hid %d edges (1 per vertex with degree > 3)\n", split.NumRemoved)
-		g = split.Train
+		gv = split.Train
 	}
 
 	eng := a.engine
@@ -273,33 +276,33 @@ func run(a runArgs) error {
 			// which reports cluster costs: simulated for sim, measured on
 			// the wire for dist.
 			var res *snaple.Result
-			res, err = snaple.PredictDistributed(g, opts, cl)
+			res, err = snaple.PredictDistributed(gv, opts, cl)
 			if res != nil {
 				preds = res.Predictions
 				printStats(res)
 			}
 		} else {
 			var st snaple.EngineStats
-			preds, st, err = snaple.PredictStats(g, opts)
+			preds, st, err = snaple.PredictStats(gv, opts)
 			if err == nil {
 				fmt.Printf("engine: %s workers=%d %.2fs %.0f edges/s alloc=%.1fMiB (%d objects)\n",
 					st.Engine, st.Workers, st.WallSeconds, st.EdgesPerSec,
 					float64(st.AllocBytes)/(1<<20), st.AllocObjects)
 				if st.FrontierVertices > 0 {
 					fmt.Printf("frontier: %d sources -> %d-vertex closure (of %d)\n",
-						st.ScoredVertices, st.FrontierVertices, g.NumVertices())
+						st.ScoredVertices, st.FrontierVertices, gv.NumVertices())
 				}
 			}
 		}
 	case "baseline":
 		var res *snaple.Result
-		res, err = snaple.PredictBaseline(g, a.k, cl)
+		res, err = snaple.PredictBaseline(gv, a.k, cl)
 		if res != nil {
 			preds = res.Predictions
 			printStats(res)
 		}
 	case "walks":
-		preds, err = snaple.PredictWalks(g, a.walks, a.depth, a.k, a.seed)
+		preds, err = snaple.PredictWalks(gv, a.walks, a.depth, a.k, a.seed)
 	default:
 		return fmt.Errorf("unknown system %q (snaple|baseline|walks)", a.system)
 	}

@@ -181,14 +181,14 @@ func (bstep3) GatherBytes(g []nbrList) int64 { return nbrListsBytes(g) }
 // node memory this returns an error wrapping cluster.ErrMemoryExhausted —
 // reproducing the paper's "naive GraphLab version fails due to resource
 // exhaustion".
-func PredictBaselineGAS(g *graph.Digraph, assign partition.Assignment, cl *cluster.Cluster, k int) (*Result, error) {
+func PredictBaselineGAS(g graph.View, assign partition.Assignment, cl *cluster.Cluster, k int) (*Result, error) {
 	return PredictBaselineGASWorkers(g, assign, cl, k, 0)
 }
 
 // PredictBaselineGASWorkers is PredictBaselineGAS with an explicit bound on
 // the number of partitions processed concurrently (0 = GOMAXPROCS). As with
 // PredictGASWorkers, the bound only affects host wall-clock time.
-func PredictBaselineGASWorkers(g *graph.Digraph, assign partition.Assignment, cl *cluster.Cluster, k, workers int) (*Result, error) {
+func PredictBaselineGASWorkers(g graph.View, assign partition.Assignment, cl *cluster.Cluster, k, workers int) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: baseline k=%d, need >= 1", k)
 	}

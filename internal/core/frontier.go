@@ -105,7 +105,7 @@ type Frontier struct {
 // NewFrontier computes the frontier closure of cfg.Sources over g, or nil
 // when cfg.Sources is empty (an unscoped full run). It fails when a source
 // lies outside the graph's vertex range.
-func NewFrontier(g *graph.Digraph, cfg Config) (*Frontier, error) {
+func NewFrontier(g graph.View, cfg Config) (*Frontier, error) {
 	if len(cfg.Sources) == 0 {
 		return nil, nil
 	}
@@ -149,11 +149,24 @@ func NewFrontier(g *graph.Digraph, cfg Config) (*Frontier, error) {
 }
 
 // expandOut adds the out-neighbours of every vertex in from to bits,
-// returning how many were newly added.
-func expandOut(g *graph.Digraph, from []graph.VertexID, bits []uint64) int {
+// returning how many were newly added. Frozen CSRs walk rows directly;
+// overlay views merge each row once into a shared buffer.
+func expandOut(g graph.View, from []graph.VertexID, bits []uint64) int {
 	added := 0
+	if csr, ok := graph.AsCSR(g); ok {
+		for _, u := range from {
+			for _, v := range csr.OutNeighbors(u) {
+				if bitsAdd(bits, v) {
+					added++
+				}
+			}
+		}
+		return added
+	}
+	var buf []graph.VertexID
 	for _, u := range from {
-		for _, v := range g.OutNeighbors(u) {
+		buf = g.AppendOutRow(buf[:0], u)
+		for _, v := range buf {
 			if bitsAdd(bits, v) {
 				added++
 			}

@@ -1,0 +1,82 @@
+package core
+
+import "snaple/internal/graph"
+
+// Frontier-aware cache invalidation.
+//
+// A cached prediction row for source s was computed from the out-rows (and
+// out-degrees) of exactly the vertices in Trunc(s), the frontier closure of
+// radius Paths around s (see the dependency derivation at the top of
+// frontier.go). A mutation batch changes only the out-rows of the mutated
+// edges' *source* endpoints, so the cached row for s can change only if one
+// of those endpoints lies inside s's closure — under the pre-mutation view
+// (which computed the cached row) or the post-mutation view (which a fresh
+// run would use). Everything else is provably untouched and may keep
+// serving from cache.
+//
+// DirtySources inverts that membership test for a whole cache at once:
+// instead of recomputing Trunc(s) per cached source, it runs the closure
+// walk in reverse — a breadth-first walk over in-edges, seeded at the
+// mutated sources, for Paths hops. To cover both the old and the new view
+// with one walk it uses their union: the post-mutation view's in-edges plus
+// the reversed edges the batch removed (the only edges the old view had and
+// the new one lacks; edges the batch added are already in the new view).
+// Paths that mix old-only and new-only edges make this a slight
+// overapproximation, which only ever invalidates more — never serves stale.
+
+// DirtySources returns the set of vertices whose cached predictions a
+// mutation batch may have changed: every vertex within `depth` reverse hops
+// (depth = Config.Paths) of a mutated edge's source endpoint, in the union
+// of the old and new graphs. g is the post-mutation view and must have
+// in-edges; added and removed are the batch as applied (out-of-range
+// endpoints are ignored). An empty batch returns an empty set.
+func DirtySources(g graph.View, added, removed []graph.Edge, depth int) *VertexSet {
+	n := g.NumVertices()
+	bits := newBits(n)
+	size := 0
+	var frontier []graph.VertexID
+	seed := func(e graph.Edge) {
+		if int(e.Src) < n && int(e.Dst) < n && bitsAdd(bits, e.Src) {
+			size++
+			frontier = append(frontier, e.Src)
+		}
+	}
+	for _, e := range added {
+		seed(e)
+	}
+	for _, e := range removed {
+		seed(e)
+	}
+	// Reversed removed edges: present in the old view only, so the new
+	// view's in-rows no longer carry them.
+	var revRemoved map[graph.VertexID][]graph.VertexID
+	for _, e := range removed {
+		if int(e.Src) < n && int(e.Dst) < n {
+			if revRemoved == nil {
+				revRemoved = make(map[graph.VertexID][]graph.VertexID, len(removed))
+			}
+			revRemoved[e.Dst] = append(revRemoved[e.Dst], e.Src)
+		}
+	}
+	var buf []graph.VertexID
+	for hop := 0; hop < depth && len(frontier) > 0; hop++ {
+		var next []graph.VertexID
+		for _, u := range frontier {
+			buf = g.AppendInRow(buf[:0], u)
+			for _, w := range buf {
+				if bitsAdd(bits, w) {
+					size++
+					next = append(next, w)
+				}
+			}
+			for _, w := range revRemoved[u] {
+				if bitsAdd(bits, w) {
+					size++
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return finishSet(bits, size)
+}

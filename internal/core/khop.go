@@ -134,7 +134,7 @@ func (step3b) GatherBytes(g []PathCand) int64 { return step3{}.GatherBytes(g) }
 // ReferenceSnaple3Hop is the serial oracle for the 3-hop extension,
 // bit-identical to the distributed pipeline (steps 1, 2, 3a, 3b) and to the
 // parallel shared-memory backend.
-func ReferenceSnaple3Hop(g *graph.Digraph, cfg Config) (Predictions, error) {
+func ReferenceSnaple3Hop(g graph.View, cfg Config) (Predictions, error) {
 	r, err := NewStepRunner(g, cfg)
 	if err != nil {
 		return nil, err

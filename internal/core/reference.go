@@ -14,7 +14,7 @@ import (
 // aggregation and the same tie-breaking. The other substrates are required
 // by tests to agree exactly; this loop also serves as an in-process
 // predictor for small graphs and as the test oracle.
-func ReferenceSnaple(g *graph.Digraph, cfg Config) (Predictions, error) {
+func ReferenceSnaple(g graph.View, cfg Config) (Predictions, error) {
 	if cfg.withDefaults().Paths == 3 {
 		return ReferenceSnaple3Hop(g, cfg)
 	}
@@ -66,11 +66,11 @@ func runSteps12(r *StepRunner, n int, s *Scratch) (*Arena[graph.VertexID], *Aren
 	f := r.Frontier()
 	trunc := NewArena[graph.VertexID](n)
 	eachScoped(n, f.StepSet(DistTruncate), func(u graph.VertexID) {
-		trunc.SetCount(u, r.TruncateCount(u))
+		trunc.SetCount(u, r.TruncateCount(u, s))
 	})
 	trunc.FinishCounts()
 	eachScoped(n, f.StepSet(DistTruncate), func(u graph.VertexID) {
-		r.TruncateFill(u, trunc.Row(u))
+		r.TruncateFill(u, trunc.Row(u), s)
 	})
 
 	sims := NewArena[VertexSim](n)
@@ -87,7 +87,7 @@ func runSteps12(r *StepRunner, n int, s *Scratch) (*Arena[graph.VertexID], *Aren
 // ReferenceBaseline is the serial oracle for BASELINE: for every vertex it
 // scores each 2-hop candidate with Jaccard on full neighbourhoods and keeps
 // the top k.
-func ReferenceBaseline(g *graph.Digraph, k int) (Predictions, error) {
+func ReferenceBaseline(g graph.View, k int) (Predictions, error) {
 	if k < 1 {
 		return nil, errBaselineK(k)
 	}

@@ -53,7 +53,7 @@ type snapleState struct {
 	frontier *Frontier
 }
 
-func newSnapleState(g *graph.Digraph, cfg Config) *snapleState {
+func newSnapleState(g graph.View, cfg Config) *snapleState {
 	deg := make([]int32, g.NumVertices())
 	for u := 0; u < g.NumVertices(); u++ {
 		deg[u] = int32(g.OutDegree(graph.VertexID(u)))
@@ -311,7 +311,7 @@ type Result struct {
 // and returns the per-vertex predictions. This is the paper's SNAPLE system.
 // It processes partitions on up to GOMAXPROCS goroutines; use
 // PredictGASWorkers to bound the concurrency explicitly.
-func PredictGAS(g *graph.Digraph, assign partition.Assignment, cl *cluster.Cluster, cfg Config) (*Result, error) {
+func PredictGAS(g graph.View, assign partition.Assignment, cl *cluster.Cluster, cfg Config) (*Result, error) {
 	return PredictGASWorkers(g, assign, cl, cfg, 0)
 }
 
@@ -319,7 +319,7 @@ func PredictGAS(g *graph.Digraph, assign partition.Assignment, cl *cluster.Clust
 // partitions processed concurrently (0 = GOMAXPROCS). The worker count only
 // affects host wall-clock time, never the predictions or the simulated
 // costs.
-func PredictGASWorkers(g *graph.Digraph, assign partition.Assignment, cl *cluster.Cluster, cfg Config, workers int) (*Result, error) {
+func PredictGASWorkers(g graph.View, assign partition.Assignment, cl *cluster.Cluster, cfg Config, workers int) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err

@@ -43,12 +43,19 @@ func sortPathCands(cands []PathCand) {
 	slices.SortFunc(cands, func(a, b PathCand) int { return cmp.Compare(a.Z, b.Z) })
 }
 
-// StepRunner exposes Algorithm 2's steps as per-vertex functions over the
-// CSR graph. Construct one with NewStepRunner; methods are safe for
+// StepRunner exposes Algorithm 2's steps as per-vertex functions over any
+// adjacency View. Construct one with NewStepRunner; methods are safe for
 // concurrent use as long as each goroutine uses its own Scratch and writes
 // to disjoint vertices.
+//
+// When the view is a frozen CSR the runner pins it in csr and every row
+// access is a direct slice view — the monomorphic fast path the alloc tests
+// and perf gate measure. Overlay views (graph.Delta) go through AppendOutRow
+// into the Scratch's reused row buffer instead, still allocation-free in
+// steady state.
 type StepRunner struct {
-	g        *graph.Digraph
+	g        graph.View
+	csr      *graph.Digraph // non-nil fast path: g is (or unwraps to) a CSR
 	cfg      Config
 	deg      []int32   // full out-degrees, static topology metadata
 	frontier *Frontier // query scope; nil = full run
@@ -57,7 +64,7 @@ type StepRunner struct {
 // NewStepRunner validates cfg, fills defaults, precomputes the degree table
 // shared by all steps and — for a query-scoped run (cfg.Sources non-empty)
 // — the frontier closure that gates every step primitive.
-func NewStepRunner(g *graph.Digraph, cfg Config) (*StepRunner, error) {
+func NewStepRunner(g graph.View, cfg Config) (*StepRunner, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -67,7 +74,20 @@ func NewStepRunner(g *graph.Digraph, cfg Config) (*StepRunner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &StepRunner{g: g, cfg: cfg, deg: st.deg, frontier: f}, nil
+	r := &StepRunner{g: g, cfg: cfg, deg: st.deg, frontier: f}
+	r.csr, _ = graph.AsCSR(g)
+	return r, nil
+}
+
+// outRow returns u's sorted out-neighbour row: a direct CSR slice on the
+// frozen-graph fast path, the overlay merge into s.row otherwise. The result
+// is valid until the next outRow call on the same Scratch.
+func (r *StepRunner) outRow(u graph.VertexID, s *Scratch) []graph.VertexID {
+	if r.csr != nil {
+		return r.csr.OutNeighbors(u)
+	}
+	s.row = r.g.AppendOutRow(s.row[:0], u)
+	return s.row
 }
 
 // Config returns the runner's configuration with defaults applied.
@@ -87,8 +107,9 @@ type Scratch struct {
 	vals    []float64
 	items   []topk.Item
 	chosen  []graph.VertexID
-	coll    *topk.Collector // top-k predictions (capacity cfg.K)
-	selColl *topk.Collector // k_local relay selection (nil when unlimited)
+	row     []graph.VertexID // merged-row buffer for overlay views (outRow)
+	coll    *topk.Collector  // top-k predictions (capacity cfg.K)
+	selColl *topk.Collector  // k_local relay selection (nil when unlimited)
 }
 
 // NewScratch returns a Scratch sized for the runner's configuration.
@@ -103,8 +124,9 @@ func (r *StepRunner) NewScratch() *Scratch {
 // ---- Step 1: truncated neighbourhoods Γ̂ (Algorithm 2, lines 1-6) ----
 
 // TruncateCount returns |Γ̂(u)|, the number of out-neighbours the hash-keyed
-// truncation keeps for u (the count pass of step 1).
-func (r *StepRunner) TruncateCount(u graph.VertexID) int {
+// truncation keeps for u (the count pass of step 1). s supplies the merged-row
+// buffer when the view is an overlay.
+func (r *StepRunner) TruncateCount(u graph.VertexID, s *Scratch) int {
 	if !r.frontier.InTrunc(u) {
 		return 0
 	}
@@ -113,7 +135,7 @@ func (r *StepRunner) TruncateCount(u graph.VertexID) int {
 		return deg
 	}
 	n := 0
-	for _, v := range r.g.OutNeighbors(u) {
+	for _, v := range r.outRow(u, s) {
 		if keepTruncated(r.cfg.Seed, u, v, deg, r.cfg.ThrGamma) {
 			n++
 		}
@@ -121,14 +143,15 @@ func (r *StepRunner) TruncateCount(u graph.VertexID) int {
 	return n
 }
 
-// TruncateFill writes Γ̂(u) into dst, which must have length TruncateCount(u).
-// The result is sorted ascending because it is a subsequence of the sorted
-// adjacency. The hash draws repeat the count pass's exactly.
-func (r *StepRunner) TruncateFill(u graph.VertexID, dst []graph.VertexID) {
+// TruncateFill writes Γ̂(u) into dst, which must have length
+// TruncateCount(u, s). The result is sorted ascending because it is a
+// subsequence of the sorted adjacency. The hash draws repeat the count
+// pass's exactly.
+func (r *StepRunner) TruncateFill(u graph.VertexID, dst []graph.VertexID, s *Scratch) {
 	if !r.frontier.InTrunc(u) {
 		return
 	}
-	nbrs := r.g.OutNeighbors(u)
+	nbrs := r.outRow(u, s)
 	deg := int(r.deg[u])
 	if r.cfg.ThrGamma == Unlimited || deg <= r.cfg.ThrGamma {
 		copy(dst, nbrs)
@@ -167,7 +190,7 @@ func (r *StepRunner) RelaysFill(u graph.VertexID, trunc *Arena[graph.VertexID], 
 	if !r.frontier.InSims(u) {
 		return
 	}
-	nbrs := r.g.OutNeighbors(u)
+	nbrs := r.outRow(u, s)
 	if len(nbrs) == 0 {
 		return
 	}

@@ -117,7 +117,7 @@ func (m *SupervisedModel) score(f [numPathFeatures]float64) float64 {
 // candidateFeatures computes, for every vertex u of g, the feature vector
 // of every k_local-sampled 2-hop candidate. It mirrors ReferenceSnaple's
 // structure (steps 1-3) with Jaccard relays.
-func candidateFeatures(g *graph.Digraph, klocal, thr int, seed uint64) []map[graph.VertexID][numPathFeatures]float64 {
+func candidateFeatures(g graph.View, klocal, thr int, seed uint64) []map[graph.VertexID][numPathFeatures]float64 {
 	cfg := Config{
 		Score:    ScoreSpec{Name: "features", Sim: Jaccard{}, Comb: Linear(0.9), Agg: AggSum()},
 		K:        1,
@@ -202,7 +202,7 @@ func candidateFeatures(g *graph.Digraph, klocal, thr int, seed uint64) []map[gra
 // splits), extracts path features on the remainder, labels the hidden
 // edges positive, samples negatives, and fits a logistic model with
 // full-batch gradient descent. Deterministic in cfg.Seed.
-func TrainSupervised(g *graph.Digraph, cfg SupervisedConfig) (*SupervisedModel, error) {
+func TrainSupervised(g graph.View, cfg SupervisedConfig) (*SupervisedModel, error) {
 	cfg = cfg.withDefaults()
 	if g.NumEdges() == 0 {
 		return nil, fmt.Errorf("core: supervised training on empty graph")
@@ -224,7 +224,7 @@ func TrainSupervised(g *graph.Digraph, cfg SupervisedConfig) (*SupervisedModel, 
 	if len(removed) == 0 {
 		return nil, fmt.Errorf("core: supervised training needs vertices with degree > 3")
 	}
-	train := g.WithoutEdges(removed)
+	train := graph.Without(g, removed)
 	feats := candidateFeatures(train, cfg.KLocal, cfg.ThrGamma, cfg.Seed)
 
 	// Assemble the labelled set. Only vertices whose hidden edge actually
@@ -313,7 +313,7 @@ func TrainSupervised(g *graph.Digraph, cfg SupervisedConfig) (*SupervisedModel, 
 // Predict ranks every vertex's candidates with the learned scoring
 // function and returns the top k, under the same exclusion rules as the
 // unsupervised predictor.
-func (m *SupervisedModel) Predict(g *graph.Digraph, k int) (Predictions, error) {
+func (m *SupervisedModel) Predict(g graph.View, k int) (Predictions, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: supervised k=%d, need >= 1", k)
 	}

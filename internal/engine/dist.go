@@ -173,7 +173,7 @@ func (d Dist) replicaCount(avail int) int {
 }
 
 // Predict implements Backend.
-func (d Dist) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error) {
+func (d Dist) Predict(g graph.View, cfg core.Config) (core.Predictions, Stats, error) {
 	return d.PredictCtx(context.Background(), g, cfg)
 }
 
@@ -181,7 +181,7 @@ func (d Dist) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stat
 // ctx closes every worker connection, so whatever exchange is in flight
 // fails promptly and the call returns ctx.Err() — the resident workers see
 // their session end and stay reusable for the next job.
-func (d Dist) PredictCtx(ctx context.Context, g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error) {
+func (d Dist) PredictCtx(ctx context.Context, g graph.View, cfg core.Config) (core.Predictions, Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -412,7 +412,7 @@ func (d *deployment) stepHasWork(step core.DistStep) bool {
 // carries its locals' scope masks; election then runs over the surviving
 // replicas — placement never changes results, so the scoped predictions
 // still match the full run's bit for bit.
-func (d Dist) deploy(g *graph.Digraph, nw int, frontier *core.Frontier) (*deployment, error) {
+func (d Dist) deploy(g graph.View, nw int, frontier *core.Frontier) (*deployment, error) {
 	strat := d.Strategy
 	if strat == nil {
 		strat = partition.HashEdge{Seed: d.Seed}

@@ -113,7 +113,7 @@ type Backend interface {
 	// to that frontier: only the sources receive predictions, and the
 	// backend restricts its work to the frontier closure. On error the
 	// predictions may be partial or nil.
-	Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error)
+	Predict(g graph.View, cfg core.Config) (core.Predictions, Stats, error)
 }
 
 // ContextBackend is a Backend whose runs can be abandoned mid-flight. The
@@ -124,14 +124,14 @@ type ContextBackend interface {
 	Backend
 	// PredictCtx is Predict under a context. When ctx is cancelled the run
 	// returns ctx.Err() as soon as the in-flight exchange unblocks.
-	PredictCtx(ctx context.Context, g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error)
+	PredictCtx(ctx context.Context, g graph.View, cfg core.Config) (core.Predictions, Stats, error)
 }
 
 // PredictWithContext runs be.PredictCtx when the backend supports
 // cancellation and falls back to a plain Predict otherwise — the in-memory
 // backends have no remote side to abandon, so a context could only be
 // checked between steps they finish in microseconds anyway.
-func PredictWithContext(ctx context.Context, be Backend, g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error) {
+func PredictWithContext(ctx context.Context, be Backend, g graph.View, cfg core.Config) (core.Predictions, Stats, error) {
 	if cb, ok := be.(ContextBackend); ok {
 		return cb.PredictCtx(ctx, g, cfg)
 	}

@@ -261,8 +261,8 @@ func OpenFleet(g *graph.Digraph, o FleetOptions) (*Fleet, error) {
 
 	f := &Fleet{
 		g: g, shards: shards, replicas: reps, fingerprint: fp, seed: seed,
-		timeout:  Dist{StepTimeout: o.StepTimeout}.stepTimeout(),
-		proto:    o.Proto, compress: o.Compress,
+		timeout: Dist{StepTimeout: o.StepTimeout}.stepTimeout(),
+		proto:   o.Proto, compress: o.Compress,
 		dialAtt:  o.DialAttempts,
 		dialBack: o.DialBackoff,
 
@@ -450,19 +450,21 @@ func (f *Fleet) Close() error {
 // Predict implements Backend. The graph must be the one the fleet was opened
 // with: the workers' resident shards were cut from it, and the fingerprint
 // handshake (not this call) is what proves they still agree.
-func (f *Fleet) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error) {
+func (f *Fleet) Predict(g graph.View, cfg core.Config) (core.Predictions, Stats, error) {
 	return f.PredictCtx(context.Background(), g, cfg)
 }
 
 // PredictCtx implements ContextBackend. Cancelling ctx closes the query's
 // connections; they are redialed lazily on the next query, so a cancelled
 // query degrades latency once, never the fleet.
-func (f *Fleet) PredictCtx(ctx context.Context, g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error) {
+func (f *Fleet) PredictCtx(ctx context.Context, g graph.View, cfg core.Config) (core.Predictions, Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	st := Stats{Engine: "fleet", Workers: f.shards * f.replicas, Replicas: f.replicas}
-	if g != f.g {
+	if csr, ok := graph.AsCSR(g); !ok {
+		return nil, st, errors.New("engine: fleet: predict over a mutated view — the fleet serves a frozen pack; compact first")
+	} else if csr != f.g {
 		return nil, st, errors.New("engine: fleet: predict over a graph the fleet was not opened with")
 	}
 	cfg, err := cfg.Normalized()

@@ -51,7 +51,7 @@ const (
 )
 
 // Predict implements Backend.
-func (l Local) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error) {
+func (l Local) Predict(g graph.View, cfg core.Config) (core.Predictions, Stats, error) {
 	// Both MemStats reads sit outside the timed window so their
 	// stop-the-world pauses never inflate WallSeconds/EdgesPerSec.
 	var m0 runtime.MemStats
@@ -91,11 +91,11 @@ func (l Local) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Sta
 	truncPass := passFor(f.StepSet(core.DistTruncate))
 	trunc := core.NewArena[graph.VertexID](n)
 	forEachVertex(r, workers, truncPass, func(w *worker, u graph.VertexID) {
-		trunc.SetCount(u, r.TruncateCount(u))
+		trunc.SetCount(u, r.TruncateCount(u, w.s))
 	})
 	trunc.FinishCounts()
 	forEachVertex(r, workers, truncPass, func(w *worker, u graph.VertexID) {
-		r.TruncateFill(u, trunc.Row(u))
+		r.TruncateFill(u, trunc.Row(u), w.s)
 	})
 
 	// Step 2: raw similarities and k_local relay selection.
@@ -183,7 +183,7 @@ func (p pass) vertex(i int) graph.VertexID {
 // nil) into contiguous chunks of at most chunkVerts vertices and roughly
 // chunkEdges out-edges each. The boundaries are computed once per sequence
 // and shared by every pass over it.
-func degreeChunks(g *graph.Digraph, verts []graph.VertexID) []int {
+func degreeChunks(g graph.View, verts []graph.VertexID) []int {
 	n := g.NumVertices()
 	if verts != nil {
 		n = len(verts)

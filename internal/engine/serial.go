@@ -17,7 +17,7 @@ type Serial struct{}
 func (Serial) Name() string { return "serial" }
 
 // Predict implements Backend.
-func (Serial) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error) {
+func (Serial) Predict(g graph.View, cfg core.Config) (core.Predictions, Stats, error) {
 	// MemStats reads stay outside the timed window (see Local.Predict).
 	var m0 runtime.MemStats
 	runtime.ReadMemStats(&m0)

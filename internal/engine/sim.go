@@ -58,7 +58,7 @@ func (s Sim) withDefaults() Sim {
 // Deploy partitions g across the simulated cluster and returns the
 // assignment and cluster, for callers that run their own GAS programs
 // (e.g. the BASELINE comparison system).
-func (s Sim) Deploy(g *graph.Digraph) (partition.Assignment, *cluster.Cluster, error) {
+func (s Sim) Deploy(g graph.View) (partition.Assignment, *cluster.Cluster, error) {
 	s = s.withDefaults()
 	assign, err := s.Strategy.Partition(g, s.Partitions)
 	if err != nil {
@@ -76,7 +76,7 @@ func (s Sim) Deploy(g *graph.Digraph) (partition.Assignment, *cluster.Cluster, e
 // Predict implements Backend. On a failure before any superstep ran (bad
 // config, deployment error) the returned Stats is the zero value; on a
 // mid-run failure (memory exhaustion) it carries the partial costs.
-func (s Sim) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats, error) {
+func (s Sim) Predict(g graph.View, cfg core.Config) (core.Predictions, Stats, error) {
 	res, err := s.PredictResult(g, cfg)
 	if res == nil {
 		return nil, Stats{}, err
@@ -87,7 +87,7 @@ func (s Sim) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, Stats
 // PredictResult is Predict with the GAS engine's full cost report: the
 // per-superstep StepStats breakdown that the flattened Stats cannot carry.
 // The result is non-nil whenever at least one superstep started.
-func (s Sim) PredictResult(g *graph.Digraph, cfg core.Config) (*core.Result, error) {
+func (s Sim) PredictResult(g graph.View, cfg core.Config) (*core.Result, error) {
 	if _, err := cfg.Normalized(); err != nil {
 		return nil, err // fail before the partitioning pass
 	}

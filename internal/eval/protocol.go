@@ -15,7 +15,9 @@ import (
 // Split is a link-prediction train/test split: the training graph with some
 // edges hidden, and the hidden edges per vertex.
 type Split struct {
-	Train *graph.Digraph
+	// Train is the training view: the full graph behind a remove-only
+	// Delta overlay hiding the sampled edges.
+	Train graph.View
 	// Removed maps each vertex to its hidden out-edge targets (sorted).
 	Removed map[graph.VertexID][]graph.VertexID
 	// NumRemoved is the total number of hidden edges.

@@ -117,7 +117,7 @@ func (o Options) backend(d Deployment, seed uint64) (engine.Backend, error) {
 // backends. The sim backend fills the full cost report (per-superstep
 // breakdown included); the shared-memory backends report only host wall
 // time, leaving the simulated cost fields zero.
-func runSnaple(opts Options, g *graph.Digraph, d Deployment, cfg core.Config) (*core.Result, error) {
+func runSnaple(opts Options, g graph.View, d Deployment, cfg core.Config) (*core.Result, error) {
 	be, err := opts.backend(d, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -136,7 +136,7 @@ func runSnaple(opts Options, g *graph.Digraph, d Deployment, cfg core.Config) (*
 
 // runBaseline distributes g over d and runs the naive BASELINE (always on
 // the sim substrate: the experiment's point is its cost blow-up).
-func runBaseline(opts Options, g *graph.Digraph, d Deployment, k int, seed uint64) (*core.Result, error) {
+func runBaseline(opts Options, g graph.View, d Deployment, k int, seed uint64) (*core.Result, error) {
 	assign, cl, err := opts.sim(d, seed).Deploy(g)
 	if err != nil {
 		return nil, err

@@ -40,7 +40,7 @@ type part[V, E any] struct {
 // DistGraph is a graph distributed over a simulated cluster, ready to run
 // GAS supersteps. Build one with Distribute.
 type DistGraph[V, E any] struct {
-	g       *graph.Digraph
+	g       graph.View
 	cl      *cluster.Cluster
 	parts   []*part[V, E]
 	workers int
@@ -60,7 +60,7 @@ type Options struct {
 // Distribute places g's edges on cl's partitions according to assign and
 // builds the replica/master structures. The V and E states start as zero
 // values; use InitVertices to set initial vertex state.
-func Distribute[V, E any](g *graph.Digraph, assign partition.Assignment, cl *cluster.Cluster, opts Options) (*DistGraph[V, E], error) {
+func Distribute[V, E any](g graph.View, assign partition.Assignment, cl *cluster.Cluster, opts Options) (*DistGraph[V, E], error) {
 	if g == nil {
 		return nil, fmt.Errorf("gas: nil graph")
 	}
@@ -205,7 +205,7 @@ func Distribute[V, E any](g *graph.Digraph, assign partition.Assignment, cl *clu
 }
 
 // Graph returns the underlying topology.
-func (dg *DistGraph[V, E]) Graph() *graph.Digraph { return dg.g }
+func (dg *DistGraph[V, E]) Graph() graph.View { return dg.g }
 
 // Cluster returns the cluster the graph is distributed over.
 func (dg *DistGraph[V, E]) Cluster() *cluster.Cluster { return dg.cl }

@@ -1,0 +1,398 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// Delta is an immutable mutation overlay on a CSR base: per-vertex sorted
+// add/remove lists merged against the base rows on the fly, so a live graph
+// never pays a full CSR rebuild per mutation batch. A Delta is a persistent
+// value — Apply returns a new Delta sharing every untouched row with its
+// parent (copy-on-write), and the epoch increments on every Apply, so a
+// reader holding a *Delta sees one consistent graph for as long as it wants
+// while writers keep batching. Overlay rows keep two invariants: add is
+// disjoint from the base row, del is a subset of it; both stay sorted, so
+// merged rows come out sorted with a single skip-merge pass and no
+// post-sort.
+//
+// The vertex set is fixed at the base's: mutations may only connect
+// existing vertices. Compact (or Materialize) folds the overlay back into
+// a fresh CSR when it grows past taste.
+type Delta struct {
+	base *Digraph
+	out  map[VertexID]*deltaRow
+	in   map[VertexID]*deltaRow // mirror of out, kept iff base has in-edges
+
+	numEdges int
+	epoch    uint64
+}
+
+// deltaRow is one vertex's overlay: edges added to and deleted from its
+// base row. Rows that would become empty are removed from the map, so map
+// emptiness means "no pending mutations".
+type deltaRow struct {
+	add []VertexID // sorted, disjoint from the base row
+	del []VertexID // sorted, subset of the base row
+}
+
+var (
+	_ View = (*Digraph)(nil)
+	_ View = (*Delta)(nil)
+)
+
+// NewDelta returns an empty overlay over base: a View equal to base with
+// epoch 0.
+func NewDelta(base *Digraph) *Delta {
+	return &Delta{base: base, numEdges: base.NumEdges()}
+}
+
+// Base returns the CSR snapshot the overlay applies to.
+func (d *Delta) Base() *Digraph { return d.base }
+
+// Epoch returns the view's version: it increments on every Apply and every
+// compaction, so two views of the same Live graph compare by freshness.
+func (d *Delta) Epoch() uint64 { return d.epoch }
+
+// OverlayRows returns the number of vertices with pending out-row
+// mutations — the quantity compaction thresholds watch.
+func (d *Delta) OverlayRows() int { return len(d.out) }
+
+// Apply returns a new Delta with the given edges added and then removed,
+// leaving d untouched. Adding an existing edge, removing an absent one, and
+// self-loop adds are no-ops (matching Builder semantics); duplicates within
+// a batch are harmless. Endpoints outside the vertex set are an error —
+// the overlay cannot grow the vertex space. The new view's epoch is d's
+// plus one.
+func (d *Delta) Apply(add, remove []Edge) (*Delta, error) {
+	for _, e := range add {
+		if err := d.checkEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range remove {
+		if err := d.checkEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	nd := &Delta{
+		base:     d.base,
+		out:      cloneRowMap(d.out),
+		numEdges: d.numEdges,
+		epoch:    d.epoch + 1,
+	}
+	mirror := d.base.HasInEdges()
+	if mirror {
+		nd.in = cloneRowMap(d.in)
+	}
+	// cloned tracks rows copied (or created) by this Apply: those may be
+	// mutated in place, every other row is shared with d and must be
+	// cloned first.
+	cloned := make(map[VertexID]bool)
+	clonedIn := make(map[VertexID]bool)
+	for _, e := range add {
+		if e.Src == e.Dst {
+			continue
+		}
+		inBase := d.base.HasEdge(e.Src, e.Dst)
+		if rowApply(nd.out, cloned, e.Src, e.Dst, inBase, true) {
+			nd.numEdges++
+			if mirror {
+				rowApply(nd.in, clonedIn, e.Dst, e.Src, inBase, true)
+			}
+		}
+	}
+	for _, e := range remove {
+		inBase := d.base.HasEdge(e.Src, e.Dst)
+		if rowApply(nd.out, cloned, e.Src, e.Dst, inBase, false) {
+			nd.numEdges--
+			if mirror {
+				rowApply(nd.in, clonedIn, e.Dst, e.Src, inBase, false)
+			}
+		}
+	}
+	return nd, nil
+}
+
+func (d *Delta) checkEdge(e Edge) error {
+	if int(e.Src) >= d.base.numVertices || int(e.Dst) >= d.base.numVertices {
+		return fmt.Errorf("graph: edge (%d,%d) outside vertex set [0,%d): %w",
+			e.Src, e.Dst, d.base.numVertices, errInvalidVertex)
+	}
+	return nil
+}
+
+func cloneRowMap(m map[VertexID]*deltaRow) map[VertexID]*deltaRow {
+	out := make(map[VertexID]*deltaRow, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// rowApply transitions one overlay row for the edge value val (a neighbour
+// in key's row), given whether the edge exists in the base, and reports
+// whether the edge set actually changed. The same transition table serves
+// the out overlay and its in-edge mirror.
+func rowApply(rows map[VertexID]*deltaRow, cloned map[VertexID]bool, key, val VertexID, inBase, isAdd bool) bool {
+	r := rows[key]
+	switch {
+	case isAdd && inBase: // re-add of a base edge: live only if deleted
+		if r == nil || !containsSorted(r.del, val) {
+			return false
+		}
+		r = mutableRow(rows, cloned, key)
+		r.del = removeSorted(r.del, val)
+	case isAdd: // genuinely new edge
+		if r != nil && containsSorted(r.add, val) {
+			return false
+		}
+		r = mutableRow(rows, cloned, key)
+		r.add = insertSorted(r.add, val)
+	case inBase: // remove a base edge
+		if r != nil && containsSorted(r.del, val) {
+			return false
+		}
+		r = mutableRow(rows, cloned, key)
+		r.del = insertSorted(r.del, val)
+	default: // remove an overlay-added edge (or a fully absent one)
+		if r == nil || !containsSorted(r.add, val) {
+			return false
+		}
+		r = mutableRow(rows, cloned, key)
+		r.add = removeSorted(r.add, val)
+	}
+	if len(r.add) == 0 && len(r.del) == 0 {
+		delete(rows, key) // keep map emptiness == "clean view"
+	}
+	return true
+}
+
+// mutableRow returns a row of rows that is safe to mutate in place,
+// cloning (or creating) it on first touch.
+func mutableRow(rows map[VertexID]*deltaRow, cloned map[VertexID]bool, key VertexID) *deltaRow {
+	if r, ok := rows[key]; ok {
+		if cloned[key] {
+			return r
+		}
+		nr := &deltaRow{add: slices.Clone(r.add), del: slices.Clone(r.del)}
+		rows[key] = nr
+		cloned[key] = true
+		return nr
+	}
+	r := &deltaRow{}
+	rows[key] = r
+	cloned[key] = true
+	return r
+}
+
+func containsSorted(s []VertexID, v VertexID) bool {
+	_, ok := slices.BinarySearch(s, v)
+	return ok
+}
+
+func insertSorted(s []VertexID, v VertexID) []VertexID {
+	i, _ := slices.BinarySearch(s, v)
+	return slices.Insert(s, i, v)
+}
+
+func removeSorted(s []VertexID, v VertexID) []VertexID {
+	i, _ := slices.BinarySearch(s, v)
+	return slices.Delete(s, i, i+1)
+}
+
+// ---- View implementation ----
+
+// NumVertices implements View.
+func (d *Delta) NumVertices() int { return d.base.numVertices }
+
+// NumEdges implements View.
+func (d *Delta) NumEdges() int { return d.numEdges }
+
+// OutDegree implements View.
+func (d *Delta) OutDegree(u VertexID) int {
+	deg := d.base.OutDegree(u)
+	if r := d.out[u]; r != nil {
+		deg += len(r.add) - len(r.del)
+	}
+	return deg
+}
+
+// OutNeighbors implements View. Overlay-dirty rows are materialised fresh;
+// clean rows alias the base.
+func (d *Delta) OutNeighbors(u VertexID) []VertexID {
+	r := d.out[u]
+	if r == nil {
+		return d.base.OutNeighbors(u)
+	}
+	return mergeRow(make([]VertexID, 0, d.OutDegree(u)), d.base.OutNeighbors(u), r)
+}
+
+// AppendOutRow implements View.
+func (d *Delta) AppendOutRow(buf []VertexID, u VertexID) []VertexID {
+	r := d.out[u]
+	if r == nil {
+		return append(buf, d.base.OutNeighbors(u)...)
+	}
+	return mergeRow(buf, d.base.OutNeighbors(u), r)
+}
+
+// HasEdge implements View.
+func (d *Delta) HasEdge(u, v VertexID) bool {
+	if r := d.out[u]; r != nil {
+		if containsSorted(r.add, v) {
+			return true
+		}
+		if containsSorted(r.del, v) {
+			return false
+		}
+	}
+	return d.base.HasEdge(u, v)
+}
+
+// ForEachEdge implements View, preserving the (src, dst) visit order the
+// distribution layer depends on.
+func (d *Delta) ForEachEdge(fn func(u, v VertexID)) {
+	for u := 0; u < d.base.numVertices; u++ {
+		src := VertexID(u)
+		r := d.out[src]
+		if r == nil {
+			for _, v := range d.base.OutNeighbors(src) {
+				fn(src, v)
+			}
+			continue
+		}
+		ai, di := 0, 0
+		for _, v := range d.base.OutNeighbors(src) {
+			for ai < len(r.add) && r.add[ai] < v {
+				fn(src, r.add[ai])
+				ai++
+			}
+			if di < len(r.del) && r.del[di] == v {
+				di++
+				continue
+			}
+			fn(src, v)
+		}
+		for ; ai < len(r.add); ai++ {
+			fn(src, r.add[ai])
+		}
+	}
+}
+
+// HasInEdges implements View.
+func (d *Delta) HasInEdges() bool { return d.base.HasInEdges() }
+
+// InDegree implements View. It panics unless the base has in-edges.
+func (d *Delta) InDegree(u VertexID) int {
+	deg := d.base.InDegree(u)
+	if r := d.in[u]; r != nil {
+		deg += len(r.add) - len(r.del)
+	}
+	return deg
+}
+
+// InNeighbors implements View. It panics unless the base has in-edges.
+func (d *Delta) InNeighbors(u VertexID) []VertexID {
+	r := d.in[u]
+	if r == nil {
+		return d.base.InNeighbors(u)
+	}
+	return mergeRow(make([]VertexID, 0, d.InDegree(u)), d.base.InNeighbors(u), r)
+}
+
+// AppendInRow implements View. It panics unless the base has in-edges.
+func (d *Delta) AppendInRow(buf []VertexID, u VertexID) []VertexID {
+	r := d.in[u]
+	if r == nil {
+		return append(buf, d.base.InNeighbors(u)...)
+	}
+	return mergeRow(buf, d.base.InNeighbors(u), r)
+}
+
+// mergeRow appends to dst the skip-merge of base minus r.del plus r.add —
+// the single pass that keeps merged rows sorted. del being a sorted subset
+// of base means its entries are consumed exactly at their base positions.
+func mergeRow(dst, base []VertexID, r *deltaRow) []VertexID {
+	ai, di := 0, 0
+	for _, v := range base {
+		for ai < len(r.add) && r.add[ai] < v {
+			dst = append(dst, r.add[ai])
+			ai++
+		}
+		if di < len(r.del) && r.del[di] == v {
+			di++
+			continue
+		}
+		dst = append(dst, v)
+	}
+	return append(dst, r.add[ai:]...)
+}
+
+// Materialize folds base+overlay into a fresh immutable CSR, rebuilding
+// the reverse adjacency when the base carried one. The result is
+// bit-identical, as a View, to d itself.
+func (d *Delta) Materialize() *Digraph {
+	n := d.base.numVertices
+	ng := &Digraph{
+		numVertices: n,
+		outOff:      make([]int64, n+1),
+		outAdj:      make([]VertexID, 0, d.numEdges),
+	}
+	for u := 0; u < n; u++ {
+		ng.outAdj = d.AppendOutRow(ng.outAdj, VertexID(u))
+		ng.outOff[u+1] = int64(len(ng.outAdj))
+	}
+	if d.base.HasInEdges() {
+		ng.buildInAdjacency()
+	}
+	return ng
+}
+
+// Live owns a mutating graph: one writer lock serialising Apply/Compact,
+// one atomic pointer publishing the current immutable *Delta. Readers call
+// View and keep the returned value for a whole computation — consistency
+// is free because published views never change.
+type Live struct {
+	mu  sync.Mutex
+	cur atomic.Pointer[Delta]
+}
+
+// NewLive starts a live graph at base with an empty overlay (epoch 0).
+func NewLive(base *Digraph) *Live {
+	l := &Live{}
+	l.cur.Store(NewDelta(base))
+	return l
+}
+
+// View returns the current published view.
+func (l *Live) View() *Delta { return l.cur.Load() }
+
+// Apply atomically publishes a new view with the batch applied (adds
+// first, then removes) and returns it. On error nothing is published.
+func (l *Live) Apply(add, remove []Edge) (*Delta, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	nd, err := l.cur.Load().Apply(add, remove)
+	if err != nil {
+		return nil, err
+	}
+	l.cur.Store(nd)
+	return nd, nil
+}
+
+// Compact rewrites base+overlay into a fresh CSR and publishes it as the
+// new base under an epoch bump. Writers stall for the rebuild; readers
+// never do (they keep whichever view they hold, and the compacted view is
+// bit-identical to the one it replaces). The fresh view is returned so
+// callers can persist its Base.
+func (l *Live) Compact() *Delta {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := l.cur.Load()
+	nd := &Delta{base: d.Materialize(), numEdges: d.numEdges, epoch: d.epoch + 1}
+	l.cur.Store(nd)
+	return nd
+}

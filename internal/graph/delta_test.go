@@ -1,0 +1,208 @@
+package graph
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"snaple/internal/randx"
+)
+
+// deltaTestBase builds a random base graph with the reverse adjacency
+// materialised, so the overlay's in-edge mirror is exercised throughout.
+func deltaTestBase(t testing.TB, n int, seed uint64) *Digraph {
+	t.Helper()
+	b := NewBuilder(n).WithInEdges(true)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && randx.Float64(seed, uint64(u), uint64(v)) < 0.08 {
+				b.AddEdge(VertexID(u), VertexID(v))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// collectEdges materialises a view's edge list in visit order.
+func collectEdges(v View) []Edge {
+	out := make([]Edge, 0, v.NumEdges())
+	v.ForEachEdge(func(u, w VertexID) { out = append(out, Edge{Src: u, Dst: w}) })
+	return out
+}
+
+// checkDeltaAgainstOracle compares d against a CSR rebuilt from the truth
+// edge set on every View accessor.
+func checkDeltaAgainstOracle(t *testing.T, step int, d *Delta, truth map[Edge]bool) {
+	t.Helper()
+	n := d.NumVertices()
+	b := NewBuilder(n).WithInEdges(true)
+	for e := range truth {
+		b.AddEdge(e.Src, e.Dst)
+	}
+	want, err := b.Build()
+	if err != nil {
+		t.Fatalf("step %d: oracle rebuild: %v", step, err)
+	}
+	if d.NumEdges() != want.NumEdges() {
+		t.Fatalf("step %d: NumEdges = %d, oracle %d", step, d.NumEdges(), want.NumEdges())
+	}
+	var buf []VertexID
+	for u := 0; u < n; u++ {
+		uid := VertexID(u)
+		if d.OutDegree(uid) != want.OutDegree(uid) {
+			t.Fatalf("step %d: OutDegree(%d) = %d, oracle %d", step, u, d.OutDegree(uid), want.OutDegree(uid))
+		}
+		if got := d.OutNeighbors(uid); !reflect.DeepEqual(append([]VertexID{}, got...), append([]VertexID{}, want.OutNeighbors(uid)...)) {
+			t.Fatalf("step %d: OutNeighbors(%d) = %v, oracle %v", step, u, got, want.OutNeighbors(uid))
+		}
+		buf = d.AppendOutRow(buf[:0], uid)
+		if !reflect.DeepEqual(append([]VertexID{}, buf...), append([]VertexID{}, want.OutNeighbors(uid)...)) {
+			t.Fatalf("step %d: AppendOutRow(%d) = %v, oracle %v", step, u, buf, want.OutNeighbors(uid))
+		}
+		if d.InDegree(uid) != want.InDegree(uid) {
+			t.Fatalf("step %d: InDegree(%d) = %d, oracle %d", step, u, d.InDegree(uid), want.InDegree(uid))
+		}
+		buf = d.AppendInRow(buf[:0], uid)
+		if !reflect.DeepEqual(append([]VertexID{}, buf...), append([]VertexID{}, want.InNeighbors(uid)...)) {
+			t.Fatalf("step %d: AppendInRow(%d) = %v, oracle %v", step, u, buf, want.InNeighbors(uid))
+		}
+		for v := 0; v < n; v++ {
+			if got, exp := d.HasEdge(uid, VertexID(v)), truth[Edge{Src: uid, Dst: VertexID(v)}]; got != exp {
+				t.Fatalf("step %d: HasEdge(%d,%d) = %v, oracle %v", step, u, v, got, exp)
+			}
+		}
+	}
+	if got, exp := collectEdges(d), collectEdges(want); !reflect.DeepEqual(got, exp) {
+		t.Fatalf("step %d: ForEachEdge order diverged from oracle", step)
+	}
+	// Materialize must be bit-identical to the overlay it folds, reverse
+	// adjacency included.
+	m := d.Materialize()
+	if !reflect.DeepEqual(collectEdges(m), collectEdges(d)) {
+		t.Fatalf("step %d: Materialize changed the edge set", step)
+	}
+	if !m.HasInEdges() {
+		t.Fatalf("step %d: Materialize dropped the reverse adjacency", step)
+	}
+	for u := 0; u < n; u++ {
+		uid := VertexID(u)
+		if !reflect.DeepEqual(append([]VertexID{}, m.InNeighbors(uid)...), append([]VertexID{}, want.InNeighbors(uid)...)) {
+			t.Fatalf("step %d: Materialize in-row(%d) = %v, oracle %v", step, u, m.InNeighbors(uid), want.InNeighbors(uid))
+		}
+	}
+}
+
+// TestDeltaPropertyOracle drives a Delta through random mutation batches —
+// duplicate adds, removes of absent edges, re-adds of removed base edges,
+// self-loops, edges both added and removed in one batch — and holds every
+// View accessor to a CSR rebuilt from a plain edge-set oracle after each
+// batch. It also pins the persistence contract: applying a batch never
+// perturbs the parent view.
+func TestDeltaPropertyOracle(t *testing.T) {
+	const n, steps = 48, 30
+	base := deltaTestBase(t, n, 77)
+
+	truth := make(map[Edge]bool, base.NumEdges())
+	base.ForEachEdge(func(u, v VertexID) { truth[Edge{Src: u, Dst: v}] = true })
+
+	d := NewDelta(base)
+	checkDeltaAgainstOracle(t, -1, d, truth)
+
+	pick := func(step, i, lane int) VertexID {
+		return VertexID(randx.Uint64n(n, 1234, uint64(step), uint64(i), uint64(lane)))
+	}
+	for step := 0; step < steps; step++ {
+		var add, remove []Edge
+		nAdd := int(randx.Uint64n(8, 5678, uint64(step), 0))
+		nRem := int(randx.Uint64n(8, 5678, uint64(step), 1))
+		for i := 0; i < nAdd; i++ {
+			add = append(add, Edge{Src: pick(step, i, 0), Dst: pick(step, i, 1)})
+			if i%3 == 0 { // duplicate within the batch
+				add = append(add, add[len(add)-1])
+			}
+		}
+		if step%4 == 0 { // explicit self-loop: must be a no-op
+			add = append(add, Edge{Src: pick(step, 99, 0), Dst: pick(step, 99, 0)})
+		}
+		for i := 0; i < nRem; i++ {
+			remove = append(remove, Edge{Src: pick(step, i, 2), Dst: pick(step, i, 3)})
+		}
+		if len(add) > 0 && step%3 == 0 { // add-then-remove in one batch: net removed
+			remove = append(remove, add[0])
+		}
+
+		parent, parentEdges := d, collectEdges(d)
+		nd, err := d.Apply(add, remove)
+		if err != nil {
+			t.Fatalf("step %d: Apply: %v", step, err)
+		}
+		if nd.Epoch() != parent.Epoch()+1 {
+			t.Fatalf("step %d: epoch %d after %d", step, nd.Epoch(), parent.Epoch())
+		}
+		// Oracle semantics: adds land first, then removes.
+		for _, e := range add {
+			if e.Src != e.Dst {
+				truth[e] = true
+			}
+		}
+		for _, e := range remove {
+			delete(truth, e)
+		}
+		checkDeltaAgainstOracle(t, step, nd, truth)
+		if !reflect.DeepEqual(collectEdges(parent), parentEdges) {
+			t.Fatalf("step %d: Apply mutated the parent view", step)
+		}
+		d = nd
+	}
+
+	// The overlay cannot grow the vertex set.
+	if _, err := d.Apply([]Edge{{Src: 0, Dst: n}}, nil); !errors.Is(err, errInvalidVertex) {
+		t.Fatalf("out-of-range add: err = %v, want errInvalidVertex", err)
+	}
+	if _, err := d.Apply(nil, []Edge{{Src: n, Dst: 0}}); !errors.Is(err, errInvalidVertex) {
+		t.Fatalf("out-of-range remove: err = %v, want errInvalidVertex", err)
+	}
+}
+
+// TestLiveApplyCompact pins the Live wrapper: Apply publishes fresh views
+// with monotone epochs, old views stay readable and unchanged, and Compact
+// folds the overlay into a clean CSR view that is bit-identical.
+func TestLiveApplyCompact(t *testing.T) {
+	base := deltaTestBase(t, 32, 9)
+	l := NewLive(base)
+	v0 := l.View()
+	if v0.Epoch() != 0 || v0.NumEdges() != base.NumEdges() {
+		t.Fatalf("initial view: epoch %d edges %d", v0.Epoch(), v0.NumEdges())
+	}
+
+	v1, err := l.Apply([]Edge{{Src: 1, Dst: 2}, {Src: 3, Dst: 4}}, []Edge{{Src: 1, Dst: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.View() != v1 || v1.Epoch() != 1 {
+		t.Fatalf("Apply did not publish (epoch %d)", v1.Epoch())
+	}
+	before := collectEdges(v1)
+
+	v2 := l.Compact()
+	if l.View() != v2 || v2.Epoch() != 2 {
+		t.Fatalf("Compact did not publish (epoch %d)", v2.Epoch())
+	}
+	if v2.OverlayRows() != 0 {
+		t.Fatalf("compacted view still has %d overlay rows", v2.OverlayRows())
+	}
+	if csr, ok := AsCSR(v2); !ok || csr != v2.Base() {
+		t.Fatal("compacted view is not a clean CSR")
+	}
+	if !reflect.DeepEqual(collectEdges(v2), before) {
+		t.Fatal("compaction changed the edge set")
+	}
+	// The pre-compaction view is still readable and unchanged.
+	if !reflect.DeepEqual(collectEdges(v1), before) {
+		t.Fatal("compaction perturbed a held view")
+	}
+}

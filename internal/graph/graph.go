@@ -13,16 +13,15 @@
 // comparison sort over the edge list, so ingest scales with cores and with
 // edge count rather than E log E — the property that keeps billion-edge
 // graph construction (Section 5's headline scale) tractable on one machine.
-// Evaluation-time edge removal (WithoutEdges) reuses the CSR layout with a
-// sorted skip-merge rather than rebuilding from scratch.
+// Mutation never rewrites the CSR: Delta overlays sorted per-vertex
+// add/remove lists on an immutable base and skip-merges them on the fly
+// (WithoutEdges is the remove-only case), and the View interface lets every
+// consumer run over either representation.
 package graph
 
 import (
-	"cmp"
 	"errors"
 	"fmt"
-	"slices"
-	"sort"
 )
 
 // VertexID identifies a vertex. IDs are dense: a graph with n vertices uses
@@ -77,11 +76,20 @@ func (g *Digraph) InNeighbors(u VertexID) []VertexID {
 	return g.inAdj[g.inOff[u]:g.inOff[u+1]]
 }
 
-// HasEdge reports whether the directed edge (u,v) exists.
+// HasEdge reports whether the directed edge (u,v) exists. The hand-rolled
+// binary search (rather than sort.Search) keeps the per-probe closure out
+// of a call that sits on membership-test hot paths.
 func (g *Digraph) HasEdge(u, v VertexID) bool {
-	nbrs := g.OutNeighbors(u)
-	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
-	return i < len(nbrs) && nbrs[i] == v
+	lo, hi := g.outOff[u], g.outOff[u+1]
+	for lo < hi {
+		mid := int64(uint64(lo+hi) >> 1)
+		if g.outAdj[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < g.outOff[u+1] && g.outAdj[lo] == v
 }
 
 // ForEachEdge calls fn for every directed edge in (src, dst) order.
@@ -114,57 +122,38 @@ func (g *Digraph) String() string {
 	return fmt.Sprintf("digraph{V=%d E=%d}", g.NumVertices(), g.NumEdges())
 }
 
-// WithoutEdges returns a copy of g with the given directed edges removed.
-// Edges absent from g (including out-of-range endpoints) are ignored, and
-// duplicates in removed are harmless. The reverse adjacency is rebuilt when
-// g had one. This backs the evaluation protocol of Section 5.2, which hides
-// a sample of edges and asks the predictor to recover them — it runs once
-// per evaluation trial, so instead of hashing every edge into a set and
-// re-running the full builder it sorts the (small) removal list and
-// skip-merges it against the already-sorted CSR rows: one O(E) copy pass,
-// no hashing, no re-sort.
-func (g *Digraph) WithoutEdges(removed []Edge) *Digraph {
-	if len(removed) == 0 {
-		return g
+// WithoutEdges returns a remove-only Delta view of g with the given
+// directed edges removed. Edges absent from g (including out-of-range
+// endpoints) are ignored, and duplicates in removed are harmless. This
+// backs the evaluation protocol of Section 5.2, which hides a sample of
+// edges and asks the predictor to recover them — the overlay costs
+// O(R log d) instead of an O(E) copy, and it is the same code path live
+// mutation uses (see Delta), so eval-time removal and online serving
+// exercise one merge implementation.
+func (g *Digraph) WithoutEdges(removed []Edge) *Delta {
+	d, err := NewDelta(g).Apply(nil, clampEdges(g.numVertices, removed))
+	if err != nil {
+		panic("graph: WithoutEdges after filtering: " + err.Error())
 	}
-	rem := append([]Edge(nil), removed...)
-	slices.SortFunc(rem, func(a, b Edge) int {
-		if a.Src != b.Src {
-			return cmp.Compare(a.Src, b.Src)
-		}
-		return cmp.Compare(a.Dst, b.Dst)
-	})
-	n := g.numVertices
-	ng := &Digraph{
-		numVertices: n,
-		outOff:      make([]int64, n+1),
-		outAdj:      make([]VertexID, 0, len(g.outAdj)),
-	}
-	ri := 0
-	for u := 0; u < n; u++ {
-		row := g.OutNeighbors(VertexID(u))
-		for ri < len(rem) && rem[ri].Src < VertexID(u) {
-			ri++
-		}
-		if ri >= len(rem) || rem[ri].Src != VertexID(u) {
-			ng.outAdj = append(ng.outAdj, row...)
-		} else {
-			for _, v := range row {
-				for ri < len(rem) && rem[ri].Src == VertexID(u) && rem[ri].Dst < v {
-					ri++
+	return d
+}
+
+// clampEdges drops entries with endpoints outside [0, n), returning edges
+// itself when nothing needs dropping.
+func clampEdges(n int, edges []Edge) []Edge {
+	for i, e := range edges {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			// First out-of-range entry: switch to a filtered copy.
+			out := append(make([]Edge, 0, len(edges)-1), edges[:i]...)
+			for _, e := range edges[i+1:] {
+				if int(e.Src) < n && int(e.Dst) < n {
+					out = append(out, e)
 				}
-				if ri < len(rem) && rem[ri].Src == VertexID(u) && rem[ri].Dst == v {
-					continue // dropped; duplicates of (u,v) advance on the next v
-				}
-				ng.outAdj = append(ng.outAdj, v)
 			}
+			return out
 		}
-		ng.outOff[u+1] = int64(len(ng.outAdj))
 	}
-	if g.HasInEdges() {
-		ng.buildInAdjacency()
-	}
-	return ng
+	return edges
 }
 
 // errInvalidVertex is wrapped by Builder.Build for out-of-range endpoints.

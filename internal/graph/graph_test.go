@@ -213,9 +213,9 @@ func TestWithoutEdges(t *testing.T) {
 	if !ng.HasEdge(0, 2) || !ng.HasEdge(3, 0) {
 		t.Error("unrelated edges disappeared")
 	}
-	// Removing nothing returns the receiver unchanged.
-	if g.WithoutEdges(nil) != g {
-		t.Error("WithoutEdges(nil) should return the same graph")
+	// Removing nothing yields a clean overlay that unwraps to the receiver.
+	if csr, ok := AsCSR(g.WithoutEdges(nil)); !ok || csr != g {
+		t.Error("WithoutEdges(nil) should unwrap to the same graph")
 	}
 }
 

@@ -82,7 +82,7 @@ func OutDegreeCDF(g *Digraph, at []int) []CDFPoint {
 // FractionTruncated returns the fraction of vertices whose out-degree
 // exceeds thr, i.e. the vertices affected by the truncation threshold thrΓ
 // (the minority discussed in Section 5.5).
-func FractionTruncated(g *Digraph, thr int) float64 {
+func FractionTruncated(g View, thr int) float64 {
 	if g.NumVertices() == 0 {
 		return 0
 	}

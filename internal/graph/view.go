@@ -1,0 +1,96 @@
+package graph
+
+// View is read-only adjacency access over a directed graph. It is
+// implemented by the immutable CSR *Digraph and by *Delta, a mutable
+// overlay of sorted per-vertex add/remove lists on a CSR base, so every
+// consumer layer (step runners, frontiers, partitioners, engines) can run
+// unchanged over a frozen snapshot or a live, mutating graph.
+//
+// Contract shared by all implementations:
+//
+//   - Vertex IDs are dense in [0, NumVertices); the vertex set is fixed.
+//   - Neighbour rows are sorted strictly increasing and never contain
+//     self-loops or duplicates.
+//   - ForEachEdge visits edges in (src, dst) order — the order the
+//     distribution layer relies on when slicing edges into partitions.
+//   - In-edge accessors panic unless HasInEdges reports true.
+//
+// OutNeighbors/InNeighbors may allocate on overlay-dirty rows (the merged
+// row has no contiguous backing array); hot paths that iterate rows
+// repeatedly should use AppendOutRow/AppendInRow with a reused buffer, or
+// unwrap the CSR fast path via AsCSR.
+type View interface {
+	NumVertices() int
+	NumEdges() int
+
+	OutDegree(u VertexID) int
+	// OutNeighbors returns the sorted out-neighbour row of u. The result
+	// must not be modified; it may alias internal storage or be freshly
+	// allocated.
+	OutNeighbors(u VertexID) []VertexID
+	// AppendOutRow appends u's sorted out-neighbour row to buf and returns
+	// the extended slice. It never retains buf and allocates only when buf
+	// lacks capacity, so callers can amortise to zero allocations.
+	AppendOutRow(buf []VertexID, u VertexID) []VertexID
+	HasEdge(u, v VertexID) bool
+	ForEachEdge(fn func(u, v VertexID))
+
+	HasInEdges() bool
+	InDegree(u VertexID) int
+	InNeighbors(u VertexID) []VertexID
+	AppendInRow(buf []VertexID, u VertexID) []VertexID
+}
+
+// AsCSR unwraps v to its immutable CSR representation when it has one with
+// no pending overlay: a *Digraph, or a *Delta whose overlay is empty.
+// Callers use it to keep frozen-graph paths monomorphic (direct slice
+// access, no per-edge interface dispatch).
+func AsCSR(v View) (*Digraph, bool) {
+	switch g := v.(type) {
+	case *Digraph:
+		return g, true
+	case *Delta:
+		if len(g.out) == 0 {
+			return g.base, true
+		}
+	}
+	return nil, false
+}
+
+// Without is the View counterpart of Digraph.WithoutEdges: it returns a
+// view of v with the given edges hidden behind a (further) remove-only
+// overlay. Absent edges and out-of-range endpoints are ignored.
+func Without(v View, removed []Edge) View {
+	switch g := v.(type) {
+	case *Digraph:
+		return g.WithoutEdges(removed)
+	case *Delta:
+		d, err := g.Apply(nil, clampEdges(g.NumVertices(), removed))
+		if err != nil {
+			panic("graph: Without after filtering: " + err.Error())
+		}
+		return d
+	default:
+		panic("graph: Without over an unknown View implementation")
+	}
+}
+
+// AppendOutRow implements View for the CSR: it appends the stored row.
+func (g *Digraph) AppendOutRow(buf []VertexID, u VertexID) []VertexID {
+	return append(buf, g.OutNeighbors(u)...)
+}
+
+// AppendInRow implements View for the CSR. It panics unless the graph was
+// built with in-edges.
+func (g *Digraph) AppendInRow(buf []VertexID, u VertexID) []VertexID {
+	return append(buf, g.InNeighbors(u)...)
+}
+
+// EnsureInEdges materialises the reverse adjacency in place if the graph
+// was built without it (Builder.WithInEdges does it at build time). It is
+// not safe to call concurrently with readers; call it before sharing g.
+func (g *Digraph) EnsureInEdges() {
+	if !g.HasInEdges() {
+		g.buildInAdjacency()
+	}
+}

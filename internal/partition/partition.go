@@ -29,7 +29,7 @@ type Strategy interface {
 	// Name identifies the strategy in reports and bench labels.
 	Name() string
 	// Partition assigns every edge of g to one of parts partitions.
-	Partition(g *graph.Digraph, parts int) (Assignment, error)
+	Partition(g graph.View, parts int) (Assignment, error)
 }
 
 // ByName returns the strategy a name from Name() denotes, seeding the
@@ -48,7 +48,7 @@ func ByName(name string, seed uint64) (Strategy, error) {
 	}
 }
 
-func validate(g *graph.Digraph, parts int) error {
+func validate(g graph.View, parts int) error {
 	if g == nil {
 		return fmt.Errorf("partition: nil graph")
 	}
@@ -69,7 +69,7 @@ type HashEdge struct {
 func (HashEdge) Name() string { return "hash-edge" }
 
 // Partition implements Strategy.
-func (s HashEdge) Partition(g *graph.Digraph, parts int) (Assignment, error) {
+func (s HashEdge) Partition(g graph.View, parts int) (Assignment, error) {
 	if err := validate(g, parts); err != nil {
 		return Assignment{}, err
 	}
@@ -94,7 +94,7 @@ type HashSource struct {
 func (HashSource) Name() string { return "hash-source" }
 
 // Partition implements Strategy.
-func (s HashSource) Partition(g *graph.Digraph, parts int) (Assignment, error) {
+func (s HashSource) Partition(g graph.View, parts int) (Assignment, error) {
 	if err := validate(g, parts); err != nil {
 		return Assignment{}, err
 	}
@@ -136,7 +136,7 @@ func (r *replicaSet) set(v graph.VertexID, p int32) {
 }
 
 // Partition implements Strategy.
-func (Greedy) Partition(g *graph.Digraph, parts int) (Assignment, error) {
+func (Greedy) Partition(g graph.View, parts int) (Assignment, error) {
 	if err := validate(g, parts); err != nil {
 		return Assignment{}, err
 	}
@@ -232,7 +232,7 @@ type Stats struct {
 }
 
 // ComputeStats evaluates an assignment against its graph.
-func ComputeStats(g *graph.Digraph, a Assignment) Stats {
+func ComputeStats(g graph.View, a Assignment) Stats {
 	load := make([]int64, a.Parts)
 	seen := make(map[int64]struct{}) // (vertex<<20 | part) pairs; parts < 2^20
 	record := func(v graph.VertexID, p int32) {

@@ -28,7 +28,7 @@ func getJSON(t *testing.T, url string, out any) *http.Response {
 
 func TestInfo(t *testing.T) {
 	g := testGraph(t, 150, 3)
-	s, ts := newTestServer(t, g, Options{Graph: g, Config: testConfig(t, 7)})
+	s, ts := newTestServer(t, Options{Graph: g, Config: testConfig(t, 7)})
 
 	var info InfoResponse
 	if resp := getJSON(t, ts.URL+"/v1/info", &info); resp.StatusCode != http.StatusOK {
@@ -55,7 +55,7 @@ func TestInfoFleet(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { f.Close() })
-	_, ts := newTestServer(t, g, Options{Graph: g, Backend: f, Config: testConfig(t, 5)})
+	_, ts := newTestServer(t, Options{Graph: g, Backend: f, Config: testConfig(t, 5)})
 
 	var info InfoResponse
 	if resp := getJSON(t, ts.URL+"/v1/info", &info); resp.StatusCode != http.StatusOK {
@@ -76,7 +76,7 @@ func TestInfoFleet(t *testing.T) {
 // stable code vocabulary.
 func TestErrorShape(t *testing.T) {
 	g := testGraph(t, 100, 3)
-	_, ts := newTestServer(t, g, Options{Graph: g, Config: testConfig(t, 5)})
+	_, ts := newTestServer(t, Options{Graph: g, Config: testConfig(t, 5)})
 
 	cases := []struct {
 		name, method, path, body string

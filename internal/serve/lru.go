@@ -78,3 +78,23 @@ func (c *lruCache) len() int {
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
+
+// invalidate removes every entry whose key satisfies pred and returns how
+// many were dropped. One pass over the key set under the lock: the caller
+// (a mutation batch) has already narrowed "may have changed" to a vertex
+// set, so the predicate is a bitmap probe, not a recomputation.
+func (c *lruCache) invalidate(pred func(cacheKey) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if key := el.Value.(*lruEntry).key; pred(key) {
+			c.order.Remove(el)
+			delete(c.items, key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}

@@ -8,6 +8,9 @@
 // from it:
 //
 //   - POST /v1/predict {"ids":[...], "k":K} — per-vertex top-k predictions;
+//   - POST /v1/edges {"add":[[u,v],...], "remove":[...]} — live mutation
+//     (Options.Mutable), applied as a graph.Delta overlay batch;
+//   - POST /v1/compact — fold the overlay back into a fresh CSR;
 //   - GET /healthz — liveness plus the loaded graph's shape;
 //   - GET /statsz — QPS, p50/p99 latency, cache hit rate, batch counters.
 //
@@ -20,6 +23,17 @@
 // vertices are served without touching the engine at all; both hit and miss
 // answers slice the same cached row, making responses for a vertex
 // identical regardless of which request computed them.
+//
+// With Options.Mutable the served graph is live: POST /v1/edges applies a
+// mutation batch as a copy-on-write graph.Delta overlay (no CSR rebuild,
+// readers keep a consistent view), and the cache is invalidated
+// frontier-aware — a reverse closure walk (core.DirtySources) identifies
+// exactly which cached rows a batch may have changed, so unrelated hot
+// vertices keep serving from cache across mutations. When the overlay
+// outgrows CompactAt dirty rows (or on POST /v1/compact) a background
+// compaction folds it back into a fresh CSR, optionally persisted as a new
+// .sgr snapshot via temp-file-plus-atomic-rename; compaction is
+// bit-identical, so the cache survives it untouched.
 package serve
 
 import (
@@ -28,6 +42,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"snaple/internal/core"
@@ -37,8 +55,22 @@ import (
 
 // Options configures a Server.
 type Options struct {
-	// Graph is the loaded graph to serve. Required.
-	Graph *graph.Digraph
+	// Graph is the loaded graph to serve. Required. Mutable servers need a
+	// compact CSR underneath (a *graph.Digraph, or a *graph.Delta with an
+	// empty overlay); frozen servers serve any View as-is.
+	Graph graph.View
+	// Mutable enables POST /v1/edges: the server wraps Graph in a
+	// graph.Live and serves the current view of it, invalidating cached
+	// rows frontier-aware on every batch. Requires an in-memory backend
+	// (resident fleets pin a frozen pack and cannot follow mutations).
+	Mutable bool
+	// CompactAt triggers a background compaction when the overlay reaches
+	// this many dirty rows (0 = never auto-compact). Mutable only.
+	CompactAt int
+	// CompactPath, when set, persists each compaction's CSR as a fresh .sgr
+	// snapshot at this path (written to a temp file and renamed into place,
+	// so a crash never leaves a torn snapshot). Mutable only.
+	CompactPath string
 	// Backend executes the scoped prediction runs (default engine.Local{}).
 	Backend engine.Backend
 	// Config is the prediction configuration. Its K is the server's maximum
@@ -64,7 +96,6 @@ type Options struct {
 // Server answers online prediction queries over one loaded graph. Create
 // with New, expose with Handler, stop with Close.
 type Server struct {
-	g       *graph.Digraph
 	be      engine.Backend
 	cfg     core.Config
 	cfgKey  uint64
@@ -77,6 +108,23 @@ type Server struct {
 	done    chan struct{}
 	stats   serverStats
 	started time.Time
+
+	// The serving view. mu orders view transitions against cache writes:
+	// a mutation swaps (view, epoch) and invalidates stale rows atomically,
+	// and a finished batch fills the cache only while its epoch is still
+	// current — a run that raced a mutation answers its own requests (they
+	// were admitted against its view) but leaves no stale rows behind.
+	mu    sync.Mutex
+	view  graph.View
+	epoch uint64
+	nv    int // vertex count; fixed for the server's lifetime
+
+	// Mutation state (nil/zero unless Options.Mutable).
+	live        *graph.Live
+	compactAt   int
+	compactPath string
+	compactMu   sync.Mutex  // serialises compaction work
+	compacting  atomic.Bool // single-flight gate for the background trigger
 }
 
 // batchReq is one in-flight /v1/predict request: its vertices, the rows
@@ -120,7 +168,6 @@ func New(opts Options) (*Server, error) {
 		opts.CacheSize = 65536
 	}
 	s := &Server{
-		g:       opts.Graph,
 		be:      opts.Backend,
 		cfg:     cfg,
 		cfgKey:  configFingerprint(cfg),
@@ -132,9 +179,34 @@ func New(opts Options) (*Server, error) {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		started: time.Now(),
+		view:    opts.Graph,
+		nv:      opts.Graph.NumVertices(),
+	}
+	if opts.Mutable {
+		csr, ok := graph.AsCSR(opts.Graph)
+		if !ok {
+			return nil, errors.New("serve: mutable serving needs a compact CSR base (a *graph.Digraph, or a Delta with an empty overlay)")
+		}
+		if _, fleet := opts.Backend.(interface{ FleetInfo() engine.FleetInfo }); fleet {
+			return nil, errors.New("serve: mutable serving is incompatible with a resident fleet backend (the fleet pins a frozen pack)")
+		}
+		// The frontier-aware invalidation walk runs over in-edges.
+		csr.EnsureInEdges()
+		s.live = graph.NewLive(csr)
+		s.view = s.live.View()
+		s.compactAt = opts.CompactAt
+		s.compactPath = opts.CompactPath
 	}
 	go s.collector()
 	return s, nil
+}
+
+// current returns the view a new batch (or info report) should run against,
+// with its epoch.
+func (s *Server) current() (graph.View, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.view, s.epoch
 }
 
 // configFingerprint hashes the parts of a Config that determine a vertex's
@@ -275,7 +347,8 @@ func (s *Server) runBatch(batch []*batchReq, uncached map[graph.VertexID]bool) {
 			ctx, cancel = context.WithTimeout(ctx, s.runTO)
 			defer cancel()
 		}
-		preds, rst, err := engine.PredictWithContext(ctx, s.be, s.g, cfg)
+		view, epoch := s.current()
+		preds, rst, err := engine.PredictWithContext(ctx, s.be, view, cfg)
 		s.stats.observeRun(rst, err)
 		if err != nil {
 			for _, r := range batch {
@@ -288,10 +361,20 @@ func (s *Server) runBatch(batch []*batchReq, uncached map[graph.VertexID]bool) {
 			// buffers, and a cached row must not pin a whole batch's worth
 			// of memory. Empty results are kept too — "no recommendations"
 			// is as expensive to recompute as a full answer.
-			row := append(make([]core.Prediction, 0, len(preds[v])), preds[v]...)
-			fresh[v] = row
-			s.cache.put(cacheKey{vertex: v, cfg: s.cfgKey}, row)
+			fresh[v] = append(make([]core.Prediction, 0, len(preds[v])), preds[v]...)
 		}
+		// Fill the cache only while this run's view is still current: a
+		// mutation that landed mid-run has already invalidated its dirty
+		// rows, and caching results computed from the superseded view would
+		// re-poison them. The batch's own requests are still answered from
+		// fresh below — they were admitted against this view.
+		s.mu.Lock()
+		if s.epoch == epoch {
+			for v, row := range fresh {
+				s.cache.put(cacheKey{vertex: v, cfg: s.cfgKey}, row)
+			}
+		}
+		s.mu.Unlock()
 	}
 	for _, r := range batch {
 		rows := make(map[graph.VertexID][]core.Prediction, len(r.ids))
@@ -383,6 +466,14 @@ type InfoResponse struct {
 	// ConfigFingerprint is the hex form of the config hash keying the result
 	// cache.
 	ConfigFingerprint string `json:"config_fingerprint"`
+	// Mutable reports whether this instance accepts POST /v1/edges.
+	Mutable bool `json:"mutable,omitempty"`
+	// Epoch is the serving view's version (mutable instances only; bumps on
+	// every mutation batch and every compaction).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// OverlayRows is the number of vertices with pending mutations
+	// (mutable instances only).
+	OverlayRows int `json:"overlay_rows,omitempty"`
 	// Fleet is present only when the backend is a resident fleet.
 	Fleet     *FleetInfoJSON `json:"fleet,omitempty"`
 	UptimeSec float64        `json:"uptime_sec"`
@@ -390,20 +481,23 @@ type InfoResponse struct {
 
 // FleetInfoJSON is the resident fleet's topology as served by /v1/info.
 type FleetInfoJSON struct {
-	Shards   int    `json:"shards"`
-	Replicas int    `json:"replicas"`
-	Workers  int    `json:"workers"`
+	Shards   int `json:"shards"`
+	Replicas int `json:"replicas"`
+	Workers  int `json:"workers"`
 	// Fingerprint is the hex fleet fingerprint (graph + cut parameters) the
 	// attach handshake verifies.
 	Fingerprint string `json:"fingerprint"`
 }
 
-// Handler returns the server's HTTP mux: POST /v1/predict, GET /v1/info,
-// GET /healthz, GET /statsz. Every error — any endpoint, any status — is a
-// JSON body of the shape {"error":{"code":"...","message":"..."}}.
+// Handler returns the server's HTTP mux: POST /v1/predict, POST /v1/edges,
+// POST /v1/compact, GET /v1/info, GET /healthz, GET /statsz. Every error —
+// any endpoint, any status — is a JSON body of the shape
+// {"error":{"code":"...","message":"..."}}.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/edges", s.handleEdges)
+	mux.HandleFunc("/v1/compact", s.handleCompact)
 	mux.HandleFunc("/v1/info", s.handleInfo)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
@@ -411,6 +505,205 @@ func (s *Server) Handler() http.Handler {
 		httpError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 	})
 	return mux
+}
+
+// EdgesRequest is the /v1/edges body: edge batches as [src, dst] pairs.
+// Adds are applied before removes (graph.Delta semantics); adding an
+// existing edge or removing an absent one is a no-op, self-loops are
+// ignored, and endpoints must lie inside the loaded vertex set — mutation
+// cannot grow the graph.
+type EdgesRequest struct {
+	Add    [][]uint32 `json:"add"`
+	Remove [][]uint32 `json:"remove"`
+}
+
+// EdgesResponse is the /v1/edges reply: the new view's epoch and shape,
+// plus how much cached state the batch cost.
+type EdgesResponse struct {
+	// Epoch is the published view's version after this batch.
+	Epoch uint64 `json:"epoch"`
+	// Edges is the view's edge count after this batch.
+	Edges int `json:"edges"`
+	// Invalidated is how many cached rows the batch's dirty frontier
+	// covered — the rows that will be recomputed on next query.
+	Invalidated int `json:"invalidated"`
+	// OverlayRows is the number of vertices with pending mutations (the
+	// quantity auto-compaction watches).
+	OverlayRows int `json:"overlay_rows"`
+}
+
+// CompactResponse is the /v1/compact reply.
+type CompactResponse struct {
+	// Epoch is the compacted view's version.
+	Epoch uint64 `json:"epoch"`
+	// Edges is the compacted CSR's edge count.
+	Edges int `json:"edges"`
+	// Path is the snapshot file the compaction persisted, when configured.
+	Path string `json:"path,omitempty"`
+}
+
+// parseEdgePairs converts [src, dst] pairs into edges, validating shape and
+// range (n is the vertex count).
+func parseEdgePairs(pairs [][]uint32, n int, field string) ([]graph.Edge, error) {
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	edges := make([]graph.Edge, len(pairs))
+	for i, p := range pairs {
+		if len(p) != 2 {
+			return nil, fmt.Errorf("%s[%d]: want a [src, dst] pair, got %d elements", field, i, len(p))
+		}
+		if int(p[0]) >= n || int(p[1]) >= n {
+			return nil, fmt.Errorf("%s[%d]: edge (%d,%d) outside [0,%d)", field, i, p[0], p[1], n)
+		}
+		edges[i] = graph.Edge{Src: graph.VertexID(p[0]), Dst: graph.VertexID(p[1])}
+	}
+	return edges, nil
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.live == nil {
+		httpError(w, http.StatusBadRequest, "this server is frozen; start it with mutation enabled (Options.Mutable / -mutable)")
+		return
+	}
+	var req EdgesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	add, err := parseEdgePairs(req.Add, s.nv, "add")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	remove, err := parseEdgePairs(req.Remove, s.nv, "remove")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.applyEdges(w, add, remove)
+}
+
+// applyEdges runs one validated mutation batch: publish the new view, walk
+// the reverse frontier of the touched sources, and drop exactly the cached
+// rows that walk covers — all under mu, so a concurrent batch fill cannot
+// interleave a stale write between the swap and the invalidation.
+func (s *Server) applyEdges(w http.ResponseWriter, add, remove []graph.Edge) {
+	s.mu.Lock()
+	nd, err := s.live.Apply(add, remove)
+	if err != nil {
+		s.mu.Unlock()
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dirty := core.DirtySources(nd, add, remove, s.cfg.Paths)
+	invalidated := s.cache.invalidate(func(k cacheKey) bool {
+		return k.cfg == s.cfgKey && dirty.Contains(k.vertex)
+	})
+	s.view, s.epoch = nd, nd.Epoch()
+	overlay := nd.OverlayRows()
+	s.mu.Unlock()
+
+	s.stats.observeMutation(len(add), len(remove), invalidated, nd.Epoch())
+	if s.compactAt > 0 && overlay >= s.compactAt {
+		s.triggerCompact()
+	}
+	writeJSON(w, http.StatusOK, EdgesResponse{
+		Epoch:       nd.Epoch(),
+		Edges:       nd.NumEdges(),
+		Invalidated: invalidated,
+		OverlayRows: overlay,
+	})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.live == nil {
+		httpError(w, http.StatusBadRequest, "this server is frozen; start it with mutation enabled (Options.Mutable / -mutable)")
+		return
+	}
+	nd, err := s.compactNow()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "compact: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CompactResponse{
+		Epoch: nd.Epoch(),
+		Edges: nd.NumEdges(),
+		Path:  s.compactPath,
+	})
+}
+
+// triggerCompact starts a background compaction unless one is already in
+// flight (single-flight: overlapping triggers coalesce).
+func (s *Server) triggerCompact() {
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.compacting.Store(false)
+		// compactNow records any persistence failure on /statsz; the
+		// in-memory compaction itself cannot fail.
+		_, _ = s.compactNow()
+	}()
+}
+
+// compactNow folds the live overlay into a fresh CSR, persists it when
+// configured, and publishes the compacted view. Readers never stall: the
+// compacted view is bit-identical to the overlay it replaces, so the cache
+// survives compaction untouched.
+func (s *Server) compactNow() (*graph.Delta, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	nd := s.live.Compact()
+	var err error
+	if s.compactPath != "" {
+		err = writeSnapshotAtomic(s.compactPath, nd.Base())
+	}
+	s.mu.Lock()
+	// A mutation may have landed on the compacted base already (its epoch
+	// is newer); never roll the serving view backwards.
+	if nd.Epoch() > s.epoch {
+		s.view, s.epoch = nd, nd.Epoch()
+	}
+	s.mu.Unlock()
+	s.stats.observeCompaction(nd.Epoch())
+	if err != nil {
+		s.stats.observeCompactError()
+	}
+	return nd, err
+}
+
+// writeSnapshotAtomic writes g as a .sgr snapshot via a temp file in the
+// target directory plus an atomic rename, so a crash mid-write can never
+// leave a torn snapshot at path.
+func writeSnapshotAtomic(path string, g *graph.Digraph) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := graph.WriteSnapshot(f, g); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -440,7 +733,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k=%d outside [1,%d] (the server computes top-%d)", k, s.cfg.K, s.cfg.K)
 		return
 	}
-	n := s.g.NumVertices()
+	n := s.nv
 	ids := make([]graph.VertexID, len(req.IDs))
 	for i, id := range req.IDs {
 		if int(id) >= n {
@@ -487,14 +780,20 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	view, epoch := s.current()
 	info := InfoResponse{
 		Engine:            s.be.Name(),
-		Vertices:          s.g.NumVertices(),
-		Edges:             s.g.NumEdges(),
+		Vertices:          view.NumVertices(),
+		Edges:             view.NumEdges(),
 		MaxK:              s.cfg.K,
 		Score:             s.cfg.Score.Name,
 		ConfigFingerprint: fmt.Sprintf("%016x", s.cfgKey),
+		Mutable:           s.live != nil,
+		Epoch:             epoch,
 		UptimeSec:         time.Since(s.started).Seconds(),
+	}
+	if d, ok := view.(*graph.Delta); ok {
+		info.OverlayRows = d.OverlayRows()
 	}
 	if fb, ok := s.be.(interface{ FleetInfo() engine.FleetInfo }); ok {
 		fi := fb.FleetInfo()
@@ -520,11 +819,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.stats.isDegraded() {
 		status, code = "degraded", http.StatusServiceUnavailable
 	}
+	view, _ := s.current()
 	writeJSON(w, code, HealthResponse{
 		Status:    status,
 		Engine:    s.be.Name(),
-		Vertices:  s.g.NumVertices(),
-		Edges:     s.g.NumEdges(),
+		Vertices:  view.NumVertices(),
+		Edges:     view.NumEdges(),
 		MaxK:      s.cfg.K,
 		UptimeSec: time.Since(s.started).Seconds(),
 	})

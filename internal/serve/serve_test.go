@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -60,13 +61,13 @@ type countingBackend struct {
 }
 
 func (c *countingBackend) Name() string { return c.inner.Name() }
-func (c *countingBackend) Predict(g *graph.Digraph, cfg core.Config) (core.Predictions, engine.Stats, error) {
+func (c *countingBackend) Predict(g graph.View, cfg core.Config) (core.Predictions, engine.Stats, error) {
 	c.calls.Add(1)
 	c.sources.Add(int64(len(cfg.Sources)))
 	return c.inner.Predict(g, cfg)
 }
 
-func newTestServer(t *testing.T, g *graph.Digraph, opts Options) (*Server, *httptest.Server) {
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
 	s, err := New(opts)
 	if err != nil {
@@ -106,7 +107,7 @@ func TestPredictMatchesReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, ts := newTestServer(t, g, Options{Graph: g, Config: cfg, BatchWindow: time.Millisecond})
+	_, ts := newTestServer(t, Options{Graph: g, Config: cfg, BatchWindow: time.Millisecond})
 
 	for _, k := range []int{0, 1, 5, 10} {
 		ids := []uint32{0, 17, 50, 199, 17} // duplicate collapses
@@ -273,7 +274,7 @@ func TestFullyCachedSkipsWindow(t *testing.T) {
 // TestStatsz exercises the metrics endpoint end to end.
 func TestStatsz(t *testing.T) {
 	g := testGraph(t, 100, 7)
-	_, ts := newTestServer(t, g, Options{Graph: g, Config: testConfig(t, 5), BatchWindow: time.Millisecond})
+	_, ts := newTestServer(t, Options{Graph: g, Config: testConfig(t, 5), BatchWindow: time.Millisecond})
 
 	for i := 0; i < 3; i++ {
 		resp, _ := postPredict(t, ts.URL, `{"ids":[1,2,3]}`)
@@ -316,7 +317,7 @@ func TestStatsz(t *testing.T) {
 // TestHealthz pins the liveness payload.
 func TestHealthz(t *testing.T) {
 	g := testGraph(t, 50, 1)
-	_, ts := newTestServer(t, g, Options{Graph: g, Config: testConfig(t, 7)})
+	_, ts := newTestServer(t, Options{Graph: g, Config: testConfig(t, 7)})
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -334,7 +335,7 @@ func TestHealthz(t *testing.T) {
 // TestPredictRejects pins the request-validation errors.
 func TestPredictRejects(t *testing.T) {
 	g := testGraph(t, 50, 1)
-	_, ts := newTestServer(t, g, Options{Graph: g, Config: testConfig(t, 5), BatchMax: 8})
+	_, ts := newTestServer(t, Options{Graph: g, Config: testConfig(t, 5), BatchMax: 8})
 
 	cases := []struct {
 		name, body string
@@ -420,6 +421,327 @@ func TestLRU(t *testing.T) {
 	other := cacheKey{vertex: 3, cfg: 2}
 	if _, ok := c.get(other); ok {
 		t.Fatal("config fingerprint ignored")
+	}
+}
+
+// chainGraph builds 0→1→2→3→4 and 5→6→7→8→9: two components whose reverse
+// closures never meet, so frontier-aware invalidation is exactly testable.
+func chainGraph(t testing.TB) *graph.Digraph {
+	t.Helper()
+	var edges []graph.Edge
+	for _, c := range [][2]int{{0, 4}, {5, 9}} {
+		for u := c[0]; u < c[1]; u++ {
+			edges = append(edges, graph.Edge{Src: graph.VertexID(u), Dst: graph.VertexID(u + 1)})
+		}
+	}
+	g, err := graph.FromEdges(10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestMutationInvalidatesFrontier pins the frontier-aware invalidation
+// contract: a mutation batch drops exactly the cached rows inside the
+// mutated sources' reverse closure — rows outside it keep serving from
+// cache, rows inside it are recomputed on next query.
+func TestMutationInvalidatesFrontier(t *testing.T) {
+	g := chainGraph(t)
+	be := &countingBackend{inner: engine.Local{Workers: 1}}
+	s, ts := newTestServer(t, Options{
+		Graph: g, Backend: be, Mutable: true,
+		Config: testConfig(t, 5), BatchWindow: time.Millisecond,
+	})
+
+	// Warm the cache: one row in each component.
+	for _, id := range []string{`{"ids":[2]}`, `{"ids":[7]}`} {
+		if resp, _ := postPredict(t, ts.URL, id); resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm predict: status %d", resp.StatusCode)
+		}
+	}
+	warmRuns := be.calls.Load()
+
+	// Mutate inside the first component: add 2→0. The dirty reverse closure
+	// of source 2 at Paths=2 is {2, 1, 0} — vertex 7 is untouched.
+	resp, body := postJSON(t, ts.URL+"/v1/edges", `{"add":[[2,0]]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edges: status %d: %s", resp.StatusCode, body)
+	}
+	var er EdgesResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Epoch != 1 || er.Edges != g.NumEdges()+1 || er.OverlayRows != 1 {
+		t.Fatalf("edges response = %+v", er)
+	}
+	if er.Invalidated != 1 {
+		t.Fatalf("invalidated %d rows, want 1 (the cached row for vertex 2)", er.Invalidated)
+	}
+
+	// The untouched component still serves from cache: no new backend run.
+	if _, pr := postPredict(t, ts.URL, `{"ids":[7]}`); pr.CacheHits != 1 {
+		t.Fatalf("vertex 7 after unrelated mutation: %d cache hits, want 1", pr.CacheHits)
+	}
+	if got := be.calls.Load(); got != warmRuns {
+		t.Fatalf("unrelated cached vertex re-ran the backend (%d runs, warm %d)", got, warmRuns)
+	}
+
+	// The mutated vertex recomputes, and against the mutated view: 2 now
+	// has out-edges {0, 3}, so its predictions must match the reference
+	// over the live view.
+	_, pr := postPredict(t, ts.URL, `{"ids":[2]}`)
+	if pr.CacheHits != 0 {
+		t.Fatalf("mutated vertex served stale cache (%d hits)", pr.CacheHits)
+	}
+	if got := be.calls.Load(); got != warmRuns+1 {
+		t.Fatalf("mutated vertex ran backend %d times, want %d", got, warmRuns+1)
+	}
+	view, _ := s.current()
+	full, err := core.ReferenceSnaple(view, s.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := full[2]
+	got := make([]core.Prediction, len(pr.Results[0].Predictions))
+	for i, p := range pr.Results[0].Predictions {
+		got[i] = core.Prediction{Vertex: graph.VertexID(p.ID), Score: p.Score}
+	}
+	if len(want) != 0 || len(got) != 0 {
+		if !reflect.DeepEqual([]core.Prediction(want), got) {
+			t.Fatalf("post-mutation row for 2 = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestMutationMatchesReference holds a mutated server to the full-run
+// oracle on a non-trivial graph: after a mixed add/remove batch, every
+// served row must equal the reference predictions over the live view.
+func TestMutationMatchesReference(t *testing.T) {
+	g := testGraph(t, 200, 3)
+	cfg := testConfig(t, 10)
+	s, ts := newTestServer(t, Options{Graph: g, Mutable: true, Config: cfg, BatchWindow: time.Millisecond})
+
+	// Warm some of the queried rows so the batch mixes hits and misses.
+	postPredict(t, ts.URL, `{"ids":[0,17,50]}`)
+
+	drop := g.OutNeighbors(17)[0]
+	body := fmt.Sprintf(`{"add":[[0,199],[17,42],[100,3]],"remove":[[17,%d]]}`, drop)
+	if resp, b := postJSON(t, ts.URL+"/v1/edges", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("edges: status %d: %s", resp.StatusCode, b)
+	}
+
+	resp, pr := postPredict(t, ts.URL, `{"ids":[0,17,50,100,199]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: status %d", resp.StatusCode)
+	}
+	view, _ := s.current()
+	full, err := core.ReferenceSnaple(view, s.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vr := range pr.Results {
+		want := full[vr.ID]
+		got := make([]core.Prediction, len(vr.Predictions))
+		for i, p := range vr.Predictions {
+			got[i] = core.Prediction{Vertex: graph.VertexID(p.ID), Score: p.Score}
+		}
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual([]core.Prediction(want), got) {
+			t.Fatalf("vertex %d: got %v, want %v", vr.ID, got, want)
+		}
+	}
+}
+
+// TestCompactEndpoint pins the compaction lifecycle: POST /v1/compact folds
+// the overlay into a fresh CSR (epoch bump, overlay drained), persists a
+// loadable .sgr when configured, leaves the cache intact (the compacted
+// view is bit-identical), and the persisted snapshot equals the live view.
+func TestCompactEndpoint(t *testing.T) {
+	g := testGraph(t, 120, 5)
+	sgr := t.TempDir() + "/live.sgr"
+	s, ts := newTestServer(t, Options{
+		Graph: g, Mutable: true, CompactPath: sgr,
+		Config: testConfig(t, 5), BatchWindow: time.Millisecond,
+	})
+
+	if resp, b := postJSON(t, ts.URL+"/v1/edges", `{"add":[[1,100],[2,50]],"remove":[[1,100]]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("edges: status %d: %s", resp.StatusCode, b)
+	}
+	postPredict(t, ts.URL, `{"ids":[40]}`) // cache a row across the compaction
+
+	resp, body := postJSON(t, ts.URL+"/v1/compact", ``)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact: status %d: %s", resp.StatusCode, body)
+	}
+	var cr CompactResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Epoch != 2 || cr.Path != sgr {
+		t.Fatalf("compact response = %+v", cr)
+	}
+
+	view, epoch := s.current()
+	if epoch != 2 {
+		t.Fatalf("serving epoch %d after compaction, want 2", epoch)
+	}
+	csr, ok := graph.AsCSR(view)
+	if !ok {
+		t.Fatal("post-compaction view still carries an overlay")
+	}
+
+	// The persisted snapshot is loadable and identical to the live CSR.
+	f, err := os.Open(sgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := graph.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumVertices() != csr.NumVertices() || loaded.NumEdges() != csr.NumEdges() {
+		t.Fatalf("snapshot %v != live %v", loaded, csr)
+	}
+	if !reflect.DeepEqual(loaded.Edges(), csr.Edges()) {
+		t.Fatal("persisted snapshot's edges differ from the live CSR")
+	}
+
+	// Compaction must not cost the cache: the pre-compaction row still hits.
+	if _, pr := postPredict(t, ts.URL, `{"ids":[40]}`); pr.CacheHits != 1 {
+		t.Fatalf("cached row lost across compaction (%d hits)", pr.CacheHits)
+	}
+}
+
+// TestAutoCompact pins the background trigger: once the overlay reaches
+// CompactAt dirty rows, a compaction runs without being asked.
+func TestAutoCompact(t *testing.T) {
+	g := testGraph(t, 80, 9)
+	s, ts := newTestServer(t, Options{
+		Graph: g, Mutable: true, CompactAt: 2,
+		Config: testConfig(t, 5), BatchWindow: time.Millisecond,
+	})
+	if resp, b := postJSON(t, ts.URL+"/v1/edges", `{"add":[[3,60],[4,61]]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("edges: status %d: %s", resp.StatusCode, b)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		if view, _ := s.current(); view.(*graph.Delta).OverlayRows() == 0 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("overlay not compacted within 10s of crossing CompactAt")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// TestEdgesRejects pins the mutation endpoint's validation.
+func TestEdgesRejects(t *testing.T) {
+	g := testGraph(t, 50, 1)
+	_, frozen := newTestServer(t, Options{Graph: g, Config: testConfig(t, 5)})
+	if resp, _ := postJSON(t, frozen.URL+"/v1/edges", `{"add":[[1,2]]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("frozen server accepted a mutation (status %d)", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, frozen.URL+"/v1/compact", ``); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("frozen server accepted a compaction (status %d)", resp.StatusCode)
+	}
+
+	_, ts := newTestServer(t, Options{Graph: g, Mutable: true, Config: testConfig(t, 5)})
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"bad json", `{"add":`, http.StatusBadRequest},
+		{"triple", `{"add":[[1,2,3]]}`, http.StatusBadRequest},
+		{"single", `{"remove":[[1]]}`, http.StatusBadRequest},
+		{"out of range", `{"add":[[1,50]]}`, http.StatusBadRequest},
+		{"empty batch ok", `{}`, http.StatusOK},
+		{"ok", `{"add":[[1,2]],"remove":[[1,2]]}`, http.StatusOK},
+	}
+	for _, c := range cases {
+		if resp, _ := postJSON(t, ts.URL+"/v1/edges", c.body); resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.status)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET edges: status %d", resp.StatusCode)
+	}
+}
+
+// fleetLikeBackend fakes the one method the server uses to recognise a
+// resident fleet.
+type fleetLikeBackend struct{ engine.Local }
+
+func (fleetLikeBackend) FleetInfo() engine.FleetInfo { return engine.FleetInfo{} }
+
+// TestMutableRejects pins the mutable-mode constructor validation.
+func TestMutableRejects(t *testing.T) {
+	g := testGraph(t, 20, 1)
+	if _, err := New(Options{Graph: g, Mutable: true, Backend: fleetLikeBackend{}, Config: testConfig(t, 5)}); err == nil {
+		t.Error("mutable server accepted a resident fleet backend")
+	}
+	absent := graph.Edge{Src: 1, Dst: 7}
+search:
+	for u := 0; u < g.NumVertices(); u++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			if u != v && !g.HasEdge(graph.VertexID(u), graph.VertexID(v)) {
+				absent = graph.Edge{Src: graph.VertexID(u), Dst: graph.VertexID(v)}
+				break search
+			}
+		}
+	}
+	dirty, err := graph.NewDelta(g).Apply([]graph.Edge{absent}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Graph: dirty, Mutable: true, Config: testConfig(t, 5)}); err == nil {
+		t.Error("mutable server accepted a dirty overlay as base")
+	}
+	if s, err := New(Options{Graph: g.WithoutEdges(nil), Mutable: true, Config: testConfig(t, 5)}); err != nil {
+		t.Errorf("mutable server rejected a clean overlay: %v", err)
+	} else {
+		s.Close()
+	}
+}
+
+// TestLRUInvalidate pins the predicate sweep.
+func TestLRUInvalidate(t *testing.T) {
+	c := newLRU(8)
+	for v := 0; v < 6; v++ {
+		c.put(cacheKey{vertex: graph.VertexID(v), cfg: 1}, nil)
+	}
+	n := c.invalidate(func(k cacheKey) bool { return k.vertex%2 == 0 })
+	if n != 3 || c.len() != 3 {
+		t.Fatalf("invalidate dropped %d (len %d), want 3 (len 3)", n, c.len())
+	}
+	for v := 0; v < 6; v++ {
+		_, ok := c.get(cacheKey{vertex: graph.VertexID(v), cfg: 1})
+		if want := v%2 == 1; ok != want {
+			t.Errorf("vertex %d cached=%v, want %v", v, ok, want)
+		}
 	}
 }
 

@@ -42,6 +42,15 @@ type serverStats struct {
 	partitionsLost int64 // runs that failed with ErrPartitionLost
 	degraded       bool  // last dist run lost a partition; cleared by a success
 
+	// Live-graph counters (mutable servers only; zero elsewhere).
+	mutations    int64  // /v1/edges batches applied
+	edgesAdded   int64  // edges submitted for addition, summed over batches
+	edgesRemoved int64  // edges submitted for removal, summed over batches
+	invalidated  int64  // cached rows dropped by mutation frontiers
+	compactions  int64  // overlay-to-CSR compactions completed
+	compactErrs  int64  // compactions whose snapshot persistence failed
+	epoch        uint64 // serving view's version after the last transition
+
 	ring  [latencyRingSize]sample
 	ringN int64 // total samples ever recorded; ring index = ringN % size
 }
@@ -102,6 +111,34 @@ func (s *serverStats) observeRun(st engine.Stats, runErr error) {
 	}
 }
 
+// observeMutation records one applied /v1/edges batch.
+func (s *serverStats) observeMutation(added, removed, invalidated int, epoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mutations++
+	s.edgesAdded += int64(added)
+	s.edgesRemoved += int64(removed)
+	s.invalidated += int64(invalidated)
+	s.epoch = epoch
+}
+
+// observeCompaction records one completed overlay compaction.
+func (s *serverStats) observeCompaction(epoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compactions++
+	if epoch > s.epoch {
+		s.epoch = epoch
+	}
+}
+
+// observeCompactError records a compaction whose snapshot write failed.
+func (s *serverStats) observeCompactError() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compactErrs++
+}
+
 // isDegraded reports whether the last dist run lost a partition outright.
 func (s *serverStats) isDegraded() bool {
 	s.mu.Lock()
@@ -126,6 +163,15 @@ type Snapshot struct {
 	CacheCap     int     `json:"cache_capacity"`
 	UptimeSec    float64 `json:"uptime_sec"`
 
+	// Live-graph counters (all zero unless the server is mutable).
+	Mutations        int64  `json:"mutations,omitempty"`
+	EdgesAdded       int64  `json:"edges_added,omitempty"`
+	EdgesRemoved     int64  `json:"edges_removed,omitempty"`
+	Invalidated      int64  `json:"invalidated,omitempty"`
+	Compactions      int64  `json:"compactions,omitempty"`
+	CompactionErrors int64  `json:"compaction_errors,omitempty"`
+	Epoch            uint64 `json:"epoch,omitempty"`
+
 	// Fleet health (all zero unless the backend is dist).
 	DistRuns       int64 `json:"dist_runs,omitempty"`
 	Replicas       int   `json:"replicas,omitempty"`
@@ -149,6 +195,10 @@ func (s *serverStats) snapshot() Snapshot {
 		Requests: s.requests, IDs: s.ids, Errors: s.errors,
 		Batches: s.batches, PredictRuns: s.runs,
 		CacheHits: s.cacheHits, CacheMisses: s.cacheMisses,
+		Mutations: s.mutations, EdgesAdded: s.edgesAdded,
+		EdgesRemoved: s.edgesRemoved, Invalidated: s.invalidated,
+		Compactions: s.compactions, CompactionErrors: s.compactErrs,
+		Epoch:    s.epoch,
 		DistRuns: s.distRuns, Replicas: s.replicas,
 		WorkersTotal: s.workersTotal, WorkersDead: s.workersDead,
 		WorkersLive: s.workersTotal - s.workersDead,

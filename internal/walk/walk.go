@@ -59,7 +59,7 @@ func (c Config) Validate() error {
 // Predict runs the random-walk link prediction over g and returns per-vertex
 // predictions (empty for vertices with no out-edges). It is deterministic in
 // cfg.Seed regardless of the worker count.
-func Predict(g *graph.Digraph, cfg Config) (core.Predictions, error) {
+func Predict(g graph.View, cfg Config) (core.Predictions, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -96,7 +96,7 @@ func Predict(g *graph.Digraph, cfg Config) (core.Predictions, error) {
 // walkFrom accumulates visit counts of w walks of depth d from u. Every
 // walk's randomness is keyed by (seed, u, walk index, step), so walks are
 // independent of scheduling.
-func walkFrom(g *graph.Digraph, u graph.VertexID, cfg Config, visits map[graph.VertexID]int) {
+func walkFrom(g graph.View, u graph.VertexID, cfg Config, visits map[graph.VertexID]int) {
 	for w := 0; w < cfg.Walks; w++ {
 		cur := u
 		for step := 0; step < cfg.Depth; step++ {
@@ -114,7 +114,7 @@ func walkFrom(g *graph.Digraph, u graph.VertexID, cfg Config, visits map[graph.V
 
 // rank picks the k most-visited vertices outside Γ(u) ∪ {u}. Ties break by
 // ascending vertex ID (the repository-wide convention).
-func rank(g *graph.Digraph, u graph.VertexID, visits map[graph.VertexID]int, k int) []core.Prediction {
+func rank(g graph.View, u graph.VertexID, visits map[graph.VertexID]int, k int) []core.Prediction {
 	coll := topk.New(k)
 	for v, c := range visits {
 		if v == u || g.HasEdge(u, v) {

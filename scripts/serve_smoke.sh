@@ -2,11 +2,14 @@
 # serve_smoke.sh — CI's serve-smoke gate for the online serving path.
 #
 # Builds cmd/graphgen and cmd/snaple-serve, packs a generated graph into a
-# binary snapshot, starts the server on an ephemeral loopback port, and
-# exercises the full HTTP surface: /healthz, /v1/predict (twice, so the
-# second round is answered from the LRU), /statsz (asserting the cache hits
-# actually registered), and a malformed request (must be a clean 400, not a
-# crash). The trap tears the server down even when a step fails.
+# binary snapshot, starts the server (mutable) on an ephemeral loopback
+# port, and exercises the full HTTP surface: /healthz, /v1/predict (twice,
+# so the second round is answered from the LRU), /statsz (asserting the
+# cache hits actually registered), malformed requests (must be clean 400s,
+# not crashes), then the live-graph leg: /v1/edges mutations (asserting the
+# mutated vertex is recomputed while the rest of the cache survives) and
+# /v1/compact (asserting the epoch bump and the persisted snapshot). The
+# trap tears the server down even when a step fails.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,8 +37,9 @@ go build -o "$workdir/snaple-serve" ./cmd/snaple-serve
 echo "==> generating a packed graph"
 "$workdir/graphgen" -dataset gowalla -scale 0.3 -seed 7 -o "$workdir/g.sgr"
 
-echo "==> starting the server on an ephemeral port"
+echo "==> starting the server (mutable) on an ephemeral port"
 "$workdir/snaple-serve" -in "$workdir/g.sgr" -listen 127.0.0.1:0 -kmax 10 \
+  -mutable -compact-out "$workdir/compacted.sgr" \
   >"$workdir/serve.out" 2>"$workdir/serve.err" &
 pids+=($!)
 addr=""
@@ -83,5 +87,40 @@ code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/v1/predict"
 [ "$code" = "400" ] || { echo "out-of-range id returned $code, want 400" >&2; exit 1; }
 code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/healthz")"
 [ "$code" = "200" ] || { echo "server unhealthy after bad requests ($code)" >&2; exit 1; }
+
+echo "==> POST /v1/edges: two mutation batches, monotone epochs"
+resp="$(curl -sf -X POST "http://$addr/v1/edges" -d '{"add":[[1,7]]}')"
+echo "    $resp"
+echo "$resp" | grep -q '"epoch":1'
+resp="$(curl -sf -X POST "http://$addr/v1/edges" -d '{"remove":[[1,7]]}')"
+echo "    $resp"
+echo "$resp" | grep -q '"epoch":2'
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/v1/edges" -d '{"add":[[1,99999999]]}')"
+[ "$code" = "400" ] || { echo "out-of-range mutation returned $code, want 400" >&2; exit 1; }
+
+echo "==> the mutated vertex recomputes, then caches again"
+# Vertex 1 is a mutated source, so its cached row was invalidated: the next
+# query is a miss (recomputed against the live view), the one after a hit.
+curl -sf -X POST "http://$addr/v1/predict" -d '{"ids":[1]}' >/dev/null
+curl -sf -X POST "http://$addr/v1/predict" -d '{"ids":[1]}' >/dev/null
+stats="$(curl -sf "http://$addr/statsz")"
+echo "    $stats"
+echo "$stats" | grep -q '"mutations":2'
+echo "$stats" | grep -q '"edges_added":1'
+echo "$stats" | grep -q '"edges_removed":1'
+echo "$stats" | grep -q '"epoch":2'
+echo "$stats" | grep -q '"cache_misses":4'
+echo "$stats" | grep -q '"cache_hits":4'
+
+echo "==> POST /v1/compact persists an atomic snapshot"
+resp="$(curl -sf -X POST "http://$addr/v1/compact")"
+echo "    $resp"
+echo "$resp" | grep -q '"epoch":3'
+[ -s "$workdir/compacted.sgr" ] || { echo "compaction wrote no snapshot" >&2; exit 1; }
+# Compaction is bit-identical: the cache survives it (one more hit).
+curl -sf -X POST "http://$addr/v1/predict" -d '{"ids":[1]}' >/dev/null
+curl -sf "http://$addr/statsz" | grep -q '"cache_hits":5'
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/healthz")"
+[ "$code" = "200" ] || { echo "server unhealthy after mutation leg ($code)" >&2; exit 1; }
 
 echo "==> serve smoke OK"

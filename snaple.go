@@ -66,6 +66,17 @@ import (
 type (
 	// Graph is a compact immutable directed graph (CSR).
 	Graph = graph.Digraph
+	// GraphView is read-only adjacency access over either a frozen Graph
+	// or a live mutating one (Delta/Live): every Predict entry point
+	// accepts it.
+	GraphView = graph.View
+	// Delta is an immutable mutation overlay over a Graph: a consistent
+	// point-in-time view of a live graph (see Live.View).
+	Delta = graph.Delta
+	// Live owns a mutating graph: Apply batches edge mutations
+	// copy-on-write under an epoch counter, View returns consistent
+	// snapshots, Compact folds the overlay back into a fresh CSR.
+	Live = graph.Live
 	// VertexID identifies a vertex (dense, 0-based).
 	VertexID = graph.VertexID
 	// Edge is a directed edge.
@@ -155,7 +166,7 @@ func EngineNames() []string { return engine.Names() }
 // Predict runs SNAPLE in-process on the backend selected by opts.Engine
 // (parallel shared-memory by default). Predictions are bit-identical across
 // backends and worker counts.
-func Predict(g *Graph, opts Options) (Predictions, error) {
+func Predict(g GraphView, opts Options) (Predictions, error) {
 	preds, _, err := PredictStats(g, opts)
 	return preds, err
 }
@@ -167,7 +178,7 @@ func Predict(g *Graph, opts Options) (Predictions, error) {
 // vertex like Predict's, with non-source rows nil, and are bit-identical to
 // the full run's rows for the same Options. It is the one-shot form of what
 // cmd/snaple-serve serves continuously.
-func PredictFor(g *Graph, sources []VertexID, opts Options) (Predictions, error) {
+func PredictFor(g GraphView, sources []VertexID, opts Options) (Predictions, error) {
 	opts.Sources = sources
 	return Predict(g, opts)
 }
@@ -177,7 +188,7 @@ func PredictFor(g *Graph, sources []VertexID, opts Options) (Predictions, error)
 // a blocked superstep exchange fails promptly with ctx.Err() and the
 // resident workers stay reusable; the in-memory backends finish their steps
 // in microseconds and simply ignore ctx.
-func PredictForContext(ctx context.Context, g *Graph, sources []VertexID, opts Options) (Predictions, error) {
+func PredictForContext(ctx context.Context, g GraphView, sources []VertexID, opts Options) (Predictions, error) {
 	opts.Sources = sources
 	cfg, err := opts.toCore()
 	if err != nil {
@@ -198,7 +209,7 @@ type EngineStats = engine.Stats
 
 // PredictStats is Predict with the backend's cost report, for callers that
 // track the performance trajectory (cmd/snaple, cmd/snaple-bench).
-func PredictStats(g *Graph, opts Options) (Predictions, EngineStats, error) {
+func PredictStats(g GraphView, opts Options) (Predictions, EngineStats, error) {
 	cfg, err := opts.toCore()
 	if err != nil {
 		return nil, EngineStats{}, err
@@ -216,8 +227,11 @@ func PredictStats(g *Graph, opts Options) (Predictions, EngineStats, error) {
 // (WorkerAddrs/SpawnWorkers/Workers). Strategy and Seed apply to both.
 type ClusterOptions struct {
 	// Graph is the graph the cluster serves. Required for OpenCluster;
-	// PredictDistributed fills it from its own argument.
-	Graph *Graph
+	// PredictDistributed fills it from its own argument. Resident fleets
+	// (Manifest, or bare "dist") require a frozen *Graph — compact a live
+	// view before opening one; sim and non-resident dist deployments
+	// accept any view.
+	Graph GraphView
 	// Options is the base prediction configuration every query of an open
 	// cluster runs under; Cluster.PredictFor overrides only the sources.
 	Options Options
@@ -448,13 +462,13 @@ var ErrManifestMismatch = engine.ErrManifestMismatch
 // workers); the resident worker processes themselves keep running for the
 // next coordinator.
 type Cluster struct {
-	g    *Graph
+	g    GraphView
 	opts Options
 
-	fleet *engine.Fleet  // resident mode ("dist" with a manifest, or in-process)
-	dist  *engine.Dist   // per-call mode ("dist" with non-resident workers)
-	sim   *engine.Sim    // per-call mode ("" / "sim")
-	simW  int            // host worker bound for the sim backend
+	fleet *engine.Fleet // resident mode ("dist" with a manifest, or in-process)
+	dist  *engine.Dist  // per-call mode ("dist" with non-resident workers)
+	sim   *engine.Sim   // per-call mode ("" / "sim")
+	simW  int           // host worker bound for the sim backend
 
 	mu     sync.Mutex
 	last   EngineStats
@@ -509,7 +523,11 @@ func OpenCluster(o ClusterOptions) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
-			c.fleet, err = engine.OpenFleet(o.Graph, fo)
+			csr, ok := graph.AsCSR(o.Graph)
+			if !ok {
+				return nil, fmt.Errorf("snaple: OpenCluster: resident fleets serve a frozen graph; compact the live view first")
+			}
+			c.fleet, err = engine.OpenFleet(csr, fo)
 			if err != nil {
 				return nil, err
 			}
@@ -524,8 +542,23 @@ func OpenCluster(o ClusterOptions) (*Cluster, error) {
 			if fo.InProc == 0 {
 				fo.InProc = 2 // the dist backend's loopback default
 			}
+			csr, ok := graph.AsCSR(o.Graph)
+			if !ok {
+				// The in-process fleet packs its shards from this very view,
+				// so a static overlay (an evaluation split, a held live
+				// snapshot) can fold into the frozen CSR it serves —
+				// bit-identical by the delta/compaction oracle. External
+				// fleets (manifest above) stay strict: their pack predates
+				// the overlay.
+				d, isDelta := o.Graph.(*graph.Delta)
+				if !isDelta {
+					return nil, fmt.Errorf("snaple: OpenCluster: resident fleets serve a frozen graph; compact the live view first")
+				}
+				csr = d.Materialize()
+				c.g = csr
+			}
 			var err error
-			c.fleet, err = engine.OpenFleet(o.Graph, fo)
+			c.fleet, err = engine.OpenFleet(csr, fo)
 			if err != nil {
 				return nil, err
 			}
@@ -642,7 +675,7 @@ func (c *Cluster) Close() error {
 // It is the one-shot convenience path: OpenCluster, one prediction, Close.
 // Callers issuing more than one query should hold the *Cluster open instead,
 // so the fleet setup (partitioning, connecting, any shipping) is paid once.
-func PredictDistributed(g *Graph, opts Options, cl ClusterOptions) (*Result, error) {
+func PredictDistributed(g GraphView, opts Options, cl ClusterOptions) (*Result, error) {
 	cl.Graph, cl.Options = g, opts
 	c, err := OpenCluster(cl)
 	if err != nil {
@@ -655,7 +688,7 @@ func PredictDistributed(g *Graph, opts Options, cl ClusterOptions) (*Result, err
 // PredictBaseline runs the paper's BASELINE (a direct 2-hop Jaccard
 // implementation of Algorithm 1 on the GAS engine). On large graphs with
 // bounded budgets it fails with ErrMemoryExhausted — by design.
-func PredictBaseline(g *Graph, k int, cl ClusterOptions) (*Result, error) {
+func PredictBaseline(g GraphView, k int, cl ClusterOptions) (*Result, error) {
 	sim, err := cl.toSim()
 	if err != nil {
 		return nil, err
@@ -673,7 +706,7 @@ func PredictBaseline(g *Graph, k int, cl ClusterOptions) (*Result, error) {
 
 // PredictWalks runs the Cassovary-style single-machine comparator: w random
 // walks of depth d per vertex, recommending the k most-visited strangers.
-func PredictWalks(g *Graph, walks, depth, k int, seed uint64) (Predictions, error) {
+func PredictWalks(g GraphView, walks, depth, k int, seed uint64) (Predictions, error) {
 	return walk.Predict(g, walk.Config{Walks: walks, Depth: depth, K: k, Seed: seed})
 }
 
@@ -755,6 +788,14 @@ func ReadGraphFile(path string, opts GraphReadOptions) (*Graph, error) {
 func LoadGraphFile(path string, symmetrize bool) (*Graph, error) {
 	return graph.ReadGraphFile(path, graph.ReadOptions{Symmetrize: symmetrize})
 }
+
+// NewLive starts a live, mutable graph over a frozen base. Live.Apply
+// publishes epoch-stamped Delta views copy-on-write (readers keep whatever
+// view they hold, consistently), Live.Compact folds the overlay back into
+// a fresh CSR, and every Predict entry point accepts the views directly.
+// Resident fleets (OpenCluster) are the exception: they serve a frozen
+// pack, so compact before handing them a live graph's view.
+func NewLive(base *Graph) *Live { return graph.NewLive(base) }
 
 // WriteSnapshot writes g as a versioned, checksummed binary CSR snapshot.
 // Loading one materialises the graph with zero per-edge allocation — no
