@@ -9,13 +9,22 @@
 //	graphgen -dataset twitter-rv -scale 2 -o tw.sgr
 //	graphgen -model ba -n 10000 -m 4 -out ba.txt
 //	graphgen -model community -n 5000 -communities 25 -out comm.txt
+//	graphgen -model powerlaw -n 100000000 -edges 1000000000 -o big.sgr
+//
+// The powerlaw model is the scale workhorse: -edges is an absolute edge
+// count (no -scale arithmetic) and generation streams straight to the sink
+// in shards — text output writes each draw as it is produced and .sgr
+// output counts and scatters the stream through the two-pass CSR builder —
+// so no in-memory edge list ever exists at any size.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"snaple"
@@ -39,9 +48,24 @@ func main() {
 		edgeFactor  = flag.Int("edge-factor", 8, "edges per vertex (rmat)")
 		communities = flag.Int("communities", 10, "communities (community model)")
 		symmetric   = flag.Bool("symmetric", false, "duplicate edges in both directions (community model)")
+		edges       = flag.Int64("edges", 10_000_000, "absolute edge-draw count (powerlaw model; streams, never buffered)")
+		skew        = flag.Float64("skew", 2, "degree skew exponent >= 1 (powerlaw model)")
+		workers     = flag.Int("workers", 0, "builder goroutines for streamed .sgr output (0 = GOMAXPROCS)")
 	)
 	flag.StringVar(out, "o", *out, "alias for -out")
 	flag.Parse()
+
+	if *model == "powerlaw" {
+		if *dataset != "" {
+			fmt.Fprintln(os.Stderr, "graphgen: use either -dataset or -model, not both")
+			os.Exit(1)
+		}
+		if err := runPowerLaw(*n, *edges, *skew, *seed, *out, *format, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	g, err := generate(*dataset, *model, *scale, *seed, rawParams{
 		n: *n, m: *m, k: *k, beta: *beta,
@@ -69,6 +93,72 @@ func main() {
 	}
 	st := graph.ComputeStats(g)
 	fmt.Fprintf(os.Stderr, "graphgen: wrote %s\n", st)
+}
+
+// runPowerLaw generates the streaming skewed model: text sinks receive the
+// raw edge draws as they are produced (duplicates and self-loops included —
+// every loader drops them, same as any other SNAP file), .sgr sinks run the
+// stream through the bufferless two-pass CSR builder. Either way no edge
+// list is ever held in memory.
+func runPowerLaw(n int, edges int64, skew float64, seed uint64, out, format string, workers int) error {
+	s, err := gen.NewPowerLawStream(n, edges, skew, seed)
+	if err != nil {
+		return err
+	}
+	sgr := false
+	switch format {
+	case "auto":
+		sgr = strings.HasSuffix(out, ".sgr")
+	case "text":
+	case "sgr":
+		sgr = true
+	default:
+		return fmt.Errorf("unknown format %q (auto|text|sgr)", format)
+	}
+	w := io.Writer(os.Stdout)
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if sgr {
+		g, err := s.Build(workers)
+		if err != nil {
+			return err
+		}
+		if err := snaple.WriteSnapshot(w, g); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "graphgen: wrote %s\n", graph.ComputeStats(g))
+		return nil
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# Directed graph: %d vertices, %d edge draws\n# vertices: %d\n", n, edges, n); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 32)
+	werr := error(nil)
+	s.ForEachShard(0, 1, func(u, v graph.VertexID) {
+		if werr != nil {
+			return
+		}
+		buf = strconv.AppendUint(buf[:0], uint64(u), 10)
+		buf = append(buf, '\t')
+		buf = strconv.AppendUint(buf, uint64(v), 10)
+		buf = append(buf, '\n')
+		_, werr = bw.Write(buf)
+	})
+	if werr != nil {
+		return werr
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "graphgen: wrote %d edge draws over %d vertices\n", edges, n)
+	return nil
 }
 
 // writeGraph emits g in the requested format; "auto" keys off the output

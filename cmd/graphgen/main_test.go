@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -95,5 +97,53 @@ func TestWriteGraph(t *testing.T) {
 				t.Fatalf("round trip lost edges: %d -> %d", g.NumEdges(), g2.NumEdges())
 			}
 		})
+	}
+}
+
+// TestRunPowerLaw drives the streaming generator end to end through both
+// sinks: the text stream must carry exactly the requested draw count and
+// re-ingest to the same graph the sgr sink builds directly.
+func TestRunPowerLaw(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "p.txt")
+	sgr := filepath.Join(dir, "p.sgr")
+	const n, edges = 200, 5000
+	if err := runPowerLaw(n, edges, 2, 9, txt, "auto", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := runPowerLaw(n, edges, 2, 9, sgr, "auto", 2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	drawn := 0
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "#") {
+			drawn++
+		}
+	}
+	if drawn != edges {
+		t.Fatalf("text sink wrote %d draws, want %d", drawn, edges)
+	}
+	fromText, _, err := snaple.OpenGraphFile(txt, snaple.GraphReadOptions{PreserveIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSnap, info, err := snaple.OpenGraphFile(sgr, snaple.GraphReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version < 2 {
+		t.Fatalf("sgr sink wrote snapshot v%d, want v2", info.Version)
+	}
+	if fromText.NumVertices() != fromSnap.NumVertices() || fromText.NumEdges() != fromSnap.NumEdges() {
+		t.Fatalf("text sink re-ingests to %d/%d, sgr sink to %d/%d",
+			fromText.NumVertices(), fromText.NumEdges(), fromSnap.NumVertices(), fromSnap.NumEdges())
+	}
+	if runPowerLaw(n, edges, 2, 9, filepath.Join(dir, "x"), "nope", 1) == nil {
+		t.Fatal("unknown format accepted")
 	}
 }

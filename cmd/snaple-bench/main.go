@@ -7,7 +7,7 @@
 //	snaple-bench -exp all -scale 0.5 -v
 //
 // Experiments: table5, fig5, fig6, fig7, fig8, fig9, fig10, fig11, table6,
-// exhaustion, perf, all.
+// exhaustion, perf, scale, all.
 //
 // The perf experiment additionally writes a machine-readable report
 // (default BENCH.json, see -perf-out) with one row per perf-tracked backend
@@ -49,16 +49,20 @@ var perfOutPath = "BENCH.json"
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table5|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table6|exhaustion|ablations|perf|all)")
-		scale   = flag.Float64("scale", 1.0, "dataset scale multiplier")
-		seed    = flag.Uint64("seed", 42, "run seed")
-		engine  = flag.String("engine", "sim", "SNAPLE execution backend: "+strings.Join(snaple.EngineNames(), "|")+" (non-sim backends zero the simulated cost columns)")
-		workers = flag.Int("workers", 0, "worker goroutines per backend run (0 = GOMAXPROCS)")
-		perfOut = flag.String("perf-out", perfOutPath, "output path for the perf experiment's machine-readable report")
-		verbose = flag.Bool("v", false, "log per-run progress to stderr")
+		exp      = flag.String("exp", "all", "experiment id (table5|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table6|exhaustion|ablations|perf|scale|all)")
+		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		seed     = flag.Uint64("seed", 42, "run seed")
+		engine   = flag.String("engine", "sim", "SNAPLE execution backend: "+strings.Join(snaple.EngineNames(), "|")+" (non-sim backends zero the simulated cost columns)")
+		workers  = flag.Int("workers", 0, "worker goroutines per backend run (0 = GOMAXPROCS)")
+		perfOut  = flag.String("perf-out", perfOutPath, "output path for the perf experiment's machine-readable report")
+		scaleE   = flag.Int64("scale-edges", scaleEdges, "edge draws for the scale experiment (10^9 reproduces the title figure; CI smokes 5x10^6)")
+		scaleOut = flag.String("scale-out", scaleOutPath, "output path for the scale experiment's machine-readable report")
+		verbose  = flag.Bool("v", false, "log per-run progress to stderr")
 	)
 	flag.Parse()
 	perfOutPath = *perfOut
+	scaleEdges = *scaleE
+	scaleOutPath = *scaleOut
 
 	opts := eval.Options{Scale: *scale, Seed: *seed, Engine: *engine, Workers: *workers}
 	if *verbose {
@@ -167,6 +171,7 @@ func experiments() []experiment {
 			return nil
 		}},
 		{id: "perf", run: runPerf, explicitOnly: true},
+		{id: "scale", run: runScale, explicitOnly: true},
 		{id: "ablations", run: func(o eval.Options, w io.Writer) error {
 			a, err := eval.RunAlphaSweep(o)
 			if err != nil {
@@ -237,7 +242,7 @@ func runPerf(o eval.Options, w io.Writer) error {
 		return fmt.Errorf("ingest: %w", err)
 	}
 	rep.Rows = append(rep.Rows, ingestRows...)
-	queryRow, err := queryPerf(g, o.Workers, o.Seed, w)
+	queryRow, err := queryPerf("query-latency", g, o.Workers, o.Seed, w)
 	if err != nil {
 		return fmt.Errorf("query: %w", err)
 	}
@@ -340,8 +345,12 @@ func ingestPerf(g *snaple.Graph, workers int, w io.Writer) ([]eval.PerfRow, erro
 	}{
 		// PreserveIDs matches the pack workflow for already-dense files and
 		// keeps the text row's memory profile map-free and deterministic.
+		// The sgr row pins the heap decode path (NoMap) so its alloc columns
+		// keep meaning per-edge copy cost; the sgr-map row is the zero-copy
+		// default, whose alloc columns pin the O(1)-allocation claim instead.
 		{"ingest-text", textPath, textSize, snaple.GraphReadOptions{PreserveIDs: true, Workers: workers}},
-		{"ingest-sgr", sgrPath, sgrSize, snaple.GraphReadOptions{}},
+		{"ingest-sgr", sgrPath, sgrSize, snaple.GraphReadOptions{NoMap: true}},
+		{"ingest-sgr-map", sgrPath, sgrSize, snaple.GraphReadOptions{}},
 	} {
 		row, got, err := measureIngest(tc.engine, tc.path, tc.size, workers, tc.opts)
 		if err != nil {
@@ -423,14 +432,16 @@ func measureIngest(engine, path string, size int64, workers int, opts snaple.Gra
 	}, g, nil
 }
 
-// queryPerf measures the serving shape on the perf graph: repeated
+// queryPerf measures the serving shape on a graph view: repeated
 // query-scoped predictions of 200 sources each (a "top-k for these users"
 // request, the workload cmd/snaple-serve answers) on the local backend.
 // Per-query latencies are collected over several rounds and the best
 // round's percentiles reported — the tail of the best round is what the
 // code is capable of; worse rounds on a shared runner are scheduler noise,
-// which the regression gate must not alert on.
-func queryPerf(g *snaple.Graph, workers int, seed uint64, w io.Writer) (eval.PerfRow, error) {
+// which the regression gate must not alert on. The view may be any storage
+// representation (heap CSR, mmap'd columns, packed rows): the row name
+// keys the gate, so each representation gets its own baseline.
+func queryPerf(name string, g snaple.GraphView, workers int, seed uint64, w io.Writer) (eval.PerfRow, error) {
 	const (
 		sourcesPerQuery = 200
 		queriesPerRound = 40
@@ -441,7 +452,7 @@ func queryPerf(g *snaple.Graph, workers int, seed uint64, w io.Writer) (eval.Per
 		Score: "linearSum", KLocal: 20, ThrGamma: 200, Seed: seed,
 		Engine: "local", Workers: workers,
 	}
-	best := eval.PerfRow{Engine: "query-latency"}
+	best := eval.PerfRow{Engine: name}
 	for round := 0; round < rounds; round++ {
 		lats := make([]float64, 0, queriesPerRound)
 		var wall float64
@@ -477,8 +488,8 @@ func queryPerf(g *snaple.Graph, workers int, seed uint64, w io.Writer) (eval.Per
 			best.AllocObjects = objects / queriesPerRound
 		}
 	}
-	fmt.Fprintf(w, "query-latency: %d sources/query, p50 %.2fms, p99 %.2fms, %.1f MiB / %d objects allocated per query\n",
-		sourcesPerQuery, best.P50Ms, best.P99Ms,
+	fmt.Fprintf(w, "%s: %d sources/query, p50 %.2fms, p99 %.2fms, %.1f MiB / %d objects allocated per query\n",
+		name, sourcesPerQuery, best.P50Ms, best.P99Ms,
 		float64(best.AllocBytes)/(1<<20), best.AllocObjects)
 	return best, nil
 }

@@ -55,7 +55,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestExperimentIDsCoverPaper(t *testing.T) {
 	// Every table/figure of the evaluation must have a runner.
-	want := []string{"table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11+table6", "exhaustion", "supervised", "perf", "ablations"}
+	want := []string{"table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11+table6", "exhaustion", "supervised", "perf", "scale", "ablations"}
 	got := experiments()
 	if len(got) != len(want) {
 		t.Fatalf("have %d experiments, want %d", len(got), len(want))
@@ -86,7 +86,7 @@ func TestRunPerfWritesReport(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON report: %v\n%s", err, data)
 	}
-	wantRows := append(append([]string{}, perfEngines...), "ingest-text", "ingest-sgr", "query-latency", "wire-codec", "mutate", "compact")
+	wantRows := append(append([]string{}, perfEngines...), "ingest-text", "ingest-sgr", "ingest-sgr-map", "query-latency", "wire-codec", "mutate", "compact")
 	if rep.Edges <= 0 || len(rep.Rows) != len(wantRows) {
 		t.Fatalf("implausible report: %+v", rep)
 	}

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"time"
+
+	"encoding/json"
+
+	"snaple"
+	"snaple/internal/eval"
+	"snaple/internal/gen"
+	"snaple/internal/randx"
+)
+
+// The scale experiment (`snaple-bench -exp scale`) walks one generated
+// power-law graph through the whole big-graph lifecycle — streamed ingest,
+// snapshot pack (plain and packed adjacency), the three load paths (heap
+// decode, zero-copy mmap, packed view) and the scoped serving query on the
+// mapped and packed representations — and records every stage as a tracked
+// BENCH row, so cmd/benchcheck can gate each stage independently.
+//
+// -scale-edges sets the raw edge-draw count. The default is 10^8, which a
+// single large dev box handles comfortably; the paper-scale figure is 10^9
+// (see README "Billion edges on one box" — same command, one flag), and
+// CI's scale-smoke job runs 5×10^6 so the gate exercises every stage in
+// seconds. Vertices are edges/10, giving a mean degree near the paper's
+// datasets. Unlike the perf experiment's allocator-only metrics, every row
+// carries rss_bytes — the OS-level peak resident set, which is what sees
+// mmap'd pages and is monotone across the stages (stage order is fixed, so
+// per-row baselines stay comparable).
+var (
+	scaleEdges   int64 = 100_000_000
+	scaleOutPath       = "BENCH_scale.json"
+)
+
+func runScale(o eval.Options, w io.Writer) error {
+	edges := scaleEdges
+	if edges < 100 {
+		return fmt.Errorf("scale: -scale-edges %d too small to measure", edges)
+	}
+	n := int(edges / 10)
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s, err := gen.NewPowerLawStream(n, edges, 2, o.Seed)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "snaple-bench-scale-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Stage 1: streamed ingest. The generator yields edges straight into
+	// the two-pass CSR builder — no edge list is ever materialised, which
+	// is the property that lets edge counts climb to 10^9 on one box.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	g, err := s.Build(workers)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	rep := eval.PerfReport{
+		Dataset: "powerlaw-stream", Scale: float64(edges), Seed: o.Seed,
+		Vertices: g.NumVertices(), Edges: g.NumEdges(),
+	}
+	rep.Rows = append(rep.Rows, eval.PerfRow{
+		Engine: "scale-ingest", Workers: workers, WallSeconds: wall,
+		EdgesPerSec:  float64(edges) / wall,
+		AllocBytes:   int64(m1.TotalAlloc - m0.TotalAlloc),
+		AllocObjects: int64(m1.Mallocs - m0.Mallocs),
+		RSSBytes:     eval.PeakRSSBytes(),
+	})
+	fmt.Fprintf(w, "scale-ingest: %d draws -> %s in %.1fs, %.0f edges/s, rss %.0f MiB\n",
+		edges, g, wall, float64(edges)/wall, float64(eval.PeakRSSBytes())/(1<<20))
+
+	// Stage 2: pack both snapshot encodings.
+	pack := func(name, path string, packed bool) error {
+		start := time.Now()
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := snaple.WriteSnapshotOpts(f, g, snaple.SnapshotOptions{Packed: packed}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		wall := time.Since(start).Seconds()
+		fi, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		rep.Rows = append(rep.Rows, eval.PerfRow{
+			Engine: name, Workers: 1, WallSeconds: wall,
+			EdgesPerSec: float64(g.NumEdges()) / wall,
+			MBPerSec:    float64(fi.Size()) / wall / 1e6,
+			RSSBytes:    eval.PeakRSSBytes(),
+		})
+		fmt.Fprintf(w, "%s: %d bytes (%.1f MiB) in %.1fs, %.0f edges/s\n",
+			name, fi.Size(), float64(fi.Size())/(1<<20), wall, float64(g.NumEdges())/wall)
+		return nil
+	}
+	plainPath := filepath.Join(dir, "scale.sgr")
+	packedPath := filepath.Join(dir, "scale-packed.sgr")
+	if err := pack("scale-pack", plainPath, false); err != nil {
+		return err
+	}
+	if err := pack("scale-pack-packed", packedPath, true); err != nil {
+		return err
+	}
+
+	// Stage 3: the three load paths. Wall time is the best of a few runs;
+	// the allocator columns come from one instrumented run — for the mapped
+	// and packed paths they pin the O(1)-allocation claim (no per-edge
+	// work), so throughput columns are only recorded where the load really
+	// is O(E) (the heap decode).
+	load := func(name, path string, opts snaple.GraphReadOptions, throughput bool) (snaple.GraphView, error) {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		first := time.Now()
+		v, info, err := snaple.OpenGraphFile(path, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		best := time.Since(first)
+		runtime.ReadMemStats(&m1)
+		const minIters = 3
+		for i := 1; i < minIters; i++ {
+			start := time.Now()
+			if _, _, err := snaple.OpenGraphFile(path, opts); err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			best = min(best, time.Since(start))
+		}
+		wall := best.Seconds()
+		row := eval.PerfRow{
+			Engine: name, Workers: 1, WallSeconds: wall,
+			AllocBytes:   int64(m1.TotalAlloc - m0.TotalAlloc),
+			AllocObjects: int64(m1.Mallocs - m0.Mallocs),
+			RSSBytes:     eval.PeakRSSBytes(),
+		}
+		if throughput {
+			row.EdgesPerSec = float64(v.NumEdges()) / wall
+			row.MBPerSec = float64(info.Bytes) / wall / 1e6
+		}
+		rep.Rows = append(rep.Rows, row)
+		how := "heap"
+		if info.Mapped {
+			how = "mmap"
+		}
+		fmt.Fprintf(w, "%s: %.3fs (%s), %.1f MiB / %d objects allocated\n",
+			name, wall, how, float64(row.AllocBytes)/(1<<20), row.AllocObjects)
+		return v, nil
+	}
+	vHeap, err := load("scale-load-heap", plainPath, snaple.GraphReadOptions{NoMap: true}, true)
+	if err != nil {
+		return err
+	}
+	vMap, err := load("scale-load-mmap", plainPath, snaple.GraphReadOptions{}, false)
+	if err != nil {
+		return err
+	}
+	vPacked, err := load("scale-load-packed", packedPath, snaple.GraphReadOptions{}, false)
+	if err != nil {
+		return err
+	}
+
+	// The three representations must be interchangeable, not just fast:
+	// one scoped prediction batch has to come out bit-identical before any
+	// of their numbers mean anything.
+	sources := make([]snaple.VertexID, 64)
+	for i := range sources {
+		sources[i] = snaple.VertexID(randx.Uint64n(uint64(g.NumVertices()), o.Seed, uint64(i)))
+	}
+	qopts := snaple.Options{
+		Score: "linearSum", KLocal: 20, ThrGamma: 200, Seed: o.Seed,
+		Engine: "local", Workers: workers, Sources: sources,
+	}
+	want, _, err := snaple.PredictStats(vHeap, qopts)
+	if err != nil {
+		return err
+	}
+	for name, v := range map[string]snaple.GraphView{"mmap": vMap, "packed": vPacked} {
+		got, _, err := snaple.PredictStats(v, qopts)
+		if err != nil {
+			return fmt.Errorf("scale: %s query: %w", name, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			return fmt.Errorf("scale: %s view predictions diverge from the heap CSR's", name)
+		}
+	}
+	vHeap = nil // release the redundant heap copy before the query stages
+	_ = vHeap
+
+	// Stage 4: the serving query shape on the two representations a server
+	// would actually hold at this scale.
+	for _, q := range []struct {
+		name string
+		v    snaple.GraphView
+	}{{"scale-query", vMap}, {"scale-query-packed", vPacked}} {
+		row, err := queryPerf(q.name, q.v, workers, o.Seed, w)
+		if err != nil {
+			return fmt.Errorf("%s: %w", q.name, err)
+		}
+		row.RSSBytes = eval.PeakRSSBytes()
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(scaleOutPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", scaleOutPath)
+	return nil
+}

@@ -93,7 +93,8 @@ func main() {
 		batchMax    = flag.Int("batch-max", 4096, "max distinct uncached vertices per batch run (also the per-request id limit)")
 		cacheSize   = flag.Int("cache", 65536, "LRU result cache capacity (vertices)")
 
-		mutable    = flag.Bool("mutable", false, "serve a live graph: accept POST /v1/edges mutation batches (incompatible with -manifest)")
+		verify     = flag.Bool("verify", false, "fully re-verify snapshot checksums and row invariants on load (mapped loads default to the cheap structural checks)")
+		mutable    = flag.Bool("mutable", false, "serve a live graph: accept POST /v1/edges mutation batches; loads on the heap, never mmap'd (incompatible with -manifest)")
 		compactAt  = flag.Int("compact-at", 0, "auto-compact the mutation overlay once this many vertices have pending edits (0 = only on POST /v1/compact)")
 		compactOut = flag.String("compact-out", "", "persist each compaction as a fresh .sgr snapshot at this path (atomic rename)")
 	)
@@ -108,6 +109,7 @@ func main() {
 		dialAttempts: *dialAttempts, runTimeout: *runTimeout,
 		batchWindow: *batchWindow, batchMax: *batchMax, cacheSize: *cacheSize,
 		mutable: *mutable, compactAt: *compactAt, compactOut: *compactOut,
+		verify: *verify,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "snaple-serve:", err)
 		os.Exit(1)
@@ -142,6 +144,20 @@ type serveArgs struct {
 	mutable      bool
 	compactAt    int
 	compactOut   string
+	verify       bool
+}
+
+// heapCSR unwraps v to the compact heap-shaped CSR the fleet and mutable
+// paths require: pass-through for plain CSRs (mmap'd included), a one-time
+// decode for packed-adjacency views.
+func heapCSR(v snaple.GraphView) (*graph.Digraph, error) {
+	if g, ok := graph.AsCSR(v); ok {
+		return g, nil
+	}
+	if p, ok := v.(*graph.Packed); ok {
+		return p.Decode()
+	}
+	return nil, fmt.Errorf("cannot materialise %s as a CSR", v)
 }
 
 func run(a serveArgs) error {
@@ -149,11 +165,27 @@ func run(a serveArgs) error {
 		return fmt.Errorf("need -in FILE (tip: pack big edge lists once with `snaple pack`)")
 	}
 	start := time.Now()
-	g, err := snaple.LoadGraphFile(a.in, a.symmetric)
+	// Frozen servers take the zero-copy path when the file allows it (v2
+	// snapshot, mmap-capable platform); -mutable pins the heap path because
+	// a live graph's base must be ordinarily-allocated memory.
+	g, info, err := snaple.OpenGraphFile(a.in, snaple.GraphReadOptions{
+		Symmetrize: a.symmetric, NoMap: a.mutable, Verify: a.verify,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "loaded %s in %.2fs: %s\n", a.in, time.Since(start).Seconds(), g)
+	how := "parsed text"
+	if info.Version > 0 {
+		how = "heap"
+		if info.Mapped {
+			how = "mmap"
+		}
+		how = fmt.Sprintf("snapshot v%d, %s", info.Version, how)
+		if info.Packed {
+			how += ", packed adjacency"
+		}
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s in %.2fs (%s): %s\n", a.in, time.Since(start).Seconds(), how, g)
 
 	spec, err := core.ScoreByName(a.score, a.alpha)
 	if err != nil {
@@ -185,7 +217,11 @@ func run(a serveArgs) error {
 		if a.addrs != "" {
 			fleetAddrs = strings.Split(a.addrs, ",")
 		}
-		fleet, err := engine.OpenFleet(g, engine.FleetOptions{
+		csr, err := heapCSR(g)
+		if err != nil {
+			return err
+		}
+		fleet, err := engine.OpenFleet(csr, engine.FleetOptions{
 			Addrs: fleetAddrs, Manifest: man, Replicas: a.replicas,
 			StepTimeout: a.stepTimeout, DialAttempts: a.dialAttempts,
 		})
@@ -216,6 +252,15 @@ func run(a serveArgs) error {
 		if err != nil {
 			return err
 		}
+	}
+	if a.mutable {
+		// Live graphs mutate over a compact CSR base: decode a packed view
+		// once up front rather than erroring deeper in serve.New.
+		csr, err := heapCSR(g)
+		if err != nil {
+			return err
+		}
+		g = csr
 	}
 	srv, err := serve.New(serve.Options{
 		Graph:   g,

@@ -54,24 +54,23 @@ func main() {
 	}
 }
 
-func loadShard(path string) (*wire.ResidentShard, error) {
-	f, err := os.Open(path)
+func loadShard(path string) (*wire.ResidentShard, bool, error) {
+	// The numeric partition columns alias a read-only mmap of the shard
+	// file when the platform allows, so pinning a multi-gigabyte partition
+	// costs no per-edge work; heap loading is the automatic fallback.
+	sf, mapped, err := graph.MapShardFile(path)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	defer f.Close()
-	sf, err := graph.ReadShard(f)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return wire.ResidentFromShard(sf), nil
+	return wire.ResidentFromShard(sf), mapped, nil
 }
 
 func run(listen string, quiet bool, maxProto int, shard string) error {
 	var resident *wire.ResidentShard
+	var shardMapped bool
 	if shard != "" {
 		var err error
-		if resident, err = loadShard(shard); err != nil {
+		if resident, shardMapped, err = loadShard(shard); err != nil {
 			return err
 		}
 	}
@@ -89,8 +88,12 @@ func run(listen string, quiet bool, maxProto int, shard string) error {
 		logger := log.New(os.Stderr, "snaple-worker: ", log.LstdFlags)
 		logf = logger.Printf
 		if resident != nil {
-			logf("resident for shard %d of %d (fingerprint %016x)",
-				resident.Part.Part, resident.Shards, resident.Fingerprint)
+			how := "heap"
+			if shardMapped {
+				how = "mmap"
+			}
+			logf("resident for shard %d of %d (fingerprint %016x, %s)",
+				resident.Part.Part, resident.Shards, resident.Fingerprint, how)
 		}
 	}
 

@@ -15,6 +15,7 @@
 //	snaple -in graph.sgr -engine local -sources 17,42,99 -vertex 42
 //	snaple -in graph.sgr -engine local -sources @user-ids.txt
 //	snaple pack -in graph.txt -out graph.sgr
+//	snaple pack -in old.sgr -out new.sgr -packed
 //	snaple -in graph.sgr -engine local -eval
 //	snaple -dataset pokec -system walks -walks 100 -depth 3 -eval
 //	snaple -dataset gowalla -system baseline -nodes 4 -eval
@@ -92,6 +93,7 @@ func main() {
 
 		doEval = flag.Bool("eval", false, "hide one edge per vertex and report recall")
 		vertex = flag.Int("vertex", -1, "print predictions for this vertex")
+		verify = flag.Bool("verify", false, "fully re-verify snapshot checksums and row invariants on load (mapped loads default to the cheap structural checks)")
 	)
 	flag.Parse()
 
@@ -118,6 +120,7 @@ func main() {
 		replicas: *replicas, stepTimeout: *stepTimeout, dialAttempts: *dialAttempts,
 		dump:  *dump,
 		walks: *walks, depth: *depth, doEval: *doEval, vertex: *vertex,
+		verify: *verify,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "snaple:", err)
 		os.Exit(1)
@@ -158,6 +161,7 @@ type runArgs struct {
 	depth        int
 	doEval       bool
 	vertex       int
+	verify       bool
 }
 
 // parseSources parses the -sources flag: a comma-separated ID list, or
@@ -201,17 +205,23 @@ func parseSources(s string) ([]snaple.VertexID, error) {
 }
 
 func run(a runArgs) error {
-	g, err := load(a)
+	// gv is the view predictions run over: the loaded CSR (possibly mmap'd
+	// or packed), or the split's remove-only overlay when evaluating.
+	gv, err := load(a)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph: %s\n", g)
+	fmt.Printf("graph: %s\n", gv)
 
-	// gv is the view predictions run over: the loaded CSR, or the split's
-	// remove-only overlay when evaluating.
-	var gv snaple.GraphView = g
 	var split *snaple.Split
 	if a.doEval {
+		// The split hides edges behind an overlay built from a heap-shaped
+		// CSR, so packed views decode once here; mapped plain CSRs pass
+		// through (the overlay never mutates its base).
+		g, err := heapGraph(gv)
+		if err != nil {
+			return err
+		}
 		split, err = snaple.NewSplit(g, 1, a.seed)
 		if err != nil {
 			return err
@@ -365,14 +375,38 @@ func writeDump(path string, preds snaple.Predictions) error {
 	return f.Close()
 }
 
-func load(a runArgs) (*snaple.Graph, error) {
+func load(a runArgs) (snaple.GraphView, error) {
 	switch {
 	case a.in != "" && a.dataset != "":
 		return nil, fmt.Errorf("use either -in or -dataset, not both")
 	case a.in != "":
 		// Format (text edge list vs binary snapshot) is detected by magic
 		// bytes, so packed and plain graphs are interchangeable here.
-		return snaple.LoadGraphFile(a.in, a.symmetric)
+		// Format-v2 snapshots arrive zero-copy: mmap'd when the platform
+		// allows, aliased from one aligned read otherwise.
+		start := time.Now()
+		v, info, err := snaple.OpenGraphFile(a.in, snaple.GraphReadOptions{
+			Symmetrize: a.symmetric, Verify: a.verify,
+		})
+		if err != nil {
+			return nil, err
+		}
+		el := time.Since(start).Seconds()
+		how := "parsed text"
+		if info.Version > 0 {
+			how = "heap"
+			if info.Mapped {
+				how = "mmap"
+			}
+			how = fmt.Sprintf("snapshot v%d, %s", info.Version, how)
+			if info.Packed {
+				how += ", packed adjacency"
+			}
+		}
+		fmt.Printf("loaded %s in %.3fs: %.1f MiB at %.0f MB/s (%s)\n",
+			a.in, el, float64(info.Bytes)/(1<<20),
+			float64(info.Bytes)/1e6/max(el, 1e-9), how)
+		return v, nil
 	case a.dataset != "":
 		return snaple.Dataset(a.dataset, a.scale, a.seed)
 	default:
@@ -380,10 +414,25 @@ func load(a runArgs) (*snaple.Graph, error) {
 	}
 }
 
+// heapGraph unwraps gv to the heap-shaped CSR some paths require: a
+// pass-through for plain CSRs (including mmap'd ones) and a one-time
+// decode for packed-adjacency views.
+func heapGraph(gv snaple.GraphView) (*snaple.Graph, error) {
+	if g, ok := graph.AsCSR(gv); ok {
+		return g, nil
+	}
+	if p, ok := gv.(*graph.Packed); ok {
+		return p.Decode()
+	}
+	return nil, fmt.Errorf("cannot materialise %s as a CSR", gv)
+}
+
 // runPack implements `snaple pack`: one-time conversion of a graph file
 // into a binary CSR snapshot, after which loads skip parsing, remapping
-// and sorting entirely. Re-packing a snapshot works too (e.g. to add the
-// reverse adjacency). With -shards N it additionally computes the vertex
+// and sorting entirely. A snapshot is also a valid input, which is how
+// existing files upgrade in place: format v1 -> v2, plain -> packed
+// adjacency (-packed) or back, or adding the reverse adjacency
+// (-in-edges). With -shards N it additionally computes the vertex
 // cut once and writes each partition as its own resident shard file
 // (<out>.0 .. <out>.N-1) plus a fleet manifest (<out>.manifest): workers
 // started with `snaple-worker -shard <out>.i` then pin their partition
@@ -397,6 +446,7 @@ func runPack(args []string, w io.Writer) error {
 		symmetric = fs.Bool("symmetric", false, "treat a text input as undirected (duplicate every edge both ways)")
 		preserve  = fs.Bool("preserve-ids", false, "keep raw vertex IDs (honors the '# vertices:' header) instead of remapping densely")
 		inEdges   = fs.Bool("in-edges", false, "also pack the reverse adjacency")
+		packed    = fs.Bool("packed", false, "delta-varint compress the adjacency rows (smaller file; rows decode on demand at query time)")
 		workers   = fs.Int("workers", 0, "parser shard fan-out (0 = GOMAXPROCS)")
 		shards    = fs.Int("shards", 0, "also write a resident shard set for a standing worker fleet: <out>.0..N-1 plus <out>.manifest (0 = snapshot only)")
 		strategy  = fs.String("strategy", "hash-edge", "vertex-cut strategy for -shards: hash-edge|hash-source|greedy")
@@ -450,16 +500,23 @@ func runPack(args []string, w io.Writer) error {
 		return err
 	}
 	loaded := time.Since(start)
-	if err := writeOutput(outPath, func(f io.Writer) error { return snaple.WriteSnapshot(f, g) }); err != nil {
+	if err := writeOutput(outPath, func(f io.Writer) error {
+		return snaple.WriteSnapshotOpts(f, g, snaple.SnapshotOptions{Packed: *packed})
+	}); err != nil {
 		return err
 	}
 	fi, err := os.Stat(outPath)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "packed %s -> %s: %s, %.1f MiB (read %.2fs, wrote %.2fs)\n",
-		*in, outPath, g, float64(fi.Size())/(1<<20),
-		loaded.Seconds(), time.Since(start).Seconds()-loaded.Seconds())
+	enc := "plain"
+	if *packed {
+		enc = "packed"
+	}
+	wrote := time.Since(start).Seconds() - loaded.Seconds()
+	fmt.Fprintf(w, "packed %s -> %s: %s, %d bytes (%.1f MiB, %s) in %.2fs read + %.2fs write, %.0f edges/s\n",
+		*in, outPath, g, fi.Size(), float64(fi.Size())/(1<<20), enc,
+		loaded.Seconds(), wrote, float64(g.NumEdges())/max(wrote, 1e-9))
 	if *shards > 0 {
 		if err := packShards(g, outPath, *shards, *strategy, *seed, w); err != nil {
 			return err

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"snaple/internal/core"
+	"snaple/internal/graph"
+)
+
+// TestBackendsStorageEquivalence is the cross-representation oracle: every
+// backend must produce bit-identical predictions whether the graph arrives
+// as the heap CSR, the mmap-backed zero-copy view or the varint-packed
+// adjacency — for full runs and for query-scoped runs. This is what lets
+// snaple-serve map a snapshot instead of decoding it without changing a
+// single prediction.
+func TestBackendsStorageEquivalence(t *testing.T) {
+	g := testGraph(t, 250, 13)
+	dir := t.TempDir()
+	write := func(name string, packed bool) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.WriteSnapshotOpts(f, g, graph.SnapshotOptions{Packed: packed}); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	open := func(path string) graph.View {
+		v, info, err := graph.OpenGraphFile(path, graph.ReadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Version < 2 {
+			t.Fatalf("%s: expected a v2 snapshot, got v%d", path, info.Version)
+		}
+		return v
+	}
+	vMap := open(write("plain.sgr", false))
+	vPacked := open(write("packed.sgr", true))
+	if _, ok := vPacked.(*graph.Packed); !ok {
+		t.Fatalf("packed snapshot opened as %T", vPacked)
+	}
+
+	sources := []graph.VertexID{0, 3, 50, 51, 120, 249}
+	for _, scoped := range []bool{false, true} {
+		cfg := core.Config{
+			Score: mustScore(t, "linearSum"), K: 5, KLocal: 6, ThrGamma: 12, Seed: 42,
+		}
+		if scoped {
+			cfg.Sources = sources
+		}
+		for _, be := range []Backend{
+			Serial{}, Local{Workers: 3}, Sim{Nodes: 2, Seed: 9}, Dist{InProc: 2, Seed: 42},
+		} {
+			want, _, err := be.Predict(g, cfg)
+			if err != nil {
+				t.Fatalf("%s heap (scoped=%v): %v", be.Name(), scoped, err)
+			}
+			for _, rep := range []struct {
+				name string
+				v    graph.View
+			}{{"mmap", vMap}, {"packed", vPacked}} {
+				got, _, err := be.Predict(rep.v, cfg)
+				if err != nil {
+					t.Fatalf("%s %s (scoped=%v): %v", be.Name(), rep.name, scoped, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s over %s (scoped=%v) diverges from the heap CSR", be.Name(), rep.name, scoped)
+					diffPredictions(t, want, got)
+				}
+			}
+		}
+	}
+}

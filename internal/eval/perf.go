@@ -41,6 +41,12 @@ type PerfRow struct {
 	PeakBytes    int64   `json:"peak_bytes,omitempty"`
 	P50Ms        float64 `json:"p50_ms,omitempty"`
 	P99Ms        float64 `json:"p99_ms,omitempty"`
+	// RSSBytes is the process's OS-level peak resident set (VmHWM) after the
+	// row's work, where the scale experiment records it. Unlike the
+	// allocator metrics it sees mmap'd pages and is monotone across a run,
+	// so only the run's final row carries a meaningful delta. Zero on
+	// platforms without a probe.
+	RSSBytes int64 `json:"rss_bytes,omitempty"`
 }
 
 // Row returns the report's row for an engine.
@@ -77,7 +83,10 @@ func (r PerfReport) Row(engine string) (PerfRow, bool) {
 //     the step-function blow-up this gate exists to catch);
 //   - p99_ms must not exceed (1+tol) × baseline when the baseline measured
 //     any (the query-latency row: a tail-latency regression is a serving
-//     regression even when throughput holds).
+//     regression even when throughput holds);
+//   - rss_bytes must not exceed (1+tol) × baseline when the baseline
+//     measured any (scale rows: the OS-level peak resident set, which sees
+//     the mmap'd pages and loader copies the allocator counters miss).
 //
 // Improvements never fail. The graphs must be identical (dataset, scale,
 // seed, vertex and edge counts) — otherwise the comparison is meaningless
@@ -138,6 +147,7 @@ func ComparePerf(baseline, current PerfReport, tol float64) []string {
 		checkCeil("alloc_objects", base.AllocObjects, cur.AllocObjects, tol)
 		checkCeil("cross_bytes", base.CrossBytes, cur.CrossBytes, min(tol, crossBytesTol))
 		checkCeil("peak_bytes", base.PeakBytes, cur.PeakBytes, tol)
+		checkCeil("rss_bytes", base.RSSBytes, cur.RSSBytes, tol)
 		if base.P99Ms > 0 {
 			if ceil := base.P99Ms * (1 + tol); cur.P99Ms > ceil {
 				failf("%s: query p99 regressed: %.2fms > %.2fms (baseline %.2fms + %d%%)",

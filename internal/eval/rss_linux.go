@@ -1,0 +1,35 @@
+//go:build linux
+
+package eval
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// PeakRSSBytes returns the process's peak resident set size (VmHWM from
+// /proc/self/status) — the OS's view of memory, which counts faulted-in
+// mmap'd pages and every loader copy, unlike the Go allocator's counters.
+// It is monotone over the process lifetime and 0 when the probe fails.
+func PeakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package eval
+
+// PeakRSSBytes reports 0: no peak-RSS probe on this platform. Callers and
+// the benchcheck gate treat 0 as "not measured".
+func PeakRSSBytes() int64 { return 0 }

@@ -1,0 +1,140 @@
+package gen
+
+import (
+	"testing"
+
+	"snaple/internal/graph"
+)
+
+// TestPowerLawStreamDeterministic: the whole scale pipeline rests on every
+// replay of the stream being identical — shard boundaries must not change
+// which edges exist, and worker counts must not change the built graph.
+func TestPowerLawStreamDeterministic(t *testing.T) {
+	s, err := NewPowerLawStream(500, 20_000, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func(shards int) []graph.Edge {
+		var out []graph.Edge
+		for sh := 0; sh < shards; sh++ {
+			s.ForEachShard(sh, shards, func(u, v graph.VertexID) {
+				out = append(out, graph.Edge{Src: u, Dst: v})
+			})
+		}
+		return out
+	}
+	want := collect(1)
+	if int64(len(want)) != s.Edges {
+		t.Fatalf("one shard yielded %d draws, want %d", len(want), s.Edges)
+	}
+	for _, shards := range []int{2, 3, 7} {
+		got := collect(shards)
+		if len(got) != len(want) {
+			t.Fatalf("%d shards yielded %d draws, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%d shards: draw %d is %v, want %v", shards, i, got[i], want[i])
+			}
+		}
+	}
+
+	g1, err := s.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := s.Build(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumVertices() != g4.NumVertices() || g1.NumEdges() != g4.NumEdges() {
+		t.Fatalf("worker counts disagree: %s vs %s", g1, g4)
+	}
+	for u := 0; u < g1.NumVertices(); u++ {
+		a, b := g1.OutNeighbors(graph.VertexID(u)), g4.OutNeighbors(graph.VertexID(u))
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d: degree %d vs %d across worker counts", u, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d row differs across worker counts", u)
+			}
+		}
+	}
+}
+
+// TestPowerLawStreamBuildMatchesBuilder holds the streamed two-pass builder
+// to the buffered FromEdges oracle: same draws in, same deduplicated
+// self-loop-free CSR out.
+func TestPowerLawStreamBuildMatchesBuilder(t *testing.T) {
+	s, err := NewPowerLawStream(300, 10_000, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []graph.Edge
+	s.ForEachShard(0, 1, func(u, v graph.VertexID) {
+		edges = append(edges, graph.Edge{Src: u, Dst: v})
+	})
+	want, err := graph.FromEdges(s.N, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.NumVertices() != got.NumVertices() || want.NumEdges() != got.NumEdges() {
+		t.Fatalf("streamed build %s, buffered oracle %s", got, want)
+	}
+	for u := 0; u < want.NumVertices(); u++ {
+		a, b := want.OutNeighbors(graph.VertexID(u)), got.OutNeighbors(graph.VertexID(u))
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d: streamed degree %d, oracle %d", u, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d row diverges from the buffered oracle", u)
+			}
+		}
+	}
+}
+
+// TestPowerLawStreamShape sanity-checks the degree profile: with skew 2 the
+// low-index vertices must be hubs and the tail must stay sparse (expected
+// degree of vertex k falls off as 1/sqrt(k)).
+func TestPowerLawStreamShape(t *testing.T) {
+	s, err := NewPowerLawStream(1000, 200_000, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degSum := func(lo, hi int) int {
+		sum := 0
+		for u := lo; u < hi; u++ {
+			sum += g.OutDegree(graph.VertexID(u))
+		}
+		return sum
+	}
+	// u² < 0.1 for ~32% of draws vs u² ≥ 0.9 for ~5%, so before dedup the
+	// first centile carries ~6x the mass of the last; dedup flattens the
+	// hubs somewhat. A uniform profile would put the ratio at 1.
+	head, tail := degSum(0, 100), degSum(900, 1000)
+	if head < 3*tail {
+		t.Errorf("degree profile not heavy-tailed: first centile %d edges, last %d", head, tail)
+	}
+}
+
+func TestPowerLawStreamRejectsBadParams(t *testing.T) {
+	for _, c := range []struct {
+		n     int
+		edges int64
+		skew  float64
+	}{{1, 10, 2}, {10, -1, 2}, {10, 10, 0.5}} {
+		if _, err := NewPowerLawStream(c.n, c.edges, c.skew, 1); err == nil {
+			t.Errorf("NewPowerLawStream(%d, %d, %g) accepted bad params", c.n, c.edges, c.skew)
+		}
+	}
+}

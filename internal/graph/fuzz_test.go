@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"runtime"
 	"testing"
 )
 
@@ -120,6 +121,86 @@ func FuzzReadSnapshot(f *testing.F) {
 		}
 		if !graphEqual(g, g2) {
 			t.Fatal("snapshot round trip changed the graph")
+		}
+	})
+}
+
+// FuzzReadPacked hammers the packed-adjacency decode surface: varint
+// corruption, truncation, padding abuse and lying headers. Both the
+// streaming reader and the in-place view (in cheap and verifying modes)
+// must never panic, never let a lying length or degree force a huge
+// allocation, agree on the graph when they both accept, and anything
+// accepted must satisfy the CSR invariants after decode.
+func FuzzReadPacked(f *testing.F) {
+	for _, g := range []*Digraph{
+		MustFromEdges(5, []Edge{{0, 1}, {0, 4}, {1, 2}, {3, 0}, {4, 3}}),
+		MustFromEdges(1, nil),
+	} {
+		var buf bytes.Buffer
+		if err := WriteSnapshotOpts(&buf, g, SnapshotOptions{Packed: true}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		g.buildInAdjacency()
+		buf.Reset()
+		if err := WriteSnapshotOpts(&buf, g, SnapshotOptions{Packed: true}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("SNAPLSGR"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64)) // max-length varints everywhere
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		g, serr := ReadSnapshot(bytes.NewReader(data))
+		img := alignedBytes(int64(len(data)))
+		copy(img, data)
+		v, verr := viewSnapshot(img, false)
+		_, vverr := viewSnapshot(img, true)
+		runtime.ReadMemStats(&m1)
+		// A 64 KiB input must never cost megabytes: lying vertex/edge counts
+		// and degree prefixes have to be rejected before allocation, not
+		// after. (The slack covers test-harness noise, not graph columns.)
+		if grew := int64(m1.TotalAlloc - m0.TotalAlloc); grew > 64<<20 {
+			t.Fatalf("decoding %d input bytes allocated %d bytes", len(data), grew)
+		}
+		// The verifying view must accept a subset of what the cheap view does.
+		if vverr == nil && verr != nil {
+			t.Fatalf("verify accepted what the cheap view rejected: %v", verr)
+		}
+		if serr != nil {
+			return
+		}
+		if err := validateCSR(g.NumVertices(), g.outOff, g.outAdj, "out"); err != nil {
+			t.Fatalf("accepted snapshot violates CSR invariants: %v", err)
+		}
+		// When the in-place view also accepts (it only handles v2), a packed
+		// view must decode to the same graph the streaming reader produced.
+		if verr == nil {
+			if p, ok := v.(*Packed); ok {
+				dec, err := p.Decode()
+				if err != nil {
+					t.Fatalf("cheap view accepted rows Decode rejects: %v", err)
+				}
+				if !graphEqual(g, dec) {
+					t.Fatal("in-place packed view disagrees with the streaming reader")
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshotOpts(&buf, g, SnapshotOptions{Packed: true}); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of re-packed snapshot: %v", err)
+		}
+		if !graphEqual(g, g2) {
+			t.Fatal("packed round trip changed the graph")
 		}
 	})
 }

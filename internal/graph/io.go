@@ -62,6 +62,16 @@ type ReadOptions struct {
 	// capped so small inputs stay serial). The resulting graph is identical
 	// for every value.
 	Workers int
+	// NoMap forces the heap load path for snapshots: the returned view owns
+	// private memory with no mmap aliasing. Mutable consumers — live
+	// serving, whose compaction rewrites the snapshot file in place — want
+	// this; read-only consumers leave it off and share the page cache.
+	NoMap bool
+	// Verify runs the full structural-and-checksum validation even on the
+	// mapped load path, which otherwise defers the O(edges) row checks and
+	// validates only the header and offset columns. Streamed and heap
+	// loads always verify fully.
+	Verify bool
 }
 
 // ReadEdgeList parses a SNAP-style edge list: whitespace-separated vertex-ID
@@ -115,36 +125,158 @@ func DetectFormat(prefix []byte) Format {
 	return FormatEdgeList
 }
 
+// LoadInfo describes how OpenGraphFile loaded a graph.
+type LoadInfo struct {
+	// Format is the detected on-disk encoding.
+	Format Format
+	// Version is the snapshot format version (0 for edge lists).
+	Version int
+	// Mapped reports that the view's columns alias a read-only mmap of the
+	// file rather than heap memory.
+	Mapped bool
+	// Packed reports that the adjacency stayed delta-varint compressed:
+	// the View is a *Packed.
+	Packed bool
+	// Bytes is the on-disk size.
+	Bytes int64
+}
+
+// OpenGraphFile loads a graph from path like ReadGraphFile but preserves
+// the storage representation instead of forcing a heap CSR: version-2
+// snapshots are mmap'd and viewed in place (unless ReadOptions.NoMap or
+// the platform lacks mmap, which fall back to one aligned heap read),
+// packed-adjacency snapshots come back as a decode-on-demand *Packed, and
+// the LoadInfo reports which path was taken. This is the loader behind
+// `snaple -in`, snaple-serve and snaple-bench's load rows.
+//
+// Snapshots bake Symmetrize and the ID space in at pack time, so
+// Symmetrize is rejected for them; WithInEdges materialises the reverse
+// adjacency when absent for CSR views and is an error for packed views
+// without baked-in in-adjacency (decode via ReadGraphFile instead).
+func OpenGraphFile(path string, opts ReadOptions) (View, LoadInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, LoadInfo{}, fmt.Errorf("graph: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var magic [len(snapshotMagic)]byte
+	n, err := f.ReadAt(magic[:], 0)
+	if (err != nil && err != io.EOF) || DetectFormat(magic[:n]) != FormatSnapshot {
+		// A text edge list, or unseekable input (pipe, device) that only
+		// the text decoder streams.
+		g, err := ReadEdgeList(f, opts)
+		if err != nil {
+			return nil, LoadInfo{}, err
+		}
+		info := LoadInfo{Format: FormatEdgeList}
+		if fi, serr := f.Stat(); serr == nil {
+			info.Bytes = fi.Size()
+		}
+		return g, info, nil
+	}
+	if opts.Symmetrize {
+		return nil, LoadInfo{}, fmt.Errorf("graph: %s: snapshots are packed directed; Symmetrize applies when packing", path)
+	}
+	return openSnapshotFile(f, path, opts)
+}
+
+// openSnapshotFile routes an opened .sgr file to the right load path:
+// streaming decode for version-1 layouts, in-place viewing (mmap or one
+// aligned heap read) for version 2.
+func openSnapshotFile(f *os.File, path string, opts ReadOptions) (View, LoadInfo, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, LoadInfo{}, fmt.Errorf("graph: %s: %w", path, err)
+	}
+	size := fi.Size()
+	info := LoadInfo{Format: FormatSnapshot, Bytes: size}
+	var hdr [snapshotHeaderLen]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, info, fmt.Errorf("graph: %s: read header: %w", path, err)
+	}
+	h, err := parseSnapshotHeader(hdr[:])
+	if err != nil {
+		return nil, info, fmt.Errorf("graph: %s: %w", path, err)
+	}
+	info.Version = int(h.version)
+	info.Packed = h.packed()
+	if h.version == snapshotVersionV1 {
+		// No aligned layout to view: stream-decode onto the heap.
+		g, err := ReadSnapshot(f)
+		if err != nil {
+			return nil, info, fmt.Errorf("graph: %s: %w", path, err)
+		}
+		return finishSnapshotView(g, info, opts, path)
+	}
+	if !opts.NoMap && mmapSupported {
+		if m, merr := mmapFile(f, size); merr == nil {
+			v, verr := viewSnapshot(m, opts.Verify)
+			if verr != nil {
+				munmapBytes(m)
+				return nil, info, fmt.Errorf("graph: %s: %w", path, verr)
+			}
+			// The mapping is pinned for the life of the process. Rows
+			// handed out by OutNeighbors/InNeighbors alias it and may
+			// outlive the view object, so unmapping on the view's
+			// collection could fault a live reader; consumers load a
+			// snapshot once and serve from it, so the leak is one
+			// bounded mapping per opened file.
+			info.Mapped = true
+			return finishSnapshotView(v, info, opts, path)
+		}
+		// Any mmap failure falls back to the aligned heap read below.
+	}
+	data := alignedBytes(size)
+	if _, err := f.ReadAt(data, 0); err != nil {
+		return nil, info, fmt.Errorf("graph: %s: read: %w", path, err)
+	}
+	v, verr := viewSnapshot(data, true)
+	if verr != nil {
+		return nil, info, fmt.Errorf("graph: %s: %w", path, verr)
+	}
+	return finishSnapshotView(v, info, opts, path)
+}
+
+// finishSnapshotView applies WithInEdges to a freshly loaded snapshot view.
+func finishSnapshotView(v View, info LoadInfo, opts ReadOptions, path string) (View, LoadInfo, error) {
+	if opts.WithInEdges && !v.HasInEdges() {
+		g, ok := v.(*Digraph)
+		if !ok {
+			return nil, info, fmt.Errorf("graph: %s: packed snapshot carries no in-adjacency; re-pack with in-edges or decode to a heap CSR first", path)
+		}
+		g.buildInAdjacency()
+	}
+	return v, info, nil
+}
+
 // ReadGraphFile loads a graph from path in either supported on-disk format,
 // detected by magic bytes: a binary CSR snapshot or a text edge list. opts
 // applies to the text decoder; snapshots bake Symmetrize and the ID space
 // in at pack time, so Symmetrize is rejected for them and WithInEdges
 // materialises the reverse adjacency only when the file does not already
-// carry one.
+// carry one. The result is always a plain CSR: version-2 snapshots arrive
+// with mmap-aliased columns (honouring NoMap) and packed-adjacency
+// snapshots are decoded; use OpenGraphFile to keep those compressed.
 func ReadGraphFile(path string, opts ReadOptions) (*Digraph, error) {
-	f, err := os.Open(path)
+	open := opts
+	open.WithInEdges = false
+	v, _, err := OpenGraphFile(path, open)
 	if err != nil {
-		return nil, fmt.Errorf("graph: open %s: %w", path, err)
+		return nil, err
 	}
-	defer f.Close()
-	var magic [len(snapshotMagic)]byte
-	n, err := f.ReadAt(magic[:], 0)
-	if err != nil && err != io.EOF {
-		// Unseekable input (pipe, device): only the text decoder streams it.
-		return ReadEdgeList(f, opts)
-	}
-	if DetectFormat(magic[:n]) == FormatSnapshot {
-		if opts.Symmetrize {
-			return nil, fmt.Errorf("graph: %s: snapshots are packed directed; Symmetrize applies when packing", path)
-		}
-		g, err := ReadSnapshot(f)
-		if err != nil {
+	var g *Digraph
+	switch t := v.(type) {
+	case *Digraph:
+		g = t
+	case *Packed:
+		if g, err = t.Decode(); err != nil {
 			return nil, fmt.Errorf("graph: %s: %w", path, err)
 		}
-		if opts.WithInEdges && !g.HasInEdges() {
-			g.buildInAdjacency()
-		}
-		return g, nil
+	default:
+		return nil, fmt.Errorf("graph: %s: unexpected view %T", path, v)
 	}
-	return ReadEdgeList(f, opts)
+	if opts.WithInEdges && !g.HasInEdges() {
+		g.buildInAdjacency()
+	}
+	return g, nil
 }

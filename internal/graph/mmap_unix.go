@@ -1,0 +1,36 @@
+//go:build unix
+
+package graph
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy load paths; non-unix builds read into
+// an aligned heap buffer instead (see mmap_stub.go).
+const mmapSupported = true
+
+// mmapFile maps the first size bytes of f read-only. The mapping outlives
+// the file descriptor, so callers may close f immediately.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("graph: mmap: empty file")
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("graph: mmap: file of %d bytes exceeds the address space", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("graph: mmap: %w", err)
+	}
+	return data, nil
+}
+
+func munmapBytes(b []byte) {
+	// Unmapping can only fail on an address-range mistake, which would be
+	// a bug in this package, not a runtime condition; there is no caller
+	// that could act on the error.
+	_ = syscall.Munmap(b)
+}

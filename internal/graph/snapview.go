@@ -1,0 +1,248 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"unsafe"
+)
+
+// In-place snapshot viewing: a version-2 .sgr image — an mmap'd file or a
+// whole-file read into one aligned buffer — is parsed by aliasing its
+// 8-aligned section payloads as typed columns, so load cost is independent
+// of edge count. See the format comment in snapshot.go.
+
+// hostLittleEndian reports the host byte order. In-place column views
+// require little-endian (the on-disk order); other hosts transparently get
+// decode copies from the view* helpers below.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// alignedBytes returns a zeroed byte slice of length n whose first byte is
+// 8-aligned, so a file image read into it can be column-viewed in place
+// exactly like an mmap'd region. (Go does not guarantee alignment for
+// plain []byte allocations; backing the slice with []uint64 does.)
+func alignedBytes(n int64) []byte {
+	if n <= 0 {
+		return nil
+	}
+	words := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), n)
+}
+
+// viewInt64s interprets an 8-aligned little-endian payload as []int64,
+// aliasing it in place when the host allows and decoding a copy otherwise.
+func viewInt64s(b []byte) []int64 {
+	n := len(b) / 8
+	if n == 0 {
+		return []int64{}
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))&7 == 0 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// viewVertexIDs is viewInt64s for the 4-byte adjacency columns.
+func viewVertexIDs(b []byte) []VertexID {
+	n := len(b) / 4
+	if n == 0 {
+		return []VertexID{}
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))&3 == 0 {
+		return unsafe.Slice((*VertexID)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]VertexID, n)
+	for i := range out {
+		out[i] = VertexID(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// viewInt32s is the []int32 variant (shard degree/edge columns).
+func viewInt32s(b []byte) []int32 {
+	n := len(b) / 4
+	if n == 0 {
+		return []int32{}
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))&3 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// viewSnapshot parses a complete snapshot image in place. data must hold
+// the whole file from byte 0 with &data[0] 8-byte aligned (mmap regions
+// and alignedBytes buffers both qualify) and must be format version 2 —
+// callers route version-1 files to the streaming reader. On little-endian
+// hosts the returned view's columns alias data, so the caller owns data's
+// lifetime for as long as the view is reachable.
+//
+// verify=false runs only the O(vertices) structural checks — header CRC,
+// section framing, zero padding, offset-column monotonicity — which is
+// what keeps mapped loads allocation-free and clear of adjacency page
+// faults; verify=true additionally checks every section CRC and the full
+// row invariants (validateCSR, or a complete packed-row decode).
+func viewSnapshot(data []byte, verify bool) (View, error) {
+	if len(data) < snapshotHeaderLen {
+		return nil, fmt.Errorf("graph: snapshot: truncated header (%d bytes)", len(data))
+	}
+	h, err := parseSnapshotHeader(data[:snapshotHeaderLen])
+	if err != nil {
+		return nil, err
+	}
+	if h.version < snapshotVersion {
+		return nil, fmt.Errorf("graph: snapshot: format v%d predates the in-place layout", h.version)
+	}
+	w := &sectionWalker{data: data, pos: snapshotHeaderLen, align: snapshotAlign, prefix: "graph: snapshot", verify: verify}
+	if h.packed() {
+		p := &Packed{numVertices: h.vertices, numEdges: h.edges}
+		if p.outOff, p.out, err = w.packedPair(h, "out"); err != nil {
+			return nil, err
+		}
+		if h.inEdges() {
+			if p.inOff, p.in, err = w.packedPair(h, "in"); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	}
+	g := &Digraph{numVertices: h.vertices}
+	if g.outOff, g.outAdj, err = w.csrPair(h, "out"); err != nil {
+		return nil, err
+	}
+	if h.inEdges() {
+		if g.inOff, g.inAdj, err = w.csrPair(h, "in"); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// sectionWalker steps through the sections of an in-place file image.
+// align is the section-start alignment the format promises (8 for
+// version-2 snapshots, 1 — no padding — for shards); prefix labels errors.
+type sectionWalker struct {
+	data   []byte
+	pos    int64
+	align  int64
+	prefix string
+	verify bool
+}
+
+// section returns the next section's payload after checking the zero
+// padding, the length prefix against want and, in verify mode, the CRC
+// trailer.
+func (s *sectionWalker) section(want int64, what string) ([]byte, error) {
+	pad := -s.pos & (s.align - 1)
+	if want < 0 || want > int64(len(s.data)) {
+		return nil, fmt.Errorf("%s: truncated %s section", s.prefix, what)
+	}
+	end := s.pos + pad + 8 + want + 4
+	if end > int64(len(s.data)) {
+		return nil, fmt.Errorf("%s: truncated %s section", s.prefix, what)
+	}
+	for _, b := range s.data[s.pos : s.pos+pad] {
+		if b != 0 {
+			return nil, fmt.Errorf("%s: nonzero padding before %s section", s.prefix, what)
+		}
+	}
+	s.pos += pad
+	if got := binary.LittleEndian.Uint64(s.data[s.pos:]); got != uint64(want) {
+		return nil, fmt.Errorf("%s: %s section length %d does not match header counts (want %d)", s.prefix, what, got, want)
+	}
+	payload := s.data[s.pos+8 : s.pos+8+want : s.pos+8+want]
+	if s.verify {
+		if got := binary.LittleEndian.Uint32(s.data[s.pos+8+want:]); got != crc32.Checksum(payload, snapshotCRC) {
+			return nil, fmt.Errorf("%s: %s section checksum mismatch", s.prefix, what)
+		}
+	}
+	s.pos = end
+	return payload, nil
+}
+
+// csrPair views one plain adjacency direction: offset and adjacency
+// columns, validated per the walker's verify mode.
+func (s *sectionWalker) csrPair(h snapshotHeader, what string) ([]int64, []VertexID, error) {
+	offB, err := s.section((int64(h.vertices)+1)*8, what+"-offset")
+	if err != nil {
+		return nil, nil, err
+	}
+	adjB, err := s.section(h.edges*4, what+"-adjacency")
+	if err != nil {
+		return nil, nil, err
+	}
+	off := viewInt64s(offB)
+	adj := viewVertexIDs(adjB)
+	if s.verify {
+		err = validateCSR(h.vertices, off, adj, what)
+	} else {
+		err = validateOffsets(h.vertices, off, int64(len(adj)), what)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return off, adj, nil
+}
+
+// packedPair views one packed adjacency direction: the byte-offset column
+// and the row-block blob (whose length the offset column's endpoint
+// defines and the section prefix must corroborate).
+func (s *sectionWalker) packedPair(h snapshotHeader, what string) ([]int64, []byte, error) {
+	offB, err := s.section((int64(h.vertices)+1)*8, what+"-offset")
+	if err != nil {
+		return nil, nil, err
+	}
+	off := viewInt64s(offB)
+	blob, err := s.section(off[len(off)-1], what+"-adjacency")
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := validateOffsets(h.vertices, off, int64(len(blob)), what); err != nil {
+		return nil, nil, err
+	}
+	if s.verify {
+		if err := validatePackedRows(h.vertices, off, blob, h.edges, what); err != nil {
+			return nil, nil, err
+		}
+	}
+	return off, blob, nil
+}
+
+// MapSnapshot opens a version-2 plain-adjacency .sgr snapshot with its CSR
+// columns aliasing a read-only mmap view of the file: zero per-edge work,
+// O(1) heap allocation independent of edge count, pages faulted in by the
+// OS as queries touch them. On platforms without mmap the file is read
+// into one aligned buffer and viewed in place the same way. Only the
+// O(vertices) offset checks run here; open through OpenGraphFile with
+// ReadOptions.Verify for full row validation.
+//
+// The mapping lives exactly as long as the returned graph: a runtime
+// cleanup unmaps it when the graph becomes unreachable, so callers must
+// keep the *Digraph alive while using any slice derived from it.
+// Version-1 and packed-adjacency files are rejected; OpenGraphFile handles
+// every layout.
+func MapSnapshot(path string) (*Digraph, error) {
+	v, info, err := OpenGraphFile(path, ReadOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if info.Format != FormatSnapshot || info.Version < snapshotVersion {
+		return nil, fmt.Errorf("graph: %s: not a format-v%d snapshot; re-pack with `snaple pack`", path, snapshotVersion)
+	}
+	g, ok := v.(*Digraph)
+	if !ok {
+		return nil, fmt.Errorf("graph: %s: packed-adjacency snapshot; open it with OpenGraphFile", path)
+	}
+	return g, nil
+}

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// EdgeStream yields the edges of shard (one of shards contiguous,
+// disjoint slices of some fixed underlying edge sequence) to yield, in a
+// deterministic order. BuildStream replays the stream twice, so the same
+// (shard, shards) must produce the same edges on every call — which is
+// exactly what hash-keyed generators (gen.PowerLawStream) and offset-range
+// file readers provide for free.
+type EdgeStream func(shard, shards int, yield func(u, v VertexID))
+
+// BuildStream assembles a Digraph from a replayable edge stream with the
+// same two-pass counting sort as Builder.build, but with no edge-list
+// buffer at all: pass one counts per-source degrees straight off the
+// stream, pass two scatters destinations through per-worker cursors, and
+// the shared finishCSR pass sorts, deduplicates and compacts the rows.
+// Peak memory is the CSR being built plus the per-worker histograms —
+// 10^9-edge inputs stream through without ever holding 10^9 Edge structs.
+//
+// Self-loops are dropped and duplicates are removed, matching Builder's
+// defaults; out-of-range endpoints are an error. workers ≤ 0 means
+// GOMAXPROCS; each worker drives its own shard of the stream, so the
+// stream must be safe to run concurrently for distinct shards.
+func BuildStream(numVertices, workers int, stream EdgeStream) (*Digraph, error) {
+	n := numVertices
+	if n < 0 {
+		return nil, fmt.Errorf("graph: stream-build with %d vertices", n)
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if maxW := int(histBudgetBytes / (8 * int64(n+1))); workers > maxW {
+		workers = max(maxW, 1)
+	}
+
+	// Pass 1: count edges per source into per-worker histograms.
+	hist := make([]int64, workers*n)
+	var bad atomic.Uint64
+	bad.Store(^uint64(0))
+	forEachWorker(workers, func(w int) {
+		h := hist[w*n : (w+1)*n]
+		stream(w, workers, func(u, v VertexID) {
+			if int(u) >= n || int(v) >= n {
+				bad.CompareAndSwap(^uint64(0), uint64(u)<<32|uint64(v))
+				return
+			}
+			if u != v {
+				h[u]++
+			}
+		})
+	})
+	if packed := bad.Load(); packed != ^uint64(0) {
+		return nil, fmt.Errorf("graph: edge (%d,%d) with %d vertices: %w",
+			uint32(packed>>32), uint32(packed), n, errInvalidVertex)
+	}
+
+	// Prefix sum over (vertex, worker): hist[w*n+u] becomes worker w's
+	// private write cursor inside row u, as in Builder.build.
+	off := make([]int64, n+1)
+	var total int64
+	for u := 0; u < n; u++ {
+		off[u] = total
+		for w := 0; w < workers; w++ {
+			c := hist[w*n+u]
+			hist[w*n+u] = total
+			total += c
+		}
+	}
+	off[n] = total
+
+	// Pass 2: replay the stream and scatter destinations.
+	adj := make([]VertexID, total)
+	forEachWorker(workers, func(w int) {
+		h := hist[w*n : (w+1)*n]
+		stream(w, workers, func(u, v VertexID) {
+			if u == v {
+				return
+			}
+			adj[h[u]] = v
+			h[u]++
+		})
+	})
+
+	return finishCSR(workers, n, off, adj, false), nil
+}

@@ -797,12 +797,48 @@ func LoadGraphFile(path string, symmetrize bool) (*Graph, error) {
 // pack, so compact before handing them a live graph's view.
 func NewLive(base *Graph) *Live { return graph.NewLive(base) }
 
+// LoadInfo describes how OpenGraphFile loaded a graph: the detected
+// format, the snapshot version, and whether the mmap and packed-adjacency
+// paths were taken.
+type LoadInfo = graph.LoadInfo
+
+// Packed is a read-only graph view whose adjacency stays delta-varint
+// compressed in memory, decoding rows on demand — how packed .sgr
+// snapshots serve queries without materialising the CSR.
+type Packed = graph.Packed
+
+// OpenGraphFile loads a graph from path preserving its storage
+// representation: format-v2 snapshots arrive with their columns aliasing a
+// read-only mmap of the file (zero per-edge work, O(1) heap allocation),
+// packed-adjacency snapshots stay compressed as a *Packed view, and text
+// edge lists parse as usual. See GraphReadOptions.NoMap and Verify for the
+// heap and full-validation switches.
+func OpenGraphFile(path string, opts GraphReadOptions) (GraphView, LoadInfo, error) {
+	return graph.OpenGraphFile(path, opts)
+}
+
+// MapSnapshot opens a format-v2 plain .sgr snapshot with its CSR columns
+// mmap'd in place; see OpenGraphFile for the general loader.
+func MapSnapshot(path string) (*Graph, error) { return graph.MapSnapshot(path) }
+
+// SnapshotOptions configures WriteSnapshotOpts (the packed-adjacency
+// switch).
+type SnapshotOptions = graph.SnapshotOptions
+
 // WriteSnapshot writes g as a versioned, checksummed binary CSR snapshot.
 // Loading one materialises the graph with zero per-edge allocation — no
-// parsing, no remap, no re-sort — which is why `snaple pack` converts big
-// edge lists once and every later run starts at disk speed.
+// parsing, no remap, no re-sort — and format v2 goes further: its sections
+// are 8-aligned so loaders view the file in place, mmap'd, with load cost
+// independent of edge count. `snaple pack` converts big edge lists once
+// and every later run starts at page-cache speed.
 func WriteSnapshot(w io.Writer, g *Graph) error { return graph.WriteSnapshot(w, g) }
 
-// ReadSnapshot loads a binary CSR snapshot written by WriteSnapshot,
-// verifying its checksums and structural invariants.
+// WriteSnapshotOpts is WriteSnapshot with explicit encoding options, e.g.
+// delta-varint packed adjacency.
+func WriteSnapshotOpts(w io.Writer, g *Graph, o SnapshotOptions) error {
+	return graph.WriteSnapshotOpts(w, g, o)
+}
+
+// ReadSnapshot loads a binary CSR snapshot written by WriteSnapshot (any
+// format version), verifying its checksums and structural invariants.
 func ReadSnapshot(r io.Reader) (*Graph, error) { return graph.ReadSnapshot(r) }
